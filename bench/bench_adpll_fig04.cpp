@@ -1,0 +1,45 @@
+// Exercises the ADPLL of paper Section V-E / Fig. 4: lock transients at
+// several targets across the tuning range (including the 250 MHz chip
+// clock), SAR handoff, and the silicon area/power figures.
+#include <cstdio>
+
+#include "adpll/adpll.hpp"
+#include "eval/report.hpp"
+
+int main() {
+  using namespace cofhee;
+  adpll::Adpll pll;
+
+  eval::section("ADPLL (Section V-E) -- lock behavior across the tuning range");
+  const auto [lo, hi] = pll.tuning_range_mhz();
+  std::printf("DCO tuning range: %.0f - %.0f MHz (reference: 25 MHz)\n", lo, hi);
+
+  eval::Table t({"target MHz", "locked", "freq MHz", "err ppm", "SAR steps",
+                 "BB steps", "lock time us", "limit-cycle ppm"});
+  for (unsigned mult : {3u, 4u, 6u, 8u, 10u, 12u, 16u, 20u, 24u}) {
+    const auto r = pll.lock(mult);
+    t.row({std::to_string(mult * 25), r.locked ? "yes" : "NO",
+           eval::fmt(r.locked_freq_mhz, 1), eval::fmt(r.freq_error_ppm, 0),
+           std::to_string(r.sar_steps), std::to_string(r.bang_bang_steps),
+           eval::fmt(r.lock_time_us, 1), eval::fmt(r.jitter_limit_cycle_ppm, 0)});
+  }
+  t.print();
+
+  eval::section("Dual-loop handoff at the 250 MHz operating point");
+  const auto r = pll.lock(10);
+  std::printf("FLL (SAR over %u-bit coarse DAC): %u steps -> %.1f MHz\n",
+              adpll::Dco::kCoarseBits, r.sar_steps,
+              r.freq_trace_mhz[r.sar_steps - 1]);
+  std::printf("PLL (bang-bang + integral filter on %u-step fine DAC): %llu steps "
+              "-> %.2f MHz\n", adpll::Dco::kFineSteps,
+              static_cast<unsigned long long>(r.bang_bang_steps), r.locked_freq_mhz);
+
+  eval::section("Silicon figures (GF 55nm implementation)");
+  std::printf("active area: %.2f mm^2 (paper: 0.05 mm^2)\n", adpll::Adpll::kActiveAreaMm2);
+  std::printf("power: %.0f uW at %.1f V (paper: 350 uW at 1.1 V)\n",
+              adpll::Adpll::kPowerUw, adpll::Adpll::kSupplyV);
+  std::puts("An analog PLL of equal jitter needs a large loop-filter capacitor;\n"
+            "the all-digital implementation is why the PLL fits a corner of the\n"
+            "floorplan (Fig. 3a) instead of dominating it.");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces paper Table III: design statistics through place and route
+// (cell counts, buffer insertion, utilization, VT migration).
+#include <cstdio>
+
+#include "eval/report.hpp"
+#include "physical/floorplan.hpp"
+#include "physical/pnr_model.hpp"
+
+int main() {
+  using namespace cofhee;
+  physical::Floorplanner fp;
+  physical::PnrModel pnr;
+  const auto stages = pnr.run(fp.plan());
+
+  // Paper Table III (Initial / Place / CTS / Route).
+  const struct {
+    const char* stage;
+    double cells, seq, bufs, util_pct, nets, hvt, rvt, lvt;
+  } paper[] = {
+      {"Initial", 225797, 18686, 22561, 45.0, 257856, 100.0, 0.0, 0.0},
+      {"Place", 376853, 18686, 89072, 54.0, 398340, 13.75, 17.0, 69.25},
+      {"CTS", 378957, 18686, 91372, 56.5, 401407, 13.5, 12.1, 74.4},
+      {"Route", 379921, 18686, 92379, 59.0, 401510, 13.4, 12.0, 74.6},
+  };
+
+  eval::section("Table III -- design statistics through PnR");
+  eval::Table t({"stage", "std cells", "paper", "buf/inv", "paper", "util",
+                 "paper", "nets", "paper", "HVT/RVT/LVT %", "paper"});
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const auto& s = stages[i];
+    const auto& p = paper[i];
+    t.row({s.name, std::to_string(s.std_cells), eval::fmt(p.cells, 0),
+           std::to_string(s.buffer_inverter_cells), eval::fmt(p.bufs, 0),
+           eval::fmt(s.utilization * 100, 1) + "%", eval::fmt(p.util_pct, 1) + "%",
+           std::to_string(s.signal_nets), eval::fmt(p.nets, 0),
+           eval::fmt(s.hvt_fraction * 100, 1) + "/" +
+               eval::fmt(s.rvt_fraction * 100, 1) + "/" +
+               eval::fmt(s.lvt_fraction * 100, 1),
+           eval::fmt(p.hvt, 1) + "/" + eval::fmt(p.rvt, 1) + "/" +
+               eval::fmt(p.lvt, 1)});
+  }
+  t.print();
+  std::puts("The flow starts 100% HVT (leakage-optimal) and ends at 13.4% HVT /\n"
+            "74.6% LVT: timing closure swaps the long combinational Barrett\n"
+            "paths of Table VIII onto faster cells, exactly the mechanism the\n"
+            "paper describes in Sections III-K and V-C.");
+  return 0;
+}

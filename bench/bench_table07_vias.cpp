@@ -1,0 +1,32 @@
+// Reproduces paper Table VII: redundant-via conversion statistics per cut
+// layer (yield optimization, Section V-C).
+#include <cstdio>
+
+#include "eval/report.hpp"
+#include "physical/via_model.hpp"
+
+int main() {
+  using namespace cofhee;
+  physical::ViaModel vm;
+  const auto stats = vm.run();
+
+  const struct {
+    const char* layer;
+    unsigned multi, total;
+    double pct;
+  } paper[] = {{"V1", 21659, 21945, 98.70}, {"V2", 21732, 21844, 99.49},
+               {"V3", 21991, 22035, 99.80}, {"V4", 26391, 26455, 99.76},
+               {"WT", 2438, 2450, 99.51},   {"WA", 1390, 1393, 99.78}};
+
+  eval::section("Table VII -- redundant via statistics");
+  eval::Table t({"layer", "multi-cut", "paper", "total", "multi-cut %", "paper %"});
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    t.row({stats[i].layer, std::to_string(stats[i].multi_cut),
+           std::to_string(paper[i].multi), std::to_string(stats[i].total),
+           eval::fmt(stats[i].percent(), 2), eval::fmt(paper[i].pct, 2)});
+  }
+  t.print();
+  std::puts("Monte-Carlo conversion with layer-dependent congestion blocking;\n"
+            "lower via layers convert at >98.7% as in the fabricated design.");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Post-silicon bring-up flow (paper Section V-F, Fig. 5): what the host PC
+// does when a packaged CoFHEE arrives on the bench -- talk UART through the
+// FTDI adapter, check the chip ID, program the ring, run each execution
+// mode, and watch the interrupt line.
+#include <cstdio>
+
+#include "chip/chip.hpp"
+#include "chip/cm0.hpp"
+#include "driver/host_driver.hpp"
+#include "nt/primes.hpp"
+#include "poly/merged_ntt.hpp"
+#include "poly/sampler.hpp"
+
+int main() {
+  using namespace cofhee;
+  std::puts("=== CoFHEE bring-up (Section V-F) ===");
+  std::puts("board: QFN-48 on DIP adapter; UMFT230XA USB-UART at 3 Mbaud;");
+  std::puts("1.2 V core from DC-DC step-down, 3.3 V IO from the FTDI board.\n");
+
+  chip::CofheeChip soc;
+  driver::HostDriver drv(soc, driver::ExecMode::kDirect, driver::Link::kUart);
+
+  // Step 1: sign of life -- read the SIGNATURE register over UART.
+  const auto sig = soc.uart().host_read32(chip::MemoryMap::kGpcfgBase +
+                                          static_cast<std::uint32_t>(
+                                              chip::Reg::kSignature));
+  std::printf("[1] SIGNATURE = 0x%08X %s\n", sig,
+              sig == chip::kSignatureValue ? "(chip alive)" : "(BAD)");
+
+  // Step 2: program the ring registers and twiddle ROM (timed over UART).
+  const std::size_t n = 256;  // small vectors for serial-link bring-up
+  const auto q = nt::find_ntt_prime_u128(109, n);
+  drv.configure_ring(q, n, nt::primitive_2nth_root(q, n), /*timed=*/true);
+  std::printf("[2] ring programmed: n=%zu, log q=%u, Barrett k=%u\n", n,
+              nt::bit_length(q), soc.gpcfg().read(chip::Reg::kBarrettCtl1) / 2);
+
+  // Step 3: mode-1 smoke test -- NTT round trip, triggered via registers.
+  poly::Rng rng(99);
+  const auto x = poly::sample_uniform128(rng, n, q);
+  drv.load_polynomial(chip::Bank::kDp0, 0, x);
+  const chip::Instr fwd{chip::Opcode::kNtt, {chip::Bank::kDp0, 0}, {},
+                        {chip::Bank::kDp1, 0}, 0, 0};
+  const chip::Instr inv{chip::Opcode::kIntt, {chip::Bank::kDp1, 0}, {},
+                        {chip::Bank::kDp0, 0}, 0, 0};
+  const chip::Instr prog[] = {fwd, inv};
+  const auto rep1 = drv.run(prog);
+  const bool roundtrip = soc.read_coeffs(chip::Bank::kDp0, 0, n) == x;
+  std::printf("[3] mode 1 (register-triggered): NTT+iNTT round trip %s; "
+              "%.3f ms UART overhead vs %.4f ms compute\n",
+              roundtrip ? "OK" : "FAIL", rep1.io_seconds * 1e3, rep1.compute_ms);
+
+  // Step 4: mode 2 -- preloaded command FIFO, wait for the empty interrupt.
+  driver::HostDriver fifo_drv(soc, driver::ExecMode::kFifo, driver::Link::kUart);
+  fifo_drv.configure_ring(q, n, nt::primitive_2nth_root(q, n));
+  const auto rep2 = fifo_drv.run(prog);
+  std::printf("[4] mode 2 (command FIFO): %llu cycles, FIFO-empty IRQ %s\n",
+              static_cast<unsigned long long>(rep2.compute_cycles),
+              soc.gpcfg().irq_pending(chip::kIrqFifoEmpty) ? "raised" : "missing");
+
+  // Step 5: mode 3 -- the on-chip Cortex-M0 sequences the same commands.
+  driver::HostDriver cm0_drv(soc, driver::ExecMode::kCm0, driver::Link::kUart);
+  cm0_drv.configure_ring(q, n, nt::primitive_2nth_root(q, n));
+  const auto rep3 = cm0_drv.run(prog);
+  std::printf("[5] mode 3 (ARM CM0 firmware): %llu chip cycles, %llu CM0 cycles "
+              "(overlapped)\n", static_cast<unsigned long long>(rep3.compute_cycles),
+              static_cast<unsigned long long>(rep3.cm0_cycles));
+
+  // Step 6: a power sanity number, as the bench oscilloscope would show.
+  const auto pw = soc.power_trace().report();
+  std::printf("[6] supply check: avg %.1f mW / peak %.1f mW at 1.2 V "
+              "(scope + current probe)\n", pw.avg_mw, pw.peak_mw);
+  std::puts("\nbring-up complete: chip fully functional (paper Fig. 5).");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Private membership test (the paper's motivating application class;
+// Section III-A cites "Real-time private membership test using homomorphic
+// encryption", ref [28]).
+//
+// The client encrypts a query value x; the server, holding a set S,
+// homomorphically evaluates P(x) = prod_{s in S} (x - s).  P(x) = 0 exactly
+// when x is a member -- and the server learns nothing about x.  The product
+// tree uses EvalMult + relinearization, the operation CoFHEE accelerates.
+#include <cstdio>
+#include <vector>
+
+#include "bfv/bfv.hpp"
+#include "bfv/encoder.hpp"
+
+int main() {
+  using namespace cofhee;
+  bfv::Bfv scheme(bfv::BfvParams::test_tiny(64), 13);
+  const auto sk = scheme.keygen_secret();
+  const auto pk = scheme.keygen_public(sk);
+  const auto rk = scheme.keygen_relin(sk, 16);
+  bfv::IntegerEncoder enc(scheme.context());
+
+  const std::vector<std::int64_t> server_set{102, 417, 8080, 31337};
+  std::printf("server set: {102, 417, 8080, 31337}\n\n");
+
+  for (std::int64_t query : {417L, 500L, 31337L}) {
+    // Client: encrypt the query.
+    const auto cx = scheme.encrypt(pk, enc.encode(query));
+
+    // Server: evaluate prod (x - s) as a balanced tree (depth log2 |S|).
+    std::vector<bfv::Ciphertext> terms;
+    for (const auto s : server_set) {
+      // x - s == x + (-s), a plaintext addition (noise-free).
+      terms.push_back(scheme.add_plain(cx, enc.encode(-s)));
+    }
+    while (terms.size() > 1) {
+      std::vector<bfv::Ciphertext> next;
+      for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+        next.push_back(scheme.relinearize(scheme.multiply(terms[i], terms[i + 1]), rk));
+      }
+      if (terms.size() % 2 == 1) next.push_back(terms.back());
+      terms = std::move(next);
+    }
+
+    // Client: decrypt; zero means "member".
+    const auto result = enc.decode(scheme.decrypt(sk, terms.front()));
+    std::printf("query %6lld -> P(x) %s 0 -> %s\n", static_cast<long long>(query),
+                result == 0 ? "==" : "!=", result == 0 ? "MEMBER" : "not a member");
+  }
+
+  std::puts("\nEach membership test above ran 3 EvalMult + relinearization --\n"
+            "the exact workload Fig. 6 measures on CoFHEE (0.84 ms per tensor\n"
+            "at n = 2^12 vs 1.5 ms for single-thread CPU).");
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "adpll/adpll.hpp"
+
+#include <cmath>
+
+namespace cofhee::adpll {
+
+LockResult Adpll::lock(unsigned target_mult, std::uint64_t max_ref_cycles) const {
+  LockResult r{};
+  const double f_target = cfg_.ref_mhz * target_mult;
+
+  // --- Frequency-Locking Loop: SAR over the coarse DAC. ---
+  // Each SAR step counts DCO edges over one reference period (a digital
+  // frequency detector) and keeps the trial bit if the count is below the
+  // target multiplier (DCO too slow -> need more current).
+  unsigned coarse = 0;
+  unsigned fine = Dco::kFineSteps / 2;
+  std::uint64_t ref_cycles = 0;
+  double phase = 0.0;  // DCO cycles accumulated modulo 1 ref period
+  for (int bit = Dco::kCoarseBits - 1; bit >= 0; --bit) {
+    const unsigned trial = coarse | (1u << bit);
+    const double f = dco_.freq_mhz(trial, fine);
+    const double edges = f / cfg_.ref_mhz;  // edge count in one ref period
+    if (edges <= static_cast<double>(target_mult)) coarse = trial;
+    ++r.sar_steps;
+    ++ref_cycles;
+    r.freq_trace_mhz.push_back(dco_.freq_mhz(coarse, fine));
+  }
+
+  // Hand over only if the FLL brought the error inside the BBPD capture
+  // range (paper: "a few percent of the reference clock frequency", scaled
+  // by the multiplier at the divider output).
+  const double f_after_fll = dco_.freq_mhz(coarse, fine);
+  const double capture = cfg_.capture_range_frac * f_target;
+  if (std::abs(f_after_fll - f_target) > capture + 3.0 * (dco_.f_max_mhz() - dco_.f_min_mhz()) / ((1u << Dco::kCoarseBits) - 1)) {
+    // Target outside the DCO range: no lock.
+    r.locked = false;
+    r.locked_freq_mhz = f_after_fll;
+    r.lock_time_us = static_cast<double>(ref_cycles) / cfg_.ref_mhz;
+    return r;
+  }
+
+  // --- Phase-Locking Loop: bang-bang PD + integral filter on fine DAC. ---
+  // The Alexander PD only reports early/late; the integrator walks the fine
+  // code.  The lock detector requires `lock_window` consecutive samples
+  // with |phase error| < half a DCO period.
+  unsigned consecutive = 0;
+  std::int32_t integ = 0;
+  bool prev_late = false;
+  const double t_ref_us = 1.0 / cfg_.ref_mhz;
+  while (ref_cycles < max_ref_cycles) {
+    const double f = dco_.freq_mhz(coarse, fine);
+    r.freq_trace_mhz.push_back(f);
+    phase += f / cfg_.ref_mhz - static_cast<double>(target_mult);
+    ++ref_cycles;
+    ++r.bang_bang_steps;
+    // Early/late decision (three-sample Alexander PD reduces to the sign
+    // of the accumulated phase error at this abstraction level).
+    const bool late = phase > 0.0;
+    // Anti-windup: a phase-error sign flip dumps the integrator, the
+    // digital equivalent of the lock detector gating the loops so they do
+    // not fight (Section V-E).
+    if (late != prev_late) integ = 0;
+    prev_late = late;
+    integ += late ? -1 : 1;
+    const std::int32_t step = integ >> cfg_.ki_shift;
+    std::int64_t nf = static_cast<std::int64_t>(fine) + (late ? -1 : 1) + step;
+    integ -= step << cfg_.ki_shift;
+    if (nf < 0) nf = 0;
+    if (nf > static_cast<std::int64_t>(Dco::kFineSteps)) nf = Dco::kFineSteps;
+    fine = static_cast<unsigned>(nf);
+
+    if (std::abs(phase) < 0.5) {
+      if (++consecutive >= cfg_.lock_window) {
+        r.locked = true;
+        break;
+      }
+    } else {
+      consecutive = 0;
+      // Keep the phase accumulator bounded (a real PD saturates).
+      if (phase > 1.5) phase = 1.5;
+      if (phase < -1.5) phase = -1.5;
+    }
+  }
+
+  r.locked_freq_mhz = dco_.freq_mhz(coarse, fine);
+  r.freq_error_ppm = (r.locked_freq_mhz - f_target) / f_target * 1e6;
+  r.lock_time_us = static_cast<double>(ref_cycles) * t_ref_us;
+  // Bang-bang limit cycle: +/-1 fine LSB around the target.
+  const double lsb = std::abs(dco_.freq_mhz(coarse, fine + 1) - r.locked_freq_mhz);
+  r.jitter_limit_cycle_ppm = lsb / f_target * 1e6;
+  return r;
+}
+
+}  // namespace cofhee::adpll

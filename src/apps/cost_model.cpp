@@ -1,0 +1,51 @@
+#include "apps/cost_model.hpp"
+
+#include "chip/config.hpp"
+#include "nt/primes.hpp"
+
+namespace cofhee::apps {
+
+Workload cryptonets_workload() {
+  return {"CryptoNets", 457550, 449000, 10200, 197.0, 88.35};
+}
+
+Workload logreg_workload() {
+  return {"Logistic Regression", 168298, 49500, 128700, 550.25, 377.6};
+}
+
+ChipOpCosts chip_op_costs(std::size_t n, unsigned towers, unsigned relin_digit_bits,
+                          unsigned log_q_bits) {
+  const chip::ChipConfig cfg;
+  const double ms_per_cycle = cfg.cycle_ns() * 1e-6;
+  const double logn = static_cast<double>(nt::log2_exact(n));
+
+  const double ntt = (n / 2.0) * logn + cfg.stage_overhead * logn + 1;
+  const double intt = ntt + (n + cfg.pointwise_fill) + n / cfg.dma_words_per_cycle;
+  const double pw = n + cfg.pointwise_fill + 1.0;
+
+  ChipOpCosts c{};
+  // ct + ct: both ciphertext polynomials, every tower.
+  c.add_ms = 2.0 * towers * pw * ms_per_cycle;
+  // ct * pt, NTT-resident: one Hadamard per ciphertext polynomial.
+  c.ctpt_ms = 2.0 * towers * pw * ms_per_cycle;
+  // ct * ct: Algorithm 3 with the 3 exposed DMA staging bursts.
+  c.ctct_ms = towers *
+              (4 * ntt + 5 * pw + 3 * intt + 3.0 * n / cfg.dma_words_per_cycle) *
+              ms_per_cycle;
+  // Relinearization: d = ceil(log q / w) digits; per digit and tower one
+  // NTT of the digit polynomial plus two Hadamard multiply-accumulates
+  // (against both key polynomials); two inverse NTTs per tower at the end.
+  const double digits =
+      (log_q_bits + relin_digit_bits - 1) / static_cast<double>(relin_digit_bits);
+  c.relin_ms = towers * (digits * (ntt + 4 * pw) + 2 * intt) * ms_per_cycle;
+  return c;
+}
+
+double estimate_seconds(const Workload& w, const ChipOpCosts& c) {
+  const double ms = static_cast<double>(w.ct_ct_adds) * c.add_ms +
+                    static_cast<double>(w.ct_pt_muls) * c.ctpt_ms +
+                    static_cast<double>(w.ct_ct_muls) * (c.ctct_ms + c.relin_ms);
+  return ms * 1e-3;
+}
+
+}  // namespace cofhee::apps

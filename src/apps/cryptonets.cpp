@@ -1,0 +1,115 @@
+#include "apps/cryptonets.hpp"
+
+#include "poly/sampler.hpp"
+
+namespace cofhee::apps {
+
+namespace {
+
+/// Magnitude into Z_t plaintext (constant coefficient).
+bfv::Plaintext scalar_plain(const bfv::BfvContext& ctx, std::uint64_t v) {
+  bfv::Plaintext p;
+  p.coeffs.assign(ctx.n(), 0);
+  p.coeffs[0] = v % ctx.t();
+  return p;
+}
+
+/// ct * w for signed w: multiply by |w|, negate the ciphertext for w < 0 --
+/// negation is noise-free, whereas encoding w as t - |w| multiplies the
+/// noise by ~t.
+bfv::Ciphertext mul_signed_scalar(bfv::Bfv& scheme, const bfv::Ciphertext& ct,
+                                  std::int64_t w) {
+  const auto mag = scalar_plain(scheme.context(),
+                                static_cast<std::uint64_t>(w < 0 ? -w : w));
+  auto r = scheme.mul_plain(ct, mag);
+  return w < 0 ? scheme.negate(r) : r;
+}
+
+std::int64_t centered(nt::u64 c, nt::u64 t) {
+  return c > t / 2 ? static_cast<std::int64_t>(c) - static_cast<std::int64_t>(t)
+                   : static_cast<std::int64_t>(c);
+}
+
+}  // namespace
+
+CryptoNet::CryptoNet(const bfv::BfvContext& ctx, NetworkConfig cfg)
+    : ctx_(ctx), cfg_(cfg) {
+  poly::Rng rng(cfg.weight_seed);
+  w1_.assign(cfg.hidden, std::vector<std::int64_t>(cfg.inputs));
+  w2_.assign(cfg.outputs, std::vector<std::int64_t>(cfg.hidden));
+  for (auto& row : w1_)
+    for (auto& w : row) w = static_cast<std::int64_t>(rng.uniform_below(5)) - 2;
+  for (auto& row : w2_)
+    for (auto& w : row) w = static_cast<std::int64_t>(rng.uniform_below(5)) - 2;
+}
+
+std::vector<std::int64_t> CryptoNet::infer_plain(
+    const std::vector<std::int64_t>& x) const {
+  const auto t = static_cast<std::int64_t>(ctx_.t());
+  auto modt = [&](std::int64_t v) {
+    std::int64_t r = v % t;
+    if (r > t / 2) r -= t;
+    if (r < -t / 2) r += t;
+    return r;
+  };
+  std::vector<std::int64_t> h(cfg_.hidden, 0);
+  for (std::size_t i = 0; i < cfg_.hidden; ++i) {
+    std::int64_t acc = 0;
+    for (std::size_t j = 0; j < cfg_.inputs; ++j) acc = modt(acc + w1_[i][j] * x[j]);
+    h[i] = modt(acc * acc);  // square activation
+  }
+  std::vector<std::int64_t> out(cfg_.outputs, 0);
+  for (std::size_t i = 0; i < cfg_.outputs; ++i) {
+    std::int64_t acc = 0;
+    for (std::size_t j = 0; j < cfg_.hidden; ++j) acc = modt(acc + w2_[i][j] * h[j]);
+    out[i] = acc;
+  }
+  return out;
+}
+
+std::vector<bfv::Ciphertext> CryptoNet::infer_encrypted(
+    bfv::Bfv& scheme, const bfv::PublicKey& pk, const bfv::RelinKeys& rk,
+    const std::vector<bfv::Ciphertext>& enc_inputs, OpTally* tally) const {
+  OpTally t{};
+  // Hidden layer: dense + square activation.
+  std::vector<bfv::Ciphertext> hidden;
+  hidden.reserve(cfg_.hidden);
+  for (std::size_t i = 0; i < cfg_.hidden; ++i) {
+    bfv::Ciphertext acc = mul_signed_scalar(scheme, enc_inputs[0], w1_[i][0]);
+    ++t.ct_pt_muls;
+    for (std::size_t j = 1; j < cfg_.inputs; ++j) {
+      acc = scheme.add(acc, mul_signed_scalar(scheme, enc_inputs[j], w1_[i][j]));
+      ++t.ct_pt_muls;
+      ++t.ct_ct_adds;
+    }
+    acc = scheme.relinearize(scheme.multiply(acc, acc), rk);  // x^2
+    ++t.ct_ct_muls;
+    ++t.relins;
+    hidden.push_back(std::move(acc));
+  }
+  // Output layer: dense.
+  std::vector<bfv::Ciphertext> out;
+  out.reserve(cfg_.outputs);
+  for (std::size_t i = 0; i < cfg_.outputs; ++i) {
+    bfv::Ciphertext acc = mul_signed_scalar(scheme, hidden[0], w2_[i][0]);
+    ++t.ct_pt_muls;
+    for (std::size_t j = 1; j < cfg_.hidden; ++j) {
+      acc = scheme.add(acc, mul_signed_scalar(scheme, hidden[j], w2_[i][j]));
+      ++t.ct_pt_muls;
+      ++t.ct_ct_adds;
+    }
+    out.push_back(std::move(acc));
+  }
+  if (tally != nullptr) *tally = t;
+  (void)pk;
+  return out;
+}
+
+/// Helper shared with tests/examples: decode a logit ciphertext.
+std::int64_t decode_logit(const bfv::Bfv& scheme, const bfv::SecretKey& sk,
+                          const bfv::Ciphertext& ct) {
+  const auto p = scheme.decrypt(sk, ct);
+  return centered(p.coeffs.at(0), scheme.context().t());
+}
+
+}  // namespace cofhee::apps

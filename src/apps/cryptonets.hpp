@@ -1,0 +1,66 @@
+// Executable CryptoNets-style encrypted inference (paper Section VI-C,
+// ref [38]).
+//
+// A square-activation neural network evaluated entirely on BFV
+// ciphertexts: dense layer -> x^2 activation (the CryptoNets trick: the
+// only FHE-friendly nonlinearity) -> dense layer.  One ciphertext per
+// input feature (no rotation keys needed), weights as plaintexts, so the
+// operation mix is exactly the Table X inventory: ct*pt multiplications,
+// ct+ct additions, and ct*ct multiplications with relinearization.
+// Runs at reduced scale (the paper's MNIST-sized run is op-count modelled
+// by apps/cost_model); correctness is checked against the plaintext
+// reference network.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bfv/bfv.hpp"
+#include "bfv/encoder.hpp"
+
+namespace cofhee::apps {
+
+struct NetworkConfig {
+  std::size_t inputs = 16;
+  std::size_t hidden = 8;
+  std::size_t outputs = 4;
+  std::uint64_t weight_seed = 42;
+};
+
+class CryptoNet {
+ public:
+  CryptoNet(const bfv::BfvContext& ctx, NetworkConfig cfg);
+
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return cfg_; }
+
+  /// Plaintext reference inference (all values over Z_t).
+  [[nodiscard]] std::vector<std::int64_t> infer_plain(
+      const std::vector<std::int64_t>& x) const;
+
+  /// Encrypted inference; returns one ciphertext per output logit.
+  struct OpTally {
+    std::uint64_t ct_pt_muls = 0, ct_ct_adds = 0, ct_ct_muls = 0, relins = 0;
+  };
+  [[nodiscard]] std::vector<bfv::Ciphertext> infer_encrypted(
+      bfv::Bfv& scheme, const bfv::PublicKey& pk, const bfv::RelinKeys& rk,
+      const std::vector<bfv::Ciphertext>& enc_inputs, OpTally* tally = nullptr) const;
+
+  [[nodiscard]] const std::vector<std::vector<std::int64_t>>& w1() const {
+    return w1_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::int64_t>>& w2() const {
+    return w2_;
+  }
+
+ private:
+  const bfv::BfvContext& ctx_;
+  NetworkConfig cfg_;
+  std::vector<std::vector<std::int64_t>> w1_;  // hidden x inputs
+  std::vector<std::vector<std::int64_t>> w2_;  // outputs x hidden
+};
+
+/// Decrypt one logit ciphertext to a centered signed value.
+std::int64_t decode_logit(const bfv::Bfv& scheme, const bfv::SecretKey& sk,
+                          const bfv::Ciphertext& ct);
+
+}  // namespace cofhee::apps

@@ -1,0 +1,75 @@
+#include "apps/logreg.hpp"
+
+#include <stdexcept>
+
+namespace cofhee::apps {
+
+namespace {
+
+bfv::Plaintext scalar_plain(const bfv::BfvContext& ctx, std::int64_t v) {
+  bfv::Plaintext p;
+  p.coeffs.assign(ctx.n(), 0);
+  const auto t = static_cast<std::int64_t>(ctx.t());
+  std::int64_t r = v % t;
+  if (r < 0) r += t;
+  p.coeffs[0] = static_cast<nt::u64>(r);
+  return p;
+}
+
+/// ct * w for signed w with noise-free sign handling (see cryptonets.cpp).
+bfv::Ciphertext mul_signed_scalar(bfv::Bfv& scheme, const bfv::Ciphertext& ct,
+                                  std::int64_t w) {
+  const auto mag = scalar_plain(scheme.context(), w < 0 ? -w : w);
+  auto r = scheme.mul_plain(ct, mag);
+  return w < 0 ? scheme.negate(r) : r;
+}
+
+std::int64_t modt_center(std::int64_t v, std::int64_t t) {
+  std::int64_t r = v % t;
+  if (r > t / 2) r -= t;
+  if (r < -t / 2) r += t;
+  return r;
+}
+
+}  // namespace
+
+LogisticModel::LogisticModel(const bfv::BfvContext& ctx,
+                             std::vector<std::int64_t> weights, std::int64_t bias)
+    : ctx_(ctx), w_(std::move(weights)), b_(bias) {
+  if (w_.empty()) throw std::invalid_argument("LogisticModel: empty weights");
+}
+
+std::int64_t LogisticModel::score_plain(const std::vector<std::int64_t>& x) const {
+  const auto t = static_cast<std::int64_t>(ctx_.t());
+  std::int64_t acc = b_;
+  for (std::size_t i = 0; i < w_.size(); ++i) acc = modt_center(acc + w_[i] * x[i], t);
+  return acc;
+}
+
+bfv::Ciphertext LogisticModel::score_encrypted(
+    bfv::Bfv& scheme, const std::vector<bfv::Ciphertext>& enc_features) const {
+  if (enc_features.size() != w_.size())
+    throw std::invalid_argument("LogisticModel: feature count mismatch");
+  bfv::Ciphertext acc = mul_signed_scalar(scheme, enc_features[0], w_[0]);
+  for (std::size_t i = 1; i < w_.size(); ++i)
+    acc = scheme.add(acc, mul_signed_scalar(scheme, enc_features[i], w_[i]));
+  return scheme.add_plain(acc, scalar_plain(ctx_, b_));
+}
+
+std::int64_t LogisticModel::sigmoid_plain(std::int64_t z) const {
+  const auto t = static_cast<std::int64_t>(ctx_.t());
+  return modt_center(z * modt_center(3 - z * z, t), t);
+}
+
+bfv::Ciphertext LogisticModel::sigmoid_encrypted(bfv::Bfv& scheme,
+                                                 const bfv::RelinKeys& rk,
+                                                 const bfv::Ciphertext& z) const {
+  // s(z) = z * (3 - z^2): one square + relin, one subtraction from the
+  // plaintext constant, one more multiply + relin.
+  const auto z2 = scheme.relinearize(scheme.multiply(z, z), rk);
+  // 3 - z^2 == (-z^2) + 3.
+  const auto inner = scheme.add_plain(scheme.negate(z2), scalar_plain(ctx_, 3));
+  return scheme.relinearize(scheme.multiply(z, inner), rk);
+}
+
+}  // namespace cofhee::apps

@@ -1,0 +1,47 @@
+// Encrypted logistic-regression inference (paper Section VI-C, ref [39]:
+// privacy-preserving cancer-type prediction).
+//
+// The model computes z = w . x + b on encrypted features, then a cubic
+// polynomial approximation of the sigmoid (the standard FHE substitution
+// for the transcendental function); classification needs only the sign of
+// z, which the cubic preserves.  Fixed-point encoding: features and
+// weights scaled by 2^frac_bits.  The operation mix again matches Table X:
+// ct*pt multiplications and ct+ct additions for the dot product, ct*ct
+// multiplications + relinearizations for the cubic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bfv/bfv.hpp"
+
+namespace cofhee::apps {
+
+class LogisticModel {
+ public:
+  LogisticModel(const bfv::BfvContext& ctx, std::vector<std::int64_t> weights,
+                std::int64_t bias);
+
+  /// Plaintext score z = w.x + b (fixed-point integers over Z_t).
+  [[nodiscard]] std::int64_t score_plain(const std::vector<std::int64_t>& x) const;
+
+  /// Encrypted linear score.
+  [[nodiscard]] bfv::Ciphertext score_encrypted(
+      bfv::Bfv& scheme, const std::vector<bfv::Ciphertext>& enc_features) const;
+
+  /// Encrypted cubic sigmoid surrogate s(z) = z * (c1 - c3 z^2) with
+  /// c1 = 3, c3 = 1 (sign-preserving for |z| < sqrt(3) in scaled units);
+  /// consumes two multiplicative levels.
+  [[nodiscard]] bfv::Ciphertext sigmoid_encrypted(bfv::Bfv& scheme,
+                                                  const bfv::RelinKeys& rk,
+                                                  const bfv::Ciphertext& z) const;
+
+  [[nodiscard]] std::int64_t sigmoid_plain(std::int64_t z) const;
+
+ private:
+  const bfv::BfvContext& ctx_;
+  std::vector<std::int64_t> w_;
+  std::int64_t b_;
+};
+
+}  // namespace cofhee::apps

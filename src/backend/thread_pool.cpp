@@ -1,0 +1,77 @@
+#include "backend/thread_pool.hpp"
+
+#include <atomic>
+#include <memory>
+
+namespace cofhee::backend {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t workers = threads > 0 ? threads - 1 : 0;
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  // Shared state keeps stragglers (and queued tasks that start after this
+  // call returns) valid: they observe next >= count and exit immediately.
+  struct State {
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::size_t count;
+    std::function<void(std::size_t)> fn;
+    std::mutex mu;
+    std::condition_variable cv;
+  };
+  auto st = std::make_shared<State>();
+  st->count = count;
+  st->fn = fn;
+
+  auto drain = [st] {
+    for (;;) {
+      const std::size_t i = st->next.fetch_add(1);
+      if (i >= st->count) break;
+      st->fn(i);
+      if (st->done.fetch_add(1) + 1 == st->count) {
+        std::lock_guard lk(st->mu);
+        st->cv.notify_all();
+      }
+    }
+  };
+
+  {
+    std::lock_guard lk(mu_);
+    for (std::size_t w = 0; w < workers_.size(); ++w) tasks_.push(drain);
+  }
+  cv_.notify_all();
+  drain();  // calling thread participates
+  std::unique_lock lk(st->mu);
+  st->cv.wait(lk, [&] { return st->done.load() >= count; });
+}
+
+}  // namespace cofhee::backend

@@ -1,0 +1,303 @@
+#include "bfv/bfv.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cofhee::bfv {
+
+using poly::BigInt;
+using poly::Coeffs;
+using poly::RnsPoly;
+
+namespace {
+
+/// Map a signed big integer (mag, neg) into residues of one tower.
+u64 signed_mod(const BigInt& mag, bool neg, u64 q) {
+  const u64 r = mag.mod_u64(q);
+  return neg ? (r == 0 ? 0 : q - r) : r;
+}
+
+}  // namespace
+
+poly::RnsPoly Bfv::sample_small_rns(bool ternary) {
+  const auto s = ternary ? poly::sample_ternary(rng_, ctx_.n())
+                         : poly::sample_cbd(rng_, ctx_.n(), ctx_.params().cbd_eta);
+  return poly::to_rns(s, ctx_.q_basis());
+}
+
+SecretKey Bfv::keygen_secret() { return SecretKey{sample_small_rns(true)}; }
+
+PublicKey Bfv::keygen_public(const SecretKey& sk) {
+  PublicKey pk;
+  RnsPoly a;
+  a.towers.reserve(ctx_.q_basis().size());
+  for (std::size_t i = 0; i < ctx_.q_basis().size(); ++i)
+    a.towers.push_back(poly::sample_uniform(rng_, ctx_.n(), ctx_.q_basis().modulus(i)));
+  const RnsPoly e = sample_small_rns(false);
+  pk.p0 = ctx_.neg(ctx_.add(ctx_.mul(a, sk.s), e));
+  pk.p1 = std::move(a);
+  return pk;
+}
+
+RelinKeys Bfv::keygen_relin(const SecretKey& sk, unsigned digit_bits) {
+  if (digit_bits == 0 || digit_bits > 32)
+    throw std::invalid_argument("Bfv: digit_bits in [1,32]");
+  RelinKeys rk;
+  rk.digit_bits = digit_bits;
+  const RnsPoly s2 = ctx_.mul(sk.s, sk.s);
+  const unsigned digits =
+      (ctx_.big_q().bit_len() + digit_bits - 1) / digit_bits;
+  for (unsigned d = 0; d < digits; ++d) {
+    RnsPoly a;
+    a.towers.reserve(ctx_.q_basis().size());
+    for (std::size_t i = 0; i < ctx_.q_basis().size(); ++i)
+      a.towers.push_back(
+          poly::sample_uniform(rng_, ctx_.n(), ctx_.q_basis().modulus(i)));
+    const RnsPoly e = sample_small_rns(false);
+    // b = -(a s + e) + 2^(w d) s^2  (mod Q), per tower.
+    RnsPoly b = ctx_.neg(ctx_.add(ctx_.mul(a, sk.s), e));
+    BigInt w_pow;
+    w_pow.set_bit(digit_bits * d);
+    const BigInt w_mod = w_pow % ctx_.big_q();
+    for (std::size_t i = 0; i < ctx_.q_basis().size(); ++i) {
+      const u64 wq = w_mod.mod_u64(ctx_.q_basis().modulus(i));
+      const auto scaled = poly::scalar_mul(ctx_.q_basis().tower(i), s2.towers[i], wq);
+      b.towers[i] = poly::pointwise_add(ctx_.q_basis().tower(i), b.towers[i], scaled);
+    }
+    rk.keys.emplace_back(std::move(b), std::move(a));
+  }
+  return rk;
+}
+
+Ciphertext Bfv::encrypt(const PublicKey& pk, const Plaintext& m) {
+  if (m.coeffs.size() != ctx_.n()) throw std::invalid_argument("Bfv: bad plaintext size");
+  const RnsPoly u = sample_small_rns(true);
+  const RnsPoly e1 = sample_small_rns(false);
+  const RnsPoly e2 = sample_small_rns(false);
+  Ciphertext ct;
+  // c0 = p0 u + e1 + Delta m  (Eq. 2), c1 = p1 u + e2  (Eq. 3).
+  RnsPoly c0 = ctx_.add(ctx_.mul(pk.p0, u), e1);
+  for (std::size_t i = 0; i < ctx_.q_basis().size(); ++i) {
+    const auto& ring = ctx_.q_basis().tower(i);
+    const u64 dm = ctx_.delta_mod(i);
+    for (std::size_t j = 0; j < ctx_.n(); ++j) {
+      if (m.coeffs[j] >= ctx_.t()) throw std::invalid_argument("Bfv: coeff >= t");
+      c0.towers[i][j] = ring.add(c0.towers[i][j], ring.mul(dm, m.coeffs[j] % ring.modulus()));
+    }
+  }
+  ct.c.push_back(std::move(c0));
+  ct.c.push_back(ctx_.add(ctx_.mul(pk.p1, u), e2));
+  return ct;
+}
+
+Plaintext Bfv::decrypt(const SecretKey& sk, const Ciphertext& ct) const {
+  if (ct.size() < 2 || ct.size() > 3) throw std::invalid_argument("Bfv: bad ct size");
+  // v = c0 + c1 s (+ c2 s^2) over Q.
+  RnsPoly v = ctx_.add(ct.c[0], ctx_.mul(ct.c[1], sk.s));
+  if (ct.size() == 3) v = ctx_.add(v, ctx_.mul(ctx_.mul(ct.c[2], sk.s), sk.s));
+
+  Plaintext m;
+  m.coeffs.assign(ctx_.n(), 0);
+  std::vector<u64> res(ctx_.q_basis().size());
+  const u64 t = ctx_.t();
+  for (std::size_t j = 0; j < ctx_.n(); ++j) {
+    for (std::size_t i = 0; i < res.size(); ++i) res[i] = v.towers[i][j];
+    auto [mag, neg] = ctx_.q_basis().reconstruct_centered(res);
+    // round(t * |x| / Q) then fold the sign into Z_t.
+    u64 carry = 0;
+    const BigInt num = mag.mul_small(t, &carry);
+    if (carry != 0) throw std::logic_error("Bfv: t*x overflow");
+    const BigInt r = nt::div_round(num, ctx_.big_q());
+    const u64 mt = r.mod_u64(t);
+    m.coeffs[j] = neg ? (mt == 0 ? 0 : t - mt) : mt;
+  }
+  return m;
+}
+
+Ciphertext Bfv::add(const Ciphertext& a, const Ciphertext& b) const {
+  if (a.size() != b.size()) throw std::invalid_argument("Bfv: size mismatch");
+  Ciphertext r;
+  for (std::size_t i = 0; i < a.size(); ++i) r.c.push_back(ctx_.add(a.c[i], b.c[i]));
+  return r;
+}
+
+Ciphertext Bfv::negate(const Ciphertext& a) const {
+  Ciphertext r;
+  for (const auto& comp : a.c) r.c.push_back(ctx_.neg(comp));
+  return r;
+}
+
+Ciphertext Bfv::add_plain(const Ciphertext& a, const Plaintext& m) const {
+  Ciphertext r = a;
+  for (std::size_t i = 0; i < ctx_.q_basis().size(); ++i) {
+    const auto& ring = ctx_.q_basis().tower(i);
+    const u64 dm = ctx_.delta_mod(i);
+    for (std::size_t j = 0; j < ctx_.n(); ++j)
+      r.c[0].towers[i][j] =
+          ring.add(r.c[0].towers[i][j], ring.mul(dm, m.coeffs[j] % ring.modulus()));
+  }
+  return r;
+}
+
+Ciphertext Bfv::mul_plain(const Ciphertext& a, const Plaintext& m) const {
+  // Plaintext coefficients are small (< t); embed directly in every tower.
+  RnsPoly mp;
+  mp.towers.reserve(ctx_.q_basis().size());
+  for (std::size_t i = 0; i < ctx_.q_basis().size(); ++i) {
+    poly::Coeffs<u64> tc(ctx_.n());
+    for (std::size_t j = 0; j < ctx_.n(); ++j)
+      tc[j] = m.coeffs[j] % ctx_.q_basis().modulus(i);
+    mp.towers.push_back(std::move(tc));
+  }
+  Ciphertext r;
+  for (const auto& comp : a.c) r.c.push_back(ctx_.mul(comp, mp));
+  return r;
+}
+
+poly::RnsPoly Bfv::extend_centered(const RnsPoly& p) const {
+  const auto& qb = ctx_.q_basis();
+  const auto& eb = ctx_.ext_basis();
+  const BigInt half = qb.product() >> 1;
+  RnsPoly out;
+  out.towers.assign(eb.size(), Coeffs<u64>(ctx_.n()));
+  std::vector<u64> res(qb.size());
+  for (std::size_t j = 0; j < ctx_.n(); ++j) {
+    for (std::size_t i = 0; i < qb.size(); ++i) res[i] = p.towers[i][j];
+    BigInt x = qb.reconstruct(res);
+    const bool neg = x > half;
+    const BigInt mag = neg ? qb.product() - x : x;
+    for (std::size_t i = 0; i < eb.size(); ++i)
+      out.towers[i][j] = signed_mod(mag, neg, eb.modulus(i));
+  }
+  return out;
+}
+
+poly::RnsPoly Bfv::scale_round_to_q(const RnsPoly& y_ext) const {
+  const auto& qb = ctx_.q_basis();
+  const auto& eb = ctx_.ext_basis();
+  const BigInt half = eb.product() >> 1;
+  RnsPoly out;
+  out.towers.assign(qb.size(), Coeffs<u64>(ctx_.n()));
+  std::vector<u64> res(eb.size());
+  for (std::size_t j = 0; j < ctx_.n(); ++j) {
+    for (std::size_t i = 0; i < eb.size(); ++i) res[i] = y_ext.towers[i][j];
+    BigInt y = eb.reconstruct(res);
+    const bool neg = y > half;
+    const BigInt mag = neg ? eb.product() - y : y;
+    u64 carry = 0;
+    const BigInt num = mag.mul_small(ctx_.t(), &carry);
+    if (carry != 0) throw std::logic_error("Bfv: tensor scale overflow");
+    const BigInt m = nt::div_round(num, ctx_.big_q());
+    for (std::size_t i = 0; i < qb.size(); ++i)
+      out.towers[i][j] = signed_mod(m, neg, qb.modulus(i));
+  }
+  return out;
+}
+
+Ciphertext Bfv::multiply(const Ciphertext& a, const Ciphertext& b) const {
+  if (a.size() != 2 || b.size() != 2)
+    throw std::invalid_argument("Bfv: multiply expects 2-element ciphertexts");
+  // Centered base extension Q -> Q u B of all four polynomials.
+  const RnsPoly a0 = extend_centered(a.c[0]);
+  const RnsPoly a1 = extend_centered(a.c[1]);
+  const RnsPoly b0 = extend_centered(b.c[0]);
+  const RnsPoly b1 = extend_centered(b.c[1]);
+
+  // Tensor per extended tower (Eq. 4 numerators): 4 forward NTTs per tower
+  // held in NTT form, 4 Hadamard products, 1 add, 3 inverse NTTs -- the
+  // exact command mix CoFHEE runs on chip (Algorithm 3).
+  const std::size_t k = ctx_.ext_basis().size();
+  RnsPoly y0, y1, y2;
+  y0.towers.resize(k);
+  y1.towers.resize(k);
+  y2.towers.resize(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto& ntt = ctx_.ext_ntt(i);
+    const auto& ring = ctx_.ext_basis().tower(i);
+    Coeffs<u64> fa0 = a0.towers[i], fa1 = a1.towers[i];
+    Coeffs<u64> fb0 = b0.towers[i], fb1 = b1.towers[i];
+    ntt.forward(fa0);
+    ntt.forward(fa1);
+    ntt.forward(fb0);
+    ntt.forward(fb1);
+    auto t0 = poly::pointwise_mul(ring, fa0, fb0);
+    auto t01 = poly::pointwise_mul(ring, fa0, fb1);
+    auto t10 = poly::pointwise_mul(ring, fa1, fb0);
+    auto t2 = poly::pointwise_mul(ring, fa1, fb1);
+    auto t1 = poly::pointwise_add(ring, t01, t10);
+    ntt.inverse(t0);
+    ntt.inverse(t1);
+    ntt.inverse(t2);
+    y0.towers[i] = std::move(t0);
+    y1.towers[i] = std::move(t1);
+    y2.towers[i] = std::move(t2);
+  }
+
+  Ciphertext r;
+  r.c.push_back(scale_round_to_q(y0));
+  r.c.push_back(scale_round_to_q(y1));
+  r.c.push_back(scale_round_to_q(y2));
+  return r;
+}
+
+Ciphertext Bfv::relinearize(const Ciphertext& ct, const RelinKeys& rk) const {
+  if (ct.size() != 3) throw std::invalid_argument("Bfv: relinearize expects 3 elements");
+  const auto& qb = ctx_.q_basis();
+  const unsigned w = rk.digit_bits;
+  const u64 mask = (w == 64) ? ~u64{0} : ((u64{1} << w) - 1);
+
+  // Digit-decompose c2 over the integers: c2 = sum_d D_d 2^(w d).
+  std::vector<RnsPoly> digits(rk.keys.size());
+  for (auto& d : digits) d.towers.assign(qb.size(), Coeffs<u64>(ctx_.n(), 0));
+  std::vector<u64> res(qb.size());
+  for (std::size_t j = 0; j < ctx_.n(); ++j) {
+    for (std::size_t i = 0; i < qb.size(); ++i) res[i] = ct.c[2].towers[i][j];
+    BigInt x = qb.reconstruct(res);
+    for (std::size_t d = 0; d < rk.keys.size(); ++d) {
+      const u64 digit = x.limb[0] & mask;
+      x >>= w;
+      for (std::size_t i = 0; i < qb.size(); ++i)
+        digits[d].towers[i][j] = digit % qb.modulus(i);
+    }
+  }
+
+  Ciphertext r;
+  r.c.push_back(ct.c[0]);
+  r.c.push_back(ct.c[1]);
+  for (std::size_t d = 0; d < rk.keys.size(); ++d) {
+    r.c[0] = ctx_.add(r.c[0], ctx_.mul(digits[d], rk.keys[d].first));
+    r.c[1] = ctx_.add(r.c[1], ctx_.mul(digits[d], rk.keys[d].second));
+  }
+  return r;
+}
+
+double Bfv::noise_budget_bits(const SecretKey& sk, const Ciphertext& ct) const {
+  // v = Delta m + e (mod Q); recover m, then measure |e|_inf.
+  const Plaintext m = decrypt(sk, ct);
+  RnsPoly v = ctx_.add(ct.c[0], ctx_.mul(ct.c[1], sk.s));
+  if (ct.size() == 3) v = ctx_.add(v, ctx_.mul(ctx_.mul(ct.c[2], sk.s), sk.s));
+  const auto& qb = ctx_.q_basis();
+  double max_noise_bits = 0;
+  std::vector<u64> res(qb.size());
+  for (std::size_t j = 0; j < ctx_.n(); ++j) {
+    for (std::size_t i = 0; i < qb.size(); ++i) res[i] = v.towers[i][j];
+    BigInt x = qb.reconstruct(res);
+    // e = centered(x - Delta*m_j mod Q).
+    u64 carry = 0;
+    BigInt dm = ctx_.delta().mul_small(m.coeffs[j], &carry);
+    if (x >= dm) {
+      x -= dm;
+    } else {
+      x += qb.product() - dm;
+    }
+    const BigInt half = qb.product() >> 1;
+    const BigInt mag = x > half ? qb.product() - x : x;
+    max_noise_bits = std::max(max_noise_bits, static_cast<double>(mag.bit_len()));
+  }
+  const double capacity =
+      static_cast<double>(qb.product().bit_len()) - 1.0 -
+      static_cast<double>(nt::bit_length(ctx_.t()));
+  return capacity - max_noise_bits;
+}
+
+}  // namespace cofhee::bfv

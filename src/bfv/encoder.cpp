@@ -1,0 +1,54 @@
+#include "bfv/encoder.hpp"
+
+#include <stdexcept>
+
+#include "nt/primes.hpp"
+
+namespace cofhee::bfv {
+
+Plaintext IntegerEncoder::encode(std::int64_t v) const {
+  Plaintext p;
+  p.coeffs.assign(n_, 0);
+  const std::int64_t tt = static_cast<std::int64_t>(t_);
+  std::int64_t r = v % tt;
+  if (r < 0) r += tt;
+  p.coeffs[0] = static_cast<u64>(r);
+  return p;
+}
+
+std::int64_t IntegerEncoder::decode(const Plaintext& p) const {
+  const u64 c = p.coeffs.at(0);
+  // Centered interpretation.
+  return c > t_ / 2 ? static_cast<std::int64_t>(c) - static_cast<std::int64_t>(t_)
+                    : static_cast<std::int64_t>(c);
+}
+
+BatchEncoder::BatchEncoder(const BfvContext& ctx)
+    : n_(ctx.n()), t_ring_(ctx.t()),
+      ntt_(t_ring_, ctx.n(), nt::primitive_2nth_root(ctx.t(), ctx.n())) {
+  if ((ctx.t() - 1) % (2 * ctx.n()) != 0)
+    throw std::invalid_argument("BatchEncoder: t must be prime with t == 1 mod 2n");
+}
+
+Plaintext BatchEncoder::encode(const std::vector<u64>& values) const {
+  if (values.size() > n_) throw std::invalid_argument("BatchEncoder: too many values");
+  poly::Coeffs<u64> slots(n_, 0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= t_ring_.modulus())
+      throw std::invalid_argument("BatchEncoder: value >= t");
+    slots[i] = values[i];
+  }
+  // Slot values live in the NTT domain of R_t; the plaintext polynomial is
+  // the inverse transform.
+  ntt_.inverse(slots);
+  return Plaintext{std::move(slots)};
+}
+
+std::vector<u64> BatchEncoder::decode(const Plaintext& p) const {
+  poly::Coeffs<u64> slots = p.coeffs;
+  if (slots.size() != n_) throw std::invalid_argument("BatchEncoder: bad plaintext");
+  ntt_.forward(slots);
+  return slots;
+}
+
+}  // namespace cofhee::bfv

@@ -1,0 +1,68 @@
+// AHB-Lite interconnect (paper Section III-G1).
+//
+// A lightweight parameterized crossbar: slaves claim address ranges, and
+// any master (host bridge, DMA, MDMC, ARM CM0) issues single or burst
+// transfers of 32 to 128 bits.  The silicon's bus is a 10x11 crossbar of
+// 0.07 mm^2 in 55 nm -- two orders of magnitude smaller than F1's trio of
+// 3.33 mm^2 crossbars, a contrast Table XI's normalization leans on.
+// Masters targeting different slaves proceed in parallel (the property the
+// Section III-F DMA overlap depends on); the model enforces range
+// exclusivity and counts per-master transactions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cofhee::chip {
+
+enum class BusMaster : std::uint8_t {
+  kHostUart = 0,
+  kHostSpi = 1,
+  kMdmc = 2,
+  kDma = 3,
+  kCm0 = 4,
+};
+inline constexpr std::size_t kNumMasters = 5;
+
+/// A bus slave: word-granular 32-bit handlers over a byte-address range.
+struct AhbSlave {
+  std::string name;
+  std::uint32_t base = 0;
+  std::uint32_t size = 0;  // bytes
+  std::function<std::uint32_t(std::uint32_t offset)> read32;
+  std::function<void(std::uint32_t offset, std::uint32_t value)> write32;
+};
+
+struct BusStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+};
+
+class AhbBus {
+ public:
+  void attach(AhbSlave slave);
+
+  [[nodiscard]] std::uint32_t read32(BusMaster m, std::uint32_t addr);
+  void write32(BusMaster m, std::uint32_t addr, std::uint32_t value);
+
+  /// Wide accessors issue 32-bit beats (the bus supports 32-128 bit data).
+  [[nodiscard]] unsigned __int128 read128(BusMaster m, std::uint32_t addr);
+  void write128(BusMaster m, std::uint32_t addr, unsigned __int128 value);
+
+  [[nodiscard]] const BusStats& stats(BusMaster m) const {
+    return stats_[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] std::size_t num_slaves() const noexcept { return slaves_.size(); }
+  [[nodiscard]] const AhbSlave& slave(std::size_t i) const { return slaves_.at(i); }
+
+ private:
+  AhbSlave& route(std::uint32_t addr);
+
+  std::vector<AhbSlave> slaves_;
+  BusStats stats_[kNumMasters]{};
+};
+
+}  // namespace cofhee::chip

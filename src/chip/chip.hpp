@@ -1,0 +1,93 @@
+// CoFHEE top level (paper Fig. 1).
+//
+// Integrates the PE, MDMC, 8 data banks, DMA, command FIFO, configuration
+// registers, AHB-Lite crossbar, host serial links, and (optionally) the ARM
+// Cortex-M0 sequencer into one SoC model.  The three execution modes of
+// Section III-I map to:
+//   mode 1 -- direct_execute(): host triggers one command via GPCFG writes
+//   mode 2 -- fifo() + run_fifo(): host preloads up to 32 commands
+//   mode 3 -- cm0 firmware writing the COMMANDFIFO register (chip/cm0.hpp)
+// All compute paths share one cycle counter and one power trace.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "chip/ahb.hpp"
+#include "chip/cmd_fifo.hpp"
+#include "chip/config.hpp"
+#include "chip/dma.hpp"
+#include "chip/gpcfg.hpp"
+#include "chip/isa.hpp"
+#include "chip/mdmc.hpp"
+#include "chip/pe.hpp"
+#include "chip/power.hpp"
+#include "chip/serial.hpp"
+#include "chip/sram.hpp"
+
+namespace cofhee::chip {
+
+class CofheeChip {
+ public:
+  explicit CofheeChip(ChipConfig cfg = {}, EnergyTable energy = {});
+
+  [[nodiscard]] const ChipConfig& config() const noexcept { return cfg_; }
+
+  // --- subsystem access ---
+  [[nodiscard]] MemorySystem& mem() noexcept { return mem_; }
+  [[nodiscard]] Gpcfg& gpcfg() noexcept { return gpcfg_; }
+  [[nodiscard]] Pe& pe() noexcept { return pe_; }
+  [[nodiscard]] Mdmc& mdmc() noexcept { return mdmc_; }
+  [[nodiscard]] Dma& dma() noexcept { return dma_; }
+  [[nodiscard]] CmdFifo& fifo() noexcept { return fifo_; }
+  [[nodiscard]] AhbBus& bus() noexcept { return bus_; }
+  [[nodiscard]] Uart& uart() noexcept { return uart_; }
+  [[nodiscard]] Spi& spi() noexcept { return spi_; }
+  [[nodiscard]] PowerTrace& power_trace() noexcept { return trace_; }
+
+  // --- execution ---
+  /// Mode 1: execute one command immediately (the host paid the interface
+  /// cost through the serial link before calling this).
+  std::uint64_t direct_execute(const Instr& in);
+
+  /// Mode 2: drain the command FIFO; raises the queue-empty interrupt.
+  std::uint64_t run_fifo();
+
+  /// Total elapsed compute cycles since reset.
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] double seconds() const noexcept {
+    return static_cast<double>(cycles_) * cfg_.cycle_ns() * 1e-9;
+  }
+
+  void reset_metrics();
+
+  // --- testbench backdoor (simulator preload, not a timed path) ---
+  void load_coeffs(Bank b, std::size_t offset, std::span<const u128> data);
+  [[nodiscard]] std::vector<u128> read_coeffs(Bank b, std::size_t offset,
+                                              std::size_t count) const;
+
+  /// Advance the cycle counter for externally-charged activity (e.g. the
+  /// CM0 sequencer running between commands).
+  void charge_cycles(std::uint64_t c) { cycles_ += c; }
+
+ private:
+  void attach_slaves();
+
+  ChipConfig cfg_;
+  MemorySystem mem_;
+  Gpcfg gpcfg_;
+  PowerTrace trace_;
+  Pe pe_;
+  Mdmc mdmc_;
+  Dma dma_;
+  CmdFifo fifo_;
+  AhbBus bus_;
+  Uart uart_;
+  Spi spi_;
+  std::uint64_t cycles_ = 0;
+  std::vector<std::uint32_t> cm0_sram_;
+};
+
+}  // namespace cofhee::chip

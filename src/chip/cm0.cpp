@@ -1,0 +1,593 @@
+#include "chip/cm0.hpp"
+
+#include <stdexcept>
+
+namespace cofhee::chip {
+
+// ---------------------------------------------------------------- core ----
+
+void Cm0::reset(std::uint32_t pc, std::uint32_t sp) {
+  r_.fill(0);
+  r_[15] = pc;
+  r_[13] = sp;
+  flags_ = {};
+  waiting_ = false;
+  cycles_ = 0;
+  instret_ = 0;
+}
+
+std::uint16_t Cm0::fetch16(std::uint32_t addr) {
+  const std::uint32_t word = bus_.read32(BusMaster::kCm0, addr & ~3u);
+  return static_cast<std::uint16_t>((addr & 2) ? (word >> 16) : word);
+}
+
+std::uint32_t Cm0::load32(std::uint32_t addr) {
+  if (addr & 3u) throw std::runtime_error("Cm0: unaligned load");
+  return bus_.read32(BusMaster::kCm0, addr);
+}
+
+void Cm0::store32(std::uint32_t addr, std::uint32_t v) {
+  if (addr & 3u) throw std::runtime_error("Cm0: unaligned store");
+  bus_.write32(BusMaster::kCm0, addr, v);
+}
+
+void Cm0::set_nz(std::uint32_t result) {
+  flags_.n = (result >> 31) & 1;
+  flags_.z = result == 0;
+}
+
+std::uint32_t Cm0::add_with_carry(std::uint32_t a, std::uint32_t b, bool carry_in,
+                                  bool set_flags) {
+  const std::uint64_t usum = static_cast<std::uint64_t>(a) + b + (carry_in ? 1 : 0);
+  const std::int64_t ssum = static_cast<std::int64_t>(static_cast<std::int32_t>(a)) +
+                            static_cast<std::int32_t>(b) + (carry_in ? 1 : 0);
+  const auto result = static_cast<std::uint32_t>(usum);
+  if (set_flags) {
+    set_nz(result);
+    flags_.c = usum > 0xFFFFFFFFull;
+    flags_.v = ssum != static_cast<std::int32_t>(result);
+  }
+  return result;
+}
+
+bool Cm0::cond_passed(unsigned cond) const {
+  switch (cond) {
+    case 0x0: return flags_.z;                       // EQ
+    case 0x1: return !flags_.z;                      // NE
+    case 0x2: return flags_.c;                       // CS
+    case 0x3: return !flags_.c;                      // CC
+    case 0x4: return flags_.n;                       // MI
+    case 0x5: return !flags_.n;                      // PL
+    case 0x8: return flags_.c && !flags_.z;          // HI
+    case 0x9: return !flags_.c || flags_.z;          // LS
+    case 0xA: return flags_.n == flags_.v;           // GE
+    case 0xB: return flags_.n != flags_.v;           // LT
+    case 0xC: return !flags_.z && flags_.n == flags_.v;  // GT
+    case 0xD: return flags_.z || flags_.n != flags_.v;   // LE
+    default: return true;
+  }
+}
+
+Cm0Stop Cm0::run(std::uint64_t max_cycles) {
+  while (cycles_ < max_cycles) {
+    if (waiting_) return Cm0Stop::kWfi;
+    const Cm0Stop s = step();
+    if (s != Cm0Stop::kRunning) return s;
+  }
+  return Cm0Stop::kCycleLimit;
+}
+
+Cm0Stop Cm0::step() {
+  const std::uint32_t pc = r_[15];
+  const std::uint16_t op = fetch16(pc);
+  r_[15] = pc + 2;
+  ++instret_;
+  ++cycles_;  // base cost; loads/branches add below
+
+  // --- format 1: shift by immediate / format 2: add/sub ---
+  if ((op >> 13) == 0b000) {
+    const unsigned sub = (op >> 11) & 3;
+    if (sub != 3) {
+      const unsigned imm5 = (op >> 6) & 31, rs = (op >> 3) & 7, rd = op & 7;
+      const std::uint32_t v = r_[rs];
+      std::uint32_t res = 0;
+      if (sub == 0) {  // LSL
+        res = imm5 == 0 ? v : v << imm5;
+        if (imm5 != 0) flags_.c = (v >> (32 - imm5)) & 1;
+      } else if (sub == 1) {  // LSR
+        const unsigned sh = imm5 == 0 ? 32 : imm5;
+        res = sh == 32 ? 0 : v >> sh;
+        flags_.c = sh == 32 ? (v >> 31) & 1 : (v >> (sh - 1)) & 1;
+      } else {  // ASR
+        const unsigned sh = imm5 == 0 ? 32 : imm5;
+        const auto sv = static_cast<std::int32_t>(v);
+        res = sh >= 32 ? static_cast<std::uint32_t>(sv >> 31)
+                       : static_cast<std::uint32_t>(sv >> sh);
+        flags_.c = sh >= 32 ? (v >> 31) & 1 : (v >> (sh - 1)) & 1;
+      }
+      r_[rd] = res;
+      set_nz(res);
+      return Cm0Stop::kRunning;
+    }
+    // format 2: ADD/SUB register or 3-bit immediate
+    const bool imm_form = (op >> 10) & 1;
+    const bool is_sub = (op >> 9) & 1;
+    const unsigned rn_imm = (op >> 6) & 7, rs = (op >> 3) & 7, rd = op & 7;
+    const std::uint32_t b = imm_form ? rn_imm : r_[rn_imm];
+    r_[rd] = is_sub ? add_with_carry(r_[rs], ~b, true, true)
+                    : add_with_carry(r_[rs], b, false, true);
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 3: MOV/CMP/ADD/SUB immediate ---
+  if ((op >> 13) == 0b001) {
+    const unsigned sub = (op >> 11) & 3, rd = (op >> 8) & 7;
+    const std::uint32_t imm = op & 0xFF;
+    switch (sub) {
+      case 0: r_[rd] = imm; set_nz(imm); break;                       // MOVS
+      case 1: (void)add_with_carry(r_[rd], ~imm, true, true); break;  // CMP
+      case 2: r_[rd] = add_with_carry(r_[rd], imm, false, true); break;
+      case 3: r_[rd] = add_with_carry(r_[rd], ~imm, true, true); break;
+    }
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 4: ALU operations ---
+  if ((op >> 10) == 0b010000) {
+    const unsigned alu = (op >> 6) & 0xF, rs = (op >> 3) & 7, rd = op & 7;
+    std::uint32_t a = r_[rd];
+    const std::uint32_t b = r_[rs];
+    switch (alu) {
+      case 0x0: a &= b; set_nz(a); r_[rd] = a; break;            // AND
+      case 0x1: a ^= b; set_nz(a); r_[rd] = a; break;            // EOR
+      case 0x2: a = b >= 32 ? 0 : a << (b & 0xFF); set_nz(a); r_[rd] = a; break;
+      case 0x3: a = b >= 32 ? 0 : a >> (b & 0xFF); set_nz(a); r_[rd] = a; break;
+      case 0xA: (void)add_with_carry(a, ~b, true, true); break;  // CMP
+      case 0xC: a |= b; set_nz(a); r_[rd] = a; break;            // ORR
+      case 0xD: a *= b; set_nz(a); r_[rd] = a; break;            // MUL
+      case 0xE: a &= ~b; set_nz(a); r_[rd] = a; break;           // BIC
+      case 0xF: a = ~b; set_nz(a); r_[rd] = a; break;            // MVN
+      case 0x9: r_[rd] = add_with_carry(0, ~b, true, true); break;  // NEG/RSB
+      default: throw std::runtime_error("Cm0: unimplemented ALU op");
+    }
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 5: high-register ops / BX ---
+  if ((op >> 10) == 0b010001) {
+    const unsigned sub = (op >> 8) & 3;
+    const unsigned rm = (op >> 3) & 0xF;
+    const unsigned rd = (op & 7) | ((op >> 4) & 8);
+    if (sub == 2) {  // MOV
+      r_[rd] = rm == 15 ? r_[15] + 2 : r_[rm];
+      if (rd == 15) { r_[15] &= ~1u; ++cycles_; }
+      return Cm0Stop::kRunning;
+    }
+    if (sub == 3) {  // BX
+      r_[15] = r_[rm] & ~1u;
+      ++cycles_;
+      return Cm0Stop::kRunning;
+    }
+    if (sub == 0) {  // ADD
+      r_[rd] += r_[rm];
+      return Cm0Stop::kRunning;
+    }
+    (void)add_with_carry(r_[rd], ~r_[rm], true, true);  // CMP
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 6: PC-relative load (literal pool) ---
+  if ((op >> 11) == 0b01001) {
+    const unsigned rd = (op >> 8) & 7;
+    const std::uint32_t imm = (op & 0xFF) * 4;
+    const std::uint32_t base = (pc + 4) & ~3u;
+    r_[rd] = load32(base + imm);
+    ++cycles_;
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 7: LDR/STR with register offset (word/byte) ---
+  if ((op >> 12) == 0b0101 && !((op >> 9) & 1)) {
+    const bool load = (op >> 11) & 1;
+    const bool byte = (op >> 10) & 1;
+    const unsigned ro = (op >> 6) & 7, rb = (op >> 3) & 7, rd = op & 7;
+    const std::uint32_t addr = r_[rb] + r_[ro];
+    if (byte) {
+      const std::uint32_t word = load32(addr & ~3u);
+      const unsigned shift = 8 * (addr & 3u);
+      if (load) {
+        r_[rd] = (word >> shift) & 0xFF;
+      } else {
+        const std::uint32_t m = ~(0xFFu << shift);
+        store32(addr & ~3u, (word & m) | ((r_[rd] & 0xFF) << shift));
+      }
+    } else if (load) {
+      r_[rd] = load32(addr);
+    } else {
+      store32(addr, r_[rd]);
+    }
+    ++cycles_;
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 8: LDRH/STRH/LDSB/LDSH with register offset ---
+  if ((op >> 12) == 0b0101 && ((op >> 9) & 1)) {
+    const bool h = (op >> 11) & 1;
+    const bool s = (op >> 10) & 1;
+    const unsigned ro = (op >> 6) & 7, rb = (op >> 3) & 7, rd = op & 7;
+    const std::uint32_t addr = r_[rb] + r_[ro];
+    const std::uint32_t word = load32(addr & ~3u);
+    const unsigned hshift = (addr & 2u) ? 16 : 0;
+    ++cycles_;
+    if (!s && !h) {  // STRH
+      const std::uint32_t m = ~(0xFFFFu << hshift);
+      store32(addr & ~3u, (word & m) | ((r_[rd] & 0xFFFF) << hshift));
+    } else if (!s && h) {  // LDRH
+      r_[rd] = (word >> hshift) & 0xFFFF;
+    } else if (s && !h) {  // LDSB
+      const unsigned bshift = 8 * (addr & 3u);
+      r_[rd] = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(static_cast<std::int8_t>(word >> bshift)));
+    } else {  // LDSH
+      r_[rd] = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(static_cast<std::int16_t>(word >> hshift)));
+    }
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 9: LDR/STR with 5-bit immediate offset (word/byte) ---
+  if ((op >> 13) == 0b011) {
+    const bool byte = (op >> 12) & 1;
+    const bool load = (op >> 11) & 1;
+    const unsigned imm5 = (op >> 6) & 31, rb = (op >> 3) & 7, rd = op & 7;
+    if (byte) {
+      const std::uint32_t addr = r_[rb] + imm5;
+      const std::uint32_t word = load32(addr & ~3u);
+      const unsigned shift = 8 * (addr & 3u);
+      if (load) {
+        r_[rd] = (word >> shift) & 0xFF;
+      } else {
+        const std::uint32_t m = ~(0xFFu << shift);
+        store32(addr & ~3u, (word & m) | ((r_[rd] & 0xFF) << shift));
+      }
+    } else {
+      const std::uint32_t addr = r_[rb] + imm5 * 4;
+      if (load) {
+        r_[rd] = load32(addr);
+      } else {
+        store32(addr, r_[rd]);
+      }
+    }
+    ++cycles_;
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 10: LDRH/STRH with immediate offset ---
+  if ((op >> 12) == 0b1000) {
+    const bool load = (op >> 11) & 1;
+    const unsigned imm5 = (op >> 6) & 31, rb = (op >> 3) & 7, rd = op & 7;
+    const std::uint32_t addr = r_[rb] + imm5 * 2;
+    const std::uint32_t word = load32(addr & ~3u);
+    const unsigned shift = (addr & 2u) ? 16 : 0;
+    if (load) {
+      r_[rd] = (word >> shift) & 0xFFFF;
+    } else {
+      const std::uint32_t m = ~(0xFFFFu << shift);
+      store32(addr & ~3u, (word & m) | ((r_[rd] & 0xFFFF) << shift));
+    }
+    ++cycles_;
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 11: SP-relative LDR/STR ---
+  if ((op >> 12) == 0b1001) {
+    const bool load = (op >> 11) & 1;
+    const unsigned rd = (op >> 8) & 7;
+    const std::uint32_t addr = r_[13] + (op & 0xFF) * 4;
+    if (load) {
+      r_[rd] = load32(addr);
+    } else {
+      store32(addr, r_[rd]);
+    }
+    ++cycles_;
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 12: ADR / ADD rd, SP, #imm ---
+  if ((op >> 12) == 0b1010) {
+    const bool sp = (op >> 11) & 1;
+    const unsigned rd = (op >> 8) & 7;
+    const std::uint32_t imm = (op & 0xFF) * 4;
+    r_[rd] = (sp ? r_[13] : ((pc + 4) & ~3u)) + imm;
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 13: ADD SP, #±imm ---
+  if ((op >> 8) == 0b10110000) {
+    const std::uint32_t imm = (op & 0x7F) * 4;
+    if (op & 0x80) {
+      r_[13] -= imm;
+    } else {
+      r_[13] += imm;
+    }
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 14: PUSH/POP ---
+  if ((op >> 9) == 0b1011010 || (op >> 9) == 0b1011110) {
+    const bool load = (op >> 11) & 1;
+    const bool r_bit = (op >> 8) & 1;
+    const std::uint8_t rlist = op & 0xFF;
+    if (!load) {  // PUSH
+      std::uint32_t addr = r_[13];
+      if (r_bit) { addr -= 4; store32(addr, r_[14]); ++cycles_; }
+      for (int i = 7; i >= 0; --i) {
+        if (rlist & (1 << i)) { addr -= 4; store32(addr, r_[static_cast<unsigned>(i)]); ++cycles_; }
+      }
+      r_[13] = addr;
+    } else {  // POP
+      std::uint32_t addr = r_[13];
+      for (unsigned i = 0; i < 8; ++i) {
+        if (rlist & (1u << i)) { r_[i] = load32(addr); addr += 4; ++cycles_; }
+      }
+      if (r_bit) { r_[15] = load32(addr) & ~1u; addr += 4; cycles_ += 2; }
+      r_[13] = addr;
+    }
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 15: LDMIA/STMIA ---
+  if ((op >> 12) == 0b1100) {
+    const bool load = (op >> 11) & 1;
+    const unsigned rb = (op >> 8) & 7;
+    const std::uint8_t rlist = op & 0xFF;
+    std::uint32_t addr = r_[rb];
+    for (unsigned i = 0; i < 8; ++i) {
+      if (!(rlist & (1u << i))) continue;
+      if (load) {
+        r_[i] = load32(addr);
+      } else {
+        store32(addr, r_[i]);
+      }
+      addr += 4;
+      ++cycles_;
+    }
+    // Write-back unless rb is in the list on a load (ARMv6-M behavior).
+    if (!(load && (rlist & (1u << rb)))) r_[rb] = addr;
+    return Cm0Stop::kRunning;
+  }
+
+  // --- hints: NOP / WFI; BKPT ---
+  if (op == 0xBF00) return Cm0Stop::kRunning;  // NOP
+  if (op == 0xBF30) {                          // WFI
+    waiting_ = true;
+    return Cm0Stop::kRunning;
+  }
+  if ((op >> 8) == 0xBE) return Cm0Stop::kBkpt;  // BKPT
+
+  // --- format 16: conditional branch ---
+  if ((op >> 12) == 0b1101) {
+    const unsigned cond = (op >> 8) & 0xF;
+    if (cond == 0xF) throw std::runtime_error("Cm0: SWI unimplemented");
+    const auto off = static_cast<std::int32_t>(static_cast<std::int8_t>(op & 0xFF)) * 2;
+    if (cond_passed(cond)) {
+      r_[15] = static_cast<std::uint32_t>(static_cast<std::int64_t>(pc) + 4 + off);
+      cycles_ += 2;
+    }
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 18: unconditional branch ---
+  if ((op >> 11) == 0b11100) {
+    std::int32_t off = op & 0x7FF;
+    if (off & 0x400) off |= ~0x7FF;  // sign extend 11 bits
+    r_[15] = static_cast<std::uint32_t>(static_cast<std::int64_t>(pc) + 4 + off * 2);
+    cycles_ += 2;
+    return Cm0Stop::kRunning;
+  }
+
+  // --- format 19: BL (two halfwords) ---
+  if ((op >> 11) == 0b11110) {
+    const std::uint16_t op2 = fetch16(r_[15]);
+    r_[15] += 2;
+    std::int32_t hi = op & 0x7FF;
+    if (hi & 0x400) hi |= ~0x7FF;
+    const std::int32_t lo = op2 & 0x7FF;
+    const std::int32_t off = (hi << 12) | (lo << 1);
+    r_[14] = r_[15] | 1u;
+    r_[15] = static_cast<std::uint32_t>(static_cast<std::int64_t>(pc) + 4 + off);
+    cycles_ += 3;
+    return Cm0Stop::kRunning;
+  }
+
+  throw std::runtime_error("Cm0: unimplemented opcode");
+}
+
+// ----------------------------------------------------------- assembler ----
+
+void Cm0Asm::emit(std::uint16_t half) { code_.push_back(half); }
+
+void Cm0Asm::label(const std::string& name) {
+  if (!labels_.emplace(name, code_.size()).second)
+    throw std::invalid_argument("Cm0Asm: duplicate label " + name);
+}
+
+void Cm0Asm::movs_imm(unsigned rd, std::uint8_t imm) {
+  emit(static_cast<std::uint16_t>(0x2000 | (rd << 8) | imm));
+}
+void Cm0Asm::adds_imm(unsigned rd, std::uint8_t imm) {
+  emit(static_cast<std::uint16_t>(0x3000 | (rd << 8) | imm));
+}
+void Cm0Asm::subs_imm(unsigned rd, std::uint8_t imm) {
+  emit(static_cast<std::uint16_t>(0x3800 | (rd << 8) | imm));
+}
+void Cm0Asm::cmp_imm(unsigned rd, std::uint8_t imm) {
+  emit(static_cast<std::uint16_t>(0x2800 | (rd << 8) | imm));
+}
+void Cm0Asm::adds_reg(unsigned rd, unsigned rn, unsigned rm) {
+  emit(static_cast<std::uint16_t>(0x1800 | (rm << 6) | (rn << 3) | rd));
+}
+void Cm0Asm::subs_reg(unsigned rd, unsigned rn, unsigned rm) {
+  emit(static_cast<std::uint16_t>(0x1A00 | (rm << 6) | (rn << 3) | rd));
+}
+void Cm0Asm::mov_reg(unsigned rd, unsigned rm) {
+  emit(static_cast<std::uint16_t>(0x4600 | ((rd & 8) << 4) | (rm << 3) | (rd & 7)));
+}
+void Cm0Asm::lsls_imm(unsigned rd, unsigned rm, unsigned shift) {
+  emit(static_cast<std::uint16_t>(0x0000 | (shift << 6) | (rm << 3) | rd));
+}
+void Cm0Asm::lsrs_imm(unsigned rd, unsigned rm, unsigned shift) {
+  emit(static_cast<std::uint16_t>(0x0800 | (shift << 6) | (rm << 3) | rd));
+}
+void Cm0Asm::ands(unsigned rd, unsigned rm) {
+  emit(static_cast<std::uint16_t>(0x4000 | (rm << 3) | rd));
+}
+void Cm0Asm::orrs(unsigned rd, unsigned rm) {
+  emit(static_cast<std::uint16_t>(0x4300 | (rm << 3) | rd));
+}
+void Cm0Asm::eors(unsigned rd, unsigned rm) {
+  emit(static_cast<std::uint16_t>(0x4040 | (rm << 3) | rd));
+}
+void Cm0Asm::muls(unsigned rd, unsigned rm) {
+  emit(static_cast<std::uint16_t>(0x4340 | (rm << 3) | rd));
+}
+
+void Cm0Asm::ldr_lit(unsigned rd, std::uint32_t value) {
+  literals_.emplace_back(code_.size(), value);
+  emit(static_cast<std::uint16_t>(0x4800 | (rd << 8)));  // imm patched later
+}
+void Cm0Asm::ldr_imm(unsigned rt, unsigned rn, unsigned offset_bytes) {
+  if (offset_bytes % 4 || offset_bytes > 124)
+    throw std::invalid_argument("Cm0Asm: ldr offset must be 4-aligned <= 124");
+  emit(static_cast<std::uint16_t>(0x6800 | ((offset_bytes / 4) << 6) | (rn << 3) | rt));
+}
+void Cm0Asm::str_imm(unsigned rt, unsigned rn, unsigned offset_bytes) {
+  if (offset_bytes % 4 || offset_bytes > 124)
+    throw std::invalid_argument("Cm0Asm: str offset must be 4-aligned <= 124");
+  emit(static_cast<std::uint16_t>(0x6000 | ((offset_bytes / 4) << 6) | (rn << 3) | rt));
+}
+
+void Cm0Asm::ldr_reg(unsigned rt, unsigned rn, unsigned rm) {
+  emit(static_cast<std::uint16_t>(0x5800 | (rm << 6) | (rn << 3) | rt));
+}
+void Cm0Asm::str_reg(unsigned rt, unsigned rn, unsigned rm) {
+  emit(static_cast<std::uint16_t>(0x5000 | (rm << 6) | (rn << 3) | rt));
+}
+void Cm0Asm::ldrb_imm(unsigned rt, unsigned rn, unsigned offset_bytes) {
+  if (offset_bytes > 31) throw std::invalid_argument("Cm0Asm: ldrb offset <= 31");
+  emit(static_cast<std::uint16_t>(0x7800 | (offset_bytes << 6) | (rn << 3) | rt));
+}
+void Cm0Asm::strb_imm(unsigned rt, unsigned rn, unsigned offset_bytes) {
+  if (offset_bytes > 31) throw std::invalid_argument("Cm0Asm: strb offset <= 31");
+  emit(static_cast<std::uint16_t>(0x7000 | (offset_bytes << 6) | (rn << 3) | rt));
+}
+void Cm0Asm::ldrh_imm(unsigned rt, unsigned rn, unsigned offset_bytes) {
+  if (offset_bytes % 2 || offset_bytes > 62)
+    throw std::invalid_argument("Cm0Asm: ldrh offset 2-aligned <= 62");
+  emit(static_cast<std::uint16_t>(0x8800 | ((offset_bytes / 2) << 6) | (rn << 3) | rt));
+}
+void Cm0Asm::strh_imm(unsigned rt, unsigned rn, unsigned offset_bytes) {
+  if (offset_bytes % 2 || offset_bytes > 62)
+    throw std::invalid_argument("Cm0Asm: strh offset 2-aligned <= 62");
+  emit(static_cast<std::uint16_t>(0x8000 | ((offset_bytes / 2) << 6) | (rn << 3) | rt));
+}
+void Cm0Asm::ldr_sp(unsigned rt, unsigned offset_bytes) {
+  emit(static_cast<std::uint16_t>(0x9800 | (rt << 8) | (offset_bytes / 4)));
+}
+void Cm0Asm::str_sp(unsigned rt, unsigned offset_bytes) {
+  emit(static_cast<std::uint16_t>(0x9000 | (rt << 8) | (offset_bytes / 4)));
+}
+void Cm0Asm::add_sp_imm(int offset_bytes) {
+  if (offset_bytes % 4) throw std::invalid_argument("Cm0Asm: SP offset 4-aligned");
+  const bool neg = offset_bytes < 0;
+  const unsigned mag = static_cast<unsigned>(neg ? -offset_bytes : offset_bytes) / 4;
+  if (mag > 0x7F) throw std::invalid_argument("Cm0Asm: SP offset out of range");
+  emit(static_cast<std::uint16_t>(0xB000 | (neg ? 0x80 : 0) | mag));
+}
+void Cm0Asm::ldmia(unsigned rb, std::uint8_t rlist) {
+  emit(static_cast<std::uint16_t>(0xC800 | (rb << 8) | rlist));
+}
+void Cm0Asm::stmia(unsigned rb, std::uint8_t rlist) {
+  emit(static_cast<std::uint16_t>(0xC000 | (rb << 8) | rlist));
+}
+
+void Cm0Asm::branch_fixup(const std::string& target, unsigned cond) {
+  fixups_.push_back({code_.size(), target, cond});
+  emit(0);  // patched in assemble()
+  if (cond == 0xF) emit(0);
+}
+
+void Cm0Asm::b(const std::string& t) { branch_fixup(t, 0xE); }
+void Cm0Asm::beq(const std::string& t) { branch_fixup(t, 0x0); }
+void Cm0Asm::bne(const std::string& t) { branch_fixup(t, 0x1); }
+void Cm0Asm::blt(const std::string& t) { branch_fixup(t, 0xB); }
+void Cm0Asm::bl(const std::string& t) { branch_fixup(t, 0xF); }
+void Cm0Asm::bx_lr() { emit(0x4770); }
+void Cm0Asm::push_lr() { emit(0xB500); }
+void Cm0Asm::pop_pc() { emit(0xBD00); }
+void Cm0Asm::wfi() { emit(0xBF30); }
+void Cm0Asm::nop() { emit(0xBF00); }
+void Cm0Asm::bkpt(std::uint8_t code) { emit(static_cast<std::uint16_t>(0xBE00 | code)); }
+
+std::vector<std::uint32_t> Cm0Asm::assemble() {
+  if (assembled_) throw std::logic_error("Cm0Asm: already assembled");
+  assembled_ = true;
+
+  // Place the literal pool (4-byte aligned) after the code.
+  std::size_t pool_start = code_.size();
+  if (pool_start % 2 != 0) {
+    code_.push_back(0xBF00);  // alignment NOP
+    ++pool_start;
+  }
+  // Patch PC-relative loads.  ldr rd, [pc, #imm]: target = align4(pc+4)+imm.
+  for (std::size_t li = 0; li < literals_.size(); ++li) {
+    const auto [idx, value] = literals_[li];
+    const std::uint32_t insn_addr = static_cast<std::uint32_t>(idx) * 2;
+    const std::uint32_t lit_addr = static_cast<std::uint32_t>(pool_start + li * 2) * 2;
+    const std::uint32_t base = (insn_addr + 4) & ~3u;
+    if (lit_addr < base) throw std::logic_error("Cm0Asm: literal before its load");
+    const std::uint32_t imm = (lit_addr - base) / 4;
+    if (imm > 0xFF) throw std::logic_error("Cm0Asm: literal pool out of range");
+    code_[idx] |= static_cast<std::uint16_t>(imm);
+  }
+
+  // Patch branches.
+  for (const auto& f : fixups_) {
+    const auto it = labels_.find(f.target);
+    if (it == labels_.end())
+      throw std::invalid_argument("Cm0Asm: undefined label " + f.target);
+    const auto insn_addr = static_cast<std::int64_t>(f.index) * 2;
+    const auto target_addr = static_cast<std::int64_t>(it->second) * 2;
+    const std::int64_t off = target_addr - (insn_addr + 4);
+    if (f.cond == 0xF) {  // BL pair
+      const std::int64_t h = off >> 12;
+      const std::int64_t l = (off >> 1) & 0x7FF;
+      if (h < -1024 || h > 1023) throw std::logic_error("Cm0Asm: BL out of range");
+      code_[f.index] = static_cast<std::uint16_t>(0xF000 | (h & 0x7FF));
+      code_[f.index + 1] = static_cast<std::uint16_t>(0xF800 | l);
+    } else if (f.cond == 0xE) {  // unconditional
+      if (off < -2048 || off > 2046) throw std::logic_error("Cm0Asm: B out of range");
+      code_[f.index] = static_cast<std::uint16_t>(0xE000 | ((off >> 1) & 0x7FF));
+    } else {  // conditional
+      if (off < -256 || off > 254) throw std::logic_error("Cm0Asm: Bcc out of range");
+      code_[f.index] =
+          static_cast<std::uint16_t>(0xD000 | (f.cond << 8) | ((off >> 1) & 0xFF));
+    }
+  }
+
+  // Emit halfwords + literal pool as a word image.
+  std::vector<std::uint32_t> image((code_.size() + 1) / 2 + literals_.size(), 0);
+  for (std::size_t i = 0; i < code_.size(); ++i) {
+    if (i % 2 == 0) {
+      image[i / 2] |= code_[i];
+    } else {
+      image[i / 2] |= static_cast<std::uint32_t>(code_[i]) << 16;
+    }
+  }
+  for (std::size_t li = 0; li < literals_.size(); ++li) {
+    image[pool_start / 2 + li] = literals_[li].second;
+  }
+  return image;
+}
+
+}  // namespace cofhee::chip

@@ -1,0 +1,144 @@
+// ARM Cortex-M0 sequencer (paper Section III-I, execution mode 3).
+//
+// A functional ARMv6-M Thumb interpreter covering the subset firmware needs
+// to sequence CoFHEE commands: data processing, loads/stores, stack ops,
+// branches/BL, and WFI.  Firmware lives in the CM0 SRAM at 0x0000_0000 and
+// talks to the rest of the chip through the AHB (configuration registers at
+// 0x4002_0000, data banks at 0x2000_0000), exactly as "complex subroutines
+// and sequences of operations in embedded C ... preloaded in CM0's
+// instruction memory" do on silicon.  Cm0Asm is the matching miniature
+// assembler used by tests, examples, and the host driver.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chip/ahb.hpp"
+
+namespace cofhee::chip {
+
+enum class Cm0Stop : std::uint8_t {
+  kRunning = 0,
+  kWfi = 1,        // waiting for interrupt
+  kBkpt = 2,       // BKPT -- firmware finished (testbench convention)
+  kCycleLimit = 3,
+};
+
+class Cm0 {
+ public:
+  explicit Cm0(AhbBus& bus) : bus_(bus) { reset(); }
+
+  void reset(std::uint32_t pc = 0, std::uint32_t sp = 0x0000'7F00);
+
+  /// Execute until WFI, BKPT, or the cycle budget runs out.
+  Cm0Stop run(std::uint64_t max_cycles = 1'000'000);
+
+  /// Resume after WFI (interrupt delivered).
+  void deliver_irq() { waiting_ = false; }
+  [[nodiscard]] bool waiting_for_irq() const noexcept { return waiting_; }
+
+  [[nodiscard]] std::uint32_t reg(unsigned i) const { return r_.at(i); }
+  void set_reg(unsigned i, std::uint32_t v) { r_.at(i) = v; }
+  [[nodiscard]] std::uint32_t pc() const noexcept { return r_[15]; }
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] std::uint64_t instret() const noexcept { return instret_; }
+
+  struct Flags {
+    bool n = false, z = false, c = false, v = false;
+  };
+  [[nodiscard]] const Flags& flags() const noexcept { return flags_; }
+
+ private:
+  Cm0Stop step();
+  [[nodiscard]] std::uint16_t fetch16(std::uint32_t addr);
+  [[nodiscard]] std::uint32_t load32(std::uint32_t addr);
+  void store32(std::uint32_t addr, std::uint32_t v);
+  void set_nz(std::uint32_t result);
+  std::uint32_t add_with_carry(std::uint32_t a, std::uint32_t b, bool carry_in,
+                               bool set_flags);
+  [[nodiscard]] bool cond_passed(unsigned cond) const;
+
+  AhbBus& bus_;
+  std::array<std::uint32_t, 16> r_{};
+  Flags flags_;
+  bool waiting_ = false;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t instret_ = 0;
+};
+
+/// Miniature Thumb-1 assembler: emits into a word image suitable for
+/// preloading at address 0, with label resolution and a literal pool.
+class Cm0Asm {
+ public:
+  // Register aliases.
+  static constexpr unsigned sp = 13, lr = 14, pcr = 15;
+
+  void label(const std::string& name);
+
+  // Data processing.
+  void movs_imm(unsigned rd, std::uint8_t imm);
+  void adds_imm(unsigned rd, std::uint8_t imm);
+  void subs_imm(unsigned rd, std::uint8_t imm);
+  void cmp_imm(unsigned rd, std::uint8_t imm);
+  void adds_reg(unsigned rd, unsigned rn, unsigned rm);
+  void subs_reg(unsigned rd, unsigned rn, unsigned rm);
+  void mov_reg(unsigned rd, unsigned rm);   // high-register MOV, no flags
+  void lsls_imm(unsigned rd, unsigned rm, unsigned shift);
+  void lsrs_imm(unsigned rd, unsigned rm, unsigned shift);
+  void ands(unsigned rd, unsigned rm);
+  void orrs(unsigned rd, unsigned rm);
+  void eors(unsigned rd, unsigned rm);
+  void muls(unsigned rd, unsigned rm);
+
+  // Memory.
+  void ldr_lit(unsigned rd, std::uint32_t value);  // via literal pool
+  void ldr_imm(unsigned rt, unsigned rn, unsigned offset_bytes);
+  void str_imm(unsigned rt, unsigned rn, unsigned offset_bytes);
+  void ldr_reg(unsigned rt, unsigned rn, unsigned rm);
+  void str_reg(unsigned rt, unsigned rn, unsigned rm);
+  void ldrb_imm(unsigned rt, unsigned rn, unsigned offset_bytes);
+  void strb_imm(unsigned rt, unsigned rn, unsigned offset_bytes);
+  void ldrh_imm(unsigned rt, unsigned rn, unsigned offset_bytes);
+  void strh_imm(unsigned rt, unsigned rn, unsigned offset_bytes);
+  void ldr_sp(unsigned rt, unsigned offset_bytes);
+  void str_sp(unsigned rt, unsigned offset_bytes);
+  void add_sp_imm(int offset_bytes);  // format 13, +-4-aligned
+  void ldmia(unsigned rb, std::uint8_t rlist);
+  void stmia(unsigned rb, std::uint8_t rlist);
+
+  // Control flow.
+  void b(const std::string& target);
+  void beq(const std::string& target);
+  void bne(const std::string& target);
+  void blt(const std::string& target);
+  void bx_lr();
+  void bl(const std::string& target);
+  void push_lr();
+  void pop_pc();
+  void wfi();
+  void nop();
+  void bkpt(std::uint8_t code = 0);
+
+  /// Resolve labels/literals and return the little-endian word image.
+  [[nodiscard]] std::vector<std::uint32_t> assemble();
+
+ private:
+  void emit(std::uint16_t half);
+  void branch_fixup(const std::string& target, unsigned cond);
+
+  struct Fixup {
+    std::size_t index;       // halfword index
+    std::string target;
+    unsigned cond;           // 0xE = unconditional fmt18, 0xF = BL, else fmt16
+  };
+  std::vector<std::uint16_t> code_;
+  std::map<std::string, std::size_t> labels_;       // halfword index
+  std::vector<Fixup> fixups_;
+  std::vector<std::pair<std::size_t, std::uint32_t>> literals_;  // (halfword idx, value)
+  bool assembled_ = false;
+};
+
+}  // namespace cofhee::chip

@@ -1,0 +1,63 @@
+// Command FIFO (paper Section III-I, execution mode 2).
+//
+// A 32-deep queue of encoded commands.  The host preloads a sequence, the
+// FIFO dispatches one command at a time to the MDMC in order ("guarantees
+// the execution of a single command at a time in a predefined order ...
+// avoids complicated out-of-order executions"), and the chip raises the
+// queue-empty interrupt when the last command finishes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <stdexcept>
+
+#include "chip/config.hpp"
+#include "chip/gpcfg.hpp"
+#include "chip/isa.hpp"
+#include "chip/mdmc.hpp"
+
+namespace cofhee::chip {
+
+class CmdFifo {
+ public:
+  CmdFifo(const ChipConfig& cfg, Mdmc& mdmc, Gpcfg& gpcfg)
+      : depth_(cfg.cmd_fifo_depth), mdmc_(mdmc), gpcfg_(gpcfg) {}
+
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t size() const noexcept { return q_.size(); }
+  [[nodiscard]] bool full() const noexcept { return q_.size() >= depth_; }
+  [[nodiscard]] bool empty() const noexcept { return q_.empty(); }
+
+  void push(const Instr& in) {
+    if (full()) throw std::overflow_error("CmdFifo: queue full (depth 32)");
+    q_.push_back(in);
+    gpcfg_.clear_irq(kIrqFifoEmpty);
+  }
+
+  void push_encoded(const EncodedInstr& words) { push(decode(words)); }
+
+  /// Dispatch the next command to the MDMC; returns cycles consumed.
+  std::uint64_t step() {
+    if (q_.empty()) return 0;
+    const Instr in = q_.front();
+    q_.pop_front();
+    const std::uint64_t cycles = mdmc_.execute(in);
+    if (q_.empty()) gpcfg_.raise_irq(kIrqFifoEmpty);
+    return cycles;
+  }
+
+  /// Drain the whole queue; returns total cycles.
+  std::uint64_t run() {
+    std::uint64_t total = 0;
+    while (!q_.empty()) total += step();
+    return total;
+  }
+
+ private:
+  std::size_t depth_;
+  Mdmc& mdmc_;
+  Gpcfg& gpcfg_;
+  std::deque<Instr> q_;
+};
+
+}  // namespace cofhee::chip

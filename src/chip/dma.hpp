@@ -1,0 +1,59 @@
+// Direct Memory Access controller (paper Sections III-A, III-F).
+//
+// The DMA moves polynomials between banks in 8-word bursts over the AHB
+// while the MDMC computes -- the third dual-port bank exists precisely so
+// the next polynomial can be staged during an NTT "transparently in the
+// background without performance degradation" (Section III-F).  The model
+// exposes both a blocking transfer (charged cycles) and a background
+// transfer that overlaps a compute window; overlap only hides the cycles
+// when the background window is long enough, which the scalability bench
+// exercises by switching cfg.dma_background off.
+#pragma once
+
+#include <cstdint>
+
+#include "chip/config.hpp"
+#include "chip/isa.hpp"
+#include "chip/power.hpp"
+#include "chip/sram.hpp"
+
+namespace cofhee::chip {
+
+struct DmaStats {
+  std::uint64_t transfers = 0;
+  std::uint64_t words_moved = 0;
+  std::uint64_t cycles_blocking = 0;
+  std::uint64_t cycles_hidden = 0;  // overlapped under compute
+};
+
+class Dma {
+ public:
+  Dma(const ChipConfig& cfg, MemorySystem& mem, PowerTrace& trace)
+      : cfg_(cfg), mem_(mem), trace_(trace) {}
+
+  /// Blocking burst copy; returns cycles consumed.
+  std::uint64_t transfer(const MemRef& src, const MemRef& dst, std::size_t len,
+                         bool bit_reverse = false);
+
+  /// Copy overlapped under a compute window of `window_cycles`; returns the
+  /// *non-hidden* residue cycles (0 when fully overlapped and background
+  /// DMA is enabled).
+  std::uint64_t background_transfer(const MemRef& src, const MemRef& dst,
+                                    std::size_t len, std::uint64_t window_cycles);
+
+  [[nodiscard]] const DmaStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  std::uint64_t burst_cycles(std::size_t len) const {
+    return (len + cfg_.dma_words_per_cycle - 1) / cfg_.dma_words_per_cycle;
+  }
+  void move(const MemRef& src, const MemRef& dst, std::size_t len, bool bit_reverse);
+
+  ChipConfig cfg_;
+  MemorySystem& mem_;
+  PowerTrace& trace_;
+  DmaStats stats_;
+};
+
+}  // namespace cofhee::chip

@@ -1,0 +1,67 @@
+#include "chip/gpcfg.hpp"
+
+#include "nt/primes.hpp"
+
+namespace cofhee::chip {
+
+Gpcfg::Gpcfg() { regs_[idx(Reg::kSignature)] = kSignatureValue; }
+
+std::uint32_t Gpcfg::read_word(std::uint32_t offset) const {
+  if (offset % 4 != 0 || offset / 4 >= regs_.size())
+    throw std::out_of_range("Gpcfg: bad register offset");
+  return regs_[offset / 4];
+}
+
+void Gpcfg::write_word(std::uint32_t offset, std::uint32_t value) {
+  if (offset % 4 != 0 || offset / 4 >= regs_.size())
+    throw std::out_of_range("Gpcfg: bad register offset");
+  const Reg r = static_cast<Reg>(offset);
+  if (r == Reg::kSignature) return;  // read-only chip ID
+  if (r == Reg::kIrqStatus) {        // write-1-to-clear
+    regs_[offset / 4] &= ~value;
+    return;
+  }
+  regs_[offset / 4] = value;
+  if (r == Reg::kQ3) ++q_version_;
+  if (r == Reg::kCommandFifo3 && on_command_push) {
+    on_command_push({regs_[idx(Reg::kCommandFifo0)], regs_[idx(Reg::kCommandFifo1)],
+                     regs_[idx(Reg::kCommandFifo2)], regs_[idx(Reg::kCommandFifo3)]});
+  }
+}
+
+u128 Gpcfg::read_u128(Reg base) const {
+  const std::size_t i = idx(base);
+  u128 v = 0;
+  for (int w = 3; w >= 0; --w) v = (v << 32) | regs_[i + static_cast<std::size_t>(w)];
+  return v;
+}
+
+void Gpcfg::write_u128(Reg base, u128 v) {
+  const std::size_t i = idx(base);
+  for (std::size_t w = 0; w < 4; ++w) {
+    regs_[i + w] = static_cast<std::uint32_t>(v);
+    v >>= 32;
+  }
+  if (base == Reg::kQ0) ++q_version_;
+}
+
+void Gpcfg::set_q(u128 q) {
+  write_u128(Reg::kQ0, q);
+  // Mirror the silicon flow: host software derives the Barrett constants
+  // and programs BARRETTCTL1/2 alongside Q (Table II).
+  nt::Barrett128 br(q);
+  regs_[idx(Reg::kBarrettCtl1)] = 2 * br.k();
+  auto mu = br.mu();
+  for (std::size_t w = 0; w < 5; ++w) {
+    const std::size_t limb = (w * 32) / 64;
+    const unsigned shift = (w * 32) % 64;
+    regs_[idx(Reg::kBarrettCtl2_0) + w] =
+        limb < 3 ? static_cast<std::uint32_t>(mu.limb[limb] >> shift) : 0u;
+  }
+}
+
+void Gpcfg::set_n(std::size_t n) {
+  regs_[idx(Reg::kFheCtl1)] = nt::log2_exact(n);
+}
+
+}  // namespace cofhee::chip

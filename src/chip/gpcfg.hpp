@@ -1,0 +1,119 @@
+// General Purpose Configuration registers (paper Table II).
+//
+// 35 memory-mapped 32-bit registers at 0x4002_0000 - 0x4002_FFFF, with the
+// wide ring parameters (Q 128 bits, BARRETTCTL2 160 bits) spanning multiple
+// words.  The host programs Q/N/INV_POLYDEG/BARRETTCTL* once per modulus;
+// the MDMC reads them on every command.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+
+#include "chip/config.hpp"
+#include "nt/barrett.hpp"
+
+namespace cofhee::chip {
+
+using u128 = unsigned __int128;
+
+/// Word offsets from MemoryMap::kGpcfgBase.
+enum class Reg : std::uint32_t {
+  kSignature = 0x00,       // RO chip ID
+  kFheCtl1 = 0x04,         // command-FIFO select + log2(n)
+  kFheCtl2 = 0x08,         // command trigger bits
+  kFheCtl3 = 0x0C,         // PLL select / bypass
+  kPllCtl = 0x10,
+  kCommandFifo0 = 0x14,    // 4-word command window ...
+  kCommandFifo1 = 0x18,
+  kCommandFifo2 = 0x1C,
+  kCommandFifo3 = 0x20,    // write here pushes the 4-word command
+  kDbgReg = 0x24,
+  kUartMBaudCtl = 0x28,
+  kUartSBaudCtl = 0x2C,
+  kUartMCtl = 0x30,
+  kUartSCtl = 0x34,
+  kUartMTxPadCtl = 0x38,
+  kUartMRxPadCtl = 0x3C,
+  kUartSTxPadCtl = 0x40,
+  kSpiMosiPadCtl = 0x44,
+  kSpiMisoPadCtl = 0x48,
+  kSpiClkPadCtl = 0x4C,
+  kSpiCsnPadCtl = 0x50,
+  kHostIrqPadCtl = 0x54,
+  kQ0 = 0x60,              // modulus q, 128 bits over 4 words
+  kQ1 = 0x64,
+  kQ2 = 0x68,
+  kQ3 = 0x6C,
+  kN0 = 0x70,              // polynomial degree (word 0 used)
+  kInvPolyDeg0 = 0x80,     // n^-1 mod q, 128 bits over 4 words
+  kInvPolyDeg1 = 0x84,
+  kInvPolyDeg2 = 0x88,
+  kInvPolyDeg3 = 0x8C,
+  kBarrettCtl1 = 0x90,     // shift amount k_b
+  kBarrettCtl2_0 = 0x94,   // mu = 2^k_b / q, 160 bits over 5 words
+  kBarrettCtl2_1 = 0x98,
+  kBarrettCtl2_2 = 0x9C,
+  kBarrettCtl2_3 = 0xA0,
+  kBarrettCtl2_4 = 0xA4,
+  kCModConst0 = 0xA8,      // CMODMUL constant, 128 bits over 4 words
+  kCModConst1 = 0xAC,
+  kCModConst2 = 0xB0,
+  kCModConst3 = 0xB4,
+  kIrqStatus = 0xB8,       // bit0: FIFO empty, bit1: op done
+};
+
+inline constexpr std::uint32_t kSignatureValue = 0xC0F4EE01;
+
+/// IRQ status bits.
+inline constexpr std::uint32_t kIrqFifoEmpty = 1u << 0;
+inline constexpr std::uint32_t kIrqOpDone = 1u << 1;
+
+class Gpcfg {
+ public:
+  Gpcfg();
+
+  /// 32-bit bus access by word offset (must be 4-byte aligned, < 0x100).
+  [[nodiscard]] std::uint32_t read_word(std::uint32_t offset) const;
+  void write_word(std::uint32_t offset, std::uint32_t value);
+
+  [[nodiscard]] std::uint32_t read(Reg r) const {
+    return read_word(static_cast<std::uint32_t>(r));
+  }
+  void write(Reg r, std::uint32_t v) { write_word(static_cast<std::uint32_t>(r), v); }
+
+  // Typed views over the wide registers.
+  [[nodiscard]] u128 q() const { return read_u128(Reg::kQ0); }
+  void set_q(u128 q);
+  [[nodiscard]] std::size_t n() const { return std::size_t{1} << read(Reg::kFheCtl1); }
+  void set_n(std::size_t n);
+  [[nodiscard]] u128 inv_polydeg() const { return read_u128(Reg::kInvPolyDeg0); }
+  void set_inv_polydeg(u128 v) { write_u128(Reg::kInvPolyDeg0, v); }
+  [[nodiscard]] u128 cmod_const() const { return read_u128(Reg::kCModConst0); }
+  void set_cmod_const(u128 v) { write_u128(Reg::kCModConst0, v); }
+
+  /// Monotone counter bumped on every Q write; the MDMC uses it to know
+  /// when to rebuild its Barrett reducer.
+  [[nodiscard]] std::uint64_t q_version() const noexcept { return q_version_; }
+
+  void raise_irq(std::uint32_t bits) { regs_[idx(Reg::kIrqStatus)] |= bits; }
+  void clear_irq(std::uint32_t bits) { regs_[idx(Reg::kIrqStatus)] &= ~bits; }
+  [[nodiscard]] bool irq_pending(std::uint32_t bits) const {
+    return (regs_[idx(Reg::kIrqStatus)] & bits) != 0;
+  }
+
+  /// Callback hook: the chip wires this to the command FIFO so that writing
+  /// kCommandFifo3 pushes the staged 4-word command.
+  std::function<void(const std::array<std::uint32_t, 4>&)> on_command_push;
+
+ private:
+  static std::size_t idx(Reg r) { return static_cast<std::uint32_t>(r) / 4; }
+  [[nodiscard]] u128 read_u128(Reg base) const;
+  void write_u128(Reg base, u128 v);
+
+  std::array<std::uint32_t, 64> regs_{};
+  std::uint64_t q_version_ = 0;
+};
+
+}  // namespace cofhee::chip

@@ -1,0 +1,61 @@
+#include "chip/isa.hpp"
+
+#include <stdexcept>
+
+namespace cofhee::chip {
+
+std::string_view opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kNtt: return "NTT";
+    case Opcode::kIntt: return "iNTT";
+    case Opcode::kPModAdd: return "PMODADD";
+    case Opcode::kPModMul: return "PMODMUL";
+    case Opcode::kPModSqr: return "PMODSQR";
+    case Opcode::kPModSub: return "PMODSUB";
+    case Opcode::kCModMul: return "CMODMUL";
+    case Opcode::kPMul: return "PMUL";
+    case Opcode::kMemCpy: return "MEMCPY";
+    case Opcode::kMemCpyR: return "MEMCPYR";
+  }
+  return "<invalid>";
+}
+
+bool is_compute_op(Opcode op) {
+  return op != Opcode::kMemCpy && op != Opcode::kMemCpyR;
+}
+
+EncodedInstr encode(const Instr& in) {
+  EncodedInstr w{};
+  w[0] = static_cast<std::uint32_t>(in.op) |
+         (static_cast<std::uint32_t>(in.x.bank) << 8) |
+         (static_cast<std::uint32_t>(in.y.bank) << 12) |
+         (static_cast<std::uint32_t>(in.dst.bank) << 16);
+  if (in.x.offset >= (1u << 16) || in.y.offset >= (1u << 16) ||
+      in.dst.offset >= (1u << 16))
+    throw std::invalid_argument("encode: offset exceeds 16-bit field");
+  w[1] = in.x.offset | (in.y.offset << 16);
+  w[2] = in.dst.offset;
+  w[3] = in.len;
+  return w;
+}
+
+Instr decode(const EncodedInstr& w) {
+  Instr in;
+  const auto opv = w[0] & 0xFF;
+  if (opv < 0x1 || opv > 0xA) throw std::invalid_argument("decode: bad opcode");
+  in.op = static_cast<Opcode>(opv);
+  auto bank_of = [](std::uint32_t v) {
+    if (v >= kNumBanks) throw std::invalid_argument("decode: bad bank");
+    return static_cast<Bank>(v);
+  };
+  in.x.bank = bank_of((w[0] >> 8) & 0xF);
+  in.y.bank = bank_of((w[0] >> 12) & 0xF);
+  in.dst.bank = bank_of((w[0] >> 16) & 0xF);
+  in.x.offset = w[1] & 0xFFFF;
+  in.y.offset = w[1] >> 16;
+  in.dst.offset = w[2];
+  in.len = w[3];
+  return in;
+}
+
+}  // namespace cofhee::chip

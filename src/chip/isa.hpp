@@ -1,0 +1,65 @@
+// CoFHEE's instruction set (paper Table I).
+//
+// Each command names its operand/result memories by bank + word offset and
+// carries the vector length delta.  Ring parameters (q, n, n^-1, Barrett
+// constants) live in the configuration registers (Table II), not in the
+// instruction -- matching the silicon, where the host programs Q/N/
+// INV_POLYDEG/BARRETTCTL* once per modulus and then streams commands.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "chip/config.hpp"
+
+namespace cofhee::chip {
+
+enum class Opcode : std::uint8_t {
+  kNtt = 0x1,       // NTT on [x]
+  kIntt = 0x2,      // inverse NTT on [x] (uses INV_POLYDEG)
+  kPModAdd = 0x3,   // [dst] = [x] + [y] mod q
+  kPModMul = 0x4,   // [dst] = [x] .* [y] mod q (Hadamard)
+  kPModSqr = 0x5,   // [dst] = [x] .* [x] mod q
+  kPModSub = 0x6,   // [dst] = [x] - [y] mod q
+  kCModMul = 0x7,   // [dst] = [x] * constant mod q
+  kPMul = 0x8,      // [dst] = [x] .* [y]  (plain, low 128 bits)
+  kMemCpy = 0x9,    // [dst] = [src]
+  kMemCpyR = 0xA,   // [dst] = bit-reverse([src])
+};
+
+[[nodiscard]] std::string_view opcode_name(Opcode op);
+
+/// Word-granular operand reference: bank plus coefficient offset.
+struct MemRef {
+  Bank bank = Bank::kDp0;
+  std::uint32_t offset = 0;  // in 128-bit words
+
+  bool operator==(const MemRef&) const = default;
+};
+
+struct Instr {
+  Opcode op = Opcode::kNtt;
+  MemRef x{};           // first operand (also NTT in/out)
+  MemRef y{};           // second operand (pointwise ops)
+  MemRef dst{};         // destination
+  std::uint32_t len = 0;          // delta: vector length in words
+  unsigned __int128 constant = 0; // CMODMUL constant (from GPCFG in silicon)
+
+  bool operator==(const Instr&) const = default;
+};
+
+/// On-the-wire encoding used by the command FIFO: four 32-bit words
+/// (opcode/banks packed, x/y/dst offsets, length).  The CMODMUL constant is
+/// sourced from a configuration register pair, so it is not encoded.
+using EncodedInstr = std::array<std::uint32_t, 4>;
+
+[[nodiscard]] EncodedInstr encode(const Instr& in);
+[[nodiscard]] Instr decode(const EncodedInstr& words);
+
+/// True for opcodes that execute on the PE datapath (as opposed to the
+/// memory-to-memory commands, which run on the DMA path and may overlap
+/// compute -- Section III-B).
+[[nodiscard]] bool is_compute_op(Opcode op);
+
+}  // namespace cofhee::chip

@@ -1,0 +1,41 @@
+#include "chip/power.hpp"
+
+namespace cofhee::chip {
+
+double PowerTrace::segment_energy_pj(const PowerSegment& s) const {
+  double pj = static_cast<double>(s.cycles) * table_.static_pj_per_cycle;
+  pj += static_cast<double>(s.mult_fwd) * table_.mult_fwd_pj;
+  pj += static_cast<double>(s.mult_inv) * table_.mult_inv_pj;
+  pj += static_cast<double>(s.adds) * table_.add_pj;
+  pj += static_cast<double>(s.subs) * table_.sub_pj;
+  pj += static_cast<double>(s.sram_reads) * table_.sram_read_pj;
+  pj += static_cast<double>(s.sram_writes) * table_.sram_write_pj;
+  pj += static_cast<double>(s.twiddle_reads) * table_.twiddle_read_pj;
+  pj += static_cast<double>(s.dma_words) * table_.dma_word_pj;
+  if (s.dma_concurrent)
+    pj += static_cast<double>(s.cycles) * table_.dma_concurrent_pj;
+  return pj;
+}
+
+double PowerTrace::segment_power_mw(const PowerSegment& s) const {
+  if (s.cycles == 0) return 0.0;
+  const double pj_per_cycle = segment_energy_pj(s) / static_cast<double>(s.cycles);
+  return pj_per_cycle / cycle_ns_;  // pJ/ns == mW
+}
+
+PowerReport PowerTrace::report() const {
+  PowerReport r;
+  double total_pj = 0;
+  for (const auto& s : segments_) {
+    total_pj += segment_energy_pj(s);
+    r.cycles += s.cycles;
+    const double p = segment_power_mw(s);
+    if (p > r.peak_mw) r.peak_mw = p;
+  }
+  r.energy_uj = total_pj * 1e-6;
+  const double total_ns = static_cast<double>(r.cycles) * cycle_ns_;
+  r.avg_mw = total_ns > 0 ? total_pj / total_ns : 0.0;
+  return r;
+}
+
+}  // namespace cofhee::chip

@@ -1,0 +1,103 @@
+// Host interfaces: UART (8N1) and SPI mode 0 (paper Sections III-H, V-F).
+//
+// These are transaction-level transport models: they carry the register
+// read/write framing the host driver uses (1 command byte + 4 address bytes
+// + 4 data bytes per 32-bit access) and account wall-clock time from the
+// line rate -- UART at a programmable baud (the silicon bring-up used an
+// FTDI USB-UART at 3 Mbaud), SPI at up to 50 MHz (Section III-K's interface
+// timing constraint).  The paper's points about execution mode 1 being slow
+// and n >= 2^14 needing host round-trips (Section VIII-A) fall out of these
+// byte counts.
+#pragma once
+
+#include <cstdint>
+
+#include "chip/ahb.hpp"
+
+namespace cofhee::chip {
+
+struct LinkStats {
+  std::uint64_t bytes_tx = 0;  // host -> chip
+  std::uint64_t bytes_rx = 0;  // chip -> host
+  double seconds = 0.0;
+};
+
+/// Common register-access framing over a byte pipe.
+class SerialLink {
+ public:
+  SerialLink(AhbBus& bus, BusMaster master, double bytes_per_second)
+      : bus_(bus), master_(master), bps_(bytes_per_second) {}
+  virtual ~SerialLink() = default;
+
+  /// Host-side 32-bit register/memory write: 9 bytes on the wire.
+  void host_write32(std::uint32_t addr, std::uint32_t value) {
+    account_tx(9);
+    bus_.write32(master_, addr, value);
+  }
+
+  /// Host-side 32-bit read: 5 bytes out, 4 bytes back.
+  [[nodiscard]] std::uint32_t host_read32(std::uint32_t addr) {
+    account_tx(5);
+    account_rx(4);
+    return bus_.read32(master_, addr);
+  }
+
+  /// Bulk payload write (burst framing: 1 cmd + 4 addr + 4 len + payload).
+  void host_write_burst(std::uint32_t addr, const std::uint32_t* words,
+                        std::size_t count) {
+    account_tx(9 + count * 4);
+    for (std::size_t i = 0; i < count; ++i)
+      bus_.write32(master_, addr + static_cast<std::uint32_t>(i) * 4, words[i]);
+  }
+
+  void host_read_burst(std::uint32_t addr, std::uint32_t* words, std::size_t count) {
+    account_tx(9);
+    account_rx(count * 4);
+    for (std::size_t i = 0; i < count; ++i)
+      words[i] = bus_.read32(master_, addr + static_cast<std::uint32_t>(i) * 4);
+  }
+
+  [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+  [[nodiscard]] double bytes_per_second() const noexcept { return bps_; }
+
+ protected:
+  void account_tx(std::size_t bytes) {
+    stats_.bytes_tx += bytes;
+    stats_.seconds += static_cast<double>(bytes) / bps_;
+  }
+  void account_rx(std::size_t bytes) {
+    stats_.bytes_rx += bytes;
+    stats_.seconds += static_cast<double>(bytes) / bps_;
+  }
+
+ private:
+  AhbBus& bus_;
+  BusMaster master_;
+  double bps_;
+  LinkStats stats_;
+};
+
+/// UART 8N1: 10 line bits per byte.
+class Uart : public SerialLink {
+ public:
+  Uart(AhbBus& bus, double baud)
+      : SerialLink(bus, BusMaster::kHostUart, baud / 10.0), baud_(baud) {}
+  [[nodiscard]] double baud() const noexcept { return baud_; }
+
+ private:
+  double baud_;
+};
+
+/// SPI mode 0: 8 clocks per byte, full duplex (we model half-duplex use).
+class Spi : public SerialLink {
+ public:
+  Spi(AhbBus& bus, double clock_hz)
+      : SerialLink(bus, BusMaster::kHostSpi, clock_hz / 8.0), clock_hz_(clock_hz) {}
+  [[nodiscard]] double clock_hz() const noexcept { return clock_hz_; }
+
+ private:
+  double clock_hz_;
+};
+
+}  // namespace cofhee::chip

@@ -1,0 +1,24 @@
+#include "chip/sram.hpp"
+
+namespace cofhee::chip {
+
+MemorySystem::MemorySystem(const ChipConfig& cfg) {
+  banks_.reserve(kNumBanks);
+  const unsigned lat = cfg.mem_read_latency;
+  banks_.emplace_back("DP0", cfg.bank_words, 2u, lat);
+  banks_.emplace_back("DP1", cfg.bank_words, 2u, lat);
+  banks_.emplace_back("DP2", cfg.bank_words, 2u, lat);
+  banks_.emplace_back("SP0", cfg.bank_words, 1u, lat);
+  banks_.emplace_back("SP1", cfg.bank_words, 1u, lat);
+  banks_.emplace_back("SP2", cfg.bank_words, 1u, lat);
+  banks_.emplace_back("SP3", cfg.bank_words, 1u, lat);
+  banks_.emplace_back("TW", cfg.bank_words, 1u, lat);
+}
+
+std::size_t MemorySystem::total_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& b : banks_) bytes += b.words() * 16;  // 128-bit words
+  return bytes;
+}
+
+}  // namespace cofhee::chip

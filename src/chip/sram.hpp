@@ -1,0 +1,100 @@
+// SRAM bank models.
+//
+// The silicon's 68 memory macros group into 8 logical coefficient-wide data
+// banks (3 dual-port + 4 single-port polynomial banks + 1 single-port
+// twiddle bank) plus the CM0 SRAM (paper Sections III-A and V-A).  The
+// model stores one 128-bit coefficient per word, tracks per-port access
+// counts (feeding the power model and the port-conflict checks), and
+// enforces the structural property the architecture is built around:
+// a dual-port bank sustains two accesses per cycle, a single-port bank one.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "chip/config.hpp"
+
+namespace cofhee::chip {
+
+using u128 = unsigned __int128;
+
+class Sram {
+ public:
+  Sram() = default;
+  Sram(std::string name, std::size_t words, unsigned ports, unsigned read_latency)
+      : name_(std::move(name)), ports_(ports), read_latency_(read_latency),
+        data_(words, 0) {
+    if (ports != 1 && ports != 2)
+      throw std::invalid_argument("Sram: ports must be 1 or 2");
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t words() const noexcept { return data_.size(); }
+  [[nodiscard]] unsigned ports() const noexcept { return ports_; }
+  [[nodiscard]] bool dual_port() const noexcept { return ports_ == 2; }
+  [[nodiscard]] unsigned read_latency() const noexcept { return read_latency_; }
+
+  [[nodiscard]] u128 read(std::size_t addr) {
+    bounds(addr);
+    ++reads_;
+    return data_[addr];
+  }
+
+  void write(std::size_t addr, u128 value) {
+    bounds(addr);
+    ++writes_;
+    data_[addr] = value;
+  }
+
+  /// Peek/poke without access accounting (testbench/host backdoor, the
+  /// moral equivalent of simulator memory preload).
+  [[nodiscard]] u128 peek(std::size_t addr) const {
+    bounds(addr);
+    return data_[addr];
+  }
+  void poke(std::size_t addr, u128 value) {
+    bounds(addr);
+    data_[addr] = value;
+  }
+
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  void reset_counters() noexcept { reads_ = writes_ = 0; }
+
+  /// Maximum word transfers this bank supports per cycle.
+  [[nodiscard]] unsigned accesses_per_cycle() const noexcept { return ports_; }
+
+ private:
+  void bounds(std::size_t addr) const {
+    if (addr >= data_.size())
+      throw std::out_of_range("Sram " + name_ + ": address out of range");
+  }
+
+  std::string name_;
+  unsigned ports_ = 1;
+  unsigned read_latency_ = 2;
+  std::vector<u128> data_;
+  std::uint64_t reads_ = 0, writes_ = 0;
+};
+
+/// The full data-memory complement of the chip.
+class MemorySystem {
+ public:
+  explicit MemorySystem(const ChipConfig& cfg);
+
+  [[nodiscard]] Sram& bank(Bank b) { return banks_.at(static_cast<std::size_t>(b)); }
+  [[nodiscard]] const Sram& bank(Bank b) const {
+    return banks_.at(static_cast<std::size_t>(b));
+  }
+  [[nodiscard]] std::size_t num_banks() const noexcept { return banks_.size(); }
+
+  /// Aggregate data-memory capacity in bytes (polynomial + twiddle banks).
+  [[nodiscard]] std::size_t total_bytes() const;
+
+ private:
+  std::vector<Sram> banks_;
+};
+
+}  // namespace cofhee::chip

@@ -1,0 +1,79 @@
+#include "driver/chip_bfv.hpp"
+
+#include <stdexcept>
+
+#include "nt/primes.hpp"
+
+namespace cofhee::driver {
+
+namespace {
+
+/// Widen one 64-bit tower to the chip's 128-bit coefficient words.
+std::vector<u128> widen(const poly::Coeffs<nt::u64>& t) {
+  return {t.begin(), t.end()};
+}
+
+poly::Coeffs<nt::u64> narrow(const std::vector<u128>& w) {
+  poly::Coeffs<nt::u64> t(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) t[i] = static_cast<nt::u64>(w[i]);
+  return t;
+}
+
+}  // namespace
+
+bfv::Ciphertext ChipBfvEvaluator::multiply(const bfv::Bfv& bfv,
+                                           const bfv::Ciphertext& a,
+                                           const bfv::Ciphertext& b,
+                                           ChipMulReport* report) {
+  if (a.size() != 2 || b.size() != 2)
+    throw std::invalid_argument("ChipBfvEvaluator: 2-element ciphertexts expected");
+  const auto& ctx = bfv.context();
+  const std::size_t n = ctx.n();
+  if (2 * n > chip_.config().bank_words)
+    throw std::invalid_argument("ChipBfvEvaluator: ring too large for on-chip slots");
+
+  // Host-side exact centered base extension Q -> Q u B (the RNS plumbing
+  // SEAL would do; CoFHEE accelerates the per-tower tensor underneath it).
+  const auto a0 = bfv.extend_centered_public(a.c[0]);
+  const auto a1 = bfv.extend_centered_public(a.c[1]);
+  const auto b0 = bfv.extend_centered_public(b.c[0]);
+  const auto b1 = bfv.extend_centered_public(b.c[1]);
+
+  ChipMulReport rep;
+  rep.towers = static_cast<unsigned>(ctx.ext_basis().size());
+
+  poly::RnsPoly y0, y1, y2;
+  y0.towers.resize(rep.towers);
+  y1.towers.resize(rep.towers);
+  y2.towers.resize(rep.towers);
+
+  HostDriver drv(chip_, mode_, link_);
+  for (std::size_t tw = 0; tw < rep.towers; ++tw) {
+    const nt::u64 q = ctx.ext_basis().modulus(tw);
+    drv.configure_ring(q, n, nt::primitive_2nth_root(q, n));
+    rep.io_seconds += drv.load_polynomial(Bank::kSp0, 0, widen(a0.towers[tw]));
+    rep.io_seconds += drv.load_polynomial(Bank::kSp1, 0, widen(a1.towers[tw]));
+    rep.io_seconds += drv.load_polynomial(Bank::kSp2, 0, widen(b0.towers[tw]));
+    rep.io_seconds += drv.load_polynomial(Bank::kSp3, 0, widen(b1.towers[tw]));
+    const auto r = drv.ciphertext_mul();
+    rep.chip_cycles += r.compute_cycles;
+    double io = 0;
+    y0.towers[tw] = narrow(drv.read_polynomial(Bank::kSp0, 0, n, &io));
+    rep.io_seconds += io;
+    y1.towers[tw] = narrow(drv.read_polynomial(Bank::kSp1, 0, n, &io));
+    rep.io_seconds += io;
+    y2.towers[tw] = narrow(drv.read_polynomial(Bank::kSp2, 0, n, &io));
+    rep.io_seconds += io;
+  }
+  rep.chip_ms = static_cast<double>(rep.chip_cycles) * chip_.config().cycle_ns() * 1e-6;
+
+  // Host: t/q rounding back to the Q basis (Eq. 4's outer operation).
+  bfv::Ciphertext out;
+  out.c.push_back(bfv.scale_round_public(y0));
+  out.c.push_back(bfv.scale_round_public(y1));
+  out.c.push_back(bfv.scale_round_public(y2));
+  if (report != nullptr) *report = rep;
+  return out;
+}
+
+}  // namespace cofhee::driver

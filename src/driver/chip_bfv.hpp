@@ -1,0 +1,51 @@
+// Chip-backed BFV evaluator: the full-stack integration path.
+//
+// The software BFV scheme runs its EvalMult tensor (Eq. 4 numerators) on
+// the CoFHEE model instead of the CPU: every tower of the extended RNS
+// basis becomes one chip ring configuration (q_i <= 128 bits always fits
+// the native datapath), the four input polynomials are loaded into the SP
+// banks, Algorithm 3 executes on the MDMC, and the host performs the t/q
+// rounding on the read-back tensor -- the division of labor the paper
+// prescribes ("low-level polynomial operations" on chip, "data movement"
+// and higher-level steps on the host, Sections I and III).
+//
+// Bit-exactness against the pure-software Bfv::multiply is asserted by
+// tests/driver/test_chip_bfv.cpp.
+#pragma once
+
+#include <cstdint>
+
+#include "bfv/bfv.hpp"
+#include "chip/chip.hpp"
+#include "driver/host_driver.hpp"
+
+namespace cofhee::driver {
+
+struct ChipMulReport {
+  std::uint64_t chip_cycles = 0;
+  double chip_ms = 0;
+  double io_seconds = 0;       // polynomial transport over the serial link
+  unsigned towers = 0;
+};
+
+class ChipBfvEvaluator {
+ public:
+  /// The evaluator drives `chip` through `mode`; ring reconfiguration
+  /// between towers is host work (register writes).
+  ChipBfvEvaluator(CofheeChip& chip, ExecMode mode = ExecMode::kFifo,
+                   Link link = Link::kSpi)
+      : chip_(chip), mode_(mode), link_(link) {}
+
+  /// EvalMult without relinearization (the Fig. 6 operation), tensor
+  /// computed on chip, scaling on the host.  Result decrypts identically
+  /// to bfv.multiply(a, b).
+  bfv::Ciphertext multiply(const bfv::Bfv& bfv, const bfv::Ciphertext& a,
+                           const bfv::Ciphertext& b, ChipMulReport* report = nullptr);
+
+ private:
+  CofheeChip& chip_;
+  ExecMode mode_;
+  Link link_;
+};
+
+}  // namespace cofhee::driver

@@ -1,0 +1,111 @@
+// Host-side driver (paper Sections III-I, V-F).
+//
+// Plays the role of the bring-up PC: programs the ring registers, preloads
+// the twiddle ROM, moves polynomials over UART or SPI (timed), builds the
+// command sequences for the composed operations (Algorithms 2 and 3), and
+// runs them in any of the three execution modes.  Every entry point returns
+// an ExecReport splitting compute time (chip cycles at 250 MHz) from host
+// I/O time (serial line rate) -- the decomposition behind the paper's
+// mode-1-is-slow remark and the n >= 2^14 communication-cost discussion.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "chip/chip.hpp"
+#include "chip/cm0.hpp"
+#include "poly/merged_ntt.hpp"
+
+namespace cofhee::driver {
+
+using chip::Bank;
+using chip::CofheeChip;
+using chip::Instr;
+using chip::MemRef;
+using chip::Opcode;
+using u128 = unsigned __int128;
+
+enum class ExecMode : std::uint8_t {
+  kDirect = 0,  // mode 1: one register-triggered command at a time
+  kFifo = 1,    // mode 2: preloaded command FIFO
+  kCm0 = 2,     // mode 3: on-chip Cortex-M0 sequencer
+};
+
+enum class Link : std::uint8_t { kUart = 0, kSpi = 1 };
+
+struct ExecReport {
+  std::uint64_t compute_cycles = 0;
+  double compute_ms = 0;
+  double io_seconds = 0;    // serial transfer time (loads, triggers, readback)
+  std::uint64_t commands = 0;
+  std::uint64_t cm0_cycles = 0;  // sequencer work (overlapped with compute)
+
+  ExecReport& operator+=(const ExecReport& o) {
+    compute_cycles += o.compute_cycles;
+    compute_ms += o.compute_ms;
+    io_seconds += o.io_seconds;
+    commands += o.commands;
+    cm0_cycles += o.cm0_cycles;
+    return *this;
+  }
+};
+
+class HostDriver {
+ public:
+  explicit HostDriver(CofheeChip& chip, ExecMode mode = ExecMode::kFifo,
+                      Link link = Link::kSpi);
+
+  [[nodiscard]] CofheeChip& chip() noexcept { return chip_; }
+  [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
+
+  /// Program Q/N/INV_POLYDEG/BARRETTCTL* and preload the twiddle ROM with
+  /// the bit-reversed psi powers.  One-time setup per modulus (untimed
+  /// unless `timed`).
+  void configure_ring(u128 q, std::size_t n, u128 psi, bool timed = false);
+
+  [[nodiscard]] const poly::MergedNtt128& ntt_engine() const { return engine_; }
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] u128 q() const noexcept { return q_; }
+
+  /// Timed polynomial upload/download over the serial link.
+  double load_polynomial(Bank bank, std::size_t offset, std::span<const u128> coeffs);
+  std::vector<u128> read_polynomial(Bank bank, std::size_t offset, std::size_t count,
+                                    double* io_seconds = nullptr);
+
+  /// Run a batch of commands in the configured execution mode.
+  ExecReport run(std::span<const Instr> program);
+
+  // --- composed operations -----------------------------------------------
+  /// Single in-place NTT / iNTT of the polynomial at `x`, result at `dst`.
+  ExecReport ntt(const MemRef& x, const MemRef& dst);
+  ExecReport intt(const MemRef& x, const MemRef& dst);
+
+  /// Polynomial multiplication (Algorithm 2): operands preloaded at SP0 and
+  /// SP1, product written to SP2 (all slot 0).  Matches the silicon PolyMul
+  /// measurement of Table V: 2 NTT + Hadamard + iNTT + DMA staging.
+  ExecReport poly_mul();
+
+  /// Ciphertext multiplication (Algorithm 3) on one RNS tower: inputs
+  /// A0->SP0, A1->SP1, B0->SP2, B1->SP3 (slot 0); outputs Y0->SP0, Y1->SP1,
+  /// Y2->SP2 (slot 0).  4 NTT + 4 Hadamard + 1 add + 3 iNTT commands with
+  /// DMA staging overlapped per Section III-F.
+  ExecReport ciphertext_mul();
+
+ private:
+  ExecReport run_direct(std::span<const Instr> program);
+  ExecReport run_fifo(std::span<const Instr> program);
+  ExecReport run_cm0(std::span<const Instr> program);
+  /// Background-stage `len` words; returns the non-hidden residue cycles.
+  std::uint64_t stage(const MemRef& src, const MemRef& dst, std::size_t len,
+                      std::uint64_t window);
+
+  CofheeChip& chip_;
+  ExecMode mode_;
+  Link link_;
+  poly::MergedNtt128 engine_;
+  std::size_t n_ = 0;
+  u128 q_ = 0;
+};
+
+}  // namespace cofhee::driver

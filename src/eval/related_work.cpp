@@ -1,0 +1,32 @@
+#include "eval/related_work.hpp"
+
+namespace cofhee::eval {
+
+double cofhee_efficiency(std::uint64_t ntt_cycles, double freq_mhz,
+                         double pe_area_mm2, const NormalizationFactors& nf) {
+  const double ns = static_cast<double>(ntt_cycles) * (1e3 / freq_mhz);
+  const double scaled_ns = ns / nf.delay_scale;
+  const double scaled_area = pe_area_mm2 / nf.area_scale;
+  return 1.0 / (scaled_ns * scaled_area);
+}
+
+unsigned rns_towers(unsigned native_bits, unsigned target_bits) {
+  return (target_bits + native_bits - 1) / native_bits;
+}
+
+std::vector<DesignEntry> published_table() {
+  // Paper Table XI.  Efficiency values are as published (already
+  // normalized); CoFHEE's row carries the paper numbers for reference and
+  // is recomputed by the bench.
+  return {
+      {"CoFHEE", "ASIC GF 55nm", 14, 128, 12.0, 2.3e-2, 250, 53248, 4.54e-4, true},
+      {"F1", "ASIC GF 14/12nm", 14, 32, 151.4, 1.8e2, 1000, 476, 7.21e-5, false},
+      {"CraterLake", "ASIC 14/12nm", 16, 28, 472.3, 3.2e2, 1000, 22, 3.26e-4, false},
+      {"BTS", "ASIC 7nm", 17, 64, 373.6, 1.6e2, 1200, 554, 9.83e-6, false},
+      {"ARK", "ASIC 7nm", 16, 64, 418.3, 2.8e2, 1000, 104, 9.62e-5, false},
+      {"HEAX", "FPGA Arria10 GX1150", 14, 27, 0.0, 0.0, 300, 1536, 0.0, false},
+      {"Roy", "FPGA ZCU102", 12, 30, 0.0, 0.0, 200, 16425, 0.0, false},
+  };
+}
+
+}  // namespace cofhee::eval

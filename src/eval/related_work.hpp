@@ -1,0 +1,52 @@
+// Table XI: cross-design NTT comparison (paper Section VII).
+//
+// The paper's efficiency metric is NTT operations per nanosecond per mm^2,
+// evaluated for n = 2^13, after two normalizations:
+//   1. Technology: CoFHEE's 55 nm PE is scaled to F1's node with the
+//      factors obtained by re-synthesizing the Barrett multiplier
+//      (area / 16.7, delay / 3.7).
+//   2. Word width: 32/64-bit designs must run RNS towers to cover CoFHEE's
+//      native 128-bit coefficients, multiplying their NTT time.
+// CoFHEE's entry is computed from this repository's chip model (cycles) and
+// area model (PE area); the competitors' entries come from their published
+// numbers as cited in the paper.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cofhee::eval {
+
+struct DesignEntry {
+  std::string name;
+  std::string technology;
+  unsigned max_log2_n;
+  unsigned log_q_bits;     // native coefficient width
+  double area_mm2;         // full-chip area (or FPGA: n/a -> 0)
+  double power_w;          // reported power
+  double freq_mhz;
+  std::uint64_t ntt_cycles;  // for n = 2^13
+  double efficiency;         // NTT ops / ns / mm^2 (normalized); 0 if n/a
+  bool silicon_proven;
+};
+
+struct NormalizationFactors {
+  double area_scale = 16.7;   // 55 nm -> GF 12 nm (Barrett resynthesis)
+  double delay_scale = 3.7;
+  unsigned target_width_bits = 128;  // RNS penalty reference width
+};
+
+/// CoFHEE's efficiency from first principles: measured cycles at `freq_mhz`
+/// and the PE area (the paper's comparison basis) scaled by `nf`.
+double cofhee_efficiency(std::uint64_t ntt_cycles, double freq_mhz,
+                         double pe_area_mm2, const NormalizationFactors& nf);
+
+/// RNS width penalty: ceil(target / native) towers.
+unsigned rns_towers(unsigned native_bits, unsigned target_bits);
+
+/// The published Table XI rows (competitors as cited; CoFHEE's cycles and
+/// efficiency recomputed by bench_table11_related_work).
+std::vector<DesignEntry> published_table();
+
+}  // namespace cofhee::eval

@@ -1,0 +1,77 @@
+// Lightweight fixed-width table formatting for the benchmark harnesses.
+// Every bench prints "paper" vs "measured/modelled" columns so the
+// reproduction status is visible at a glance (and greppable into
+// EXPERIMENTS.md).
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cofhee::eval {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& r : rows_)
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], r[c].size());
+    auto line = [&] {
+      os << '+';
+      for (auto w : width) os << std::string(w + 2, '-') << '+';
+      os << '\n';
+    };
+    auto emit = [&](const std::vector<std::string>& cells) {
+      os << '|';
+      for (std::size_t c = 0; c < width.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : "";
+        os << ' ' << s << std::string(width[c] - s.size() + 1, ' ') << '|';
+      }
+      os << '\n';
+    };
+    line();
+    emit(headers_);
+    line();
+    for (const auto& r : rows_) emit(r);
+    line();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+inline std::string fmt_sci(double v, int precision = 2) {
+  std::ostringstream ss;
+  ss << std::scientific << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+/// Relative error in percent against a paper-reported value.
+inline std::string pct_err(double measured, double paper) {
+  if (paper == 0) return "n/a";
+  return fmt(100.0 * (measured - paper) / paper, 2) + "%";
+}
+
+inline void section(const std::string& title, std::ostream& os = std::cout) {
+  os << "\n=== " << title << " ===\n";
+}
+
+}  // namespace cofhee::eval

@@ -1,0 +1,68 @@
+// Montgomery multiplication -- the alternative the paper evaluated and
+// rejected (Section IV-A): it requires transforming operands into the
+// Montgomery domain, which Barrett avoids.  Kept as a first-class unit so
+// the design choice can be benchmarked (bench_micro_kernels) and so the
+// F1-style comparison (Table XI attributes CoFHEE's edge to "a pipelined
+// Barrett multiplier, as opposed to an iterative Montgomery multiplier")
+// rests on real code.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "nt/wide_int.hpp"
+
+namespace cofhee::nt {
+
+/// Montgomery reducer for odd moduli q < 2^62, R = 2^64.
+class Montgomery64 {
+ public:
+  Montgomery64() = default;
+  explicit Montgomery64(u64 q) : q_(q) {
+    if (q < 3 || (q & 1) == 0)
+      throw std::invalid_argument("Montgomery64: modulus must be odd and >= 3");
+    if (bit_length(q) > 62)
+      throw std::invalid_argument("Montgomery64: modulus must fit in 62 bits");
+    // qinv = -q^(-1) mod 2^64 by Newton iteration (5 doublings of precision).
+    u64 inv = q;  // q * inv == 1 mod 2^3
+    for (int i = 0; i < 5; ++i) inv *= 2 - q * inv;
+    qinv_neg_ = ~inv + 1;
+    r_ = static_cast<u64>((static_cast<u128>(1) << 64) % q);   // 2^64 mod q
+    r2_ = static_cast<u64>((static_cast<u128>(r_) * r_) % q);  // 2^128 mod q
+  }
+
+  [[nodiscard]] u64 modulus() const noexcept { return q_; }
+
+  /// Map into the Montgomery domain: a -> a * 2^64 mod q.
+  [[nodiscard]] u64 to_mont(u64 a) const noexcept { return mul_raw(a, r2_); }
+
+  /// Map out of the Montgomery domain: a~ -> a~ * 2^-64 mod q.
+  [[nodiscard]] u64 from_mont(u64 a) const noexcept {
+    return reduce_wide(static_cast<u128>(a));
+  }
+
+  /// Product of two Montgomery-domain residues (stays in the domain).
+  [[nodiscard]] u64 mul_raw(u64 a, u64 b) const noexcept {
+    return reduce_wide(static_cast<u128>(a) * b);
+  }
+
+  /// Plain-domain modular product, paying both conversions -- exactly the
+  /// overhead the paper's argument for Barrett is about.
+  [[nodiscard]] u64 mul(u64 a, u64 b) const noexcept {
+    return from_mont(mul_raw(to_mont(a), to_mont(b)));
+  }
+
+  /// REDC: t * 2^-64 mod q for t < q * 2^64.
+  [[nodiscard]] u64 reduce_wide(u128 t) const noexcept {
+    const u64 m = static_cast<u64>(t) * qinv_neg_;
+    const u128 s = t + static_cast<u128>(m) * q_;
+    u64 r = static_cast<u64>(s >> 64);
+    if (r >= q_) r -= q_;
+    return r;
+  }
+
+ private:
+  u64 q_ = 0, qinv_neg_ = 0, r_ = 0, r2_ = 0;
+};
+
+}  // namespace cofhee::nt

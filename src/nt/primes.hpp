@@ -1,0 +1,67 @@
+// NTT-friendly prime generation and roots of unity.
+//
+// CoFHEE's pre-silicon verification (Section III-J) generates moduli of the
+// form q = 2k*n + 1 (i.e. q == 1 mod 2n) so that a primitive 2n-th root of
+// unity psi exists in Z_q -- psi powers feed the twiddle SRAM, psi^2 = omega
+// is the n-th root used by the cyclic NTT, and psi itself drives the
+// negacyclic wrapped convolution (Section IV-C).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nt/barrett.hpp"
+#include "nt/wide_int.hpp"
+
+namespace cofhee::nt {
+
+/// Miller-Rabin with a deterministic base set valid for all 64-bit inputs.
+[[nodiscard]] bool is_prime(u64 n);
+
+/// Miller-Rabin for 128-bit candidates (deterministic small-base screen plus
+/// 24 pseudo-random rounds; error probability < 4^-24).
+[[nodiscard]] bool is_prime(u128 n);
+
+/// Smallest prime q >= 2^(bits-1) with q == 1 (mod 2n) and q < 2^bits,
+/// scanning upward from an offset derived from `seed` so distinct seeds give
+/// distinct coprime moduli.  Throws std::runtime_error if none exists.
+[[nodiscard]] u64 find_ntt_prime_u64(unsigned bits, std::size_t n, u64 seed = 0);
+
+/// 128-bit variant for the chip's native coefficient width.
+[[nodiscard]] u128 find_ntt_prime_u128(unsigned bits, std::size_t n, u64 seed = 0);
+
+/// A chain of `count` distinct NTT-friendly primes of the given size.
+[[nodiscard]] std::vector<u64> ntt_prime_chain(unsigned bits, std::size_t n,
+                                               std::size_t count);
+
+/// Primitive 2n-th root of unity psi mod q (q == 1 mod 2n, q prime):
+/// psi^n == -1 (mod q).  Deterministic for a given q.
+[[nodiscard]] u64 primitive_2nth_root(u64 q, std::size_t n);
+[[nodiscard]] u128 primitive_2nth_root(u128 q, std::size_t n);
+
+/// Bit-reversal of `v` within `bits` bits.
+[[nodiscard]] constexpr std::size_t bit_reverse(std::size_t v, unsigned bits) noexcept {
+  std::size_t r = 0;
+  for (unsigned i = 0; i < bits; ++i) {
+    r = (r << 1) | (v & 1);
+    v >>= 1;
+  }
+  return r;
+}
+
+/// Table of bit-reversed indices for a power-of-two length n.
+[[nodiscard]] std::vector<std::size_t> bit_reverse_table(std::size_t n);
+
+/// True iff v is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_power_of_two(std::size_t v) noexcept {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+
+[[nodiscard]] constexpr unsigned log2_exact(std::size_t v) {
+  unsigned l = 0;
+  while ((std::size_t{1} << l) < v) ++l;
+  return l;
+}
+
+}  // namespace cofhee::nt

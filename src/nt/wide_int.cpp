@@ -1,0 +1,72 @@
+#include "nt/wide_int.hpp"
+
+#include <vector>
+
+namespace cofhee::nt::detail {
+
+// Knuth TAOCP vol. 2, 4.3.1, Algorithm D, base 2^64.
+void knuth_divmod(const u64* u_in, std::size_t un, const u64* v_in, std::size_t vn,
+                  u64* q_out, u64* r_out) {
+  // Normalize so the divisor's top bit is set.
+  const unsigned shift = 64u - bit_length(v_in[vn - 1]);
+  std::vector<u64> u(un + 1, 0), v(vn, 0);
+  if (shift == 0) {
+    for (std::size_t i = 0; i < un; ++i) u[i] = u_in[i];
+    for (std::size_t i = 0; i < vn; ++i) v[i] = v_in[i];
+  } else {
+    u[un] = u_in[un - 1] >> (64 - shift);
+    for (std::size_t i = un; i-- > 1;)
+      u[i] = (u_in[i] << shift) | (u_in[i - 1] >> (64 - shift));
+    u[0] = u_in[0] << shift;
+    for (std::size_t i = vn; i-- > 1;)
+      v[i] = (v_in[i] << shift) | (v_in[i - 1] >> (64 - shift));
+    v[0] = v_in[0] << shift;
+  }
+
+  for (std::size_t j = un - vn + 1; j-- > 0;) {
+    // Estimate quotient limb from the top two dividend limbs.
+    const u128 num = (static_cast<u128>(u[j + vn]) << 64) | u[j + vn - 1];
+    u128 qhat = num / v[vn - 1];
+    u128 rhat = num % v[vn - 1];
+    const u128 b = static_cast<u128>(1) << 64;
+    while (qhat >= b ||
+           qhat * v[vn - 2] > ((rhat << 64) | u[j + vn - 2])) {
+      --qhat;
+      rhat += v[vn - 1];
+      if (rhat >= b) break;
+    }
+    // Multiply-subtract qhat * v from u[j .. j+vn].
+    u64 borrow = 0, carry = 0;
+    for (std::size_t i = 0; i < vn; ++i) {
+      const u128 p = qhat * v[i] + carry;
+      carry = static_cast<u64>(p >> 64);
+      const u128 sub = static_cast<u128>(u[i + j]) - static_cast<u64>(p) - borrow;
+      u[i + j] = static_cast<u64>(sub);
+      borrow = (sub >> 64) ? 1 : 0;
+    }
+    const u128 subtop = static_cast<u128>(u[j + vn]) - carry - borrow;
+    u[j + vn] = static_cast<u64>(subtop);
+    u64 qj = static_cast<u64>(qhat);
+    if (subtop >> 64) {  // qhat was one too large: add back.
+      --qj;
+      u64 c = 0;
+      for (std::size_t i = 0; i < vn; ++i) {
+        const u128 s = static_cast<u128>(u[i + j]) + v[i] + c;
+        u[i + j] = static_cast<u64>(s);
+        c = static_cast<u64>(s >> 64);
+      }
+      u[j + vn] += c;
+    }
+    q_out[j] = qj;
+  }
+  // Denormalize remainder.
+  if (shift == 0) {
+    for (std::size_t i = 0; i < vn; ++i) r_out[i] = u[i];
+  } else {
+    for (std::size_t i = 0; i < vn - 1; ++i)
+      r_out[i] = (u[i] >> shift) | (u[i + 1] << (64 - shift));
+    r_out[vn - 1] = u[vn - 1] >> shift;
+  }
+}
+
+}  // namespace cofhee::nt::detail

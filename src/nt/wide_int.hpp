@@ -1,0 +1,294 @@
+// Fixed-width multi-limb unsigned integers.
+//
+// CoFHEE operates on coefficients of up to 128 bits with a 160-bit Barrett
+// constant (paper Table II, BARRETTCTL2) and 256-bit multiplier products.
+// The BFV tensor (Eq. 4) additionally needs ~450-bit exact CRT lifts for the
+// t/q rounding step.  WideInt<N> provides the little-endian N x 64-bit limb
+// arithmetic (add/sub/mul/divmod/shift/compare) that backs all of this.
+//
+// The design favors verifiable correctness: schoolbook multiplication and
+// Knuth Algorithm D division, both exercised by property tests against
+// unsigned __int128 ground truth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace cofhee::nt {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+/// Number of significant bits in a 64-bit value (0 for 0).
+constexpr unsigned bit_length(u64 v) noexcept {
+  return v == 0 ? 0u : 64u - static_cast<unsigned>(__builtin_clzll(v));
+}
+
+/// Number of significant bits in a 128-bit value (0 for 0).
+constexpr unsigned bit_length(u128 v) noexcept {
+  const u64 hi = static_cast<u64>(v >> 64);
+  return hi != 0 ? 64u + bit_length(hi) : bit_length(static_cast<u64>(v));
+}
+
+/// Little-endian fixed-width unsigned integer with N 64-bit limbs.
+template <std::size_t N>
+struct WideInt {
+  static_assert(N >= 1 && N <= 16, "unsupported limb count");
+  std::array<u64, N> limb{};  // limb[0] is least significant
+
+  constexpr WideInt() = default;
+  constexpr explicit WideInt(u64 v) { limb[0] = v; }
+  constexpr explicit WideInt(u128 v) {
+    limb[0] = static_cast<u64>(v);
+    if constexpr (N >= 2) limb[1] = static_cast<u64>(v >> 64);
+    else if (static_cast<u64>(v >> 64) != 0)
+      throw std::overflow_error("WideInt<1> from u128");
+  }
+
+  static constexpr std::size_t limbs() noexcept { return N; }
+  static constexpr unsigned bits() noexcept { return 64 * N; }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept {
+    for (u64 l : limb)
+      if (l != 0) return false;
+    return true;
+  }
+
+  [[nodiscard]] constexpr u64 to_u64() const { return limb[0]; }
+
+  [[nodiscard]] constexpr u128 to_u128() const {
+    if constexpr (N == 1) return limb[0];
+    return (static_cast<u128>(limb[1]) << 64) | limb[0];
+  }
+
+  [[nodiscard]] constexpr unsigned bit_len() const noexcept {
+    for (std::size_t i = N; i-- > 0;)
+      if (limb[i] != 0) return static_cast<unsigned>(64 * i) + bit_length(limb[i]);
+    return 0;
+  }
+
+  [[nodiscard]] constexpr bool bit(unsigned i) const noexcept {
+    return (limb[i / 64] >> (i % 64)) & 1u;
+  }
+
+  constexpr void set_bit(unsigned i) noexcept { limb[i / 64] |= (u64{1} << (i % 64)); }
+
+  /// Widen (or narrow, asserting no overflow) to M limbs.
+  template <std::size_t M>
+  [[nodiscard]] constexpr WideInt<M> resize() const {
+    WideInt<M> r;
+    for (std::size_t i = 0; i < M && i < N; ++i) r.limb[i] = limb[i];
+    if constexpr (M < N) {
+      for (std::size_t i = M; i < N; ++i)
+        if (limb[i] != 0) throw std::overflow_error("WideInt::resize overflow");
+    }
+    return r;
+  }
+
+  constexpr auto operator<=>(const WideInt& o) const noexcept {
+    for (std::size_t i = N; i-- > 0;) {
+      if (limb[i] != o.limb[i]) return limb[i] <=> o.limb[i];
+    }
+    return std::strong_ordering::equal;
+  }
+  constexpr bool operator==(const WideInt& o) const noexcept = default;
+
+  constexpr WideInt& operator+=(const WideInt& o) noexcept {
+    u64 carry = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+      const u128 s = static_cast<u128>(limb[i]) + o.limb[i] + carry;
+      limb[i] = static_cast<u64>(s);
+      carry = static_cast<u64>(s >> 64);
+    }
+    return *this;
+  }
+
+  constexpr WideInt& operator-=(const WideInt& o) noexcept {
+    u64 borrow = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+      const u128 d = static_cast<u128>(limb[i]) - o.limb[i] - borrow;
+      limb[i] = static_cast<u64>(d);
+      borrow = static_cast<u64>(d >> 64) ? 1 : 0;
+    }
+    return *this;
+  }
+
+  friend constexpr WideInt operator+(WideInt a, const WideInt& b) noexcept { return a += b; }
+  friend constexpr WideInt operator-(WideInt a, const WideInt& b) noexcept { return a -= b; }
+
+  constexpr WideInt& operator<<=(unsigned s) noexcept {
+    if (s >= bits()) { limb.fill(0); return *this; }
+    const unsigned word = s / 64, bitoff = s % 64;
+    for (std::size_t i = N; i-- > 0;) {
+      u64 v = (i >= word) ? limb[i - word] : 0;
+      if (bitoff != 0) {
+        v <<= bitoff;
+        if (i >= word + 1) v |= limb[i - word - 1] >> (64 - bitoff);
+      }
+      limb[i] = v;
+    }
+    return *this;
+  }
+
+  constexpr WideInt& operator>>=(unsigned s) noexcept {
+    if (s >= bits()) { limb.fill(0); return *this; }
+    const unsigned word = s / 64, bitoff = s % 64;
+    for (std::size_t i = 0; i < N; ++i) {
+      u64 v = (i + word < N) ? limb[i + word] : 0;
+      if (bitoff != 0) {
+        v >>= bitoff;
+        if (i + word + 1 < N) v |= limb[i + word + 1] << (64 - bitoff);
+      }
+      limb[i] = v;
+    }
+    return *this;
+  }
+
+  friend constexpr WideInt operator<<(WideInt a, unsigned s) noexcept { return a <<= s; }
+  friend constexpr WideInt operator>>(WideInt a, unsigned s) noexcept { return a >>= s; }
+
+  /// Full schoolbook product: no truncation, result has N+M limbs.
+  template <std::size_t M>
+  [[nodiscard]] constexpr WideInt<N + M> mul_full(const WideInt<M>& o) const noexcept {
+    WideInt<N + M> r;
+    for (std::size_t i = 0; i < N; ++i) {
+      if (limb[i] == 0) continue;
+      u64 carry = 0;
+      for (std::size_t j = 0; j < M; ++j) {
+        const u128 cur = static_cast<u128>(limb[i]) * o.limb[j] + r.limb[i + j] + carry;
+        r.limb[i + j] = static_cast<u64>(cur);
+        carry = static_cast<u64>(cur >> 64);
+      }
+      r.limb[i + M] += carry;
+    }
+    return r;
+  }
+
+  /// Truncated product (mod 2^(64N)); use mul_full when overflow matters.
+  friend constexpr WideInt operator*(const WideInt& a, const WideInt& b) noexcept {
+    return a.mul_full(b).template resize_trunc<N>();
+  }
+
+  template <std::size_t M>
+  [[nodiscard]] constexpr WideInt<M> resize_trunc() const noexcept {
+    WideInt<M> r;
+    for (std::size_t i = 0; i < M && i < N; ++i) r.limb[i] = limb[i];
+    return r;
+  }
+
+  /// Multiply by a single 64-bit word, keeping N limbs plus carry-out.
+  [[nodiscard]] constexpr WideInt mul_small(u64 m, u64* carry_out = nullptr) const noexcept {
+    WideInt r;
+    u64 carry = 0;
+    for (std::size_t i = 0; i < N; ++i) {
+      const u128 cur = static_cast<u128>(limb[i]) * m + carry;
+      r.limb[i] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    if (carry_out != nullptr) *carry_out = carry;
+    return r;
+  }
+
+  /// Remainder modulo a 64-bit value (Horner fold, no division object needed).
+  [[nodiscard]] constexpr u64 mod_u64(u64 m) const {
+    if (m == 0) throw std::domain_error("mod by zero");
+    u128 r = 0;
+    for (std::size_t i = N; i-- > 0;) r = ((r << 64) | limb[i]) % m;
+    return static_cast<u64>(r);
+  }
+
+  [[nodiscard]] std::string to_string() const;  // decimal, for diagnostics
+};
+
+namespace detail {
+
+/// Knuth Algorithm D on raw limb spans.  u = dividend (un limbs, little
+/// endian), v = divisor (vn limbs, vn >= 1, v[vn-1] != 0).  Writes the
+/// quotient to q (un - vn + 1 limbs) and the remainder to r (vn limbs).
+void knuth_divmod(const u64* u, std::size_t un, const u64* v, std::size_t vn,
+                  u64* q, u64* r);
+
+}  // namespace detail
+
+/// Quotient and remainder of a/b.  Throws std::domain_error on b == 0.
+template <std::size_t N, std::size_t M>
+std::pair<WideInt<N>, WideInt<M>> divmod(const WideInt<N>& a,
+                                         const WideInt<M>& b) {
+  if (b.is_zero()) throw std::domain_error("division by zero");
+  WideInt<N> q;
+  WideInt<M> r;
+  // Trim divisor to its significant limbs.
+  std::size_t vn = M;
+  while (vn > 1 && b.limb[vn - 1] == 0) --vn;
+  std::size_t un = N;
+  while (un > 1 && a.limb[un - 1] == 0) --un;
+  if (vn == 1) {
+    // Short division.
+    const u64 d = b.limb[0];
+    u128 rem = 0;
+    for (std::size_t i = un; i-- > 0;) {
+      const u128 cur = (rem << 64) | a.limb[i];
+      q.limb[i] = static_cast<u64>(cur / d);
+      rem = cur % d;
+    }
+    r.limb[0] = static_cast<u64>(rem);
+    return {q, r};
+  }
+  if (un < vn || a < b.template resize_trunc<N>()) {
+    // Quotient zero; remainder is a (must fit in M limbs; it does since a<b).
+    for (std::size_t i = 0; i < M && i < N; ++i) r.limb[i] = a.limb[i];
+    return {q, r};
+  }
+  std::array<u64, N + 1> qbuf{};
+  std::array<u64, M> rbuf{};
+  detail::knuth_divmod(a.limb.data(), un, b.limb.data(), vn, qbuf.data(), rbuf.data());
+  for (std::size_t i = 0; i + vn <= un + 1 && i < N; ++i) q.limb[i] = qbuf[i];
+  for (std::size_t i = 0; i < vn; ++i) r.limb[i] = rbuf[i];
+  return {q, r};
+}
+
+template <std::size_t N, std::size_t M>
+WideInt<N> operator/(const WideInt<N>& a, const WideInt<M>& b) {
+  return divmod(a, b).first;
+}
+
+template <std::size_t N, std::size_t M>
+WideInt<M> operator%(const WideInt<N>& a, const WideInt<M>& b) {
+  return divmod(a, b).second;
+}
+
+/// Rounded division: floor((a + b/2) / b).  Caller guarantees a + b/2 fits
+/// in N limbs (true whenever b <= a's width, as in all t/q scaling uses).
+template <std::size_t N, std::size_t M>
+WideInt<N> div_round(const WideInt<N>& a, const WideInt<M>& b) {
+  WideInt<N> half = (b >> 1).template resize_trunc<N>();
+  // For odd b, floor(b/2) biases down, matching round-half-up on a/b.
+  return divmod(a + half, b).first;
+}
+
+template <std::size_t N>
+std::string WideInt<N>::to_string() const {
+  if (is_zero()) return "0";
+  WideInt<N> v = *this;
+  std::string s;
+  const WideInt<1> ten{u64{10}};
+  while (!v.is_zero()) {
+    auto [q, r] = divmod(v, ten);
+    s.push_back(static_cast<char>('0' + r.to_u64()));
+    v = q;
+  }
+  return {s.rbegin(), s.rend()};
+}
+
+using U128 = WideInt<2>;
+using U192 = WideInt<3>;
+using U256 = WideInt<4>;
+using U320 = WideInt<5>;
+using U512 = WideInt<8>;
+
+}  // namespace cofhee::nt

@@ -1,0 +1,39 @@
+// Post-synthesis area/delay estimator (paper Table VIII).
+//
+// Each block's area derives from its structural content: SRAM blocks from
+// macro counts x bit-cell area, logic blocks from NAND2-equivalent gate
+// counts estimated from datapath widths (a 128-bit, 5-stage Barrett
+// multiplier dominates the PE).  Delays are pre-layout critical paths; the
+// paper notes they exceed the 4 ns clock because synthesis ran on the
+// HVT-only worst-case library, and close timing after PnR VT-swapping --
+// the PnR model (Table III) reproduces exactly that migration.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "physical/tech.hpp"
+
+namespace cofhee::physical {
+
+struct BlockEstimate {
+  std::string name;
+  double area_mm2;
+  double delay_ns;   // post-synthesis critical path (0 = not reported)
+};
+
+struct AreaModel {
+  TechNode tech{};
+
+  /// The Table VIII block list with modelled areas/delays.
+  [[nodiscard]] std::vector<BlockEstimate> blocks() const;
+
+  /// Sum over all blocks (paper: 9.8345 mm^2 of placed content in the
+  /// 12 mm^2 core).
+  [[nodiscard]] double total_mm2() const;
+
+  /// The PE area used as the Table XI normalization basis.
+  [[nodiscard]] double pe_area_mm2() const;
+};
+
+}  // namespace cofhee::physical

@@ -1,0 +1,44 @@
+// Clock-tree synthesis model (paper Section V-C, Table IX).
+//
+// Builds an actual buffered clock tree over the design's ~18k sequential
+// sinks: sinks are scattered across the placed floorplan (clustered around
+// the logic blocks, as flops are), grouped bottom-up by geometric
+// clustering under a max-fanout constraint, and chained until a single
+// root remains.  Insertion delay is buffer stages plus Elmore-style loaded
+// wire delay; skew is the spread of root-to-sink delays.  The silicon
+// numbers (26 levels, 464 buffers, 240 ps skew, ~2 ns insertion delay for
+// 18,413 sinks, built in the slow corner) are the calibration targets.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "physical/floorplan.hpp"
+#include "physical/tech.hpp"
+
+namespace cofhee::physical {
+
+struct CtsResult {
+  unsigned sinks;
+  unsigned levels;
+  unsigned buffers;
+  double skew_ps;
+  double max_insertion_ns;
+  double min_insertion_ns;
+};
+
+class CtsModel {
+ public:
+  explicit CtsModel(TechNode tech = {}, std::uint64_t seed = 0xC10C)
+      : tech_(tech), seed_(seed) {}
+
+  /// Synthesize the tree for `sinks` flops over the given floorplan.
+  [[nodiscard]] CtsResult synthesize(const FloorplanResult& fp,
+                                     unsigned sinks = 18413) const;
+
+ private:
+  TechNode tech_;
+  std::uint64_t seed_;
+};
+
+}  // namespace cofhee::physical

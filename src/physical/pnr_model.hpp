@@ -1,0 +1,40 @@
+// Place-and-route statistics model (paper Table III).
+//
+// Models the netlist's evolution through the PnR flow: the synthesized
+// netlist enters placement HVT-only (the paper's low-leakage starting
+// point); optimization inserts buffers/inverters along long nets (derived
+// from a Rent's-rule wirelength distribution over the placed area) and
+// swaps cells to RVT/LVT to close timing; CTS and route add their own
+// repeaters and DRV fixes.  Outputs the per-stage cell counts, VT mix,
+// utilization, and net counts of Table III.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "physical/floorplan.hpp"
+
+namespace cofhee::physical {
+
+struct PnrStage {
+  std::string name;                 // Initial / Place / CTS / Route
+  std::uint64_t std_cells;
+  std::uint64_t sequential_cells;
+  std::uint64_t buffer_inverter_cells;
+  double utilization;               // std-cell utilization of the placeable area
+  std::uint64_t signal_nets;
+  double hvt_fraction, rvt_fraction, lvt_fraction;
+};
+
+class PnrModel {
+ public:
+  explicit PnrModel(std::uint64_t seed = 0x9A7) : seed_(seed) {}
+
+  [[nodiscard]] std::vector<PnrStage> run(const FloorplanResult& fp) const;
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace cofhee::physical

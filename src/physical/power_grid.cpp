@@ -1,0 +1,60 @@
+#include "physical/power_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace cofhee::physical {
+
+PowerGridResult PowerGrid::analyze(const FloorplanResult& fp) const {
+  PowerGridResult r{};
+  r.top_straps_x = static_cast<unsigned>(fp.core_w_um / spec_.top_strap_pitch_um);
+  r.top_straps_y = static_cast<unsigned>(fp.core_h_um / spec_.top_strap_pitch_um);
+  r.mid_straps_x = static_cast<unsigned>(fp.core_w_um / spec_.mid_strap_pitch_um);
+  r.mid_straps_y = static_cast<unsigned>(fp.core_h_um / spec_.mid_strap_pitch_um);
+
+  // Channel coverage: every horizontal gap between successive macro
+  // shelves must carry at least one M4/M5 strap pair (the paper: "the flow
+  // was modified to ensure that every such channel is delivered power").
+  std::set<long> shelf_tops;
+  for (const auto& m : fp.macros)
+    shelf_tops.insert(static_cast<long>(m.rect.y + m.rect.h));
+  r.macro_channels_total = static_cast<unsigned>(shelf_tops.size());
+  unsigned covered = 0;
+  for (long top : shelf_tops) {
+    // A channel at height `top` is covered if an M4/M5 strap (pitch grid)
+    // falls within the 15 um channel above it.
+    const double next_strap =
+        std::ceil(static_cast<double>(top) / spec_.mid_strap_pitch_um) *
+        spec_.mid_strap_pitch_um;
+    if (next_strap <= static_cast<double>(top) + 15.0 + spec_.mid_strap_pitch_um)
+      ++covered;
+  }
+  r.macro_channels_covered = covered;
+
+  // Worst-case static IR drop.  Current is drawn uniformly along each
+  // strap span; a span of length L with sheet resistance Rs, width W and
+  // distributed current I has a midpoint drop of I * (Rs * L / W) / 8
+  // (both ends fed from the ring).  The worst sink stacks the top-metal
+  // ring-to-strap segment and the mid-metal strap-to-rail segment.
+  const double total_current_a = spec_.peak_power_mw * 1e-3 / spec_.supply_v;
+  const unsigned top_count = r.top_straps_x + r.top_straps_y;
+  const unsigned mid_count = r.mid_straps_x + r.mid_straps_y;
+  const double i_top = total_current_a / std::max(1u, top_count);
+  const double i_mid = total_current_a / std::max(1u, mid_count);
+
+  const double top_span_res_ohm = spec_.top_sheet_mohm_sq * 1e-3 *
+                                  (fp.core_w_um / spec_.top_strap_width_um);
+  const double mid_span_res_ohm = spec_.mid_sheet_mohm_sq * 1e-3 *
+                                  (fp.core_w_um / spec_.mid_strap_width_um);
+  const double drop_top_v = i_top * top_span_res_ohm / 8.0;
+  const double drop_mid_v = i_mid * mid_span_res_ohm / 8.0;
+  // VDD and VSS nets each contribute (symmetric grid).
+  r.worst_ir_drop_mv = 2.0 * (drop_top_v + drop_mid_v) * 1e3;
+  r.ir_drop_pct = r.worst_ir_drop_mv / (spec_.supply_v * 1e3) * 100.0;
+  r.effective_resistance_mohm =
+      r.worst_ir_drop_mv / std::max(1e-9, total_current_a);
+  return r;
+}
+
+}  // namespace cofhee::physical

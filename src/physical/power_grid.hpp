@@ -1,0 +1,52 @@
+// Power-delivery network model (paper Section V-B, Fig. 3b/3d/3e).
+//
+// The fabricated grid: four VDD/VSS ring pairs on the top metals (BA/BB),
+// straps at 30 um pitch (BA/BB) and 50 um pitch (M4/M5) over the whole
+// core, M1 rails tapped from M4 through stacked vias, and dedicated strap
+// coverage of every channel between memory macros.  The model builds the
+// strap inventory from the floorplan geometry and evaluates worst-case
+// static IR drop with an analytical distributed-load model per strap span,
+// fed by the chip's measured power envelope -- reproducing the design
+// checks (IR drop and effective resistance) the paper iterated on.
+#pragma once
+
+#include "physical/floorplan.hpp"
+#include "physical/tech.hpp"
+
+namespace cofhee::physical {
+
+struct PowerGridSpec {
+  unsigned ring_pairs = 4;            // VDD/VSS pairs around the core
+  double top_strap_pitch_um = 30.0;   // BA/BB
+  double mid_strap_pitch_um = 50.0;   // M4/M5
+  double top_strap_width_um = 4.0;
+  double mid_strap_width_um = 1.2;
+  double top_sheet_mohm_sq = 20.0;    // thick top metals
+  double mid_sheet_mohm_sq = 60.0;
+  double supply_v = 1.2;
+  double peak_power_mw = 30.4;        // Table V worst case
+};
+
+struct PowerGridResult {
+  unsigned top_straps_x, top_straps_y;   // BA/BB pairs across the core
+  unsigned mid_straps_x, mid_straps_y;   // M4/M5
+  unsigned macro_channels_covered;       // channels between macro shelves
+  unsigned macro_channels_total;
+  double worst_ir_drop_mv;
+  double ir_drop_pct;                    // of the 1.2 V core supply
+  double effective_resistance_mohm;      // supply pad to worst sink
+};
+
+class PowerGrid {
+ public:
+  explicit PowerGrid(PowerGridSpec spec = {}, TechNode tech = {})
+      : spec_(spec), tech_(tech) {}
+
+  [[nodiscard]] PowerGridResult analyze(const FloorplanResult& fp) const;
+
+ private:
+  PowerGridSpec spec_;
+  TechNode tech_;
+};
+
+}  // namespace cofhee::physical

@@ -1,0 +1,44 @@
+#include "physical/via_model.hpp"
+
+namespace cofhee::physical {
+
+namespace {
+struct Xorshift {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+  }
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1p-53; }
+};
+}  // namespace
+
+std::vector<ViaLayerStats> ViaModel::run() const {
+  // Via population per cut layer from the routed design (Table VII totals)
+  // and the local-congestion probability that blocks conversion: lower
+  // metal runs short intra-cell hops in uncongested channels; the wide
+  // top-layer power straps (WT/WA) leave less free space per via.
+  struct LayerSpec {
+    const char* name;
+    std::uint64_t total;
+    double congestion_block_prob;
+  };
+  const LayerSpec layers[] = {
+      {"V1", 21945, 0.0130}, {"V2", 21844, 0.0051}, {"V3", 22035, 0.0020},
+      {"V4", 26455, 0.0024}, {"WT", 2450, 0.0049},  {"WA", 1393, 0.0022},
+  };
+  Xorshift rng{seed_ | 1};
+  std::vector<ViaLayerStats> out;
+  for (const auto& l : layers) {
+    ViaLayerStats s{l.name, l.total, 0};
+    for (std::uint64_t i = 0; i < l.total; ++i) {
+      if (rng.uniform() >= l.congestion_block_prob) ++s.multi_cut;
+    }
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace cofhee::physical

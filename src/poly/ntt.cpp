@@ -1,0 +1,84 @@
+#include "poly/ntt.hpp"
+
+namespace cofhee::poly {
+
+NegacyclicNtt64::NegacyclicNtt64(const nt::Barrett64& red, std::size_t n, u64 psi)
+    : red_(red), n_(n) {
+  if (!nt::is_power_of_two(n) || n < 2)
+    throw std::invalid_argument("NegacyclicNtt64: n must be 2^k, k >= 1");
+  if (red.pow(psi, static_cast<u64>(n)) != red.modulus() - 1)
+    throw std::invalid_argument("NegacyclicNtt64: psi is not a primitive 2n-th root");
+  const u64 q = red.modulus();
+  const u64 psi_inv = red.inv(psi);
+  const unsigned logn = nt::log2_exact(n);
+
+  std::vector<u64> pow(n), pow_inv(n);
+  u64 p = 1, pi = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    pow[i] = p;
+    pow_inv[i] = pi;
+    p = red.mul(p, psi);
+    pi = red.mul(pi, psi_inv);
+  }
+  psi_br_.resize(n);
+  psi_inv_br_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    psi_br_[i] = nt::ShoupMul(pow[nt::bit_reverse(i, logn)], q);
+    psi_inv_br_[i] = nt::ShoupMul(pow_inv[nt::bit_reverse(i, logn)], q);
+  }
+  n_inv_ = nt::ShoupMul(red.inv(static_cast<u64>(n)), q);
+}
+
+void NegacyclicNtt64::forward(Coeffs<u64>& x) const {
+  if (x.size() != n_) throw std::invalid_argument("NegacyclicNtt64: wrong length");
+  const u64 q = red_.modulus();
+  std::size_t t = n_;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& s = psi_br_[m + i];
+      const std::size_t j1 = 2 * i * t;
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const u64 u = x[j];
+        const u64 v = s.mul(x[j + t]);
+        x[j] = u + v >= q ? u + v - q : u + v;
+        x[j + t] = u >= v ? u - v : u + q - v;
+      }
+    }
+  }
+}
+
+void NegacyclicNtt64::inverse(Coeffs<u64>& x) const {
+  if (x.size() != n_) throw std::invalid_argument("NegacyclicNtt64: wrong length");
+  const u64 q = red_.modulus();
+  std::size_t t = 1;
+  for (std::size_t m = n_; m > 1; m >>= 1) {
+    const std::size_t h = m >> 1;
+    std::size_t j1 = 0;
+    for (std::size_t i = 0; i < h; ++i) {
+      const auto& s = psi_inv_br_[h + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const u64 u = x[j];
+        const u64 v = x[j + t];
+        const u64 sum = u + v;
+        x[j] = sum >= q ? sum - q : sum;
+        x[j + t] = s.mul(u >= v ? u - v : u + q - v);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  for (auto& c : x) c = n_inv_.mul(c);
+}
+
+Coeffs<u64> NegacyclicNtt64::negacyclic_mul(const Coeffs<u64>& a,
+                                            const Coeffs<u64>& b) const {
+  Coeffs<u64> ap(a), bp(b);
+  forward(ap);
+  forward(bp);
+  Coeffs<u64> y = pointwise_mul(red_, ap, bp);
+  inverse(y);
+  return y;
+}
+
+}  // namespace cofhee::poly

@@ -1,0 +1,103 @@
+// Polynomials over Z_q[x]/(x^n + 1).
+//
+// Coefficient vectors are plain std::vector<T> (T = u64 for the software
+// towers, u128 for the chip datapath); the ring structure lives in the
+// Barrett reducers.  Schoolbook negacyclic multiplication is the O(n^2)
+// reference (paper Section II-C) against which every NTT path is tested.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "nt/barrett.hpp"
+
+namespace cofhee::poly {
+
+using nt::u128;
+using nt::u64;
+
+template <class T>
+using Coeffs = std::vector<T>;
+
+/// Elementwise (Hadamard) modular product c[i] = a[i]*b[i] mod q.
+template <class Red, class T>
+Coeffs<T> pointwise_mul(const Red& r, const Coeffs<T>& a, const Coeffs<T>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("pointwise_mul: size mismatch");
+  Coeffs<T> c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = r.mul(a[i], b[i]);
+  return c;
+}
+
+template <class Red, class T>
+Coeffs<T> pointwise_add(const Red& r, const Coeffs<T>& a, const Coeffs<T>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("pointwise_add: size mismatch");
+  Coeffs<T> c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = r.add(a[i], b[i]);
+  return c;
+}
+
+template <class Red, class T>
+Coeffs<T> pointwise_sub(const Red& r, const Coeffs<T>& a, const Coeffs<T>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument("pointwise_sub: size mismatch");
+  Coeffs<T> c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = r.sub(a[i], b[i]);
+  return c;
+}
+
+/// c[i] = a[i] * k mod q (the chip's CMODMUL).
+template <class Red, class T>
+Coeffs<T> scalar_mul(const Red& r, const Coeffs<T>& a, T k) {
+  Coeffs<T> c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = r.mul(a[i], k);
+  return c;
+}
+
+template <class Red, class T>
+Coeffs<T> negate(const Red& r, const Coeffs<T>& a) {
+  Coeffs<T> c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = r.neg(a[i]);
+  return c;
+}
+
+/// Reference negacyclic product in Z_q[x]/(x^n + 1): O(n^2), used only for
+/// verification of the NTT-based paths.
+template <class Red, class T>
+Coeffs<T> schoolbook_negacyclic_mul(const Red& r, const Coeffs<T>& a,
+                                    const Coeffs<T>& b) {
+  const std::size_t n = a.size();
+  if (b.size() != n) throw std::invalid_argument("schoolbook: size mismatch");
+  Coeffs<T> c(n, T{0});
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == T{0}) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      const T p = r.mul(a[i], b[j]);
+      const std::size_t k = i + j;
+      if (k < n) {
+        c[k] = r.add(c[k], p);
+      } else {
+        c[k - n] = r.sub(c[k - n], p);  // x^n == -1
+      }
+    }
+  }
+  return c;
+}
+
+/// Reference cyclic product in Z_q[x]/(x^n - 1) (what the omega-only NTT
+/// diagonalizes before psi pre/post scaling restores negacyclic semantics).
+template <class Red, class T>
+Coeffs<T> schoolbook_cyclic_mul(const Red& r, const Coeffs<T>& a, const Coeffs<T>& b) {
+  const std::size_t n = a.size();
+  if (b.size() != n) throw std::invalid_argument("schoolbook: size mismatch");
+  Coeffs<T> c(n, T{0});
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == T{0}) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      const T p = r.mul(a[i], b[j]);
+      c[(i + j) % n] = r.add(c[(i + j) % n], p);
+    }
+  }
+  return c;
+}
+
+}  // namespace cofhee::poly

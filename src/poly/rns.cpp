@@ -1,0 +1,92 @@
+#include "poly/rns.hpp"
+
+namespace cofhee::poly {
+
+RnsBasis::RnsBasis(const std::vector<u64>& moduli) {
+  if (moduli.empty()) throw std::invalid_argument("RnsBasis: empty modulus set");
+  mods_.reserve(moduli.size());
+  for (u64 q : moduli) mods_.emplace_back(q);
+  // Pairwise coprimality check (towers are primes in practice, but the CRT
+  // below silently mis-reconstructs if this is violated).
+  for (std::size_t i = 0; i < moduli.size(); ++i) {
+    for (std::size_t j = i + 1; j < moduli.size(); ++j) {
+      u64 a = moduli[i], b = moduli[j];
+      while (b != 0) {
+        const u64 t = a % b;
+        a = b;
+        b = t;
+      }
+      if (a != 1) throw std::invalid_argument("RnsBasis: moduli not coprime");
+    }
+  }
+  big_q_ = BigInt(u64{1});
+  for (u64 q : moduli) {
+    u64 carry = 0;
+    big_q_ = big_q_.mul_small(q, &carry);
+    if (carry != 0) throw std::overflow_error("RnsBasis: product exceeds 512 bits");
+  }
+  q_hat_.resize(moduli.size());
+  q_hat_inv_.resize(moduli.size());
+  for (std::size_t i = 0; i < moduli.size(); ++i) {
+    q_hat_[i] = (big_q_ / nt::WideInt<1>(moduli[i])).resize_trunc<8>();
+    const u64 qhat_mod = q_hat_[i].mod_u64(moduli[i]);
+    q_hat_inv_[i] = mods_[i].inv(qhat_mod);
+  }
+}
+
+std::vector<u64> RnsBasis::decompose(const BigInt& x) const {
+  std::vector<u64> r(mods_.size());
+  for (std::size_t i = 0; i < mods_.size(); ++i) r[i] = x.mod_u64(mods_[i].modulus());
+  return r;
+}
+
+BigInt RnsBasis::reconstruct(std::span<const u64> residues) const {
+  if (residues.size() != mods_.size())
+    throw std::invalid_argument("RnsBasis::reconstruct: residue count mismatch");
+  BigInt acc{};
+  for (std::size_t i = 0; i < mods_.size(); ++i) {
+    const u64 s = mods_[i].mul(residues[i] % mods_[i].modulus(), q_hat_inv_[i]);
+    // term = Qhat_i * s < Q, so a conditional subtract keeps acc < Q.
+    BigInt term = q_hat_[i].mul_small(s);
+    acc += term;
+    if (acc >= big_q_) acc -= big_q_;
+  }
+  return acc;
+}
+
+std::pair<BigInt, bool> RnsBasis::reconstruct_centered(
+    std::span<const u64> residues) const {
+  BigInt v = reconstruct(residues);
+  const BigInt half = big_q_ >> 1;
+  if (v > half) return {big_q_ - v, true};
+  return {v, false};
+}
+
+RnsPoly rns_decompose(const RnsBasis& basis, const std::vector<BigInt>& coeffs) {
+  RnsPoly p;
+  p.towers.assign(basis.size(), Coeffs<u64>(coeffs.size()));
+  for (std::size_t j = 0; j < coeffs.size(); ++j) {
+    for (std::size_t i = 0; i < basis.size(); ++i)
+      p.towers[i][j] = coeffs[j].mod_u64(basis.modulus(i));
+  }
+  return p;
+}
+
+std::vector<BigInt> rns_reconstruct(const RnsBasis& basis, const RnsPoly& p) {
+  if (p.num_towers() != basis.size())
+    throw std::invalid_argument("rns_reconstruct: tower count mismatch");
+  const std::size_t n = p.n();
+  std::vector<BigInt> coeffs(n);
+  std::vector<u64> res(basis.size());
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < basis.size(); ++i) res[i] = p.towers[i][j];
+    coeffs[j] = basis.reconstruct(res);
+  }
+  return coeffs;
+}
+
+RnsPoly rns_base_convert(const RnsBasis& from, const RnsBasis& to, const RnsPoly& p) {
+  return rns_decompose(to, rns_reconstruct(from, p));
+}
+
+}  // namespace cofhee::poly

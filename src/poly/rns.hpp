@@ -1,0 +1,85 @@
+// Residue Number System (paper Section II-D).
+//
+// A wide ciphertext modulus q = prod(q_i) is split into coprime 64-bit
+// towers so the software baseline can use native arithmetic (SEAL-style);
+// CoFHEE's 128-bit datapath instead needs only one tower per 128 coefficient
+// bits (Section III-C's rationale for the wide multiplier).  Reconstruction
+// and exact base conversion go through WideInt CRT -- exactness (rather than
+// SEAL's floating-point approximation) keeps the BFV t/q rounding provably
+// correct, which the tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "nt/barrett.hpp"
+#include "nt/wide_int.hpp"
+#include "poly/polynomial.hpp"
+
+namespace cofhee::poly {
+
+/// Big-integer type wide enough for every CRT lift in this codebase:
+/// tensor coefficients are bounded by n * q^2 * t < 2^(2*218+14+20) < 2^512
+/// for the paper's largest parameter set.
+using BigInt = nt::WideInt<8>;
+
+class RnsBasis {
+ public:
+  RnsBasis() = default;
+  explicit RnsBasis(const std::vector<u64>& moduli);
+
+  [[nodiscard]] std::size_t size() const noexcept { return mods_.size(); }
+  [[nodiscard]] const nt::Barrett64& tower(std::size_t i) const { return mods_.at(i); }
+  [[nodiscard]] u64 modulus(std::size_t i) const { return mods_.at(i).modulus(); }
+  [[nodiscard]] const std::vector<nt::Barrett64>& towers() const noexcept { return mods_; }
+  /// Product of all tower moduli.
+  [[nodiscard]] const BigInt& product() const noexcept { return big_q_; }
+  /// Total bit size of the composite modulus (the paper's "log q").
+  [[nodiscard]] unsigned log_q() const noexcept { return big_q_.bit_len(); }
+
+  /// Residues of x (0 <= x < product()) in every tower.
+  [[nodiscard]] std::vector<u64> decompose(const BigInt& x) const;
+
+  /// CRT reconstruction into [0, product()).
+  [[nodiscard]] BigInt reconstruct(std::span<const u64> residues) const;
+
+  /// Reconstruction mapped to the symmetric interval (-Q/2, Q/2], returned
+  /// as (magnitude, is_negative) -- the form the BFV rounding step needs.
+  [[nodiscard]] std::pair<BigInt, bool> reconstruct_centered(
+      std::span<const u64> residues) const;
+
+ private:
+  std::vector<nt::Barrett64> mods_;
+  BigInt big_q_{};
+  std::vector<BigInt> q_hat_;      // Q / q_i
+  std::vector<u64> q_hat_inv_;     // (Q / q_i)^-1 mod q_i
+};
+
+/// A polynomial in RNS representation: towers[i] holds the coefficients
+/// modulo q_i.  All towers have the same length n.
+struct RnsPoly {
+  std::vector<Coeffs<u64>> towers;
+
+  [[nodiscard]] std::size_t num_towers() const noexcept { return towers.size(); }
+  [[nodiscard]] std::size_t n() const noexcept {
+    return towers.empty() ? 0 : towers.front().size();
+  }
+};
+
+/// Decompose big-integer coefficients into an RNS polynomial.
+[[nodiscard]] RnsPoly rns_decompose(const RnsBasis& basis,
+                                    const std::vector<BigInt>& coeffs);
+
+/// CRT-lift an RNS polynomial back to big-integer coefficients in [0, Q).
+[[nodiscard]] std::vector<BigInt> rns_reconstruct(const RnsBasis& basis,
+                                                  const RnsPoly& p);
+
+/// Exact base conversion: re-express p (residues w.r.t. `from`) in `to`.
+/// Exact because it lifts through the full CRT (no approximation error),
+/// valid for values in [0, from.product()).
+[[nodiscard]] RnsPoly rns_base_convert(const RnsBasis& from, const RnsBasis& to,
+                                       const RnsPoly& p);
+
+}  // namespace cofhee::poly

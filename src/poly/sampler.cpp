@@ -1,0 +1,111 @@
+#include "poly/sampler.hpp"
+
+namespace cofhee::poly {
+
+namespace {
+constexpr u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+
+u64 splitmix64(u64& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  u64 z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  u64 sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+u64 Rng::next_u64() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+u64 Rng::uniform_below(u64 bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling over the largest multiple of bound.
+  const u64 limit = ~u64{0} - ~u64{0} % bound;
+  u64 v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+u128 Rng::uniform_u128_below(u128 bound) {
+  if (bound == 0) return 0;
+  if (bound <= ~u64{0}) return uniform_below(static_cast<u64>(bound));
+  const u128 limit = ~u128{0} - ~u128{0} % bound;
+  u128 v;
+  do {
+    v = (static_cast<u128>(next_u64()) << 64) | next_u64();
+  } while (v >= limit);
+  return v % bound;
+}
+
+Coeffs<u64> sample_uniform(Rng& rng, std::size_t n, u64 q) {
+  Coeffs<u64> p(n);
+  for (auto& c : p) c = rng.uniform_below(q);
+  return p;
+}
+
+Coeffs<u128> sample_uniform128(Rng& rng, std::size_t n, u128 q) {
+  Coeffs<u128> p(n);
+  for (auto& c : p) c = rng.uniform_u128_below(q);
+  return p;
+}
+
+SignedCoeffs sample_ternary(Rng& rng, std::size_t n) {
+  SignedCoeffs s(n);
+  for (auto& c : s) c = static_cast<int32_t>(rng.uniform_below(3)) - 1;
+  return s;
+}
+
+SignedCoeffs sample_cbd(Rng& rng, std::size_t n, unsigned eta) {
+  SignedCoeffs s(n);
+  for (auto& c : s) {
+    int32_t acc = 0;
+    unsigned remaining = eta;
+    while (remaining > 0) {
+      const unsigned take = remaining > 32 ? 32 : remaining;
+      const u64 bits = rng.next_u64();
+      const u64 a = bits & ((u64{1} << take) - 1);
+      const u64 b = (bits >> 32) & ((u64{1} << take) - 1);
+      acc += static_cast<int32_t>(__builtin_popcountll(a));
+      acc -= static_cast<int32_t>(__builtin_popcountll(b));
+      remaining -= take;
+    }
+    c = acc;
+  }
+  return s;
+}
+
+Coeffs<u64> to_tower(const SignedCoeffs& s, u64 q) {
+  Coeffs<u64> p(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const int64_t v = s[i];
+    p[i] = v >= 0 ? static_cast<u64>(v) % q
+                  : q - static_cast<u64>(-v) % q;
+  }
+  return p;
+}
+
+RnsPoly to_rns(const SignedCoeffs& s, const RnsBasis& basis) {
+  RnsPoly p;
+  p.towers.reserve(basis.size());
+  for (std::size_t i = 0; i < basis.size(); ++i)
+    p.towers.push_back(to_tower(s, basis.modulus(i)));
+  return p;
+}
+
+}  // namespace cofhee::poly

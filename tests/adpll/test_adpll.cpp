@@ -1,0 +1,97 @@
+#include "adpll/adpll.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cofhee::adpll {
+namespace {
+
+TEST(Dco, MonotoneInCoarseCode) {
+  Dco dco;
+  double prev = -1;
+  for (unsigned c = 0; c < (1u << Dco::kCoarseBits); c += 4) {
+    const double f = dco.freq_mhz(c, Dco::kFineSteps / 2);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+TEST(Dco, MonotoneInFineCode) {
+  Dco dco;
+  double prev = -1;
+  for (unsigned f = 0; f <= Dco::kFineSteps; ++f) {
+    const double v = dco.freq_mhz(64, f);
+    EXPECT_GT(v, prev);
+    prev = v;
+  }
+}
+
+TEST(Dco, FineSegmentOverlapsCoarseLsb) {
+  // Segmented decoding requirement: the fine range must exceed one coarse
+  // LSB so the SAR's terminal bin is always reachable (Section V-E's
+  // "avoid potential discontinuities and glitches").
+  Dco dco;
+  const double coarse_lsb = dco.freq_mhz(65, Dco::kFineSteps / 2) -
+                            dco.freq_mhz(64, Dco::kFineSteps / 2);
+  const double fine_range =
+      dco.freq_mhz(64, Dco::kFineSteps) - dco.freq_mhz(64, 0);
+  EXPECT_GT(fine_range, coarse_lsb);
+}
+
+TEST(Adpll, LocksToChipFrequency) {
+  // 250 MHz from a 25 MHz reference: the CoFHEE operating point.
+  Adpll pll;
+  const auto r = pll.lock(10);
+  EXPECT_TRUE(r.locked);
+  EXPECT_NEAR(r.locked_freq_mhz, 250.0, 250.0 * 0.004);  // within ~2 fine LSBs
+  EXPECT_EQ(r.sar_steps, Dco::kCoarseBits);
+  EXPECT_GT(r.bang_bang_steps, 0u);
+  EXPECT_LT(r.lock_time_us, 200.0);
+}
+
+TEST(Adpll, WideTuningRange) {
+  Adpll pll;
+  const auto [lo, hi] = pll.tuning_range_mhz();
+  EXPECT_LT(lo, 60.0);
+  EXPECT_GT(hi, 600.0);
+  // "Wide range of operation is essential to run the chip at different
+  // frequencies": lock across the range.
+  for (unsigned mult : {4u, 8u, 10u, 16u, 24u}) {  // 100..600 MHz
+    const auto r = pll.lock(mult);
+    EXPECT_TRUE(r.locked) << mult * 25 << " MHz";
+    EXPECT_NEAR(r.locked_freq_mhz, mult * 25.0, mult * 25.0 * 0.01) << mult;
+  }
+}
+
+TEST(Adpll, FailsGracefullyOutsideRange) {
+  Adpll pll;
+  const auto r = pll.lock(40);  // 1 GHz, beyond the DCO
+  EXPECT_FALSE(r.locked);
+}
+
+TEST(Adpll, FllHandsOverInsideCaptureRange) {
+  // After the SAR pass the frequency error must be within the fine loop's
+  // correction authority (the architectural contract between the loops).
+  Adpll pll;
+  const auto r = pll.lock(10, 8);  // stop right after the SAR (7 steps)
+  const Dco dco;
+  const double coarse_lsb = (dco.f_max_mhz() - dco.f_min_mhz()) / 127.0;
+  EXPECT_LT(std::abs(r.freq_trace_mhz[Dco::kCoarseBits - 1] - 250.0),
+            2.0 * coarse_lsb);
+}
+
+TEST(Adpll, LimitCycleJitterIsSmall) {
+  Adpll pll;
+  const auto r = pll.lock(10);
+  ASSERT_TRUE(r.locked);
+  // Bang-bang limit cycle bounded by one fine LSB (< 0.2% here).
+  EXPECT_LT(r.jitter_limit_cycle_ppm, 5000.0);
+}
+
+TEST(Adpll, SiliconFigures) {
+  EXPECT_DOUBLE_EQ(Adpll::kActiveAreaMm2, 0.05);
+  EXPECT_DOUBLE_EQ(Adpll::kPowerUw, 350.0);
+  EXPECT_DOUBLE_EQ(Adpll::kSupplyV, 1.1);
+}
+
+}  // namespace
+}  // namespace cofhee::adpll

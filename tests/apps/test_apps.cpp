@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "apps/cost_model.hpp"
+#include "apps/cryptonets.hpp"
+#include "apps/logreg.hpp"
+
+namespace cofhee::apps {
+namespace {
+
+TEST(CostModel, WorkloadsMatchPaperCounts) {
+  const auto cn = cryptonets_workload();
+  EXPECT_EQ(cn.ct_ct_adds, 457550u);
+  EXPECT_EQ(cn.ct_pt_muls, 449000u);
+  EXPECT_EQ(cn.ct_ct_muls, 10200u);
+  const auto lr = logreg_workload();
+  EXPECT_EQ(lr.ct_ct_adds, 168298u);
+  EXPECT_EQ(lr.ct_pt_muls, 49500u);
+  EXPECT_EQ(lr.ct_ct_muls, 128700u);
+}
+
+TEST(CostModel, CtCtMatchesChipSimulation) {
+  // The closed-form ctct cost must agree with the Fig. 6 chip simulation:
+  // 0.84 ms at (n = 2^12, 1 tower).
+  const auto c = chip_op_costs(1u << 12, 1, 16, 109);
+  EXPECT_NEAR(c.ctct_ms, 0.84, 0.01);
+  const auto c2 = chip_op_costs(1u << 13, 2, 16, 218);
+  EXPECT_NEAR(c2.ctct_ms, 3.58, 0.03);
+}
+
+TEST(CostModel, TableXSameOrderAndDirection) {
+  // With the NTT-residency discipline and digit width in the plausible
+  // range, both applications land in the paper's ballpark and CoFHEE beats
+  // the CPU (Table X direction: 2.23x and 1.46x).
+  const auto cn = cryptonets_workload();
+  const auto lr = logreg_workload();
+  const auto costs = chip_op_costs(1u << 12, 1, 8, 109);
+  const double cn_s = estimate_seconds(cn, costs);
+  const double lr_s = estimate_seconds(lr, costs);
+  EXPECT_GT(cn_s, 20.0);
+  EXPECT_LT(cn_s, 200.0);
+  EXPECT_LT(cn_s, cn.paper_cpu_seconds);  // CoFHEE faster than CPU
+  EXPECT_GT(lr_s, 100.0);
+  EXPECT_LT(lr_s, 700.0);
+  EXPECT_LT(lr_s, lr.paper_cpu_seconds);
+}
+
+struct AppFixture {
+  bfv::Bfv scheme{bfv::BfvParams::test_tiny(32), 11};
+  bfv::SecretKey sk = scheme.keygen_secret();
+  bfv::PublicKey pk = scheme.keygen_public(sk);
+  bfv::RelinKeys rk = scheme.keygen_relin(sk, 16);
+
+  bfv::Ciphertext enc_scalar(std::int64_t v) {
+    bfv::Plaintext p;
+    p.coeffs.assign(scheme.context().n(), 0);
+    const auto t = static_cast<std::int64_t>(scheme.context().t());
+    std::int64_t r = v % t;
+    if (r < 0) r += t;
+    p.coeffs[0] = static_cast<nt::u64>(r);
+    return scheme.encrypt(pk, p);
+  }
+};
+
+TEST(CryptoNets, EncryptedInferenceMatchesPlaintext) {
+  AppFixture f;
+  NetworkConfig cfg;
+  cfg.inputs = 6;
+  cfg.hidden = 4;
+  cfg.outputs = 3;
+  CryptoNet net(f.scheme.context(), cfg);
+
+  std::vector<std::int64_t> x{3, -1, 2, 0, 1, -2};
+  const auto expect = net.infer_plain(x);
+
+  std::vector<bfv::Ciphertext> enc;
+  enc.reserve(x.size());
+  for (auto v : x) enc.push_back(f.enc_scalar(v));
+  CryptoNet::OpTally tally;
+  const auto out = net.infer_encrypted(f.scheme, f.pk, f.rk, enc, &tally);
+  ASSERT_EQ(out.size(), expect.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_EQ(decode_logit(f.scheme, f.sk, out[i]), expect[i]) << "logit " << i;
+
+  // Operation mix matches the Table X inventory structure.
+  EXPECT_EQ(tally.ct_pt_muls, cfg.hidden * cfg.inputs + cfg.outputs * cfg.hidden);
+  EXPECT_EQ(tally.ct_ct_muls, cfg.hidden);  // one square per hidden unit
+  EXPECT_EQ(tally.relins, tally.ct_ct_muls);
+}
+
+TEST(LogReg, EncryptedScoreMatchesPlaintext) {
+  AppFixture f;
+  LogisticModel model(f.scheme.context(), {2, -3, 1, 4}, -5);
+  std::vector<std::int64_t> x{1, 2, 3, -1};
+  const auto z = model.score_plain(x);
+  EXPECT_EQ(z, 2 - 6 + 3 - 4 - 5);
+
+  std::vector<bfv::Ciphertext> enc;
+  for (auto v : x) enc.push_back(f.enc_scalar(v));
+  const auto cz = model.score_encrypted(f.scheme, enc);
+  EXPECT_EQ(decode_logit(f.scheme, f.sk, cz), z);
+}
+
+TEST(LogReg, EncryptedSigmoidPreservesSign) {
+  AppFixture f;
+  LogisticModel model(f.scheme.context(), {1}, 0);
+  for (std::int64_t v : {-1, 1}) {
+    const auto cz = model.score_encrypted(f.scheme, {f.enc_scalar(v)});
+    const auto cs = model.sigmoid_encrypted(f.scheme, f.rk, cz);
+    const auto s = decode_logit(f.scheme, f.sk, cs);
+    EXPECT_EQ(s, model.sigmoid_plain(v));
+    EXPECT_EQ(s > 0, v > 0) << v;
+  }
+}
+
+}  // namespace
+}  // namespace cofhee::apps

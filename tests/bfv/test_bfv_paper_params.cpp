@@ -1,0 +1,67 @@
+// BFV at the paper's full-size parameter sets -- slower tests that pin the
+// production configurations (Fig. 6's rings), including one EvalMult at
+// n = 2^12 / log q = 109.
+#include <gtest/gtest.h>
+
+#include "bfv/bfv.hpp"
+#include "bfv/encoder.hpp"
+
+namespace cofhee::bfv {
+namespace {
+
+TEST(BfvPaperParams, SmallConfigEncryptDecrypt) {
+  Bfv scheme(BfvParams::paper_small(), 3);
+  const auto sk = scheme.keygen_secret();
+  const auto pk = scheme.keygen_public(sk);
+  BatchEncoder enc(scheme.context());
+  ASSERT_EQ(enc.slot_count(), 4096u);
+  std::vector<u64> v(4096);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = (i * 7 + 1) % 65537;
+  const auto ct = scheme.encrypt(pk, enc.encode(v));
+  EXPECT_EQ(enc.decode(scheme.decrypt(sk, ct)), v);
+  EXPECT_GT(scheme.noise_budget_bits(sk, ct), 40.0);
+}
+
+TEST(BfvPaperParams, SmallConfigMultiply) {
+  // The Fig. 6 (2^12, 109) operation end to end, with batching.
+  Bfv scheme(BfvParams::paper_small(), 4);
+  const auto sk = scheme.keygen_secret();
+  const auto pk = scheme.keygen_public(sk);
+  BatchEncoder enc(scheme.context());
+  std::vector<u64> va(4096), vb(4096);
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    va[i] = (i + 1) % 251;
+    vb[i] = (3 * i + 2) % 251;
+  }
+  const auto ct = scheme.multiply(scheme.encrypt(pk, enc.encode(va)),
+                                  scheme.encrypt(pk, enc.encode(vb)));
+  EXPECT_EQ(ct.size(), 3u);  // without relinearization, as in Fig. 6
+  const auto out = enc.decode(scheme.decrypt(sk, ct));
+  for (std::size_t i = 0; i < out.size(); ++i)
+    ASSERT_EQ(out[i], va[i] * vb[i] % 65537) << i;
+}
+
+TEST(BfvPaperParams, LargeConfigParameters) {
+  const auto p = BfvParams::paper_large();
+  EXPECT_EQ(p.n, 8192u);
+  EXPECT_EQ(p.q_moduli.size(), 4u);   // 54+54+55+55 (the SEAL split)
+  EXPECT_EQ(p.aux_moduli.size(), 5u); // |Q|+1 extension towers
+  EXPECT_NEAR(p.log_q(), 218, 1);
+  // All moduli NTT-friendly for n = 2^13 and pairwise distinct.
+  for (std::size_t i = 0; i < p.q_moduli.size(); ++i) {
+    EXPECT_EQ((p.q_moduli[i] - 1) % (2 * p.n), 0u);
+    for (std::size_t j = i + 1; j < p.q_moduli.size(); ++j)
+      EXPECT_NE(p.q_moduli[i], p.q_moduli[j]);
+  }
+}
+
+TEST(BfvPaperParams, SecurityRelevantShape) {
+  // The paper cites 128-bit classical security for both (n, log q) pairs;
+  // the structural requirement is log q <= the HE-standard bound for n.
+  // (HomomorphicEncryption.org table: n=4096 -> 109 bits, n=8192 -> 218.)
+  EXPECT_LE(BfvParams::paper_small().log_q(), 109u + 1);
+  EXPECT_LE(BfvParams::paper_large().log_q(), 218u + 1);
+}
+
+}  // namespace
+}  // namespace cofhee::bfv

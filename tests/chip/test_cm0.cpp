@@ -1,0 +1,186 @@
+#include "chip/cm0.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chip/chip.hpp"
+
+namespace cofhee::chip {
+namespace {
+
+struct Cm0Fixture {
+  CofheeChip chip;
+
+  Cm0 make_core(Cm0Asm& as) {
+    const auto image = as.assemble();
+    for (std::size_t w = 0; w < image.size(); ++w)
+      chip.bus().write32(BusMaster::kHostSpi, static_cast<std::uint32_t>(w) * 4,
+                         image[w]);
+    return Cm0(chip.bus());
+  }
+};
+
+TEST(Cm0, MovAddSub) {
+  Cm0Fixture f;
+  Cm0Asm as;
+  as.movs_imm(0, 10);
+  as.adds_imm(0, 32);
+  as.movs_imm(1, 2);
+  as.subs_reg(2, 0, 1);  // r2 = 42 - 2
+  as.bkpt();
+  auto core = f.make_core(as);
+  EXPECT_EQ(core.run(), Cm0Stop::kBkpt);
+  EXPECT_EQ(core.reg(0), 42u);
+  EXPECT_EQ(core.reg(2), 40u);
+}
+
+TEST(Cm0, LiteralPoolLoads32BitConstants) {
+  Cm0Fixture f;
+  Cm0Asm as;
+  as.ldr_lit(0, 0xDEADBEEF);
+  as.ldr_lit(1, 0x40020000);
+  as.bkpt();
+  auto core = f.make_core(as);
+  EXPECT_EQ(core.run(), Cm0Stop::kBkpt);
+  EXPECT_EQ(core.reg(0), 0xDEADBEEFu);
+  EXPECT_EQ(core.reg(1), 0x40020000u);
+}
+
+TEST(Cm0, CountdownLoop) {
+  // r0 = 5; loop: r1 += 2; r0 -= 1; bne loop  => r1 = 10.
+  Cm0Fixture f;
+  Cm0Asm as;
+  as.movs_imm(0, 5);
+  as.movs_imm(1, 0);
+  as.label("loop");
+  as.adds_imm(1, 2);
+  as.subs_imm(0, 1);
+  as.bne("loop");
+  as.bkpt();
+  auto core = f.make_core(as);
+  EXPECT_EQ(core.run(), Cm0Stop::kBkpt);
+  EXPECT_EQ(core.reg(1), 10u);
+  EXPECT_GT(core.instret(), 15u);  // 5 iterations x 3 instructions + setup
+}
+
+TEST(Cm0, LoadStoreThroughAhb) {
+  // Store 0xABCD to data bank word 0 via the bus, read it back.
+  Cm0Fixture f;
+  Cm0Asm as;
+  as.ldr_lit(4, MemoryMap::kDataSramBase);
+  as.ldr_lit(0, 0xABCD);
+  as.str_imm(0, 4, 0);
+  as.ldr_imm(1, 4, 0);
+  as.bkpt();
+  auto core = f.make_core(as);
+  EXPECT_EQ(core.run(), Cm0Stop::kBkpt);
+  EXPECT_EQ(core.reg(1), 0xABCDu);
+  EXPECT_EQ(static_cast<std::uint64_t>(f.chip.read_coeffs(Bank::kDp0, 0, 1)[0]),
+            0xABCDull);
+}
+
+TEST(Cm0, WfiWaitsUntilIrqDelivered) {
+  Cm0Fixture f;
+  Cm0Asm as;
+  as.movs_imm(0, 1);
+  as.wfi();
+  as.movs_imm(0, 2);
+  as.bkpt();
+  auto core = f.make_core(as);
+  EXPECT_EQ(core.run(), Cm0Stop::kWfi);
+  EXPECT_EQ(core.reg(0), 1u);
+  EXPECT_TRUE(core.waiting_for_irq());
+  core.deliver_irq();
+  EXPECT_EQ(core.run(), Cm0Stop::kBkpt);
+  EXPECT_EQ(core.reg(0), 2u);
+}
+
+TEST(Cm0, BranchAndLink) {
+  Cm0Fixture f;
+  Cm0Asm as;
+  as.movs_imm(0, 0);
+  as.bl("func");
+  as.adds_imm(0, 1);  // runs after return => r0 = 11
+  as.bkpt();
+  as.label("func");
+  as.adds_imm(0, 10);
+  as.bx_lr();
+  auto core = f.make_core(as);
+  EXPECT_EQ(core.run(), Cm0Stop::kBkpt);
+  EXPECT_EQ(core.reg(0), 11u);
+}
+
+TEST(Cm0, PushPopCallConvention) {
+  Cm0Fixture f;
+  Cm0Asm as;
+  as.movs_imm(0, 0);
+  as.bl("outer");
+  as.bkpt();
+  as.label("outer");
+  as.push_lr();
+  as.bl("inner");      // clobbers lr; restored by pop
+  as.adds_imm(0, 1);
+  as.pop_pc();
+  as.label("inner");
+  as.adds_imm(0, 2);
+  as.bx_lr();
+  auto core = f.make_core(as);
+  EXPECT_EQ(core.run(), Cm0Stop::kBkpt);
+  EXPECT_EQ(core.reg(0), 3u);
+}
+
+TEST(Cm0, ShiftsAndLogic) {
+  Cm0Fixture f;
+  Cm0Asm as;
+  as.movs_imm(0, 0xF0);
+  as.lsls_imm(1, 0, 8);   // r1 = 0xF000
+  as.lsrs_imm(2, 1, 4);   // r2 = 0x0F00
+  as.movs_imm(3, 0xFF);
+  as.ands(2, 3);          // r2 &= 0xFF => 0
+  as.orrs(2, 1);          // r2 |= 0xF000
+  as.bkpt();
+  auto core = f.make_core(as);
+  EXPECT_EQ(core.run(), Cm0Stop::kBkpt);
+  EXPECT_EQ(core.reg(1), 0xF000u);
+  EXPECT_EQ(core.reg(2), 0xF000u);
+}
+
+TEST(Cm0, MulAndFlags) {
+  Cm0Fixture f;
+  Cm0Asm as;
+  as.movs_imm(0, 7);
+  as.movs_imm(1, 6);
+  as.muls(0, 1);  // r0 = 42
+  as.cmp_imm(0, 42);
+  as.beq("ok");
+  as.movs_imm(2, 1);  // skipped
+  as.label("ok");
+  as.bkpt();
+  auto core = f.make_core(as);
+  EXPECT_EQ(core.run(), Cm0Stop::kBkpt);
+  EXPECT_EQ(core.reg(0), 42u);
+  EXPECT_EQ(core.reg(2), 0u);
+}
+
+TEST(Cm0, CycleLimitStops) {
+  Cm0Fixture f;
+  Cm0Asm as;
+  as.label("spin");
+  as.b("spin");
+  auto core = f.make_core(as);
+  EXPECT_EQ(core.run(100), Cm0Stop::kCycleLimit);
+}
+
+TEST(Cm0Assembler, RejectsUndefinedLabel) {
+  Cm0Asm as;
+  as.b("nowhere");
+  EXPECT_THROW((void)as.assemble(), std::invalid_argument);
+}
+
+TEST(Cm0Assembler, RejectsDuplicateLabel) {
+  Cm0Asm as;
+  as.label("x");
+  EXPECT_THROW(as.label("x"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cofhee::chip

@@ -1,0 +1,86 @@
+#include "chip/gpcfg.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nt/barrett.hpp"
+#include "nt/primes.hpp"
+
+namespace cofhee::chip {
+namespace {
+
+TEST(Gpcfg, SignatureIsReadOnly) {
+  Gpcfg g;
+  EXPECT_EQ(g.read(Reg::kSignature), kSignatureValue);
+  g.write(Reg::kSignature, 0xDEAD);
+  EXPECT_EQ(g.read(Reg::kSignature), kSignatureValue);
+}
+
+TEST(Gpcfg, WideQRegisterRoundTrip) {
+  Gpcfg g;
+  const u128 q = (static_cast<u128>(0x0123456789ABCDEFull) << 64) | 0xFEDCBA9876543210ull;
+  g.set_q(q);
+  EXPECT_EQ(g.q(), q);
+}
+
+TEST(Gpcfg, SetQDerivesBarrettRegisters) {
+  // Table II: BARRETTCTL1 = shift, BARRETTCTL2 = 2^k/q (160-bit register).
+  Gpcfg g;
+  const u128 q = nt::find_ntt_prime_u128(109, 4096);
+  g.set_q(q);
+  nt::Barrett128 br(q);
+  EXPECT_EQ(g.read(Reg::kBarrettCtl1), 2 * br.k());
+  // Low 32 bits of mu must match.
+  EXPECT_EQ(g.read(Reg::kBarrettCtl2_0), static_cast<std::uint32_t>(br.mu().limb[0]));
+}
+
+TEST(Gpcfg, NRegisterStoresLog2) {
+  Gpcfg g;
+  g.set_n(8192);
+  EXPECT_EQ(g.n(), 8192u);
+  EXPECT_EQ(g.read(Reg::kFheCtl1), 13u);
+}
+
+TEST(Gpcfg, QVersionBumpsOnWrite) {
+  Gpcfg g;
+  const auto v0 = g.q_version();
+  g.set_q(u128{97});
+  EXPECT_GT(g.q_version(), v0);
+}
+
+TEST(Gpcfg, IrqRaiseAndWrite1Clear) {
+  Gpcfg g;
+  g.raise_irq(kIrqOpDone | kIrqFifoEmpty);
+  EXPECT_TRUE(g.irq_pending(kIrqOpDone));
+  EXPECT_TRUE(g.irq_pending(kIrqFifoEmpty));
+  // Host clears via write-1-to-clear semantics.
+  g.write(Reg::kIrqStatus, kIrqOpDone);
+  EXPECT_FALSE(g.irq_pending(kIrqOpDone));
+  EXPECT_TRUE(g.irq_pending(kIrqFifoEmpty));
+}
+
+TEST(Gpcfg, CommandPushHookFiresOnWord3) {
+  Gpcfg g;
+  int pushes = 0;
+  std::array<std::uint32_t, 4> got{};
+  g.on_command_push = [&](const std::array<std::uint32_t, 4>& w) {
+    ++pushes;
+    got = w;
+  };
+  g.write(Reg::kCommandFifo0, 0x11);
+  g.write(Reg::kCommandFifo1, 0x22);
+  g.write(Reg::kCommandFifo2, 0x33);
+  EXPECT_EQ(pushes, 0);
+  g.write(Reg::kCommandFifo3, 0x44);
+  EXPECT_EQ(pushes, 1);
+  EXPECT_EQ(got[0], 0x11u);
+  EXPECT_EQ(got[3], 0x44u);
+}
+
+TEST(Gpcfg, BadOffsetThrows) {
+  Gpcfg g;
+  EXPECT_THROW((void)g.read_word(2), std::out_of_range);     // unaligned
+  EXPECT_THROW((void)g.read_word(0x1000), std::out_of_range);  // beyond file
+}
+
+}  // namespace
+}  // namespace cofhee::chip

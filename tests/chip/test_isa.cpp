@@ -1,0 +1,58 @@
+#include "chip/isa.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cofhee::chip {
+namespace {
+
+TEST(Isa, EncodeDecodeRoundTrip) {
+  for (auto op : {Opcode::kNtt, Opcode::kIntt, Opcode::kPModAdd, Opcode::kPModMul,
+                  Opcode::kPModSqr, Opcode::kPModSub, Opcode::kCModMul, Opcode::kPMul,
+                  Opcode::kMemCpy, Opcode::kMemCpyR}) {
+    Instr in;
+    in.op = op;
+    in.x = {Bank::kSp1, 1234};
+    in.y = {Bank::kDp2, 777};
+    in.dst = {Bank::kTw, 4096};
+    in.len = 8192;
+    const Instr back = decode(encode(in));
+    EXPECT_EQ(back.op, in.op);
+    EXPECT_EQ(back.x, in.x);
+    EXPECT_EQ(back.y, in.y);
+    EXPECT_EQ(back.dst, in.dst);
+    EXPECT_EQ(back.len, in.len);
+  }
+}
+
+TEST(Isa, OpcodeNames) {
+  EXPECT_EQ(opcode_name(Opcode::kNtt), "NTT");
+  EXPECT_EQ(opcode_name(Opcode::kIntt), "iNTT");
+  EXPECT_EQ(opcode_name(Opcode::kCModMul), "CMODMUL");
+  EXPECT_EQ(opcode_name(Opcode::kMemCpyR), "MEMCPYR");
+}
+
+TEST(Isa, ComputeVsMemoryClassification) {
+  // Section III-B: compute ops run sequentially; memory ops may overlap.
+  EXPECT_TRUE(is_compute_op(Opcode::kNtt));
+  EXPECT_TRUE(is_compute_op(Opcode::kPModAdd));
+  EXPECT_FALSE(is_compute_op(Opcode::kMemCpy));
+  EXPECT_FALSE(is_compute_op(Opcode::kMemCpyR));
+}
+
+TEST(Isa, DecodeRejectsGarbage) {
+  EncodedInstr bad{};  // opcode 0
+  EXPECT_THROW((void)decode(bad), std::invalid_argument);
+  bad[0] = 0xFF;  // opcode out of range
+  EXPECT_THROW((void)decode(bad), std::invalid_argument);
+  bad[0] = 0x01 | (0xF << 8);  // bank 15 does not exist
+  EXPECT_THROW((void)decode(bad), std::invalid_argument);
+}
+
+TEST(Isa, EncodeRejectsHugeOffsets) {
+  Instr in;
+  in.x.offset = 1u << 16;
+  EXPECT_THROW((void)encode(in), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cofhee::chip

@@ -1,0 +1,75 @@
+#include "chip/power.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cofhee::chip {
+namespace {
+
+TEST(PowerTrace, StaticOnlySegment) {
+  EnergyTable et;
+  PowerTrace tr(et, 4.0);
+  PowerSegment s;
+  s.cycles = 1000;
+  tr.append(s);
+  const auto rep = tr.report();
+  // 12 pJ / 4 ns = 3 mW.
+  EXPECT_NEAR(rep.avg_mw, et.static_pj_per_cycle / 4.0, 1e-9);
+  EXPECT_NEAR(rep.peak_mw, rep.avg_mw, 1e-9);
+  EXPECT_EQ(rep.cycles, 1000u);
+}
+
+TEST(PowerTrace, PeakIsMaxOverSegments) {
+  EnergyTable et;
+  PowerTrace tr(et, 4.0);
+  PowerSegment light;
+  light.cycles = 100;
+  PowerSegment heavy;
+  heavy.cycles = 100;
+  heavy.mult_fwd = 100;
+  heavy.sram_reads = 200;
+  heavy.sram_writes = 200;
+  tr.append(light);
+  tr.append(heavy);
+  const auto rep = tr.report();
+  EXPECT_GT(rep.peak_mw, tr.segment_power_mw(light));
+  EXPECT_NEAR(rep.peak_mw, tr.segment_power_mw(heavy), 1e-9);
+  EXPECT_LT(rep.avg_mw, rep.peak_mw);
+}
+
+TEST(PowerTrace, EnergyAdds) {
+  EnergyTable et;
+  PowerTrace tr(et, 4.0);
+  PowerSegment s;
+  s.cycles = 10;
+  s.mult_fwd = 10;
+  tr.append(s);
+  tr.append(s);
+  const auto rep = tr.report();
+  const double expect_pj = 2 * (10 * et.static_pj_per_cycle + 10 * et.mult_fwd_pj);
+  EXPECT_NEAR(rep.energy_uj, expect_pj * 1e-6, 1e-12);
+}
+
+TEST(PowerTrace, DmaConcurrentAddsPower) {
+  EnergyTable et;
+  PowerTrace tr(et, 4.0);
+  PowerSegment a;
+  a.cycles = 100;
+  PowerSegment b = a;
+  b.dma_concurrent = true;
+  EXPECT_GT(tr.segment_power_mw(b), tr.segment_power_mw(a));
+  EXPECT_NEAR(tr.segment_power_mw(b) - tr.segment_power_mw(a),
+              et.dma_concurrent_pj / 4.0, 1e-9);
+}
+
+TEST(PowerTrace, ClearResets) {
+  EnergyTable et;
+  PowerTrace tr(et, 4.0);
+  PowerSegment s;
+  s.cycles = 5;
+  tr.append(s);
+  tr.clear();
+  EXPECT_EQ(tr.report().cycles, 0u);
+}
+
+}  // namespace
+}  // namespace cofhee::chip

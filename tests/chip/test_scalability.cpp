@@ -1,0 +1,91 @@
+// The Section VIII-A architecture knobs of the chip model.
+#include <gtest/gtest.h>
+
+#include "chip/chip.hpp"
+#include "driver/host_driver.hpp"
+#include "nt/primes.hpp"
+#include "poly/sampler.hpp"
+
+namespace cofhee::chip {
+namespace {
+
+struct Knobs {
+  std::size_t n = 1024;
+  u128 q;
+  u128 psi;
+
+  Knobs() : q(nt::find_ntt_prime_u128(60, n)), psi(nt::primitive_2nth_root(q, n)) {}
+
+  std::uint64_t ntt_cycles(const ChipConfig& cfg) {
+    CofheeChip soc(cfg);
+    driver::HostDriver drv(soc);
+    drv.configure_ring(q, n, psi);
+    poly::Rng rng(1);
+    soc.load_coeffs(Bank::kDp0, 0, poly::sample_uniform128(rng, n, q));
+    soc.reset_metrics();
+    (void)drv.ntt({Bank::kDp0, 0}, {Bank::kDp1, 0});
+    return soc.cycles();
+  }
+
+  std::vector<u128> ntt_result(const ChipConfig& cfg) {
+    CofheeChip soc(cfg);
+    driver::HostDriver drv(soc);
+    drv.configure_ring(q, n, psi);
+    poly::Rng rng(1);
+    soc.load_coeffs(Bank::kDp0, 0, poly::sample_uniform128(rng, n, q));
+    (void)drv.ntt({Bank::kDp0, 0}, {Bank::kDp1, 0});
+    return soc.read_coeffs(Bank::kDp1, 0, n);
+  }
+};
+
+TEST(Scalability, QuadPeQuartersButterflyTime) {
+  Knobs k;
+  ChipConfig base;
+  ChipConfig quad = base;
+  quad.num_pe = 4;
+  const auto c1 = k.ntt_cycles(base);
+  const auto c4 = k.ntt_cycles(quad);
+  // Butterfly cycles shrink 4x; per-stage overhead stays.
+  const unsigned logn = nt::log2_exact(k.n);
+  EXPECT_EQ(c1, k.n / 2 * logn + 22 * logn + 1);
+  EXPECT_EQ(c4, k.n / 2 * logn / 4 + 22 * logn + 1 + k.n / 8 / 4 * 0);  // fwd NTT only
+  EXPECT_GT(static_cast<double>(c1) / static_cast<double>(c4), 3.0);
+}
+
+TEST(Scalability, ResultsIndependentOfPeCount) {
+  Knobs k;
+  ChipConfig base;
+  ChipConfig quad = base;
+  quad.num_pe = 4;
+  EXPECT_EQ(k.ntt_result(base), k.ntt_result(quad));
+}
+
+TEST(Scalability, DualPortComputeKnob) {
+  Knobs k;
+  ChipConfig off;
+  off.dual_port_compute = false;  // force II = 2 even on DP banks
+  const auto c_on = k.ntt_cycles(ChipConfig{});
+  const auto c_off = k.ntt_cycles(off);
+  const unsigned logn = nt::log2_exact(k.n);
+  EXPECT_EQ(c_off - c_on, k.n / 2 * logn);  // one extra cycle per butterfly
+}
+
+TEST(Scalability, FrequencyScalesWallClockOnly) {
+  Knobs k;
+  ChipConfig fast;
+  fast.freq_mhz = 500.0;
+  CofheeChip a;  // 250 MHz
+  CofheeChip b(fast);
+  EXPECT_EQ(a.config().cycle_ns(), 4.0);
+  EXPECT_EQ(b.config().cycle_ns(), 2.0);
+}
+
+TEST(Scalability, MaxDegreeConfig) {
+  ChipConfig cfg;
+  EXPECT_EQ(cfg.max_n(), 1u << 14);  // native limit (Section III-A)
+  EXPECT_EQ(cfg.log2_opt_n, 13u);    // the optimized operating point
+  EXPECT_EQ(cfg.cmd_fifo_depth, 32u);
+}
+
+}  // namespace
+}  // namespace cofhee::chip

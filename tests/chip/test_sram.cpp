@@ -1,0 +1,70 @@
+#include "chip/sram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cofhee::chip {
+namespace {
+
+TEST(Sram, ReadWriteAndCounters) {
+  Sram s("T", 64, 1, 2);
+  s.write(3, u128{42});
+  EXPECT_EQ(s.read(3), u128{42});
+  EXPECT_EQ(s.reads(), 1u);
+  EXPECT_EQ(s.writes(), 1u);
+  s.reset_counters();
+  EXPECT_EQ(s.reads(), 0u);
+}
+
+TEST(Sram, PeekPokeDoNotCount) {
+  Sram s("T", 8, 1, 2);
+  s.poke(0, u128{7});
+  EXPECT_EQ(s.peek(0), u128{7});
+  EXPECT_EQ(s.reads(), 0u);
+  EXPECT_EQ(s.writes(), 0u);
+}
+
+TEST(Sram, OutOfRangeThrows) {
+  Sram s("T", 8, 1, 2);
+  EXPECT_THROW((void)s.read(8), std::out_of_range);
+  EXPECT_THROW(s.write(100, u128{0}), std::out_of_range);
+}
+
+TEST(Sram, PortConfiguration) {
+  Sram sp("SP", 8, 1, 2), dp("DP", 8, 2, 2);
+  EXPECT_FALSE(sp.dual_port());
+  EXPECT_TRUE(dp.dual_port());
+  EXPECT_EQ(sp.accesses_per_cycle(), 1u);
+  EXPECT_EQ(dp.accesses_per_cycle(), 2u);
+  EXPECT_THROW(Sram("X", 8, 3, 2), std::invalid_argument);
+}
+
+TEST(MemorySystem, PaperBankComplement) {
+  // 3 dual-port + 5 single-port logical banks (Section III-A).
+  ChipConfig cfg;
+  MemorySystem mem(cfg);
+  EXPECT_EQ(mem.num_banks(), kNumBanks);
+  unsigned dp = 0, sp = 0;
+  for (std::size_t i = 0; i < kNumBanks; ++i) {
+    if (mem.bank(static_cast<Bank>(i)).dual_port()) {
+      ++dp;
+    } else {
+      ++sp;
+    }
+  }
+  EXPECT_EQ(dp, 3u);
+  EXPECT_EQ(sp, 5u);
+}
+
+TEST(MemorySystem, CapacityMatchesPaperOrder) {
+  // Section VIII-A: "the total memory size (1 MB currently used)".  Eight
+  // 2^14-word x 128-bit banks = 2 MiB gross; the fabricated chip maps 1 MB
+  // of macros into this space -- we only require the same order of
+  // magnitude and that a full n=2^13 ciphertext-mult working set fits.
+  ChipConfig cfg;
+  MemorySystem mem(cfg);
+  EXPECT_GE(mem.total_bytes(), 1u << 20);
+  EXPECT_LE(mem.total_bytes(), 4u << 20);
+}
+
+}  // namespace
+}  // namespace cofhee::chip

@@ -1,0 +1,80 @@
+// Table XI normalization math.
+#include "eval/related_work.hpp"
+
+#include <gtest/gtest.h>
+
+#include "eval/report.hpp"
+#include "physical/area_model.hpp"
+
+namespace cofhee::eval {
+namespace {
+
+TEST(RelatedWork, CofheeEfficiencyReproducesPaper) {
+  // 53,248 butterfly cycles at 250 MHz, PE area from the area model,
+  // 55nm -> 12nm Barrett-resynthesis scaling => 4.54e-4 (paper value).
+  physical::AreaModel am;
+  const double eff = cofhee_efficiency(53248, 250.0, am.pe_area_mm2(), {});
+  EXPECT_NEAR(eff, 4.54e-4, 4.54e-4 * 0.01);
+}
+
+TEST(RelatedWork, SpeedupsMatchSectionVii) {
+  physical::AreaModel am;
+  const double eff = cofhee_efficiency(53248, 250.0, am.pe_area_mm2(), {});
+  const struct {
+    const char* name;
+    double paper;
+  } cmp[] = {{"F1", 6.3}, {"CraterLake", 1.39}, {"BTS", 46.19}, {"ARK", 4.72}};
+  for (const auto& c : cmp) {
+    for (const auto& d : published_table()) {
+      if (d.name == c.name) {
+        EXPECT_NEAR(eff / d.efficiency, c.paper, c.paper * 0.02) << c.name;
+      }
+    }
+  }
+}
+
+TEST(RelatedWork, RnsTowerArithmetic) {
+  EXPECT_EQ(rns_towers(128, 128), 1u);
+  EXPECT_EQ(rns_towers(64, 128), 2u);
+  EXPECT_EQ(rns_towers(32, 128), 4u);
+  EXPECT_EQ(rns_towers(28, 128), 5u);
+  EXPECT_EQ(rns_towers(27, 128), 5u);
+}
+
+TEST(RelatedWork, TableRowsCompleteAndCoFheeOnlySilicon) {
+  const auto rows = published_table();
+  ASSERT_EQ(rows.size(), 7u);
+  unsigned silicon = 0;
+  for (const auto& d : rows) {
+    if (d.silicon_proven) {
+      ++silicon;
+      EXPECT_EQ(d.name, "CoFHEE");  // the paper's headline claim
+    }
+  }
+  EXPECT_EQ(silicon, 1u);
+}
+
+TEST(RelatedWork, NormalizationDirections) {
+  // Scaling down the node must raise efficiency; larger area lowers it.
+  NormalizationFactors nf;
+  const double base = cofhee_efficiency(53248, 250.0, 0.64, nf);
+  nf.area_scale *= 2;
+  EXPECT_GT(cofhee_efficiency(53248, 250.0, 0.64, nf), base);
+  EXPECT_LT(cofhee_efficiency(53248, 250.0, 1.28, {}), base);
+  EXPECT_LT(cofhee_efficiency(2 * 53248, 250.0, 0.64, {}), base);
+}
+
+TEST(ReportHelpers, TableAndFormatting) {
+  EXPECT_EQ(fmt(1.2345, 2), "1.23");
+  EXPECT_EQ(fmt_sci(0.000454, 2), "4.54e-04");
+  EXPECT_EQ(pct_err(110, 100), "10.00%");
+  EXPECT_EQ(pct_err(1, 0), "n/a");
+  Table t({"a", "b"});
+  t.row({"x", "y"});
+  std::ostringstream ss;
+  t.print(ss);
+  EXPECT_NE(ss.str().find("| x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cofhee::eval

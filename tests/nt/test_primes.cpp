@@ -1,0 +1,110 @@
+#include "nt/primes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cofhee::nt {
+namespace {
+
+TEST(Primes, SmallKnownValues) {
+  EXPECT_FALSE(is_prime(u64{0}));
+  EXPECT_FALSE(is_prime(u64{1}));
+  EXPECT_TRUE(is_prime(u64{2}));
+  EXPECT_TRUE(is_prime(u64{3}));
+  EXPECT_FALSE(is_prime(u64{4}));
+  EXPECT_TRUE(is_prime(u64{65537}));
+  EXPECT_FALSE(is_prime(u64{65536}));
+  EXPECT_TRUE(is_prime(u64{(1ull << 61) - 1}));    // Mersenne prime M61
+  EXPECT_FALSE(is_prime(u64{(1ull << 59) - 1}));   // composite Mersenne
+}
+
+TEST(Primes, CarmichaelNumbersRejected) {
+  for (u64 c : {561ull, 1105ull, 1729ull, 2465ull, 2821ull, 6601ull, 8911ull}) {
+    EXPECT_FALSE(is_prime(c)) << c;
+  }
+}
+
+TEST(Primes, Known128BitPrime) {
+  // 2^89 - 1 is a Mersenne prime; 2^97 - 1 is composite.
+  EXPECT_TRUE(is_prime((u128{1} << 89) - 1));
+  EXPECT_FALSE(is_prime((u128{1} << 97) - 1));
+}
+
+TEST(Primes, NttPrimeCongruence) {
+  for (std::size_t n : {std::size_t{1024}, std::size_t{4096}, std::size_t{8192}}) {
+    for (unsigned bits : {30u, 54u, 55u, 60u}) {
+      const u64 q = find_ntt_prime_u64(bits, n);
+      EXPECT_TRUE(is_prime(q));
+      EXPECT_EQ((q - 1) % (2 * n), 0u) << "q=" << q;
+      EXPECT_EQ(bit_length(q), bits);
+    }
+  }
+}
+
+TEST(Primes, NttPrime128Congruence) {
+  const std::size_t n = 4096;
+  const u128 q = find_ntt_prime_u128(109, n);
+  EXPECT_TRUE(is_prime(q));
+  EXPECT_EQ((q - 1) % (2 * static_cast<u128>(n)), u128{0});
+  EXPECT_EQ(bit_length(q), 109u);
+}
+
+TEST(Primes, ChainIsDistinctAndCoprime) {
+  const auto chain = ntt_prime_chain(55, 8192, 4);
+  ASSERT_EQ(chain.size(), 4u);
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    EXPECT_TRUE(is_prime(chain[i]));
+    for (std::size_t j = i + 1; j < chain.size(); ++j) EXPECT_NE(chain[i], chain[j]);
+  }
+}
+
+TEST(Primes, PrimitiveRootOrder) {
+  const std::size_t n = 2048;
+  const u64 q = find_ntt_prime_u64(50, n);
+  const u64 psi = primitive_2nth_root(q, n);
+  Barrett64 br(q);
+  EXPECT_EQ(br.pow(psi, n), q - 1);          // psi^n == -1
+  EXPECT_EQ(br.pow(psi, 2 * n), u64{1});     // psi^2n == 1
+  const u64 omega = br.mul(psi, psi);
+  EXPECT_EQ(br.pow(omega, n), u64{1});
+  EXPECT_EQ(br.pow(omega, n / 2), q - 1);    // omega is a primitive n-th root
+}
+
+TEST(Primes, PrimitiveRoot128) {
+  const std::size_t n = 1024;
+  const u128 q = find_ntt_prime_u128(100, n);
+  const u128 psi = primitive_2nth_root(q, n);
+  Barrett128 br(q);
+  EXPECT_EQ(br.pow(psi, n), q - 1);
+  EXPECT_EQ(br.pow(psi, 2 * n), u128{1});
+}
+
+TEST(Primes, BitReverse) {
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b011, 3), 0b110u);
+  EXPECT_EQ(bit_reverse(5, 0), 0u);
+  const auto t = bit_reverse_table(8);
+  const std::vector<std::size_t> expect{0, 4, 2, 6, 1, 5, 3, 7};
+  EXPECT_EQ(t, expect);
+}
+
+TEST(Primes, BitReverseIsInvolution) {
+  const auto t = bit_reverse_table(1024);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[t[i]], i);
+}
+
+TEST(Primes, PowerOfTwoHelpers) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(8192));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(12));
+  EXPECT_EQ(log2_exact(8192), 13u);
+}
+
+TEST(Primes, SeedGivesDistinctPrimes) {
+  const u64 a = find_ntt_prime_u64(55, 4096, 0);
+  const u64 b = find_ntt_prime_u64(55, 4096, 1);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace cofhee::nt

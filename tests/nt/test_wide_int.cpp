@@ -1,0 +1,190 @@
+#include "nt/wide_int.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace cofhee::nt {
+namespace {
+
+u128 make_u128(u64 hi, u64 lo) { return (static_cast<u128>(hi) << 64) | lo; }
+
+TEST(WideInt, ConstructionAndAccessors) {
+  WideInt<4> z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_EQ(z.bit_len(), 0u);
+
+  WideInt<4> a(u64{42});
+  EXPECT_EQ(a.to_u64(), 42u);
+  EXPECT_EQ(a.bit_len(), 6u);
+
+  const u128 big = make_u128(0xDEADBEEFull, 0xCAFEBABEull);
+  WideInt<4> b(big);
+  EXPECT_EQ(b.to_u128(), big);
+  EXPECT_EQ(b.bit_len(), 64u + 32u);
+}
+
+TEST(WideInt, BitLength128) {
+  EXPECT_EQ(bit_length(u128{0}), 0u);
+  EXPECT_EQ(bit_length(u128{1}), 1u);
+  EXPECT_EQ(bit_length(static_cast<u128>(1) << 127), 128u);
+  EXPECT_EQ(bit_length((static_cast<u128>(1) << 100) - 1), 100u);
+}
+
+TEST(WideInt, AdditionMatchesU128) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const u128 a = make_u128(rng() >> 1, rng());  // keep headroom
+    const u128 b = make_u128(rng() >> 1, rng());
+    WideInt<2> wa(a), wb(b);
+    EXPECT_EQ((wa + wb).to_u128(), a + b);
+  }
+}
+
+TEST(WideInt, SubtractionMatchesU128) {
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    u128 a = make_u128(rng(), rng());
+    u128 b = make_u128(rng(), rng());
+    if (a < b) std::swap(a, b);
+    EXPECT_EQ((WideInt<2>(a) - WideInt<2>(b)).to_u128(), a - b);
+  }
+}
+
+TEST(WideInt, CarryPropagatesAcrossAllLimbs) {
+  WideInt<4> a;
+  a.limb = {~u64{0}, ~u64{0}, ~u64{0}, 0};
+  WideInt<4> one(u64{1});
+  const auto s = a + one;
+  EXPECT_EQ(s.limb[0], 0u);
+  EXPECT_EQ(s.limb[1], 0u);
+  EXPECT_EQ(s.limb[2], 0u);
+  EXPECT_EQ(s.limb[3], 1u);
+}
+
+TEST(WideInt, MulFullMatchesU128) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const u64 a = rng(), b = rng();
+    const auto p = WideInt<1>(a).mul_full(WideInt<1>(b));
+    EXPECT_EQ(p.to_u128(), static_cast<u128>(a) * b);
+  }
+}
+
+TEST(WideInt, MulFullWideAssociatesWithShifts) {
+  // (a * 2^64) * b == (a * b) * 2^64
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 500; ++i) {
+    const u128 a = make_u128(rng(), rng());
+    const u128 b = make_u128(rng(), rng());
+    const auto lhs = (WideInt<4>(a) << 64).mul_full(WideInt<4>(b));
+    const auto rhs = WideInt<4>(a).mul_full(WideInt<4>(b)).resize_trunc<8>() << 64;
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(WideInt, ShiftRoundTrip) {
+  std::mt19937_64 rng(5);
+  for (unsigned s = 0; s < 256; ++s) {
+    WideInt<8> v;
+    for (auto& l : v.limb) l = rng();
+    // Zero the top s bits so the left shift is lossless.
+    WideInt<8> masked = (v << s) >> s;
+    WideInt<8> expect = v;
+    for (unsigned b = 512 - s; b < 512; ++b) {
+      if (expect.bit(b)) expect.limb[b / 64] ^= (u64{1} << (b % 64));
+    }
+    EXPECT_EQ(masked, expect) << "shift " << s;
+  }
+}
+
+TEST(WideInt, CompareIsLexicographicOnLimbs) {
+  WideInt<2> a(make_u128(1, 0)), b(make_u128(0, ~u64{0}));
+  EXPECT_GT(a, b);
+  EXPECT_LT(b, a);
+  EXPECT_EQ(a, a);
+}
+
+TEST(WideInt, DivmodMatchesU128) {
+  std::mt19937_64 rng(6);
+  for (int i = 0; i < 3000; ++i) {
+    const u128 a = make_u128(rng(), rng());
+    u128 b = make_u128(i % 3 == 0 ? 0 : rng(), rng());
+    if (b == 0) b = 1;
+    auto [q, r] = divmod(WideInt<2>(a), WideInt<2>(b));
+    EXPECT_EQ(q.to_u128(), a / b);
+    EXPECT_EQ(r.to_u128(), a % b);
+  }
+}
+
+TEST(WideInt, DivmodReconstructsDividend) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    WideInt<8> a;
+    for (auto& l : a.limb) l = rng();
+    WideInt<4> b;
+    const int limbs = 1 + static_cast<int>(rng() % 4);
+    for (int j = 0; j < limbs; ++j) b.limb[j] = rng();
+    if (b.is_zero()) b.limb[0] = 3;
+    auto [q, r] = divmod(a, b);
+    EXPECT_LT(r, b);
+    // a == q*b + r
+    auto back = q.mul_full(b).resize_trunc<8>() + r.resize<8>();
+    EXPECT_EQ(back, a);
+  }
+}
+
+TEST(WideInt, DivmodKnuthAddBackCase) {
+  // Dividend engineered to trigger the rare qhat-overestimate add-back path:
+  // u = B^2 * (B - 1) and v = B + (B - 1) with B = 2^64 is the classic case.
+  WideInt<4> u;
+  u.limb = {0, 0, ~u64{0}, 0};
+  WideInt<2> v;
+  v.limb = {~u64{0}, 1};
+  auto [q, r] = divmod(u, v);
+  auto back = q.mul_full(v).resize_trunc<4>() + r.resize<4>();
+  EXPECT_EQ(back, u);
+  EXPECT_LT(r, v);
+}
+
+TEST(WideInt, DivisionByZeroThrows) {
+  EXPECT_THROW((void)divmod(WideInt<2>(u128{5}), WideInt<2>()), std::domain_error);
+}
+
+TEST(WideInt, ModU64MatchesDivmod) {
+  std::mt19937_64 rng(8);
+  for (int i = 0; i < 1000; ++i) {
+    WideInt<6> a;
+    for (auto& l : a.limb) l = rng();
+    u64 m = rng() | 1;
+    EXPECT_EQ(a.mod_u64(m), (a % WideInt<1>(m)).to_u64());
+  }
+}
+
+TEST(WideInt, DivRound) {
+  // round(7/2) = 4 (half rounds up), round(5/3) = 2, round(4/3) = 1.
+  EXPECT_EQ(div_round(WideInt<2>(u128{7}), WideInt<2>(u128{2})).to_u128(), u128{4});
+  EXPECT_EQ(div_round(WideInt<2>(u128{5}), WideInt<2>(u128{3})).to_u128(), u128{2});
+  EXPECT_EQ(div_round(WideInt<2>(u128{4}), WideInt<2>(u128{3})).to_u128(), u128{1});
+}
+
+TEST(WideInt, ToStringDecimal) {
+  EXPECT_EQ(WideInt<2>().to_string(), "0");
+  EXPECT_EQ(WideInt<2>(u128{1234567890123456789ull}).to_string(), "1234567890123456789");
+  // 2^128 - 1
+  WideInt<2> m;
+  m.limb = {~u64{0}, ~u64{0}};
+  EXPECT_EQ(m.to_string(), "340282366920938463463374607431768211455");
+}
+
+TEST(WideInt, ResizeOverflowThrows) {
+  WideInt<4> a;
+  a.limb[3] = 1;
+  EXPECT_THROW((void)a.resize<2>(), std::overflow_error);
+  a.limb[3] = 0;
+  a.limb[1] = 7;
+  EXPECT_EQ((a.resize<2>().to_u128()), make_u128(7, 0));
+}
+
+}  // namespace
+}  // namespace cofhee::nt

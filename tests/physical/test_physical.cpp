@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "physical/area_model.hpp"
+#include "physical/cts_model.hpp"
+#include "physical/floorplan.hpp"
+#include "physical/pnr_model.hpp"
+#include "physical/via_model.hpp"
+
+namespace cofhee::physical {
+namespace {
+
+TEST(AreaModel, MemoriesMatchTableViii) {
+  AreaModel am;
+  double dp = 0, sp = 0, cm0 = 0;
+  for (const auto& b : am.blocks()) {
+    if (b.name == "3 DP SRAMs") dp = b.area_mm2;
+    if (b.name == "4 SP SRAMs") sp = b.area_mm2;
+    if (b.name == "CM0 SRAM") cm0 = b.area_mm2;
+  }
+  EXPECT_NEAR(dp, 5.3506, 0.05);
+  EXPECT_NEAR(sp, 3.2036, 0.05);
+  EXPECT_NEAR(cm0, 0.4062, 0.02);
+}
+
+TEST(AreaModel, LogicBlocksMatchTableViii) {
+  const struct {
+    const char* name;
+    double paper;
+  } rows[] = {{"PE", 0.6394},  {"AHB", 0.0747}, {"GPCFG", 0.0534},
+              {"ARM CM0", 0.0354}, {"MDMC", 0.0273}, {"SPI", 0.0202},
+              {"DMA", 0.0075}, {"UART", 0.0065}, {"GPIO", 0.0035}};
+  AreaModel am;
+  const auto blocks = am.blocks();
+  for (const auto& row : rows) {
+    bool found = false;
+    for (const auto& b : blocks) {
+      if (b.name == row.name) {
+        EXPECT_NEAR(b.area_mm2, row.paper, row.paper * 0.02) << row.name;
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << row.name;
+  }
+}
+
+TEST(AreaModel, TotalNearPaperContent) {
+  AreaModel am;
+  EXPECT_NEAR(am.total_mm2(), 9.8345, 0.15);
+  EXPECT_NEAR(am.pe_area_mm2(), 0.6394, 0.02);
+}
+
+TEST(AreaModel, PeIsLargestLogicBlock) {
+  // Section III-K: "Other than memory, the largest design is the PE,
+  // followed by the AHB and configuration registers."
+  AreaModel am;
+  double pe = 0, ahb = 0, gpcfg = 0, others_max = 0;
+  for (const auto& b : am.blocks()) {
+    if (b.name.find("SRAM") != std::string::npos) continue;
+    if (b.name == "PE") {
+      pe = b.area_mm2;
+    } else if (b.name == "AHB") {
+      ahb = b.area_mm2;
+    } else if (b.name == "GPCFG") {
+      gpcfg = b.area_mm2;
+    } else {
+      others_max = std::max(others_max, b.area_mm2);
+    }
+  }
+  EXPECT_GT(pe, ahb);
+  EXPECT_GT(ahb, gpcfg);
+  EXPECT_GT(gpcfg, others_max);
+}
+
+TEST(Floorplan, LegalPacking) {
+  Floorplanner fp;
+  const auto r = fp.plan();
+  EXPECT_EQ(r.macro_count, 68u);  // Section V-A: 68 memory instances
+  // All macros inside the core, no overlaps.
+  for (std::size_t i = 0; i < r.macros.size(); ++i) {
+    const auto& a = r.macros[i].rect;
+    EXPECT_GE(a.x, 0.0);
+    EXPECT_GE(a.y, 0.0);
+    EXPECT_LE(a.x + a.w, r.core_w_um + 1e-6);
+    EXPECT_LE(a.y + a.h, r.core_h_um + 1e-6);
+    for (std::size_t j = i + 1; j < r.macros.size(); ++j)
+      EXPECT_FALSE(a.overlaps(r.macros[j].rect)) << i << " vs " << j;
+  }
+}
+
+TEST(Floorplan, TableIvParameters) {
+  Floorplanner fp;
+  const auto r = fp.plan();
+  EXPECT_EQ(r.die_w_um, 3660);
+  EXPECT_EQ(r.die_h_um, 3842);
+  EXPECT_NEAR(r.core_w_um, 3400, 1);
+  EXPECT_NEAR(r.core_h_um, 3582, 1);
+  EXPECT_NEAR(r.aspect_ratio, 1.05, 0.01);
+  // Macro area ~8.94 mm^2, std cells ~1.96 mm^2, IU ~45%.
+  EXPECT_NEAR(r.macro_area_um2 * 1e-6, 8.941959, 0.45);
+  EXPECT_NEAR(r.stdcell_area_um2 * 1e-6, 1.963585, 0.35);
+  EXPECT_NEAR(r.initial_utilization, 0.89, 0.05);  // (macro+cells)/core
+  EXPECT_EQ(r.signal_pads, 26u);
+  EXPECT_EQ(r.pg_pads, 11u);
+  EXPECT_EQ(r.pll_bias_pads, 8u);
+}
+
+TEST(Cts, TableIxQor) {
+  Floorplanner fp;
+  CtsModel cts;
+  const auto r = cts.synthesize(fp.plan());
+  EXPECT_EQ(r.sinks, 18413u);
+  EXPECT_NEAR(r.buffers, 464.0, 120.0);
+  EXPECT_NEAR(r.levels, 26.0, 6.0);
+  EXPECT_NEAR(r.skew_ps, 240.0, 90.0);
+  EXPECT_NEAR(r.max_insertion_ns, 2.079, 0.6);
+  EXPECT_GT(r.max_insertion_ns, r.min_insertion_ns);
+}
+
+TEST(Cts, DeterministicForSeed) {
+  Floorplanner fp;
+  const auto plan = fp.plan();
+  // Same seed -> bit-identical QoR (balancing quantizes delays, so distinct
+  // seeds may legitimately coincide; only reproducibility is contractual).
+  CtsModel a({}, 7), b({}, 7);
+  const auto ra = a.synthesize(plan);
+  const auto rb = b.synthesize(plan);
+  EXPECT_EQ(ra.max_insertion_ns, rb.max_insertion_ns);
+  EXPECT_EQ(ra.skew_ps, rb.skew_ps);
+  EXPECT_EQ(ra.buffers, rb.buffers);
+}
+
+TEST(Pnr, TableIiiProgression) {
+  Floorplanner fp;
+  PnrModel pnr;
+  const auto stages = pnr.run(fp.plan());
+  ASSERT_EQ(stages.size(), 4u);
+  // Cell counts only grow through the flow.
+  for (std::size_t i = 1; i < stages.size(); ++i) {
+    EXPECT_GE(stages[i].std_cells, stages[i - 1].std_cells);
+    EXPECT_GE(stages[i].buffer_inverter_cells, stages[i - 1].buffer_inverter_cells);
+  }
+  // Sequential count is invariant (no retiming).
+  for (const auto& s : stages) EXPECT_EQ(s.sequential_cells, 18686u);
+  // Table III anchors (within a few percent).
+  EXPECT_NEAR(static_cast<double>(stages[0].std_cells), 225797, 225797 * 0.01);
+  EXPECT_NEAR(static_cast<double>(stages[3].std_cells), 379921, 379921 * 0.03);
+  EXPECT_NEAR(stages[0].utilization, 0.45, 0.03);
+  EXPECT_NEAR(stages[3].utilization, 0.59, 0.04);
+  // VT migration: HVT 100% -> ~13.4%.
+  EXPECT_DOUBLE_EQ(stages[0].hvt_fraction, 1.0);
+  EXPECT_NEAR(stages[3].hvt_fraction, 0.134, 0.01);
+  EXPECT_NEAR(stages[3].lvt_fraction, 0.746, 0.01);
+}
+
+TEST(Via, TableViiConversionRates) {
+  ViaModel vm;
+  const auto stats = vm.run();
+  ASSERT_EQ(stats.size(), 6u);
+  const struct {
+    const char* layer;
+    double paper_pct;
+  } rows[] = {{"V1", 98.70}, {"V2", 99.49}, {"V3", 99.80},
+              {"V4", 99.76}, {"WT", 99.51}, {"WA", 99.78}};
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    EXPECT_EQ(stats[i].layer, rows[i].layer);
+    EXPECT_NEAR(stats[i].percent(), rows[i].paper_pct, 0.25) << rows[i].layer;
+    EXPECT_LE(stats[i].multi_cut, stats[i].total);
+  }
+}
+
+TEST(Via, DeterministicForSeed) {
+  ViaModel a(3), b(3);
+  const auto ra = a.run(), rb = b.run();
+  for (std::size_t i = 0; i < ra.size(); ++i)
+    EXPECT_EQ(ra[i].multi_cut, rb[i].multi_cut);
+}
+
+}  // namespace
+}  // namespace cofhee::physical

@@ -1,0 +1,131 @@
+// MergedNtt -- the transform CoFHEE's NTT command executes (one command =
+// full negacyclic transform, twiddle ROM of bit-reversed psi powers shared
+// between NTT and iNTT per Section VIII-B).
+#include "poly/merged_ntt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nt/primes.hpp"
+#include "poly/ntt.hpp"
+#include "poly/sampler.hpp"
+
+namespace cofhee::poly {
+namespace {
+
+template <class Red, class T>
+struct Fix {
+  std::size_t n;
+  Red ring;
+  T psi;
+  MergedNtt<Red, T> eng;
+
+  Fix(std::size_t n_, T q)
+      : n(n_), ring(q), psi(nt::primitive_2nth_root(q, n_)), eng(ring, n_, psi) {}
+};
+
+TEST(MergedNtt, RoundTrip64) {
+  const u64 q = nt::find_ntt_prime_u64(50, 512);
+  Fix<nt::Barrett64, u64> f(512, q);
+  Rng rng(1);
+  const auto x = sample_uniform(rng, 512, q);
+  auto y = x;
+  f.eng.forward(y);
+  f.eng.inverse(y);
+  EXPECT_EQ(y, x);
+}
+
+TEST(MergedNtt, MulMatchesSchoolbook128) {
+  const u128 q = nt::find_ntt_prime_u128(109, 128);
+  Fix<nt::Barrett128, u128> f(128, q);
+  Rng rng(2);
+  const auto a = sample_uniform128(rng, 128, q);
+  const auto b = sample_uniform128(rng, 128, q);
+  EXPECT_EQ(f.eng.negacyclic_mul(a, b), schoolbook_negacyclic_mul(f.ring, a, b));
+}
+
+TEST(MergedNtt, AgreesWithShoupEngine) {
+  // Same transform as the production 64-bit engine, different arithmetic.
+  const u64 q = nt::find_ntt_prime_u64(55, 256);
+  Fix<nt::Barrett64, u64> f(256, q);
+  NegacyclicNtt64 shoup(f.ring, 256, f.psi);
+  Rng rng(3);
+  auto a = sample_uniform(rng, 256, q);
+  auto b = a;
+  f.eng.forward(a);
+  shoup.forward(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MergedNtt, AgreesWithExplicitPsiScalingPath) {
+  // Algorithm 2 equivalence: merged twiddles == psi-scale + cyclic omega
+  // NTT, coefficient for coefficient after the inverse.
+  const u128 q = nt::find_ntt_prime_u128(80, 64);
+  Fix<nt::Barrett128, u128> f(64, q);
+  CyclicNtt128 scaled(f.ring, 64, f.psi);
+  Rng rng(4);
+  const auto a = sample_uniform128(rng, 64, q);
+  const auto b = sample_uniform128(rng, 64, q);
+  EXPECT_EQ(f.eng.negacyclic_mul(a, b), scaled.negacyclic_mul(a, b));
+}
+
+TEST(MergedNtt, TwiddleRomIsBitReversedPsiPowers) {
+  const u64 q = nt::find_ntt_prime_u64(40, 32);
+  Fix<nt::Barrett64, u64> f(32, q);
+  const auto& rom = f.eng.twiddle_rom();
+  ASSERT_EQ(rom.size(), 32u);
+  for (std::size_t i = 0; i < rom.size(); ++i) {
+    EXPECT_EQ(rom[i], f.ring.pow(f.psi, nt::bit_reverse(i, 5))) << i;
+  }
+}
+
+TEST(MergedNtt, InverseTwiddlesDerivableFromRomByMirror) {
+  // The property the chip's DMA-assisted mirror pass relies on:
+  // psi^-e = -psi^(n-e), so the iNTT needs no second table.
+  const u64 q = nt::find_ntt_prime_u64(40, 64);
+  Fix<nt::Barrett64, u64> f(64, q);
+  const auto& rom = f.eng.twiddle_rom();
+  const auto& inv = f.eng.inv_twiddles();
+  for (std::size_t i = 1; i < 64; ++i) {
+    const std::size_t e = nt::bit_reverse(i, 6);
+    const u64 from_rom = f.ring.neg(rom[nt::bit_reverse(64 - e, 6)]);
+    EXPECT_EQ(inv[i], from_rom) << i;
+  }
+  EXPECT_EQ(inv[0], 1u);
+}
+
+TEST(MergedNtt, NegacyclicWrapProperty) {
+  // x * x^(n-1) has an x^n term that must wrap to -1 in coefficient 0.
+  const u64 q = nt::find_ntt_prime_u64(40, 16);
+  Fix<nt::Barrett64, u64> f(16, q);
+  Coeffs<u64> x(16, 0), xn1(16, 0);
+  x[1] = 1;
+  xn1[15] = 1;
+  const auto prod = f.eng.negacyclic_mul(x, xn1);
+  EXPECT_EQ(prod[0], q - 1);  // -1 mod q
+  for (std::size_t i = 1; i < 16; ++i) EXPECT_EQ(prod[i], 0u);
+}
+
+TEST(MergedNtt, RejectsBadConstruction) {
+  const u64 q = nt::find_ntt_prime_u64(40, 64);
+  nt::Barrett64 ring(q);
+  EXPECT_THROW((MergedNtt<nt::Barrett64, u64>(ring, 63, 2)), std::invalid_argument);
+  EXPECT_THROW((MergedNtt<nt::Barrett64, u64>(ring, 64, 1)), std::invalid_argument);
+}
+
+class MergedDegreeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MergedDegreeSweep, MatchesSchoolbook) {
+  const std::size_t n = GetParam();
+  const u64 q = nt::find_ntt_prime_u64(45, n);
+  Fix<nt::Barrett64, u64> f(n, q);
+  Rng rng(100 + n);
+  const auto a = sample_uniform(rng, n, q);
+  const auto b = sample_uniform(rng, n, q);
+  EXPECT_EQ(f.eng.negacyclic_mul(a, b), schoolbook_negacyclic_mul(f.ring, a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, MergedDegreeSweep,
+                         ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256));
+
+}  // namespace
+}  // namespace cofhee::poly

@@ -1,0 +1,112 @@
+#include "poly/rns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "nt/primes.hpp"
+#include "poly/sampler.hpp"
+
+namespace cofhee::poly {
+namespace {
+
+RnsBasis paper_basis_2towers() {
+  // The Fig. 6 (n, log q) = (2^12, 109) software split: 54- and 55-bit moduli.
+  return RnsBasis({nt::find_ntt_prime_u64(54, 4096), nt::find_ntt_prime_u64(55, 4096)});
+}
+
+TEST(RnsBasis, RejectsBadInput) {
+  EXPECT_THROW(RnsBasis(std::vector<u64>{}), std::invalid_argument);
+  EXPECT_THROW(RnsBasis({15, 21}), std::invalid_argument);  // gcd 3
+}
+
+TEST(RnsBasis, ProductAndLogQ) {
+  auto basis = paper_basis_2towers();
+  EXPECT_EQ(basis.size(), 2u);
+  // 54 + 55 bit moduli -> 108..109-bit product, the paper's "log q = 109".
+  EXPECT_NEAR(static_cast<double>(basis.log_q()), 109.0, 1.0);
+}
+
+TEST(RnsBasis, DecomposeReconstructRoundTrip) {
+  auto basis = paper_basis_2towers();
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    BigInt x;
+    x.limb[0] = rng.next_u64();
+    x.limb[1] = rng.next_u64() & 0x3FFFFFFFFFFull;  // < 2^106 <= Q (>= 2^107)
+    const auto res = basis.decompose(x);
+    EXPECT_EQ(basis.reconstruct(res), x);
+  }
+}
+
+TEST(RnsBasis, ReconstructCentered) {
+  auto basis = paper_basis_2towers();
+  // Small negative value -Q + 5 has residues (q_i - ...) -- centered lift
+  // must return magnitude Q - (Q-5) = 5 with the negative flag.
+  BigInt five(u64{5});
+  BigInt neg5 = basis.product() - five;
+  auto [mag, negf] = basis.reconstruct_centered(basis.decompose(neg5));
+  EXPECT_TRUE(negf);
+  EXPECT_EQ(mag, five);
+  auto [mag2, negf2] = basis.reconstruct_centered(basis.decompose(five));
+  EXPECT_FALSE(negf2);
+  EXPECT_EQ(mag2, five);
+}
+
+TEST(RnsPoly, DecomposeReconstructPoly) {
+  auto basis = paper_basis_2towers();
+  Rng rng(8);
+  std::vector<BigInt> coeffs(64);
+  for (auto& c : coeffs) {
+    c.limb[0] = rng.next_u64();
+    c.limb[1] = rng.next_u64() & 0xFFFFFFFFFFull;
+  }
+  const auto p = rns_decompose(basis, coeffs);
+  EXPECT_EQ(p.num_towers(), 2u);
+  EXPECT_EQ(p.n(), 64u);
+  EXPECT_EQ(rns_reconstruct(basis, p), coeffs);
+}
+
+TEST(RnsPoly, BaseConvertExact) {
+  auto from = paper_basis_2towers();
+  RnsBasis to({nt::find_ntt_prime_u64(55, 4096, 2), nt::find_ntt_prime_u64(55, 4096, 3),
+               nt::find_ntt_prime_u64(55, 4096, 4)});
+  Rng rng(9);
+  std::vector<BigInt> coeffs(32);
+  for (auto& c : coeffs) {
+    c.limb[0] = rng.next_u64();
+    c.limb[1] = rng.next_u64() & 0xFFFFFFFFFFull;
+  }
+  const auto p = rns_decompose(from, coeffs);
+  const auto conv = rns_base_convert(from, to, p);
+  // The target basis is larger than the values, so the lift is exact.
+  EXPECT_EQ(rns_reconstruct(to, conv), coeffs);
+}
+
+TEST(RnsBasis, FourTowerPaperConfig) {
+  // Fig. 6 (n, log q) = (2^13, 218): four ~55-bit towers (54+54+55+55).
+  const std::size_t n = 8192;
+  RnsBasis basis({nt::find_ntt_prime_u64(54, n, 0), nt::find_ntt_prime_u64(54, n, 1),
+                  nt::find_ntt_prime_u64(55, n, 0), nt::find_ntt_prime_u64(55, n, 1)});
+  EXPECT_NEAR(static_cast<double>(basis.log_q()), 218.0, 1.0);
+  Rng rng(10);
+  for (int i = 0; i < 100; ++i) {
+    BigInt x;
+    for (int l = 0; l < 3; ++l) x.limb[l] = rng.next_u64();
+    x.limb[3] = rng.next_u64() & 0xFFFFFull;  // < 2^212 <= Q (>= 2^214)
+    if (x >= basis.product()) x = (x % basis.product()).resize<8>();
+    EXPECT_EQ(basis.reconstruct(basis.decompose(x)), x);
+  }
+}
+
+TEST(RnsBasis, ResiduesReduceCorrectly) {
+  auto basis = paper_basis_2towers();
+  BigInt x;
+  x.limb = {123456789, 987654321, 0, 0, 0, 0, 0, 0};
+  const auto res = basis.decompose(x);
+  for (std::size_t i = 0; i < basis.size(); ++i) {
+    EXPECT_EQ(res[i], x.mod_u64(basis.modulus(i)));
+    EXPECT_LT(res[i], basis.modulus(i));
+  }
+}
+
+}  // namespace
+}  // namespace cofhee::poly

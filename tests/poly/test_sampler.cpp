@@ -1,0 +1,108 @@
+#include "poly/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace cofhee::poly {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, UniformBelowRespectsBound) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform_below(97), 97u);
+  }
+  EXPECT_EQ(rng.uniform_below(0), 0u);
+  EXPECT_EQ(rng.uniform_below(1), 0u);
+}
+
+TEST(Rng, Uniform128RespectsBound) {
+  Rng rng(2);
+  const u128 bound = (static_cast<u128>(1) << 100) + 12345;
+  for (int i = 0; i < 2000; ++i) EXPECT_LT(rng.uniform_u128_below(bound), bound);
+}
+
+TEST(Sampler, UniformPolyInRange) {
+  Rng rng(3);
+  const u64 q = (1ull << 55) - 55;
+  const auto p = sample_uniform(rng, 4096, q);
+  ASSERT_EQ(p.size(), 4096u);
+  for (u64 c : p) EXPECT_LT(c, q);
+}
+
+TEST(Sampler, UniformIsRoughlyUniform) {
+  // Mean of U[0,q) is q/2; with n=65536 samples the relative error of the
+  // sample mean should be well under 2%.
+  Rng rng(4);
+  const u64 q = 1ull << 32;
+  const auto p = sample_uniform(rng, 65536, q);
+  long double mean = 0;
+  for (u64 c : p) mean += static_cast<long double>(c);
+  mean /= static_cast<long double>(p.size());
+  EXPECT_NEAR(static_cast<double>(mean / (q / 2.0L)), 1.0, 0.02);
+}
+
+TEST(Sampler, TernaryValues) {
+  Rng rng(5);
+  const auto s = sample_ternary(rng, 8192);
+  int counts[3] = {0, 0, 0};
+  for (int32_t v : s) {
+    ASSERT_GE(v, -1);
+    ASSERT_LE(v, 1);
+    counts[v + 1]++;
+  }
+  // Each symbol ~ 1/3 of 8192 ~ 2731; allow generous tolerance.
+  for (int c : counts) EXPECT_NEAR(c, 8192 / 3, 300);
+}
+
+TEST(Sampler, CbdMomentsMatchTheory) {
+  // CBD(eta): mean 0, variance eta/2.  eta=21 stands in for SEAL's
+  // sigma = 3.2 discrete Gaussian (sigma_cbd = sqrt(10.5) ~ 3.24).
+  Rng rng(6);
+  const unsigned eta = 21;
+  const auto s = sample_cbd(rng, 1 << 16, eta);
+  long double mean = 0, var = 0;
+  for (int32_t v : s) mean += v;
+  mean /= s.size();
+  for (int32_t v : s) var += (v - mean) * (v - mean);
+  var /= s.size();
+  EXPECT_NEAR(static_cast<double>(mean), 0.0, 0.1);
+  EXPECT_NEAR(static_cast<double>(var), eta / 2.0, 0.4);
+  for (int32_t v : s) {
+    ASSERT_GE(v, -static_cast<int32_t>(eta));
+    ASSERT_LE(v, static_cast<int32_t>(eta));
+  }
+}
+
+TEST(Sampler, ToTowerMapsNegativesModQ) {
+  const u64 q = 101;
+  SignedCoeffs s{-1, 0, 1, -5, 5};
+  const auto t = to_tower(s, q);
+  const Coeffs<u64> expect{100, 0, 1, 96, 5};
+  EXPECT_EQ(t, expect);
+}
+
+TEST(Sampler, ToRnsConsistentAcrossTowers) {
+  RnsBasis basis({97, 193});
+  Rng rng(7);
+  const auto s = sample_cbd(rng, 64, 4);
+  const auto p = to_rns(s, basis);
+  ASSERT_EQ(p.num_towers(), 2u);
+  for (std::size_t j = 0; j < s.size(); ++j) {
+    // Both towers must represent the same centered value.
+    const auto v0 = p.towers[0][j], v1 = p.towers[1][j];
+    const int64_t c0 = v0 > 48 ? static_cast<int64_t>(v0) - 97 : static_cast<int64_t>(v0);
+    const int64_t c1 = v1 > 96 ? static_cast<int64_t>(v1) - 193 : static_cast<int64_t>(v1);
+    EXPECT_EQ(c0, s[j]);
+    EXPECT_EQ(c1, s[j]);
+  }
+}
+
+}  // namespace
+}  // namespace cofhee::poly
