@@ -2,6 +2,8 @@
 
 #include <atomic>
 #include <memory>
+#include <stdexcept>
+#include <utility>
 
 namespace cofhee::backend {
 
@@ -35,6 +37,22 @@ void ThreadPool::worker_loop() {
   }
 }
 
+std::future<void> ThreadPool::submit(std::function<void()> fn) {
+  auto task = std::make_shared<std::packaged_task<void()>>(std::move(fn));
+  std::future<void> fut = task->get_future();
+  {
+    std::lock_guard lk(mu_);
+    if (stop_) throw std::runtime_error("ThreadPool::submit: pool is stopped");
+    if (!workers_.empty()) {
+      tasks_.push([task] { (*task)(); });
+      cv_.notify_one();
+      return fut;
+    }
+  }
+  (*task)();  // no workers to hand off to: run inline
+  return fut;
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
@@ -47,6 +65,7 @@ void ThreadPool::parallel_for(std::size_t count,
     std::function<void(std::size_t)> fn;
     std::mutex mu;
     std::condition_variable cv;
+    std::exception_ptr error;  // first exception thrown by any index
   };
   auto st = std::make_shared<State>();
   st->count = count;
@@ -56,7 +75,12 @@ void ThreadPool::parallel_for(std::size_t count,
     for (;;) {
       const std::size_t i = st->next.fetch_add(1);
       if (i >= st->count) break;
-      st->fn(i);
+      try {
+        st->fn(i);
+      } catch (...) {
+        std::lock_guard lk(st->mu);
+        if (!st->error) st->error = std::current_exception();
+      }
       if (st->done.fetch_add(1) + 1 == st->count) {
         std::lock_guard lk(st->mu);
         st->cv.notify_all();
@@ -72,6 +96,7 @@ void ThreadPool::parallel_for(std::size_t count,
   drain();  // calling thread participates
   std::unique_lock lk(st->mu);
   st->cv.wait(lk, [&] { return st->done.load() >= count; });
+  if (st->error) std::rethrow_exception(st->error);
 }
 
 }  // namespace cofhee::backend

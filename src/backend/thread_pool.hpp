@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <future>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -23,8 +24,18 @@ class ThreadPool {
   [[nodiscard]] std::size_t size() const noexcept { return workers_.size() + 1; }
 
   /// Run fn(i) for i in [0, count) across the pool (calling thread included);
-  /// returns when every index is done.
+  /// returns when every index is done.  If any invocation throws, the first
+  /// exception is rethrown on the calling thread after all indices finish.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Enqueue a single task; the future reports completion and carries any
+  /// exception the task throws.  Safe to call from multiple producer threads
+  /// concurrently.  With a single-thread pool (no workers) the task runs
+  /// inline.  Throws std::runtime_error if the pool is shutting down.
+  /// Do not block on a submitted task's future from inside another pool
+  /// task: with every worker waiting that way the queued task never runs
+  /// and the pool deadlocks (no work stealing).
+  std::future<void> submit(std::function<void()> fn);
 
  private:
   void worker_loop();

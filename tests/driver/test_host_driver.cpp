@@ -135,7 +135,9 @@ TEST(HostDriver, AllExecutionModesAgree) {
     f.chip.load_coeffs(Bank::kSp1, 0, b);
     const auto rep = d.poly_mul();
     if (mode == ExecMode::kDirect) direct_io = rep.io_seconds;
-    if (mode == ExecMode::kCm0) EXPECT_GT(rep.cm0_cycles, 0u);
+    if (mode == ExecMode::kCm0) {
+      EXPECT_GT(rep.cm0_cycles, 0u);
+    }
     results.push_back(f.chip.read_coeffs(Bank::kSp2, 0, f.n));
     EXPECT_GT(rep.compute_cycles, 0u);
   }
