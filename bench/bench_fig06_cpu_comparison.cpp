@@ -78,8 +78,11 @@ double measure_cpu_ms(const Config& cfg, unsigned threads) {
   std::vector<nt::u64> moduli;
   for (std::size_t i = 0; i < cfg.cpu_tower_bits.size(); ++i)
     moduli.push_back(nt::find_ntt_prime_u64(cfg.cpu_tower_bits[i], cfg.n, i));
-  backend::CpuTensorKernel kernel(cfg.n, moduli);
-  backend::ThreadPool pool(threads);
+  // The kernel carries its execution policy: serial reference at 1 thread,
+  // pooled above (the ExecPolicy path the BFV stack itself runs on).
+  const auto policy = threads <= 1 ? backend::ExecPolicy::serial()
+                                   : backend::ExecPolicy::pooled(threads);
+  backend::CpuTensorKernel kernel(cfg.n, moduli, policy);
 
   poly::Rng rng(7);
   auto mk = [&] {
@@ -90,11 +93,11 @@ double measure_cpu_ms(const Config& cfg, unsigned threads) {
   const auto a0 = mk(), a1 = mk(), b0 = mk(), b1 = mk();
 
   // Warm-up + best-of-5 (matching how short kernels are usually timed).
-  (void)kernel.multiply(a0, a1, b0, b1, pool);
+  (void)kernel.multiply(a0, a1, b0, b1);
   double best = 1e30;
   for (int rep = 0; rep < 5; ++rep) {
     const auto t0 = std::chrono::steady_clock::now();
-    (void)kernel.multiply(a0, a1, b0, b1, pool);
+    (void)kernel.multiply(a0, a1, b0, b1);
     const auto t1 = std::chrono::steady_clock::now();
     best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
   }
@@ -103,7 +106,10 @@ double measure_cpu_ms(const Config& cfg, unsigned threads) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = eval::MetricsJson::path_from_args(argc, argv);
+  eval::MetricsJson metrics;
+
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("host hardware threads: %u (paper baseline: Ryzen 7 5800H, 16T)\n", hw);
 
@@ -157,6 +163,26 @@ int main() {
         (cfg.paper_seal_1t_ms * seal_w) / (hw_res.ms * hw_res.mw * 1e-3);
     std::printf("PDP advantage of CoFHEE over 1-thread CPU: %.0fx "
                 "(paper: 2-3 orders of magnitude)\n", adv);
+
+    // Regression-tracked metrics: the chip-model and analytic-model outputs
+    // only (wall-clock 'measured ms' is machine-dependent and excluded).
+    const std::string key = "logq" + std::to_string(cfg.log_q) + "/";
+    metrics.set(key + "cofhee_ms", hw_res.ms);
+    metrics.set(key + "cofhee_mw", hw_res.mw);
+    metrics.set(key + "cofhee_pdp_wms", cofhee_pdp_wms);
+    metrics.set(key + "seal_w_1t", seal_w);
+    for (unsigned threads : {1u, 4u, 16u}) {
+      metrics.set(key + "modelled_ms_" + std::to_string(threads) + "t",
+                  time_model.ms(cfg.paper_seal_1t_ms, threads));
+      metrics.set(key + "model_w_" + std::to_string(threads) + "t",
+                  power_model.watts(cfg.n, cfg.cpu_tower_bits.size(), threads));
+    }
+    metrics.set(key + "pdp_advantage_1t", adv);
+  }
+
+  if (!json_path.empty() && !metrics.write(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
   }
 
   std::puts("\nNotes:\n"

@@ -77,7 +77,10 @@ Measured run_op(const char* algo, std::size_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = eval::MetricsJson::path_from_args(argc, argv);
+  eval::MetricsJson metrics;
+
   eval::section("Table V -- CoFHEE performance & power, n = {2^12, 2^13}");
   eval::Table t({"algo", "n", "cycles", "paper cc", "err", "us", "paper us",
                  "avg mW", "paper", "err", "peak mW", "paper", "err"});
@@ -89,10 +92,20 @@ int main() {
            eval::fmt(row.avg_mw, 1), eval::pct_err(m.avg_mw, row.avg_mw),
            eval::fmt(m.peak_mw, 1), eval::fmt(row.peak_mw, 1),
            eval::pct_err(m.peak_mw, row.peak_mw)});
+    const std::string key =
+        std::string(row.algo) + "/n" + std::to_string(row.n) + "/";
+    metrics.set(key + "cycles", static_cast<double>(m.cc));
+    metrics.set(key + "us", m.us);
+    metrics.set(key + "avg_mw", m.avg_mw);
+    metrics.set(key + "peak_mw", m.peak_mw);
   }
   t.print();
   std::puts("Latency: structural cycle model (calibrated constants asserted by "
             "tests/chip/test_mdmc.cpp).\nPower: event-energy model fit; see "
             "DESIGN.md substitution register.");
+  if (!json_path.empty() && !metrics.write(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -10,7 +10,11 @@
 int main() {
   using namespace cofhee;
 
-  bfv::Bfv scheme(bfv::BfvParams::test_tiny(128), 17);
+  // Pooled ExecPolicy: the host-side RNS plumbing (base extension, t/q
+  // rounding) fans out over 4 threads; results are bit-identical to the
+  // serial reference path.
+  bfv::Bfv scheme(bfv::BfvParams::test_tiny(128), 17,
+                  backend::ExecPolicy::pooled(4));
   const auto sk = scheme.keygen_secret();
   const auto pk = scheme.keygen_public(sk);
   bfv::IntegerEncoder enc(scheme.context());

@@ -6,14 +6,25 @@
 
 namespace cofhee::backend {
 
-CpuTensorKernel::CpuTensorKernel(std::size_t n, const std::vector<u64>& moduli)
-    : n_(n) {
-  ntts_.reserve(moduli.size());
+CpuTensorKernel::CpuTensorKernel(std::size_t n, const std::vector<u64>& moduli,
+                                 ExecPolicy policy)
+    : n_(n), exec_(policy) {
   rings_.reserve(moduli.size());
-  for (u64 q : moduli) {
-    rings_.emplace_back(q);
-    ntts_.emplace_back(rings_.back(), n, nt::primitive_2nth_root(q, n));
-  }
+  for (u64 q : moduli) rings_.emplace_back(q);
+  // Twiddle-table construction is per-tower independent (root finding plus
+  // O(n) table fills) -- the last serial loop in this kernel's setup.
+  ntts_.resize(moduli.size());
+  exec_.for_each(moduli.size(), [&](std::size_t i) {
+    ntts_[i] = poly::NegacyclicNtt64(rings_[i], n,
+                                     nt::primitive_2nth_root(moduli[i], n));
+  });
+}
+
+CpuTensorKernel::Output CpuTensorKernel::multiply(const RnsPoly& a0,
+                                                  const RnsPoly& a1,
+                                                  const RnsPoly& b0,
+                                                  const RnsPoly& b1) const {
+  return multiply_on(a0, a1, b0, b1, exec_);
 }
 
 CpuTensorKernel::Output CpuTensorKernel::multiply(const RnsPoly& a0,
@@ -21,6 +32,14 @@ CpuTensorKernel::Output CpuTensorKernel::multiply(const RnsPoly& a0,
                                                   const RnsPoly& b0,
                                                   const RnsPoly& b1,
                                                   ThreadPool& pool) const {
+  return multiply_on(a0, a1, b0, b1, Executor::attach(pool));
+}
+
+CpuTensorKernel::Output CpuTensorKernel::multiply_on(const RnsPoly& a0,
+                                                     const RnsPoly& a1,
+                                                     const RnsPoly& b0,
+                                                     const RnsPoly& b1,
+                                                     const Executor& exec) const {
   if (a0.num_towers() != towers())
     throw std::invalid_argument("CpuTensorKernel: tower count mismatch");
   Output out;
@@ -33,7 +52,7 @@ CpuTensorKernel::Output CpuTensorKernel::multiply(const RnsPoly& a0,
   // 4 forward NTTs of a tower are independent; the tensor + 3 inverse NTTs
   // run as a second task wave.
   std::vector<Coeffs<u64>> fa0(towers()), fa1(towers()), fb0(towers()), fb1(towers());
-  pool.parallel_for(towers() * 4, [&](std::size_t idx) {
+  exec.for_each(towers() * 4, [&](std::size_t idx) {
     const std::size_t tw = idx / 4;
     const auto& ntt = ntts_[tw];
     switch (idx % 4) {
@@ -56,7 +75,7 @@ CpuTensorKernel::Output CpuTensorKernel::multiply(const RnsPoly& a0,
     }
   });
 
-  pool.parallel_for(towers() * 3, [&](std::size_t idx) {
+  exec.for_each(towers() * 3, [&](std::size_t idx) {
     const std::size_t tw = idx / 3;
     const auto& ntt = ntts_[tw];
     const auto& ring = rings_[tw];

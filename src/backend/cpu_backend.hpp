@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "backend/exec_policy.hpp"
 #include "backend/thread_pool.hpp"
 #include "poly/ntt.hpp"
 #include "poly/rns.hpp"
@@ -25,19 +26,28 @@ using poly::Coeffs;
 using poly::RnsPoly;
 using nt::u64;
 
-/// Tensor workload for one (n, towers) configuration.
+/// Tensor workload for one (n, towers) configuration.  Carries an
+/// ExecPolicy so callers pick serial vs pooled execution at construction;
+/// the legacy explicit-pool multiply overload remains for callers that
+/// manage their own ThreadPool.
 class CpuTensorKernel {
  public:
-  CpuTensorKernel(std::size_t n, const std::vector<u64>& moduli);
+  CpuTensorKernel(std::size_t n, const std::vector<u64>& moduli,
+                  ExecPolicy policy = ExecPolicy::serial());
 
   [[nodiscard]] std::size_t n() const noexcept { return n_; }
   [[nodiscard]] std::size_t towers() const noexcept { return ntts_.size(); }
+  [[nodiscard]] const Executor& exec() const noexcept { return exec_; }
 
   struct Output {
     RnsPoly y0, y1, y2;
   };
 
-  /// EvalMult tensor (Eq. 4 numerators) on `threads` threads.
+  /// EvalMult tensor (Eq. 4 numerators) on the carried execution policy.
+  Output multiply(const RnsPoly& a0, const RnsPoly& a1, const RnsPoly& b0,
+                  const RnsPoly& b1) const;
+
+  /// Legacy overload: same tensor, drained into the caller's pool.
   Output multiply(const RnsPoly& a0, const RnsPoly& a1, const RnsPoly& b0,
                   const RnsPoly& b1, ThreadPool& pool) const;
 
@@ -45,9 +55,13 @@ class CpuTensorKernel {
   [[nodiscard]] std::uint64_t modmul_count() const;
 
  private:
+  Output multiply_on(const RnsPoly& a0, const RnsPoly& a1, const RnsPoly& b0,
+                     const RnsPoly& b1, const Executor& exec) const;
+
   std::size_t n_;
   std::vector<poly::NegacyclicNtt64> ntts_;
   std::vector<nt::Barrett64> rings_;
+  Executor exec_;
 };
 
 /// Calibrated CPU power model (substitute for powertop on the Ryzen 5800H;

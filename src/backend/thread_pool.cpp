@@ -1,5 +1,6 @@
 #include "backend/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <stdexcept>
@@ -55,47 +56,74 @@ std::future<void> ThreadPool::submit(std::function<void()> fn) {
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
+  parallel_for(count, 1, fn);
+}
+
+void ThreadPool::parallel_for(std::size_t count, std::size_t grain,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for_ranges(count, grain, [&fn](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_for_ranges(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
+  if (grain == 0) grain = 1;  // callers sometimes derive the grain; be lenient
+  const std::size_t chunks = (count + grain - 1) / grain;
   // Shared state keeps stragglers (and queued tasks that start after this
-  // call returns) valid: they observe next >= count and exit immediately.
+  // call returns) valid: they observe next >= chunks and exit immediately.
   struct State {
     std::atomic<std::size_t> next{0};
     std::atomic<std::size_t> done{0};
     std::size_t count;
-    std::function<void(std::size_t)> fn;
+    std::size_t grain;
+    std::size_t chunks;
+    std::function<void(std::size_t, std::size_t)> fn;
     std::mutex mu;
     std::condition_variable cv;
-    std::exception_ptr error;  // first exception thrown by any index
+    std::exception_ptr error;  // first exception thrown by any chunk
   };
   auto st = std::make_shared<State>();
   st->count = count;
+  st->grain = grain;
+  st->chunks = chunks;
   st->fn = fn;
 
   auto drain = [st] {
     for (;;) {
-      const std::size_t i = st->next.fetch_add(1);
-      if (i >= st->count) break;
+      const std::size_t c = st->next.fetch_add(1);
+      if (c >= st->chunks) break;
+      const std::size_t lo = c * st->grain;
+      const std::size_t hi = std::min(lo + st->grain, st->count);
       try {
-        st->fn(i);
+        st->fn(lo, hi);
       } catch (...) {
         std::lock_guard lk(st->mu);
         if (!st->error) st->error = std::current_exception();
       }
-      if (st->done.fetch_add(1) + 1 == st->count) {
+      if (st->done.fetch_add(1) + 1 == st->chunks) {
         std::lock_guard lk(st->mu);
         st->cv.notify_all();
       }
     }
   };
 
-  {
-    std::lock_guard lk(mu_);
-    for (std::size_t w = 0; w < workers_.size(); ++w) tasks_.push(drain);
+  // The calling thread drains too, so only chunks - 1 helpers can ever find
+  // work; queueing more (the old behavior for count < threads) just left
+  // no-op tasks behind for later calls to trip over.
+  const std::size_t helpers = std::min(workers_.size(), chunks - 1);
+  if (helpers > 0) {
+    {
+      std::lock_guard lk(mu_);
+      for (std::size_t w = 0; w < helpers; ++w) tasks_.push(drain);
+    }
+    cv_.notify_all();
   }
-  cv_.notify_all();
   drain();  // calling thread participates
   std::unique_lock lk(st->mu);
-  st->cv.wait(lk, [&] { return st->done.load() >= count; });
+  st->cv.wait(lk, [&] { return st->done.load() >= st->chunks; });
   if (st->error) std::rethrow_exception(st->error);
 }
 

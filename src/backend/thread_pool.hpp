@@ -28,6 +28,22 @@ class ThreadPool {
   /// exception is rethrown on the calling thread after all indices finish.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Grain-size variant: indices are handed out in contiguous chunks of
+  /// `grain` (a zero grain is treated as 1), so cheap per-index bodies are
+  /// not dominated by task-dispatch overhead.  Only as many helper tasks as
+  /// there are chunks are enqueued, so count < threads does not queue idle
+  /// work.  If a body throws, the remaining indices of that chunk are
+  /// skipped; other chunks still run, and the first exception is rethrown
+  /// on the calling thread once every chunk finishes.
+  void parallel_for(std::size_t count, std::size_t grain,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Range form of the grained variant: fn(lo, hi) once per chunk, letting
+  /// the body hoist per-task scratch.  Same scheduling, helper-task, and
+  /// exception semantics as above (both overloads are built on this).
+  void parallel_for_ranges(std::size_t count, std::size_t grain,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Enqueue a single task; the future reports completion and carries any
   /// exception the task throws.  Safe to call from multiple producer threads
   /// concurrently.  With a single-thread pool (no workers) the task runs

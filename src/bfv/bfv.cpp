@@ -77,14 +77,14 @@ Ciphertext Bfv::encrypt(const PublicKey& pk, const Plaintext& m) {
   Ciphertext ct;
   // c0 = p0 u + e1 + Delta m  (Eq. 2), c1 = p1 u + e2  (Eq. 3).
   RnsPoly c0 = ctx_.add(ctx_.mul(pk.p0, u), e1);
-  for (std::size_t i = 0; i < ctx_.q_basis().size(); ++i) {
+  ctx_.exec().for_each(ctx_.q_basis().size(), [&](std::size_t i) {
     const auto& ring = ctx_.q_basis().tower(i);
     const u64 dm = ctx_.delta_mod(i);
     for (std::size_t j = 0; j < ctx_.n(); ++j) {
       if (m.coeffs[j] >= ctx_.t()) throw std::invalid_argument("Bfv: coeff >= t");
       c0.towers[i][j] = ring.add(c0.towers[i][j], ring.mul(dm, m.coeffs[j] % ring.modulus()));
     }
-  }
+  });
   ct.c.push_back(std::move(c0));
   ct.c.push_back(ctx_.add(ctx_.mul(pk.p1, u), e2));
   return ct;
@@ -98,19 +98,23 @@ Plaintext Bfv::decrypt(const SecretKey& sk, const Ciphertext& ct) const {
 
   Plaintext m;
   m.coeffs.assign(ctx_.n(), 0);
-  std::vector<u64> res(ctx_.q_basis().size());
   const u64 t = ctx_.t();
-  for (std::size_t j = 0; j < ctx_.n(); ++j) {
-    for (std::size_t i = 0; i < res.size(); ++i) res[i] = v.towers[i][j];
-    auto [mag, neg] = ctx_.q_basis().reconstruct_centered(res);
-    // round(t * |x| / Q) then fold the sign into Z_t.
-    u64 carry = 0;
-    const BigInt num = mag.mul_small(t, &carry);
-    if (carry != 0) throw std::logic_error("Bfv: t*x overflow");
-    const BigInt r = nt::div_round(num, ctx_.big_q());
-    const u64 mt = r.mod_u64(t);
-    m.coeffs[j] = neg ? (mt == 0 ? 0 : t - mt) : mt;
-  }
+  // Coefficient-wise CRT lift + t/q rounding; each task owns a contiguous
+  // coefficient range and its own residue scratch.
+  ctx_.exec().for_ranges(ctx_.n(), [&](std::size_t lo, std::size_t hi) {
+    std::vector<u64> res(ctx_.q_basis().size());
+    for (std::size_t j = lo; j < hi; ++j) {
+      for (std::size_t i = 0; i < res.size(); ++i) res[i] = v.towers[i][j];
+      auto [mag, neg] = ctx_.q_basis().reconstruct_centered(res);
+      // round(t * |x| / Q) then fold the sign into Z_t.
+      u64 carry = 0;
+      const BigInt num = mag.mul_small(t, &carry);
+      if (carry != 0) throw std::logic_error("Bfv: t*x overflow");
+      const BigInt r = nt::div_round(num, ctx_.big_q());
+      const u64 mt = r.mod_u64(t);
+      m.coeffs[j] = neg ? (mt == 0 ? 0 : t - mt) : mt;
+    }
+  });
   return m;
 }
 
@@ -142,13 +146,11 @@ Ciphertext Bfv::add_plain(const Ciphertext& a, const Plaintext& m) const {
 Ciphertext Bfv::mul_plain(const Ciphertext& a, const Plaintext& m) const {
   // Plaintext coefficients are small (< t); embed directly in every tower.
   RnsPoly mp;
-  mp.towers.reserve(ctx_.q_basis().size());
-  for (std::size_t i = 0; i < ctx_.q_basis().size(); ++i) {
-    poly::Coeffs<u64> tc(ctx_.n());
+  mp.towers.assign(ctx_.q_basis().size(), poly::Coeffs<u64>(ctx_.n()));
+  ctx_.exec().for_each(ctx_.q_basis().size(), [&](std::size_t i) {
     for (std::size_t j = 0; j < ctx_.n(); ++j)
-      tc[j] = m.coeffs[j] % ctx_.q_basis().modulus(i);
-    mp.towers.push_back(std::move(tc));
-  }
+      mp.towers[i][j] = m.coeffs[j] % ctx_.q_basis().modulus(i);
+  });
   Ciphertext r;
   for (const auto& comp : a.c) r.c.push_back(ctx_.mul(comp, mp));
   return r;
@@ -160,15 +162,17 @@ poly::RnsPoly Bfv::extend_centered(const RnsPoly& p) const {
   const BigInt half = qb.product() >> 1;
   RnsPoly out;
   out.towers.assign(eb.size(), Coeffs<u64>(ctx_.n()));
-  std::vector<u64> res(qb.size());
-  for (std::size_t j = 0; j < ctx_.n(); ++j) {
-    for (std::size_t i = 0; i < qb.size(); ++i) res[i] = p.towers[i][j];
-    BigInt x = qb.reconstruct(res);
-    const bool neg = x > half;
-    const BigInt mag = neg ? qb.product() - x : x;
-    for (std::size_t i = 0; i < eb.size(); ++i)
-      out.towers[i][j] = signed_mod(mag, neg, eb.modulus(i));
-  }
+  ctx_.exec().for_ranges(ctx_.n(), [&](std::size_t lo, std::size_t hi) {
+    std::vector<u64> res(qb.size());
+    for (std::size_t j = lo; j < hi; ++j) {
+      for (std::size_t i = 0; i < qb.size(); ++i) res[i] = p.towers[i][j];
+      BigInt x = qb.reconstruct(res);
+      const bool neg = x > half;
+      const BigInt mag = neg ? qb.product() - x : x;
+      for (std::size_t i = 0; i < eb.size(); ++i)
+        out.towers[i][j] = signed_mod(mag, neg, eb.modulus(i));
+    }
+  });
   return out;
 }
 
@@ -178,19 +182,21 @@ poly::RnsPoly Bfv::scale_round_to_q(const RnsPoly& y_ext) const {
   const BigInt half = eb.product() >> 1;
   RnsPoly out;
   out.towers.assign(qb.size(), Coeffs<u64>(ctx_.n()));
-  std::vector<u64> res(eb.size());
-  for (std::size_t j = 0; j < ctx_.n(); ++j) {
-    for (std::size_t i = 0; i < eb.size(); ++i) res[i] = y_ext.towers[i][j];
-    BigInt y = eb.reconstruct(res);
-    const bool neg = y > half;
-    const BigInt mag = neg ? eb.product() - y : y;
-    u64 carry = 0;
-    const BigInt num = mag.mul_small(ctx_.t(), &carry);
-    if (carry != 0) throw std::logic_error("Bfv: tensor scale overflow");
-    const BigInt m = nt::div_round(num, ctx_.big_q());
-    for (std::size_t i = 0; i < qb.size(); ++i)
-      out.towers[i][j] = signed_mod(m, neg, qb.modulus(i));
-  }
+  ctx_.exec().for_ranges(ctx_.n(), [&](std::size_t lo, std::size_t hi) {
+    std::vector<u64> res(eb.size());
+    for (std::size_t j = lo; j < hi; ++j) {
+      for (std::size_t i = 0; i < eb.size(); ++i) res[i] = y_ext.towers[i][j];
+      BigInt y = eb.reconstruct(res);
+      const bool neg = y > half;
+      const BigInt mag = neg ? eb.product() - y : y;
+      u64 carry = 0;
+      const BigInt num = mag.mul_small(ctx_.t(), &carry);
+      if (carry != 0) throw std::logic_error("Bfv: tensor scale overflow");
+      const BigInt m = nt::div_round(num, ctx_.big_q());
+      for (std::size_t i = 0; i < qb.size(); ++i)
+        out.towers[i][j] = signed_mod(m, neg, qb.modulus(i));
+    }
+  });
   return out;
 }
 
@@ -205,33 +211,65 @@ Ciphertext Bfv::multiply(const Ciphertext& a, const Ciphertext& b) const {
 
   // Tensor per extended tower (Eq. 4 numerators): 4 forward NTTs per tower
   // held in NTT form, 4 Hadamard products, 1 add, 3 inverse NTTs -- the
-  // exact command mix CoFHEE runs on chip (Algorithm 3).
+  // exact command mix CoFHEE runs on chip (Algorithm 3).  Tower-major
+  // decomposition into (tower, transform) tasks, mirroring CpuTensorKernel:
+  // each task owns one tower's contiguous coefficient vector, and thread
+  // counts beyond the tower count still scale.
   const std::size_t k = ctx_.ext_basis().size();
   RnsPoly y0, y1, y2;
   y0.towers.resize(k);
   y1.towers.resize(k);
   y2.towers.resize(k);
-  for (std::size_t i = 0; i < k; ++i) {
+  std::vector<Coeffs<u64>> fa0(k), fa1(k), fb0(k), fb1(k);
+  ctx_.exec().for_each(k * 4, [&](std::size_t idx) {
+    const std::size_t i = idx / 4;
+    const auto& ntt = ctx_.ext_ntt(i);
+    switch (idx % 4) {
+      case 0:
+        fa0[i] = a0.towers[i];
+        ntt.forward(fa0[i]);
+        break;
+      case 1:
+        fa1[i] = a1.towers[i];
+        ntt.forward(fa1[i]);
+        break;
+      case 2:
+        fb0[i] = b0.towers[i];
+        ntt.forward(fb0[i]);
+        break;
+      default:
+        fb1[i] = b1.towers[i];
+        ntt.forward(fb1[i]);
+        break;
+    }
+  });
+  ctx_.exec().for_each(k * 3, [&](std::size_t idx) {
+    const std::size_t i = idx / 3;
     const auto& ntt = ctx_.ext_ntt(i);
     const auto& ring = ctx_.ext_basis().tower(i);
-    Coeffs<u64> fa0 = a0.towers[i], fa1 = a1.towers[i];
-    Coeffs<u64> fb0 = b0.towers[i], fb1 = b1.towers[i];
-    ntt.forward(fa0);
-    ntt.forward(fa1);
-    ntt.forward(fb0);
-    ntt.forward(fb1);
-    auto t0 = poly::pointwise_mul(ring, fa0, fb0);
-    auto t01 = poly::pointwise_mul(ring, fa0, fb1);
-    auto t10 = poly::pointwise_mul(ring, fa1, fb0);
-    auto t2 = poly::pointwise_mul(ring, fa1, fb1);
-    auto t1 = poly::pointwise_add(ring, t01, t10);
-    ntt.inverse(t0);
-    ntt.inverse(t1);
-    ntt.inverse(t2);
-    y0.towers[i] = std::move(t0);
-    y1.towers[i] = std::move(t1);
-    y2.towers[i] = std::move(t2);
-  }
+    switch (idx % 3) {
+      case 0: {
+        auto t0 = poly::pointwise_mul(ring, fa0[i], fb0[i]);
+        ntt.inverse(t0);
+        y0.towers[i] = std::move(t0);
+        break;
+      }
+      case 1: {
+        auto t01 = poly::pointwise_mul(ring, fa0[i], fb1[i]);
+        const auto t10 = poly::pointwise_mul(ring, fa1[i], fb0[i]);
+        auto t1 = poly::pointwise_add(ring, t01, t10);
+        ntt.inverse(t1);
+        y1.towers[i] = std::move(t1);
+        break;
+      }
+      default: {
+        auto t2 = poly::pointwise_mul(ring, fa1[i], fb1[i]);
+        ntt.inverse(t2);
+        y2.towers[i] = std::move(t2);
+        break;
+      }
+    }
+  });
 
   Ciphertext r;
   r.c.push_back(scale_round_to_q(y0));
@@ -246,28 +284,55 @@ Ciphertext Bfv::relinearize(const Ciphertext& ct, const RelinKeys& rk) const {
   const unsigned w = rk.digit_bits;
   const u64 mask = (w == 64) ? ~u64{0} : ((u64{1} << w) - 1);
 
-  // Digit-decompose c2 over the integers: c2 = sum_d D_d 2^(w d).
-  std::vector<RnsPoly> digits(rk.keys.size());
+  // Digit-decompose c2 over the integers: c2 = sum_d D_d 2^(w d).  Each
+  // task lifts a contiguous coefficient range; digit writes are disjoint.
+  const std::size_t nd = rk.keys.size();
+  std::vector<RnsPoly> digits(nd);
   for (auto& d : digits) d.towers.assign(qb.size(), Coeffs<u64>(ctx_.n(), 0));
-  std::vector<u64> res(qb.size());
-  for (std::size_t j = 0; j < ctx_.n(); ++j) {
-    for (std::size_t i = 0; i < qb.size(); ++i) res[i] = ct.c[2].towers[i][j];
-    BigInt x = qb.reconstruct(res);
-    for (std::size_t d = 0; d < rk.keys.size(); ++d) {
-      const u64 digit = x.limb[0] & mask;
-      x >>= w;
-      for (std::size_t i = 0; i < qb.size(); ++i)
-        digits[d].towers[i][j] = digit % qb.modulus(i);
+  ctx_.exec().for_ranges(ctx_.n(), [&](std::size_t lo, std::size_t hi) {
+    std::vector<u64> res(qb.size());
+    for (std::size_t j = lo; j < hi; ++j) {
+      for (std::size_t i = 0; i < qb.size(); ++i) res[i] = ct.c[2].towers[i][j];
+      BigInt x = qb.reconstruct(res);
+      for (std::size_t d = 0; d < nd; ++d) {
+        const u64 digit = x.limb[0] & mask;
+        x >>= w;
+        for (std::size_t i = 0; i < qb.size(); ++i)
+          digits[d].towers[i][j] = digit % qb.modulus(i);
+      }
     }
-  }
+  });
+
+  // Key-switch products: one task per (digit, component, tower) -- the
+  // relinearization digit loops are nd * 2 * towers independent negacyclic
+  // multiplications.
+  std::vector<RnsPoly> prod0(nd), prod1(nd);
+  for (auto& p : prod0) p.towers.resize(qb.size());
+  for (auto& p : prod1) p.towers.resize(qb.size());
+  ctx_.exec().for_each(nd * 2 * qb.size(), [&](std::size_t idx) {
+    const std::size_t d = idx / (2 * qb.size());
+    const std::size_t rem = idx % (2 * qb.size());
+    const std::size_t comp = rem / qb.size();
+    const std::size_t i = rem % qb.size();
+    const auto& key = comp == 0 ? rk.keys[d].first : rk.keys[d].second;
+    auto& out = comp == 0 ? prod0[d] : prod1[d];
+    out.towers[i] = ctx_.mul_tower(i, digits[d].towers[i], key.towers[i]);
+  });
 
   Ciphertext r;
   r.c.push_back(ct.c[0]);
   r.c.push_back(ct.c[1]);
-  for (std::size_t d = 0; d < rk.keys.size(); ++d) {
-    r.c[0] = ctx_.add(r.c[0], ctx_.mul(digits[d], rk.keys[d].first));
-    r.c[1] = ctx_.add(r.c[1], ctx_.mul(digits[d], rk.keys[d].second));
-  }
+  // Accumulate per (component, tower), keeping the ascending-d order of the
+  // serial reference so sums are bit-identical.
+  ctx_.exec().for_each(2 * qb.size(), [&](std::size_t idx) {
+    const std::size_t comp = idx / qb.size();
+    const std::size_t i = idx % qb.size();
+    const auto& ring = qb.tower(i);
+    auto& acc = r.c[comp].towers[i];
+    const auto& prods = comp == 0 ? prod0 : prod1;
+    for (std::size_t d = 0; d < nd; ++d)
+      acc = poly::pointwise_add(ring, acc, prods[d].towers[i]);
+  });
   return r;
 }
 

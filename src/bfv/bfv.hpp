@@ -47,10 +47,16 @@ struct Ciphertext {
 
 class Bfv {
  public:
-  explicit Bfv(BfvParams params, std::uint64_t seed = 1)
-      : ctx_(std::move(params)), rng_(seed) {}
+  explicit Bfv(BfvParams params, std::uint64_t seed = 1,
+               backend::ExecPolicy policy = backend::ExecPolicy::serial())
+      : ctx_(std::move(params), policy), rng_(seed) {}
 
   [[nodiscard]] const BfvContext& context() const noexcept { return ctx_; }
+  /// Switch between the serial reference path and a pooled path at runtime.
+  /// Sampling (keygen/encrypt randomness) always stays serial, so two
+  /// schemes with equal seeds produce identical keys and ciphertexts
+  /// regardless of policy.
+  void set_exec_policy(backend::ExecPolicy policy) { ctx_.set_exec_policy(policy); }
 
   [[nodiscard]] SecretKey keygen_secret();
   [[nodiscard]] PublicKey keygen_public(const SecretKey& sk);

@@ -50,25 +50,28 @@ unsigned BfvParams::log_q() const {
   return b.log_q();
 }
 
-BfvContext::BfvContext(BfvParams params)
+BfvContext::BfvContext(BfvParams params, backend::ExecPolicy policy)
     : params_(std::move(params)), q_basis_(params_.q_moduli),
       ext_basis_([&] {
         std::vector<u64> all = params_.q_moduli;
         all.insert(all.end(), params_.aux_moduli.begin(), params_.aux_moduli.end());
         return poly::RnsBasis(all);
-      }()) {
-  q_ntt_.reserve(q_basis_.size());
-  for (std::size_t i = 0; i < q_basis_.size(); ++i) {
+      }()),
+      exec_(policy) {
+  // Twiddle-table construction is itself per-tower independent work (root
+  // finding + O(n) table fills), so it runs on the same executor.
+  q_ntt_.resize(q_basis_.size());
+  exec_.for_each(q_basis_.size(), [&](std::size_t i) {
     const u64 q = q_basis_.modulus(i);
-    q_ntt_.emplace_back(q_basis_.tower(i), params_.n,
-                        nt::primitive_2nth_root(q, params_.n));
-  }
-  ext_ntt_.reserve(ext_basis_.size());
-  for (std::size_t i = 0; i < ext_basis_.size(); ++i) {
+    q_ntt_[i] = poly::NegacyclicNtt64(q_basis_.tower(i), params_.n,
+                                      nt::primitive_2nth_root(q, params_.n));
+  });
+  ext_ntt_.resize(ext_basis_.size());
+  exec_.for_each(ext_basis_.size(), [&](std::size_t i) {
     const u64 q = ext_basis_.modulus(i);
-    ext_ntt_.emplace_back(ext_basis_.tower(i), params_.n,
-                          nt::primitive_2nth_root(q, params_.n));
-  }
+    ext_ntt_[i] = poly::NegacyclicNtt64(ext_basis_.tower(i), params_.n,
+                                        nt::primitive_2nth_root(q, params_.n));
+  });
   delta_ = (q_basis_.product() / nt::WideInt<1>(params_.t)).resize_trunc<8>();
   delta_mod_q_.resize(q_basis_.size());
   for (std::size_t i = 0; i < q_basis_.size(); ++i)
@@ -92,10 +95,13 @@ poly::RnsPoly BfvContext::sub(const poly::RnsPoly& a, const poly::RnsPoly& b) co
 }
 
 poly::RnsPoly BfvContext::mul(const poly::RnsPoly& a, const poly::RnsPoly& b) const {
+  // Per-tower negacyclic NTT multiplications are fully independent; this is
+  // the Q-basis hot loop behind relinearization and decryption.
   poly::RnsPoly r;
-  r.towers.reserve(a.num_towers());
-  for (std::size_t i = 0; i < a.num_towers(); ++i)
-    r.towers.push_back(q_ntt_.at(i).negacyclic_mul(a.towers[i], b.towers[i]));
+  r.towers.resize(a.num_towers());
+  exec_.for_each(a.num_towers(), [&](std::size_t i) {
+    r.towers[i] = q_ntt_.at(i).negacyclic_mul(a.towers[i], b.towers[i]);
+  });
   return r;
 }
 

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "backend/exec_policy.hpp"
 #include "nt/primes.hpp"
 #include "poly/ntt.hpp"
 #include "poly/rns.hpp"
@@ -44,10 +45,15 @@ struct BfvParams {
   [[nodiscard]] unsigned log_q() const;
 };
 
-/// Precomputed context shared by keygen/encrypt/decrypt/evaluate.
+/// Precomputed context shared by keygen/encrypt/decrypt/evaluate.  Carries
+/// the execution policy every per-tower / per-coefficient hot loop drains
+/// through: serial by default (the bit-exact reference path), pooled when a
+/// caller opts in.  Switching policies never changes results -- only which
+/// threads compute them (tests/bfv/test_parallel_vs_serial_bfv.cpp).
 class BfvContext {
  public:
-  explicit BfvContext(BfvParams params);
+  explicit BfvContext(BfvParams params,
+                      backend::ExecPolicy policy = backend::ExecPolicy::serial());
 
   [[nodiscard]] const BfvParams& params() const noexcept { return params_; }
   [[nodiscard]] std::size_t n() const noexcept { return params_.n; }
@@ -72,6 +78,14 @@ class BfvContext {
     return q_ntt_.at(i).negacyclic_mul(a, b);
   }
 
+  /// Executor the evaluation loops run on (serial or pooled).
+  [[nodiscard]] const backend::Executor& exec() const noexcept { return exec_; }
+  /// Swap the serial reference path and the pooled path at runtime.  Not
+  /// safe concurrently with an evaluation on this context.
+  void set_exec_policy(backend::ExecPolicy policy) {
+    exec_ = backend::Executor(policy);
+  }
+
   // RNS-polynomial helpers over the Q basis.
   [[nodiscard]] poly::RnsPoly add(const poly::RnsPoly& a, const poly::RnsPoly& b) const;
   [[nodiscard]] poly::RnsPoly sub(const poly::RnsPoly& a, const poly::RnsPoly& b) const;
@@ -87,6 +101,7 @@ class BfvContext {
   std::vector<poly::NegacyclicNtt64> ext_ntt_;
   BigInt delta_{};
   std::vector<u64> delta_mod_q_;
+  backend::Executor exec_;
 };
 
 }  // namespace cofhee::bfv

@@ -4,8 +4,10 @@
 // EXPERIMENTS.md).
 #pragma once
 
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -73,5 +75,39 @@ inline std::string pct_err(double measured, double paper) {
 inline void section(const std::string& title, std::ostream& os = std::cout) {
   os << "\n=== " << title << " ===\n";
 }
+
+/// Flat metric sink for benchmark regression tracking: benches record the
+/// deterministic numbers they print (cycle counts, model outputs) under
+/// stable slash-separated keys, and `--json <path>` dumps them for
+/// tools/bench_diff.py to diff against the checked-in reference.
+class MetricsJson {
+ public:
+  void set(const std::string& key, double value) { metrics_[key] = value; }
+
+  /// Parse a `--json <path>` pair out of argv; returns the path or "".
+  static std::string path_from_args(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::string(argv[i]) == "--json") return argv[i + 1];
+    return "";
+  }
+
+  /// Write `{ "key": value, ... }` sorted by key; round-trip precision.
+  [[nodiscard]] bool write(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) return false;
+    os << "{\n";
+    const char* sep = "";
+    os << std::setprecision(17);
+    for (const auto& [k, v] : metrics_) {
+      os << sep << "  \"" << k << "\": " << v;
+      sep = ",\n";
+    }
+    os << "\n}\n";
+    return os.good();
+  }
+
+ private:
+  std::map<std::string, double> metrics_;
+};
 
 }  // namespace cofhee::eval

@@ -1,5 +1,7 @@
 #include "poly/rns.hpp"
 
+#include "backend/exec_policy.hpp"
+
 namespace cofhee::poly {
 
 RnsBasis::RnsBasis(const std::vector<u64>& moduli) {
@@ -63,30 +65,63 @@ std::pair<BigInt, bool> RnsBasis::reconstruct_centered(
 }
 
 RnsPoly rns_decompose(const RnsBasis& basis, const std::vector<BigInt>& coeffs) {
-  RnsPoly p;
-  p.towers.assign(basis.size(), Coeffs<u64>(coeffs.size()));
-  for (std::size_t j = 0; j < coeffs.size(); ++j) {
-    for (std::size_t i = 0; i < basis.size(); ++i)
-      p.towers[i][j] = coeffs[j].mod_u64(basis.modulus(i));
-  }
-  return p;
+  return rns_decompose(basis, coeffs, backend::Executor{});
 }
 
 std::vector<BigInt> rns_reconstruct(const RnsBasis& basis, const RnsPoly& p) {
+  return rns_reconstruct(basis, p, backend::Executor{});
+}
+
+RnsPoly rns_base_convert(const RnsBasis& from, const RnsBasis& to, const RnsPoly& p) {
+  return rns_base_convert(from, to, p, backend::Executor{});
+}
+
+RnsPoly rns_decompose(const RnsBasis& basis, const std::vector<BigInt>& coeffs,
+                      const backend::Executor& exec) {
+  RnsPoly p;
+  p.towers.assign(basis.size(), Coeffs<u64>(coeffs.size()));
+  exec.for_ranges(coeffs.size(), [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t j = lo; j < hi; ++j) {
+      for (std::size_t i = 0; i < basis.size(); ++i)
+        p.towers[i][j] = coeffs[j].mod_u64(basis.modulus(i));
+    }
+  });
+  return p;
+}
+
+std::vector<BigInt> rns_reconstruct(const RnsBasis& basis, const RnsPoly& p,
+                                    const backend::Executor& exec) {
   if (p.num_towers() != basis.size())
     throw std::invalid_argument("rns_reconstruct: tower count mismatch");
   const std::size_t n = p.n();
   std::vector<BigInt> coeffs(n);
-  std::vector<u64> res(basis.size());
-  for (std::size_t j = 0; j < n; ++j) {
-    for (std::size_t i = 0; i < basis.size(); ++i) res[i] = p.towers[i][j];
-    coeffs[j] = basis.reconstruct(res);
-  }
+  exec.for_ranges(n, [&](std::size_t lo, std::size_t hi) {
+    std::vector<u64> res(basis.size());
+    for (std::size_t j = lo; j < hi; ++j) {
+      for (std::size_t i = 0; i < basis.size(); ++i) res[i] = p.towers[i][j];
+      coeffs[j] = basis.reconstruct(res);
+    }
+  });
   return coeffs;
 }
 
-RnsPoly rns_base_convert(const RnsBasis& from, const RnsBasis& to, const RnsPoly& p) {
-  return rns_decompose(to, rns_reconstruct(from, p));
+RnsPoly rns_base_convert(const RnsBasis& from, const RnsBasis& to, const RnsPoly& p,
+                         const backend::Executor& exec) {
+  if (p.num_towers() != from.size())
+    throw std::invalid_argument("rns_base_convert: tower count mismatch");
+  const std::size_t n = p.n();
+  RnsPoly out;
+  out.towers.assign(to.size(), Coeffs<u64>(n));
+  exec.for_ranges(n, [&](std::size_t lo, std::size_t hi) {
+    std::vector<u64> res(from.size());
+    for (std::size_t j = lo; j < hi; ++j) {
+      for (std::size_t i = 0; i < from.size(); ++i) res[i] = p.towers[i][j];
+      const BigInt x = from.reconstruct(res);
+      for (std::size_t i = 0; i < to.size(); ++i)
+        out.towers[i][j] = x.mod_u64(to.modulus(i));
+    }
+  });
+  return out;
 }
 
 }  // namespace cofhee::poly

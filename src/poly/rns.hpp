@@ -18,6 +18,13 @@
 #include "nt/wide_int.hpp"
 #include "poly/polynomial.hpp"
 
+// poly stays a leaf layer: the pooled overloads below only name the
+// executor, so a forward declaration suffices and backend's thread-pool
+// headers are not dragged into every poly consumer.
+namespace cofhee::backend {
+class Executor;
+}
+
 namespace cofhee::poly {
 
 /// Big-integer type wide enough for every CRT lift in this codebase:
@@ -81,5 +88,22 @@ struct RnsPoly {
 /// valid for values in [0, from.product()).
 [[nodiscard]] RnsPoly rns_base_convert(const RnsBasis& from, const RnsBasis& to,
                                        const RnsPoly& p);
+
+// Pooled variants.  Coefficients are independent, so each executor task
+// lifts a contiguous coefficient range with its own scratch; results are
+// bit-identical to the serial overloads above (every coefficient runs the
+// exact same arithmetic).  The bases are read-only during the call and may
+// be shared by any number of concurrent conversions.
+[[nodiscard]] RnsPoly rns_decompose(const RnsBasis& basis,
+                                    const std::vector<BigInt>& coeffs,
+                                    const backend::Executor& exec);
+[[nodiscard]] std::vector<BigInt> rns_reconstruct(const RnsBasis& basis,
+                                                  const RnsPoly& p,
+                                                  const backend::Executor& exec);
+/// Fused reconstruct + decompose: each task lifts and re-decomposes its own
+/// coefficient range without materializing the intermediate BigInt vector.
+[[nodiscard]] RnsPoly rns_base_convert(const RnsBasis& from, const RnsBasis& to,
+                                       const RnsPoly& p,
+                                       const backend::Executor& exec);
 
 }  // namespace cofhee::poly

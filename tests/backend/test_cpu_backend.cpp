@@ -63,6 +63,28 @@ TEST(CpuTensorKernel, MatchesSchoolbookTensor) {
   }
 }
 
+TEST(CpuTensorKernel, CarriedPolicyMatchesExplicitPool) {
+  // The ExecPolicy-carrying construction (serial and pooled) must produce
+  // the same tensor as the legacy explicit-pool overload.
+  KernelFixture f;
+  const auto a0 = f.random_rns(21), a1 = f.random_rns(22);
+  const auto b0 = f.random_rns(23), b1 = f.random_rns(24);
+  ThreadPool pool(4);
+  const auto expect = f.kernel.multiply(a0, a1, b0, b1, pool);
+  const CpuTensorKernel serial(f.n, f.moduli, ExecPolicy::serial());
+  const CpuTensorKernel pooled(f.n, f.moduli, ExecPolicy::pooled(4));
+  const auto rs = serial.multiply(a0, a1, b0, b1);
+  const auto rp = pooled.multiply(a0, a1, b0, b1);
+  EXPECT_EQ(rs.y0.towers, expect.y0.towers);
+  EXPECT_EQ(rs.y1.towers, expect.y1.towers);
+  EXPECT_EQ(rs.y2.towers, expect.y2.towers);
+  EXPECT_EQ(rp.y0.towers, expect.y0.towers);
+  EXPECT_EQ(rp.y1.towers, expect.y1.towers);
+  EXPECT_EQ(rp.y2.towers, expect.y2.towers);
+  EXPECT_EQ(serial.exec().concurrency(), 1u);
+  EXPECT_EQ(pooled.exec().concurrency(), 4u);
+}
+
 TEST(CpuTensorKernel, ThreadCountDoesNotChangeResult) {
   KernelFixture f;
   const auto a0 = f.random_rns(5), a1 = f.random_rns(6);

@@ -103,6 +103,76 @@ TEST(ThreadPoolStress, SingleThreadPoolRunsInline) {
   EXPECT_EQ(done.load(), 100u + kTasks);
 }
 
+TEST(ThreadPoolStress, ParallelForZeroCountIsNoopForEveryGrain) {
+  ThreadPool pool(4);
+  for (std::size_t grain : {std::size_t{0}, std::size_t{1}, std::size_t{64}})
+    pool.parallel_for(0, grain, [](std::size_t) { FAIL() << "body ran"; });
+  // The pool is still fully operational afterwards.
+  std::atomic<std::size_t> done{0};
+  pool.parallel_for(16, [&done](std::size_t) { done.fetch_add(1); });
+  EXPECT_EQ(done.load(), 16u);
+}
+
+TEST(ThreadPoolStress, GrainZeroIsTreatedAsOne) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(97);
+  pool.parallel_for(hits.size(), 0, [&hits](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolStress, CountSmallerThanThreadsLeavesNoStragglerTasks) {
+  // A wide pool given tiny loops must not queue helper tasks it can never
+  // feed; interleaved submits would otherwise hit stale no-op drains.
+  ThreadPool pool(16);
+  std::atomic<std::size_t> done{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(1, [&done](std::size_t) { done.fetch_add(1); });
+    pool.parallel_for(3, 2, [&done](std::size_t) { done.fetch_add(1); });
+    pool.submit([&done] { done.fetch_add(1); }).get();
+  }
+  EXPECT_EQ(done.load(), 200u * (1 + 3 + 1));
+}
+
+TEST(ThreadPoolStress, GrainChunksCoverEveryIndexExactlyOnce) {
+  ThreadPool pool(8);
+  // Deliberately non-dividing grains, including one bigger than count.
+  for (std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{100},
+                            std::size_t{100000}}) {
+    std::vector<std::atomic<int>> hits(1001);
+    pool.parallel_for(hits.size(), grain, [&hits](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < hits.size(); ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "grain " << grain << ", index " << i;
+  }
+}
+
+TEST(ThreadPoolStress, GrainedParallelForRethrowsAndSkipsRestOfChunk) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> attempted{0};
+  EXPECT_THROW(
+      pool.parallel_for(100, 10,
+                        [&attempted](std::size_t i) {
+                          if (i % 10 == 5) throw std::runtime_error("chunk boom");
+                          attempted.fetch_add(1, std::memory_order_relaxed);
+                        }),
+      std::runtime_error);
+  // Each of the 10 chunks ran indices 0..4 of its decade then threw at 5:
+  // the tail of the throwing chunk is skipped, other chunks still ran.
+  EXPECT_EQ(attempted.load(), 50u);
+}
+
+TEST(ThreadPoolStress, SingleThreadGrainedRunsInlineInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  pool.parallel_for(10, 4, [&order](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 10u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
 TEST(ThreadPoolStress, RepeatedConstructDestroyIsClean) {
   for (int round = 0; round < 50; ++round) {
     ThreadPool pool(4);

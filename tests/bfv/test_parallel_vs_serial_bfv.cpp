@@ -1,0 +1,200 @@
+// Differential battery locking in the parallelized RNS-tower hot paths:
+// identical ciphertexts must come out of the serial reference path and the
+// pooled path (1, 2, 8 threads) bit-for-bit, across parameter sizes and
+// through full eval_mult -> relinearize -> decrypt chains.
+//
+// The two schemes are seeded identically and sampling is always serial, so
+// keys and fresh ciphertexts agree by construction; every divergence after
+// that would be a parallelization bug (data race, wrong task partition,
+// reordered non-associative arithmetic).  Runs under the TSan CI lane via
+// the `parallel` label.
+#include "bfv/bfv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "bfv/encoder.hpp"
+
+namespace cofhee::bfv {
+namespace {
+
+using backend::ExecPolicy;
+
+void expect_rns_equal(const poly::RnsPoly& a, const poly::RnsPoly& b,
+                      const char* what) {
+  ASSERT_EQ(a.num_towers(), b.num_towers()) << what;
+  for (std::size_t i = 0; i < a.num_towers(); ++i)
+    ASSERT_EQ(a.towers[i], b.towers[i]) << what << ", tower " << i;
+}
+
+void expect_ct_equal(const Ciphertext& a, const Ciphertext& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t c = 0; c < a.size(); ++c)
+    expect_rns_equal(a.c[c], b.c[c], what);
+}
+
+struct ParamCase {
+  std::size_t n;
+  std::vector<unsigned> tower_bits;
+  const char* name;
+};
+
+const ParamCase kParamCases[] = {
+    {64, {40, 41}, "n64_2towers"},
+    {256, {40, 41}, "n256_2towers"},
+    {1024, {40, 41, 50}, "n1024_3towers"},
+};
+
+BfvParams make_params(const ParamCase& pc) {
+  return BfvParams::create(pc.n, pc.tower_bits, 65537);
+}
+
+Plaintext random_plain(const BfvContext& ctx, std::uint64_t seed) {
+  poly::Rng rng(seed);
+  Plaintext m;
+  m.coeffs.resize(ctx.n());
+  for (auto& c : m.coeffs) c = rng.uniform_below(ctx.t());
+  return m;
+}
+
+class ParallelVsSerialBfv
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+ protected:
+  [[nodiscard]] static const ParamCase& param_case() {
+    return kParamCases[std::get<0>(GetParam())];
+  }
+  [[nodiscard]] static std::size_t threads() { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ParallelVsSerialBfv, FullChainIsBitExact) {
+  const auto& pc = param_case();
+  constexpr std::uint64_t kSeed = 42;
+  Bfv serial(make_params(pc), kSeed, ExecPolicy::serial());
+  Bfv pooled(make_params(pc), kSeed, ExecPolicy::pooled(threads(), /*grain=*/32));
+
+  // Same seed + serial sampling => identical key material on both paths.
+  const auto sk_s = serial.keygen_secret();
+  const auto sk_p = pooled.keygen_secret();
+  expect_rns_equal(sk_s.s, sk_p.s, "secret key");
+  const auto pk_s = serial.keygen_public(sk_s);
+  const auto pk_p = pooled.keygen_public(sk_p);
+  expect_rns_equal(pk_s.p0, pk_p.p0, "public key p0");
+  expect_rns_equal(pk_s.p1, pk_p.p1, "public key p1");
+  const auto rk_s = serial.keygen_relin(sk_s, 16);
+  const auto rk_p = pooled.keygen_relin(sk_p, 16);
+  ASSERT_EQ(rk_s.keys.size(), rk_p.keys.size());
+  for (std::size_t d = 0; d < rk_s.keys.size(); ++d) {
+    expect_rns_equal(rk_s.keys[d].first, rk_p.keys[d].first, "relin b");
+    expect_rns_equal(rk_s.keys[d].second, rk_p.keys[d].second, "relin a");
+  }
+
+  const auto ma = random_plain(serial.context(), 7);
+  const auto mb = random_plain(serial.context(), 8);
+
+  const auto ca_s = serial.encrypt(pk_s, ma);
+  const auto ca_p = pooled.encrypt(pk_p, ma);
+  expect_ct_equal(ca_s, ca_p, "encrypt(a)");
+  const auto cb_s = serial.encrypt(pk_s, mb);
+  const auto cb_p = pooled.encrypt(pk_p, mb);
+  expect_ct_equal(cb_s, cb_p, "encrypt(b)");
+
+  // The Eq. 4 tensor + t/q rounding (the Fig. 6 hot path).
+  const auto prod_s = serial.multiply(ca_s, cb_s);
+  const auto prod_p = pooled.multiply(ca_p, cb_p);
+  expect_ct_equal(prod_s, prod_p, "eval_mult");
+
+  // Key switching back to 2 components.
+  const auto rel_s = serial.relinearize(prod_s, rk_s);
+  const auto rel_p = pooled.relinearize(prod_p, rk_p);
+  expect_ct_equal(rel_s, rel_p, "relinearize");
+
+  // Decrypt on both paths, including the 3-element pre-relin ciphertext.
+  EXPECT_EQ(serial.decrypt(sk_s, prod_s).coeffs, pooled.decrypt(sk_p, prod_p).coeffs);
+  EXPECT_EQ(serial.decrypt(sk_s, rel_s).coeffs, pooled.decrypt(sk_p, rel_p).coeffs);
+
+  // And the chain still computes the right thing: negacyclic product over Z_t.
+  nt::Barrett64 tr(serial.context().t());
+  const auto expect = poly::schoolbook_negacyclic_mul(tr, ma.coeffs, mb.coeffs);
+  EXPECT_EQ(pooled.decrypt(sk_p, rel_p).coeffs, expect);
+}
+
+TEST_P(ParallelVsSerialBfv, HomomorphicOpsAreBitExact) {
+  const auto& pc = param_case();
+  constexpr std::uint64_t kSeed = 5;
+  Bfv serial(make_params(pc), kSeed, ExecPolicy::serial());
+  Bfv pooled(make_params(pc), kSeed, ExecPolicy::pooled(threads()));
+
+  const auto sk_s = serial.keygen_secret();
+  const auto sk_p = pooled.keygen_secret();
+  const auto pk_s = serial.keygen_public(sk_s);
+  const auto pk_p = pooled.keygen_public(sk_p);
+
+  const auto ma = random_plain(serial.context(), 17);
+  const auto mb = random_plain(serial.context(), 18);
+  const auto ca_s = serial.encrypt(pk_s, ma);
+  const auto ca_p = pooled.encrypt(pk_p, ma);
+
+  expect_ct_equal(serial.add(ca_s, serial.encrypt(pk_s, mb)),
+                  pooled.add(ca_p, pooled.encrypt(pk_p, mb)), "add");
+  expect_ct_equal(serial.negate(ca_s), pooled.negate(ca_p), "negate");
+  expect_ct_equal(serial.add_plain(ca_s, mb), pooled.add_plain(ca_p, mb),
+                  "add_plain");
+  expect_ct_equal(serial.mul_plain(ca_s, mb), pooled.mul_plain(ca_p, mb),
+                  "mul_plain");
+  EXPECT_DOUBLE_EQ(serial.noise_budget_bits(sk_s, ca_s),
+                   pooled.noise_budget_bits(sk_p, ca_p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ParallelVsSerialBfv,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 2),  // kParamCases
+                       ::testing::Values<std::size_t>(1, 2, 8)),  // threads
+    [](const ::testing::TestParamInfo<ParallelVsSerialBfv::ParamType>& info) {
+      return std::string(kParamCases[std::get<0>(info.param)].name) + "_t" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(ParallelVsSerialBfv, RuntimePolicySwitchIsBitExact) {
+  // The serial reference path stays selectable at runtime on one scheme:
+  // switching pooled -> serial -> pooled must not change evaluation results.
+  Bfv scheme(BfvParams::test_tiny(64), 3, ExecPolicy::pooled(4));
+  const auto sk = scheme.keygen_secret();
+  const auto pk = scheme.keygen_public(sk);
+  const auto m = random_plain(scheme.context(), 9);
+  const auto ct = scheme.encrypt(pk, m);
+
+  const auto pooled = scheme.multiply(ct, ct);
+  scheme.set_exec_policy(ExecPolicy::serial());
+  const auto serial = scheme.multiply(ct, ct);
+  expect_ct_equal(pooled, serial, "pooled vs serial on one context");
+  scheme.set_exec_policy(ExecPolicy::pooled(2, /*grain=*/8));
+  const auto pooled2 = scheme.multiply(ct, ct);
+  expect_ct_equal(serial, pooled2, "re-pooled");
+  EXPECT_EQ(scheme.decrypt(sk, pooled2).coeffs, scheme.decrypt(sk, serial).coeffs);
+}
+
+TEST(ParallelVsSerialBfv, GrainSizeDoesNotChangeResults) {
+  // Sweep pathological grains (1, larger than n, odd sizes) at a fixed
+  // thread count; every partition must produce the same ciphertext.
+  Bfv reference(BfvParams::test_tiny(128), 11, ExecPolicy::serial());
+  const auto sk = reference.keygen_secret();
+  const auto pk = reference.keygen_public(sk);
+  const auto m = random_plain(reference.context(), 12);
+  const auto ct = reference.encrypt(pk, m);
+  const auto expect = reference.multiply(ct, ct);
+  for (std::size_t grain : {std::size_t{1}, std::size_t{3}, std::size_t{64},
+                            std::size_t{1000}}) {
+    Bfv pooled(BfvParams::test_tiny(128), 11, ExecPolicy::pooled(4, grain));
+    const auto sk_p = pooled.keygen_secret();
+    const auto pk_p = pooled.keygen_public(sk_p);
+    const auto ct_p = pooled.encrypt(pk_p, m);
+    expect_ct_equal(ct, ct_p, "encrypt under grain sweep");
+    expect_ct_equal(expect, pooled.multiply(ct_p, ct_p), "multiply under grain sweep");
+  }
+}
+
+}  // namespace
+}  // namespace cofhee::bfv

@@ -83,6 +83,34 @@ TEST(ChipVsSoftwareBfv, ReusedChipStateStaysBitExact) {
   }
 }
 
+TEST(ChipVsSoftwareBfv, PooledHostPlumbingStaysBitExactWithChip) {
+  // The evaluator's host-side RNS plumbing (centered base extension and t/q
+  // rounding) runs on the scheme's ExecPolicy.  A pooled scheme must feed
+  // the chip the same towers and fold its results identically to both the
+  // serial scheme and the pure-software product.
+  DiffFixture serial;
+  bfv::Bfv pooled(bfv::BfvParams::test_tiny(64), /*seed=*/11,
+                  backend::ExecPolicy::pooled(4, /*grain=*/8));
+  const auto sk_p = pooled.keygen_secret();
+  const auto pk_p = pooled.keygen_public(sk_p);
+  bfv::IntegerEncoder enc(serial.scheme.context());
+
+  const auto ca_s = serial.scheme.encrypt(serial.pk, enc.encode(77));
+  const auto cb_s = serial.scheme.encrypt(serial.pk, enc.encode(-33));
+  const auto ca_p = pooled.encrypt(pk_p, enc.encode(77));
+  const auto cb_p = pooled.encrypt(pk_p, enc.encode(-33));
+  expect_bit_exact(ca_p, ca_s);
+
+  const auto sw = serial.scheme.multiply(ca_s, cb_s);
+  chip::CofheeChip soc_s, soc_p;
+  ChipBfvEvaluator ev_s(soc_s), ev_p(soc_p);
+  const auto hw_serial = ev_s.multiply(serial.scheme, ca_s, cb_s);
+  const auto hw_pooled = ev_p.multiply(pooled, ca_p, cb_p);
+  expect_bit_exact(hw_pooled, hw_serial);
+  expect_bit_exact(hw_pooled, sw);
+  EXPECT_EQ(enc.decode(pooled.decrypt(sk_p, hw_pooled)), 77 * -33);
+}
+
 TEST(ChipVsSoftwareBfv, ReportAccountsForEveryExtendedTower) {
   DiffFixture f;
   bfv::IntegerEncoder enc(f.scheme.context());

@@ -1,0 +1,178 @@
+// Property/stress tests for rns_base_convert under concurrency, extending
+// the test_ntt_vs_naive pattern to base conversion:
+//
+//  * an arithmetic-independent cross-check: values built and reduced with
+//    raw __uint128_t division (no WideInt, no Barrett) must match what the
+//    library's CRT lift produces in the target basis;
+//  * a full-range Q -> QuB -> Q round-trip property (exact conversion is
+//    injective for values below prod(Q), so the round trip must reproduce
+//    every residue bit-for-bit);
+//  * the same conversions hammered concurrently from many pool tasks over
+//    shared read-only bases, and pooled-executor conversions diffed against
+//    the serial reference -- the TSan lane's target for the RNS layer.
+#include "poly/rns.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "backend/exec_policy.hpp"
+#include "backend/thread_pool.hpp"
+#include "nt/primes.hpp"
+#include "poly/sampler.hpp"
+
+namespace cofhee::poly {
+namespace {
+
+using backend::ExecPolicy;
+using backend::Executor;
+using backend::ThreadPool;
+
+// Independent reduction: raw 128-bit division, no WideInt, no Barrett.
+u64 naive_mod(u128 x, u64 q) { return static_cast<u64>(x % q); }
+
+// The Q basis (paper-style tower widths) and the extension QuB.
+RnsBasis q_basis() {
+  std::vector<u64> moduli;
+  u64 seed = 0;
+  for (unsigned bits : {40u, 50u, 54u})
+    moduli.push_back(nt::find_ntt_prime_u64(bits, 64, seed++));
+  return RnsBasis(moduli);
+}
+
+RnsBasis ext_basis(const RnsBasis& q) {
+  std::vector<u64> moduli;
+  for (std::size_t i = 0; i < q.size(); ++i) moduli.push_back(q.modulus(i));
+  for (u64 seed = 100; moduli.size() < q.size() * 2 + 1; ++seed)
+    moduli.push_back(nt::find_ntt_prime_u64(55, 64, seed));
+  return RnsBasis(moduli);
+}
+
+/// Random polynomial with full-range residues in every tower of `basis`.
+RnsPoly random_rns(const RnsBasis& basis, std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  RnsPoly p;
+  for (std::size_t i = 0; i < basis.size(); ++i)
+    p.towers.push_back(sample_uniform(rng, n, basis.modulus(i)));
+  return p;
+}
+
+TEST(RnsBaseConvertParallel, MatchesNaive128BitReference) {
+  // Values x = a * b (a, b random u64) span up to 128 bits -- wide enough to
+  // exercise multi-limb CRT, small enough that raw u128 division is an
+  // independent referee for both the source decomposition and the target.
+  const RnsBasis from = q_basis();
+  const RnsBasis to = ext_basis(from);
+  const std::size_t n = 128;
+  Rng rng(1);
+  std::vector<u128> values(n);
+  RnsPoly p;
+  p.towers.assign(from.size(), Coeffs<u64>(n));
+  for (std::size_t j = 0; j < n; ++j) {
+    values[j] = static_cast<u128>(rng.next_u64()) * rng.next_u64();
+    for (std::size_t i = 0; i < from.size(); ++i)
+      p.towers[i][j] = naive_mod(values[j], from.modulus(i));
+  }
+  for (const Executor& exec :
+       {Executor(ExecPolicy::serial()), Executor(ExecPolicy::pooled(4, 16))}) {
+    const RnsPoly out = rns_base_convert(from, to, p, exec);
+    ASSERT_EQ(out.num_towers(), to.size());
+    for (std::size_t i = 0; i < to.size(); ++i)
+      for (std::size_t j = 0; j < n; ++j)
+        ASSERT_EQ(out.towers[i][j], naive_mod(values[j], to.modulus(i)))
+            << "tower " << i << ", coeff " << j;
+  }
+}
+
+TEST(RnsBaseConvertParallel, RoundTripQToExtToQIsExact) {
+  const RnsBasis from = q_basis();
+  const RnsBasis to = ext_basis(from);
+  for (std::size_t n : {std::size_t{16}, std::size_t{256}, std::size_t{1024}}) {
+    const RnsPoly p = random_rns(from, n, 10 + n);
+    const RnsPoly ext = rns_base_convert(from, to, p);
+    const RnsPoly back = rns_base_convert(to, from, ext);
+    for (std::size_t i = 0; i < from.size(); ++i)
+      ASSERT_EQ(back.towers[i], p.towers[i]) << "n " << n << ", tower " << i;
+  }
+}
+
+TEST(RnsBaseConvertParallel, PooledExecutorMatchesSerialBitExact) {
+  const RnsBasis from = q_basis();
+  const RnsBasis to = ext_basis(from);
+  const std::size_t n = 512;
+  const RnsPoly p = random_rns(from, n, 77);
+  const RnsPoly serial = rns_base_convert(from, to, p);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (std::size_t grain : {std::size_t{1}, std::size_t{7}, std::size_t{64},
+                              std::size_t{4096}}) {
+      const Executor exec{ExecPolicy::pooled(threads, grain)};
+      const RnsPoly pooled = rns_base_convert(from, to, p, exec);
+      for (std::size_t i = 0; i < to.size(); ++i)
+        ASSERT_EQ(pooled.towers[i], serial.towers[i])
+            << "threads " << threads << ", grain " << grain << ", tower " << i;
+    }
+  }
+  // The decompose/reconstruct halves are also policy-invariant.
+  const auto coeffs_serial = rns_reconstruct(from, p);
+  const Executor exec{ExecPolicy::pooled(4, 32)};
+  const auto coeffs_pooled = rns_reconstruct(from, p, exec);
+  ASSERT_EQ(coeffs_serial.size(), coeffs_pooled.size());
+  for (std::size_t j = 0; j < coeffs_serial.size(); ++j)
+    ASSERT_TRUE(coeffs_serial[j] == coeffs_pooled[j]) << "coeff " << j;
+  const RnsPoly dec_serial = rns_decompose(to, coeffs_serial);
+  const RnsPoly dec_pooled = rns_decompose(to, coeffs_pooled, exec);
+  for (std::size_t i = 0; i < to.size(); ++i)
+    ASSERT_EQ(dec_serial.towers[i], dec_pooled.towers[i]) << "tower " << i;
+}
+
+TEST(RnsBaseConvertParallel, ConcurrentRoundTripsOverSharedBases) {
+  // Many pool tasks convert distinct randomized polynomials Q -> QuB -> Q
+  // concurrently over the same (read-only) bases.  Each task verifies its
+  // own round trip; the pool propagates the first failure as an exception.
+  const RnsBasis from = q_basis();
+  const RnsBasis to = ext_basis(from);
+  constexpr std::size_t kTasks = 32;
+  ThreadPool pool(8);
+  std::vector<std::future<void>> futs;
+  futs.reserve(kTasks);
+  for (std::size_t t = 0; t < kTasks; ++t) {
+    futs.push_back(pool.submit([&from, &to, t] {
+      const std::size_t n = 64 << (t % 3);
+      const RnsPoly p = random_rns(from, n, 1000 + t);
+      const RnsPoly back = rns_base_convert(to, from, rns_base_convert(from, to, p));
+      for (std::size_t i = 0; i < from.size(); ++i)
+        if (back.towers[i] != p.towers[i])
+          throw std::logic_error("round trip diverged in task " + std::to_string(t));
+    }));
+  }
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());
+}
+
+TEST(RnsBaseConvertParallel, ConcurrentPooledConversionsAgree) {
+  // Stress the pooled executor itself from multiple producer threads: the
+  // same input converted by 8 concurrent pooled conversions (each with its
+  // own pool) must agree with the serial reference every time.
+  const RnsBasis from = q_basis();
+  const RnsBasis to = ext_basis(from);
+  const RnsPoly p = random_rns(from, 256, 4242);
+  const RnsPoly expect = rns_base_convert(from, to, p);
+  std::vector<std::thread> threads;
+  std::vector<RnsPoly> results(8);
+  for (std::size_t t = 0; t < results.size(); ++t)
+    threads.emplace_back([&, t] {
+      const Executor exec{ExecPolicy::pooled(2, 16)};
+      results[t] = rns_base_convert(from, to, p, exec);
+    });
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 0; t < results.size(); ++t)
+    for (std::size_t i = 0; i < to.size(); ++i)
+      ASSERT_EQ(results[t].towers[i], expect.towers[i])
+          << "producer " << t << ", tower " << i;
+}
+
+}  // namespace
+}  // namespace cofhee::poly

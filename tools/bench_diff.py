@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Benchmark regression diff: run a bench binary in --json mode and compare
+its metrics against a checked-in reference within a relative tolerance.
+
+Wired into CTest under the `bench` label (bench/CMakeLists.txt):
+
+    bench_diff.py --run build/bench/bench_table05_chip_perf \\
+                  --reference bench/reference/bench_table05_chip_perf.json
+
+Exits 0 when every metric is present and within tolerance, 1 otherwise with
+a per-metric report.  To re-seed the reference after an intentional change:
+
+    build/bench/<bench> --json bench/reference/<bench>.json
+"""
+
+import argparse
+import json
+import math
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+
+def compare(reference: dict, candidate: dict, rtol: float, atol: float) -> list[str]:
+    errors = []
+    for key in sorted(set(reference) | set(candidate)):
+        if key not in candidate:
+            errors.append(f"missing metric: {key} (reference {reference[key]!r})")
+            continue
+        if key not in reference:
+            errors.append(
+                f"new metric not in reference: {key} (candidate {candidate[key]!r}); "
+                "re-seed the reference JSON if intentional"
+            )
+            continue
+        ref, got = reference[key], candidate[key]
+        if not isinstance(ref, (int, float)) or not isinstance(got, (int, float)):
+            if ref != got:
+                errors.append(f"{key}: {got!r} != reference {ref!r}")
+            continue
+        if not math.isclose(got, ref, rel_tol=rtol, abs_tol=atol):
+            drift = (got - ref) / ref * 100 if ref else float("inf")
+            errors.append(
+                f"{key}: {got:g} vs reference {ref:g} ({drift:+.2f}%, rtol {rtol:g})"
+            )
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--run", required=True, help="bench binary supporting --json <path>")
+    ap.add_argument("--reference", required=True, help="checked-in reference JSON")
+    ap.add_argument("--rtol", type=float, default=0.05,
+                    help="relative tolerance per metric (default 5%%)")
+    ap.add_argument("--atol", type=float, default=1e-12,
+                    help="absolute tolerance for near-zero metrics")
+    args = ap.parse_args()
+
+    reference_path = Path(args.reference)
+    if not reference_path.exists():
+        print(f"reference not found: {reference_path}", file=sys.stderr)
+        print(f"seed it with: {args.run} --json {reference_path}", file=sys.stderr)
+        return 1
+    reference = json.loads(reference_path.read_text())
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "candidate.json"
+        proc = subprocess.run([args.run, "--json", str(out)],
+                              stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                              text=True)
+        if proc.returncode != 0:
+            print(proc.stdout, file=sys.stderr)
+            print(f"bench exited with {proc.returncode}", file=sys.stderr)
+            return 1
+        if not out.exists():
+            print("bench did not produce a JSON file", file=sys.stderr)
+            return 1
+        candidate = json.loads(out.read_text())
+
+    errors = compare(reference, candidate, args.rtol, args.atol)
+    if errors:
+        print(f"{len(errors)} metric(s) drifted beyond tolerance:")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(f"{len(reference)} metrics within rtol {args.rtol:g} of "
+          f"{reference_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
