@@ -1,0 +1,119 @@
+// Evaluation-service throughput at the IO-dominated operating point.
+//
+// ChipBfv.IoDominatesAtSmallRings (and the paper's Section VIII-A remark)
+// says the serial link, not the PE, bounds EvalMult at n = 2^12.  This
+// bench measures what the cofhee::service scheduler buys back there, in
+// *simulated* seconds (link byte accounting + chip cycle model, so the
+// numbers are machine-independent and regression-tracked):
+//
+//   serial_1chip   -- one request per session (the pre-service behavior):
+//                     every request re-pays ring configuration per tower.
+//   batched_1chip  -- one session per round: ring configuration amortized
+//                     over the whole batch (the submit_batch win).
+//   batched_4chip  -- kBatchPerChip over 4 chips: throughput scaling.
+//   sharded_4chip  -- kShardTowers over 4 chips: latency scaling (one
+//                     request's towers run concurrently).
+//
+// The acceptance bar: batched EvalMult/sec >= the one-request-per-session
+// baseline at n = 4096.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bfv/encoder.hpp"
+#include "eval/report.hpp"
+#include "service/eval_service.hpp"
+
+namespace {
+
+using namespace cofhee;
+using service::Strategy;
+
+struct Scenario {
+  const char* name;
+  std::size_t chips;
+  Strategy strategy;
+  std::size_t max_batch;
+};
+
+struct Run {
+  service::ServiceStats stats;
+  double evalmult_per_sec;
+};
+
+Run run_scenario(const bfv::Bfv& scheme, const Scenario& sc,
+                 const std::vector<service::EvalMultRequest>& requests) {
+  service::ChipFarm farm(sc.chips);
+  service::EvalService svc(scheme, farm, {sc.strategy, sc.max_batch});
+  auto futures = svc.submit_batch(requests);
+  for (auto& f : futures) (void)f.get();
+  svc.drain();
+  Run r;
+  r.stats = svc.stats();
+  r.evalmult_per_sec = r.stats.simulated_requests_per_sec();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = eval::MetricsJson::path_from_args(argc, argv);
+  eval::MetricsJson metrics;
+
+  // The Fig. 6 small configuration: n = 2^12, log q = 109 -> 5 extended
+  // towers, squarely in the IO-dominated regime.
+  bfv::Bfv scheme(bfv::BfvParams::paper_small(), /*seed=*/42);
+  const auto sk = scheme.keygen_secret();
+  const auto pk = scheme.keygen_public(sk);
+  bfv::IntegerEncoder enc(scheme.context());
+  const auto ca = scheme.encrypt(pk, enc.encode(1234));
+  const auto cb = scheme.encrypt(pk, enc.encode(-56));
+
+  constexpr std::size_t kRequests = 6;
+  std::vector<service::EvalMultRequest> requests;
+  for (std::size_t i = 0; i < kRequests; ++i) requests.push_back({ca, cb});
+
+  const Scenario scenarios[] = {
+      {"serial_1chip", 1, Strategy::kBatchPerChip, 1},
+      {"batched_1chip", 1, Strategy::kBatchPerChip, kRequests},
+      {"batched_4chip", 4, Strategy::kBatchPerChip, kRequests},
+      {"sharded_4chip", 4, Strategy::kShardTowers, kRequests},
+  };
+
+  eval::section("Evaluation service -- EvalMult throughput, n = 4096 (simulated)");
+  eval::Table t({"scenario", "chips", "max batch", "sessions", "ring cfgs",
+                 "io s", "compute ms", "EvalMult/s", "vs serial"});
+  double baseline = 0;
+  for (const auto& sc : scenarios) {
+    const Run r = run_scenario(scheme, sc, requests);
+    if (baseline == 0) baseline = r.evalmult_per_sec;
+    std::uint64_t ring_configs = 0;
+    for (const auto& c : r.stats.per_chip) ring_configs += c.ring_configs;
+    t.row({sc.name, std::to_string(sc.chips), std::to_string(sc.max_batch),
+           std::to_string(r.stats.sessions), std::to_string(ring_configs),
+           eval::fmt(r.stats.io_seconds, 4), eval::fmt(r.stats.compute_seconds * 1e3, 2),
+           eval::fmt(r.evalmult_per_sec, 2),
+           eval::fmt(r.evalmult_per_sec / baseline, 2) + "x"});
+    const std::string key = std::string(sc.name) + "/";
+    metrics.set(key + "evalmult_per_sec", r.evalmult_per_sec);
+    metrics.set(key + "io_seconds", r.stats.io_seconds);
+    metrics.set(key + "compute_ms", r.stats.compute_seconds * 1e3);
+    metrics.set(key + "sessions", static_cast<double>(r.stats.sessions));
+    metrics.set(key + "ring_configs", static_cast<double>(ring_configs));
+    metrics.set(key + "speedup_vs_serial", r.evalmult_per_sec / baseline);
+  }
+  t.print();
+
+  std::puts(
+      "\nReading: all times are the deterministic transport + cycle model\n"
+      "(UART/SPI byte counts, 250 MHz PE), not host wall clock.  Batching\n"
+      "pays ring reconfiguration (Q/BARRETT/INV_POLYDEG registers + twiddle\n"
+      "ROM) once per tower per session instead of once per tower per\n"
+      "request; sharding additionally spreads one request's towers across\n"
+      "the farm, cutting its latency by ~towers/chips.");
+  if (!json_path.empty() && !metrics.write(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -12,8 +12,10 @@
 #include "apps/cost_model.hpp"
 #include "eval/report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace cofhee;
+  const std::string json_path = eval::MetricsJson::path_from_args(argc, argv);
+  eval::MetricsJson metrics;
   const apps::Workload workloads[] = {apps::cryptonets_workload(),
                                       apps::logreg_workload()};
 
@@ -35,8 +37,16 @@ int main() {
              eval::fmt(w.paper_cofhee_seconds, 2),
              eval::fmt(w.paper_cpu_seconds / secs, 2) + "x",
              eval::fmt(paper_speedup, 2) + "x"});
+      const std::string key = w.name + "/w" + std::to_string(digit_bits) + "/";
+      metrics.set(key + "seconds", secs);
+      metrics.set(key + "speedup_vs_cpu", w.paper_cpu_seconds / secs);
     }
     t.print();
+  }
+
+  if (!json_path.empty() && !metrics.write(json_path)) {
+    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
+    return 1;
   }
 
   std::puts(

@@ -49,15 +49,10 @@ void Gpcfg::set_q(u128 q) {
   write_u128(Reg::kQ0, q);
   // Mirror the silicon flow: host software derives the Barrett constants
   // and programs BARRETTCTL1/2 alongside Q (Table II).
-  nt::Barrett128 br(q);
-  regs_[idx(Reg::kBarrettCtl1)] = 2 * br.k();
-  auto mu = br.mu();
-  for (std::size_t w = 0; w < 5; ++w) {
-    const std::size_t limb = (w * 32) / 64;
-    const unsigned shift = (w * 32) % 64;
-    regs_[idx(Reg::kBarrettCtl2_0) + w] =
-        limb < 3 ? static_cast<std::uint32_t>(mu.limb[limb] >> shift) : 0u;
-  }
+  const BarrettCtlWords bc = barrett_ctl_words(q);
+  regs_[idx(Reg::kBarrettCtl1)] = bc.ctl1;
+  for (std::size_t w = 0; w < bc.ctl2.size(); ++w)
+    regs_[idx(Reg::kBarrettCtl2_0) + w] = bc.ctl2[w];
 }
 
 void Gpcfg::set_n(std::size_t n) {

@@ -66,6 +66,24 @@ enum class Reg : std::uint32_t {
 
 inline constexpr std::uint32_t kSignatureValue = 0xC0F4EE01;
 
+/// The BARRETTCTL register image host software derives alongside Q
+/// (Table II): shift amount k_b and the 160-bit mu split into 5 words.
+/// Shared by Gpcfg::set_q (backdoor) and the host driver's timed
+/// register-programming path so the two flows cannot diverge.
+struct BarrettCtlWords {
+  std::uint32_t ctl1;                  // k_b
+  std::array<std::uint32_t, 5> ctl2;   // mu, little-endian words
+};
+
+inline BarrettCtlWords barrett_ctl_words(u128 q) {
+  const nt::Barrett128 br(q);
+  BarrettCtlWords w{2 * br.k(), {}};
+  const auto mu = br.mu();
+  for (std::size_t i = 0; i < w.ctl2.size(); ++i)
+    w.ctl2[i] = static_cast<std::uint32_t>(mu.limb[(i * 32) / 64] >> ((i * 32) % 64));
+  return w;
+}
+
 /// IRQ status bits.
 inline constexpr std::uint32_t kIrqFifoEmpty = 1u << 0;
 inline constexpr std::uint32_t kIrqOpDone = 1u << 1;

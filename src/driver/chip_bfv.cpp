@@ -21,57 +21,104 @@ poly::Coeffs<nt::u64> narrow(const std::vector<u128>& w) {
 
 }  // namespace
 
-bfv::Ciphertext ChipBfvEvaluator::multiply(const bfv::Bfv& bfv,
-                                           const bfv::Ciphertext& a,
-                                           const bfv::Ciphertext& b,
-                                           ChipMulReport* report) {
+EvalMultOperands ChipBfvEvaluator::prepare(const bfv::Bfv& bfv, const bfv::Ciphertext& a,
+                                           const bfv::Ciphertext& b) {
   if (a.size() != 2 || b.size() != 2)
     throw std::invalid_argument("ChipBfvEvaluator: 2-element ciphertexts expected");
-  const auto& ctx = bfv.context();
-  const std::size_t n = ctx.n();
-  if (2 * n > chip_.config().bank_words)
-    throw std::invalid_argument("ChipBfvEvaluator: ring too large for on-chip slots");
-
   // Host-side exact centered base extension Q -> Q u B (the RNS plumbing
   // SEAL would do; CoFHEE accelerates the per-tower tensor underneath it).
-  const auto a0 = bfv.extend_centered_public(a.c[0]);
-  const auto a1 = bfv.extend_centered_public(a.c[1]);
-  const auto b0 = bfv.extend_centered_public(b.c[0]);
-  const auto b1 = bfv.extend_centered_public(b.c[1]);
+  EvalMultOperands ops;
+  ops.a0 = bfv.extend_centered_public(a.c[0]);
+  ops.a1 = bfv.extend_centered_public(a.c[1]);
+  ops.b0 = bfv.extend_centered_public(b.c[0]);
+  ops.b1 = bfv.extend_centered_public(b.c[1]);
+  return ops;
+}
 
-  ChipMulReport rep;
-  rep.towers = static_cast<unsigned>(ctx.ext_basis().size());
-
-  poly::RnsPoly y0, y1, y2;
-  y0.towers.resize(rep.towers);
-  y1.towers.resize(rep.towers);
-  y2.towers.resize(rep.towers);
-
-  HostDriver drv(chip_, mode_, link_);
-  for (std::size_t tw = 0; tw < rep.towers; ++tw) {
-    const nt::u64 q = ctx.ext_basis().modulus(tw);
-    drv.configure_ring(q, n, nt::primitive_2nth_root(q, n));
-    rep.io_seconds += drv.load_polynomial(Bank::kSp0, 0, widen(a0.towers[tw]));
-    rep.io_seconds += drv.load_polynomial(Bank::kSp1, 0, widen(a1.towers[tw]));
-    rep.io_seconds += drv.load_polynomial(Bank::kSp2, 0, widen(b0.towers[tw]));
-    rep.io_seconds += drv.load_polynomial(Bank::kSp3, 0, widen(b1.towers[tw]));
-    const auto r = drv.ciphertext_mul();
-    rep.chip_cycles += r.compute_cycles;
-    double io = 0;
-    y0.towers[tw] = narrow(drv.read_polynomial(Bank::kSp0, 0, n, &io));
-    rep.io_seconds += io;
-    y1.towers[tw] = narrow(drv.read_polynomial(Bank::kSp1, 0, n, &io));
-    rep.io_seconds += io;
-    y2.towers[tw] = narrow(drv.read_polynomial(Bank::kSp2, 0, n, &io));
-    rep.io_seconds += io;
+void ChipBfvEvaluator::configure_tower(HostDriver& drv, const bfv::Bfv& bfv,
+                                       std::size_t tower, ChipMulReport* report) {
+  const auto& ctx = bfv.context();
+  const std::size_t n = ctx.n();
+  if (2 * n > drv.chip().config().bank_words)
+    throw std::invalid_argument("ChipBfvEvaluator: ring too large for on-chip slots");
+  const nt::u64 q = ctx.ext_basis().modulus(tower);
+  const double io = drv.configure_ring(q, n, nt::primitive_2nth_root(q, n),
+                                       /*timed=*/true);
+  if (report != nullptr) {
+    report->io_seconds += io;
+    ++report->towers;
   }
-  rep.chip_ms = static_cast<double>(rep.chip_cycles) * chip_.config().cycle_ns() * 1e-6;
+}
 
-  // Host: t/q rounding back to the Q basis (Eq. 4's outer operation).
+void ChipBfvEvaluator::load_tower(HostDriver& drv, const EvalMultOperands& ops,
+                                  std::size_t tower, ChipMulReport* report) {
+  double io = 0;
+  io += drv.load_polynomial(Bank::kSp0, 0, widen(ops.a0.towers[tower]));
+  io += drv.load_polynomial(Bank::kSp1, 0, widen(ops.a1.towers[tower]));
+  io += drv.load_polynomial(Bank::kSp2, 0, widen(ops.b0.towers[tower]));
+  io += drv.load_polynomial(Bank::kSp3, 0, widen(ops.b1.towers[tower]));
+  if (report != nullptr) report->io_seconds += io;
+}
+
+void ChipBfvEvaluator::execute_tower(HostDriver& drv, ChipMulReport* report) {
+  const auto r = drv.ciphertext_mul();
+  if (report != nullptr) {
+    report->chip_cycles += r.compute_cycles;
+    report->chip_ms += r.compute_ms;
+  }
+}
+
+TowerTensor ChipBfvEvaluator::read_tower(HostDriver& drv, ChipMulReport* report) {
+  const std::size_t n = drv.n();
+  TowerTensor t;
+  double io = 0;
+  t.y0 = narrow(drv.read_polynomial(Bank::kSp0, 0, n, &io));
+  if (report != nullptr) report->io_seconds += io;
+  t.y1 = narrow(drv.read_polynomial(Bank::kSp1, 0, n, &io));
+  if (report != nullptr) report->io_seconds += io;
+  t.y2 = narrow(drv.read_polynomial(Bank::kSp2, 0, n, &io));
+  if (report != nullptr) report->io_seconds += io;
+  return t;
+}
+
+bfv::Ciphertext ChipBfvEvaluator::assemble(const bfv::Bfv& bfv,
+                                           const std::vector<TowerTensor>& tensors) {
+  poly::RnsPoly y0, y1, y2;
+  y0.towers.resize(tensors.size());
+  y1.towers.resize(tensors.size());
+  y2.towers.resize(tensors.size());
+  for (std::size_t tw = 0; tw < tensors.size(); ++tw) {
+    y0.towers[tw] = tensors[tw].y0;
+    y1.towers[tw] = tensors[tw].y1;
+    y2.towers[tw] = tensors[tw].y2;
+  }
   bfv::Ciphertext out;
   out.c.push_back(bfv.scale_round_public(y0));
   out.c.push_back(bfv.scale_round_public(y1));
   out.c.push_back(bfv.scale_round_public(y2));
+  return out;
+}
+
+bfv::Ciphertext ChipBfvEvaluator::multiply(const bfv::Bfv& bfv,
+                                           const bfv::Ciphertext& a,
+                                           const bfv::Ciphertext& b,
+                                           ChipMulReport* report) {
+  const auto& ctx = bfv.context();
+  if (2 * ctx.n() > chip_.config().bank_words)
+    throw std::invalid_argument("ChipBfvEvaluator: ring too large for on-chip slots");
+  const EvalMultOperands ops = prepare(bfv, a, b);
+
+  ChipMulReport rep;
+  std::vector<TowerTensor> tensors(ctx.ext_basis().size());
+  HostDriver drv(chip_, mode_, link_);
+  for (std::size_t tw = 0; tw < tensors.size(); ++tw) {
+    configure_tower(drv, bfv, tw, &rep);
+    load_tower(drv, ops, tw, &rep);
+    execute_tower(drv, &rep);
+    tensors[tw] = read_tower(drv, &rep);
+  }
+
+  bfv::Ciphertext out = assemble(bfv, tensors);
   if (report != nullptr) *report = rep;
   return out;
 }

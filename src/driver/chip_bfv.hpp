@@ -9,11 +9,20 @@
 // prescribes ("low-level polynomial operations" on chip, "data movement"
 // and higher-level steps on the host, Sections I and III).
 //
+// The per-tower pipeline is exposed as separate phases -- prepare (host),
+// configure_tower / load_tower / execute_tower / read_tower (chip session),
+// assemble (host) -- so a scheduler that owns several chips
+// (service/eval_service.hpp) can interleave them: amortize one ring
+// configuration over a batch of requests, or shard one request's towers
+// across a chip farm.  multiply() is the serial single-chip composition of
+// the same phases.
+//
 // Bit-exactness against the pure-software Bfv::multiply is asserted by
 // tests/driver/test_chip_bfv.cpp.
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "bfv/bfv.hpp"
 #include "chip/chip.hpp"
@@ -24,14 +33,36 @@ namespace cofhee::driver {
 struct ChipMulReport {
   std::uint64_t chip_cycles = 0;
   double chip_ms = 0;
-  double io_seconds = 0;       // polynomial transport over the serial link
-  unsigned towers = 0;
+  double io_seconds = 0;  // serial-link transport: ring-reconfiguration
+                          // register writes + twiddle ROM + polynomials
+  unsigned towers = 0;    // ring configurations performed
+
+  ChipMulReport& operator+=(const ChipMulReport& o) {
+    chip_cycles += o.chip_cycles;
+    chip_ms += o.chip_ms;
+    io_seconds += o.io_seconds;
+    towers += o.towers;
+    return *this;
+  }
+};
+
+/// Host-side prepared operands of one EvalMult: the four input polynomials
+/// base-extended (centered) from Q to the extended basis Q u B, ready for
+/// per-tower dispatch to any chip.
+struct EvalMultOperands {
+  poly::RnsPoly a0, a1, b0, b1;
+};
+
+/// One extended-basis tower of the Eq. 4 tensor (Y0, Y1, Y2) as read back
+/// from a chip.
+struct TowerTensor {
+  poly::Coeffs<nt::u64> y0, y1, y2;
 };
 
 class ChipBfvEvaluator {
  public:
   /// The evaluator drives `chip` through `mode`; ring reconfiguration
-  /// between towers is host work (register writes).
+  /// between towers is host work (register writes, timed).
   ChipBfvEvaluator(CofheeChip& chip, ExecMode mode = ExecMode::kFifo,
                    Link link = Link::kSpi)
       : chip_(chip), mode_(mode), link_(link) {}
@@ -41,6 +72,35 @@ class ChipBfvEvaluator {
   /// to bfv.multiply(a, b).
   bfv::Ciphertext multiply(const bfv::Bfv& bfv, const bfv::Ciphertext& a,
                            const bfv::Ciphertext& b, ChipMulReport* report = nullptr);
+
+  // --- per-tower phases (shared with cofhee::service) ---------------------
+  /// Host: centered exact base extension Q -> Q u B of both ciphertexts.
+  /// Throws std::invalid_argument unless both are 2-element.
+  [[nodiscard]] static EvalMultOperands prepare(const bfv::Bfv& bfv,
+                                                const bfv::Ciphertext& a,
+                                                const bfv::Ciphertext& b);
+
+  /// Program `drv`'s chip for extended tower `tower`: ring registers +
+  /// twiddle ROM over the serial link (timed into report->io_seconds, and
+  /// counted in report->towers).  Throws std::invalid_argument when the
+  /// ring does not fit the chip's bank slots.
+  static void configure_tower(HostDriver& drv, const bfv::Bfv& bfv, std::size_t tower,
+                              ChipMulReport* report);
+
+  /// Upload one tower of the four operand polynomials into SP0..SP3.
+  static void load_tower(HostDriver& drv, const EvalMultOperands& ops,
+                         std::size_t tower, ChipMulReport* report);
+
+  /// Run Algorithm 3 on whatever is loaded (outputs land in SP0/SP1/SP2).
+  static void execute_tower(HostDriver& drv, ChipMulReport* report);
+
+  /// Download the three tensor polynomials of the configured tower.
+  [[nodiscard]] static TowerTensor read_tower(HostDriver& drv, ChipMulReport* report);
+
+  /// Host: reassemble the per-tower tensors (indexed by extended tower) and
+  /// apply the t/q rounding back to the Q basis (Eq. 4's outer operation).
+  [[nodiscard]] static bfv::Ciphertext assemble(const bfv::Bfv& bfv,
+                                                const std::vector<TowerTensor>& tensors);
 
  private:
   CofheeChip& chip_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "chip/gpcfg.hpp"
+#include "nt/primes.hpp"
 
 namespace cofhee::driver {
 
@@ -29,32 +30,56 @@ std::uint32_t bank_base(Bank b) {
 HostDriver::HostDriver(CofheeChip& chip, ExecMode mode, Link link)
     : chip_(chip), mode_(mode), link_(link) {}
 
-void HostDriver::configure_ring(u128 q, std::size_t n, u128 psi, bool timed) {
+double HostDriver::configure_ring(u128 q, std::size_t n, u128 psi, bool timed) {
   n_ = n;
   q_ = q;
   engine_ = poly::MergedNtt128(nt::Barrett128(q), n, psi);
 
-  auto& gp = chip_.gpcfg();
-  gp.set_q(q);
-  gp.set_n(n);
-  gp.set_inv_polydeg(engine_.n_inv());
-
-  // Twiddle ROM: psi^rev(i), one word per coefficient.
-  const auto& rom = engine_.twiddle_rom();
-  if (timed) {
-    auto& lk = link_of(chip_, link_);
-    std::vector<std::uint32_t> words(rom.size() * 4);
-    for (std::size_t i = 0; i < rom.size(); ++i) {
-      u128 v = rom[i];
-      for (unsigned w = 0; w < 4; ++w) {
-        words[i * 4 + w] = static_cast<std::uint32_t>(v);
-        v >>= 32;
-      }
-    }
-    lk.host_write_burst(bank_base(Bank::kTw), words.data(), words.size());
-  } else {
+  const auto& rom = engine_.twiddle_rom();  // psi^rev(i), one word per coeff
+  if (!timed) {
+    auto& gp = chip_.gpcfg();
+    gp.set_q(q);
+    gp.set_n(n);
+    gp.set_inv_polydeg(engine_.n_inv());
     chip_.load_coeffs(Bank::kTw, 0, rom);
+    return 0.0;
   }
+
+  // Timed path: the same programming sequence over the serial link, the way
+  // the bring-up host does it (Table II) -- Q, BARRETTCTL1/2, FHECTL1 and
+  // INV_POLYDEG register writes plus the twiddle-ROM burst.  This is the
+  // per-tower ring-reconfiguration transport an EvalMult session pays.
+  auto& lk = link_of(chip_, link_);
+  const double before = lk.stats().seconds;
+  const auto reg_addr = [](Reg r) {
+    return MemoryMap::kGpcfgBase + static_cast<std::uint32_t>(r);
+  };
+  const auto write_wide = [&](Reg base, u128 v, unsigned words) {
+    for (unsigned w = 0; w < words; ++w) {
+      lk.host_write32(reg_addr(base) + w * 4, static_cast<std::uint32_t>(v));
+      v >>= 32;
+    }
+  };
+  write_wide(Reg::kQ0, q, 4);
+  // Host software derives the Barrett constants and programs them alongside
+  // Q (the bus write path does not, unlike the Gpcfg::set_q backdoor).
+  const chip::BarrettCtlWords bc = chip::barrett_ctl_words(q);
+  lk.host_write32(reg_addr(Reg::kBarrettCtl1), bc.ctl1);
+  for (std::uint32_t w = 0; w < bc.ctl2.size(); ++w)
+    lk.host_write32(reg_addr(Reg::kBarrettCtl2_0) + w * 4, bc.ctl2[w]);
+  lk.host_write32(reg_addr(Reg::kFheCtl1), nt::log2_exact(n));
+  write_wide(Reg::kInvPolyDeg0, engine_.n_inv(), 4);
+
+  std::vector<std::uint32_t> words(rom.size() * 4);
+  for (std::size_t i = 0; i < rom.size(); ++i) {
+    u128 v = rom[i];
+    for (unsigned w = 0; w < 4; ++w) {
+      words[i * 4 + w] = static_cast<std::uint32_t>(v);
+      v >>= 32;
+    }
+  }
+  lk.host_write_burst(bank_base(Bank::kTw), words.data(), words.size());
+  return lk.stats().seconds - before;
 }
 
 double HostDriver::load_polynomial(Bank bank, std::size_t offset,

@@ -60,9 +60,11 @@ class HostDriver {
   [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
 
   /// Program Q/N/INV_POLYDEG/BARRETTCTL* and preload the twiddle ROM with
-  /// the bit-reversed psi powers.  One-time setup per modulus (untimed
-  /// unless `timed`).
-  void configure_ring(u128 q, std::size_t n, u128 psi, bool timed = false);
+  /// the bit-reversed psi powers.  One-time setup per modulus.  When `timed`
+  /// the register writes and the ROM preload go over the serial link and the
+  /// transfer time is returned (0 when untimed) -- this is the
+  /// ring-reconfiguration cost the host pays between RNS towers.
+  double configure_ring(u128 q, std::size_t n, u128 psi, bool timed = false);
 
   [[nodiscard]] const poly::MergedNtt128& ntt_engine() const { return engine_; }
   [[nodiscard]] std::size_t n() const noexcept { return n_; }

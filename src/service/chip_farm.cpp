@@ -1,0 +1,19 @@
+#include "service/chip_farm.hpp"
+
+#include <stdexcept>
+
+namespace cofhee::service {
+
+ChipFarm::ChipFarm(std::size_t chips, driver::ExecMode mode, driver::Link link,
+                   chip::ChipConfig cfg) {
+  if (chips == 0) throw std::invalid_argument("ChipFarm: at least one chip required");
+  slots_.reserve(chips);
+  for (std::size_t i = 0; i < chips; ++i) {
+    Slot s;
+    s.soc = std::make_unique<chip::CofheeChip>(cfg);
+    s.drv = std::make_unique<driver::HostDriver>(*s.soc, mode, link);
+    slots_.push_back(std::move(s));
+  }
+}
+
+}  // namespace cofhee::service

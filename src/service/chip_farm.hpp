@@ -1,0 +1,44 @@
+// A fleet of CoFHEE instances with one host link each.
+//
+// The paper drives a single chip from a bring-up PC; the scaling story
+// (Section VIII, and the HEAX / HEAAN-demystified line of work) is many
+// accelerators behind one host.  ChipFarm owns N identical CofheeChip
+// models, each paired with its own HostDriver -- one serial link per chip,
+// so no bus is ever shared between concurrent scheduler tasks and a chip's
+// (driver, link, cycle counter) triple can be handed to a worker wholesale.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "chip/chip.hpp"
+#include "driver/host_driver.hpp"
+
+namespace cofhee::service {
+
+class ChipFarm {
+ public:
+  /// `chips` identical instances (all built from `cfg`), each driven in
+  /// `mode` over its own `link`.  Throws std::invalid_argument on 0 chips.
+  explicit ChipFarm(std::size_t chips, driver::ExecMode mode = driver::ExecMode::kFifo,
+                    driver::Link link = driver::Link::kSpi, chip::ChipConfig cfg = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] chip::CofheeChip& chip(std::size_t i) { return *slots_.at(i).soc; }
+  [[nodiscard]] driver::HostDriver& driver(std::size_t i) { return *slots_.at(i).drv; }
+  [[nodiscard]] const chip::CofheeChip& chip(std::size_t i) const {
+    return *slots_.at(i).soc;
+  }
+
+ private:
+  // Heap slots: HostDriver keeps a reference to its chip, so both need
+  // stable addresses across vector growth.
+  struct Slot {
+    std::unique_ptr<chip::CofheeChip> soc;
+    std::unique_ptr<driver::HostDriver> drv;
+  };
+  std::vector<Slot> slots_;
+};
+
+}  // namespace cofhee::service

@@ -1,0 +1,269 @@
+#include "service/eval_service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace cofhee::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+EvalService::EvalService(const bfv::Bfv& scheme, ChipFarm& farm, ServiceOptions opts)
+    : scheme_(scheme),
+      farm_(farm),
+      opts_(opts),
+      exec_(opts.pooled_dispatch && farm.size() > 1
+                ? backend::ExecPolicy::pooled(farm.size())
+                : backend::ExecPolicy::serial()),
+      start_(Clock::now()) {
+  if (2 * scheme_.context().n() > farm_.chip(0).config().bank_words)
+    throw std::invalid_argument("EvalService: ring too large for the farm's chips");
+  if (opts_.max_batch == 0) opts_.max_batch = 1;
+  stats_.per_chip.resize(farm_.size());
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+EvalService::~EvalService() { shutdown(); }
+
+std::future<bfv::Ciphertext> EvalService::submit(EvalMultRequest req) {
+  std::vector<EvalMultRequest> one;
+  one.push_back(std::move(req));
+  auto futures = submit_batch(std::move(one));
+  return std::move(futures.front());
+}
+
+std::vector<std::future<bfv::Ciphertext>> EvalService::submit_batch(
+    std::vector<EvalMultRequest> reqs) {
+  for (const auto& r : reqs)
+    if (r.a.size() != 2 || r.b.size() != 2)
+      throw std::invalid_argument("EvalService: 2-element ciphertexts expected");
+  std::vector<std::future<bfv::Ciphertext>> futures;
+  futures.reserve(reqs.size());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopping_) throw std::runtime_error("EvalService: submit after shutdown");
+    for (auto& r : reqs) {
+      Pending p;
+      p.req = std::move(r);
+      futures.push_back(p.promise.get_future());
+      queue_.push_back(std::move(p));
+    }
+    stats_.submitted += reqs.size();
+    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+  }
+  work_cv_.notify_one();
+  return futures;
+}
+
+void EvalService::drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void EvalService::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+ServiceStats EvalService::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServiceStats s = stats_;
+  s.queue_depth = queue_.size() + in_flight_;
+  s.wall_seconds = seconds_since(start_);
+  return s;
+}
+
+void EvalService::dispatcher_loop() {
+  for (;;) {
+    std::vector<Pending> round;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      work_cv_.wait(lk, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) break;  // stopping with nothing left: drained
+      const std::size_t take = std::min(queue_.size(), opts_.max_batch);
+      round.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        round.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      in_flight_ += take;
+      ++stats_.rounds;
+    }
+    run_round(round);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      in_flight_ -= round.size();
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+  // Unblock any drain() racing a shutdown with an empty queue.
+  idle_cv_.notify_all();
+}
+
+void EvalService::run_round(std::vector<Pending>& round) {
+  using driver::ChipBfvEvaluator;
+  const std::size_t count = round.size();
+  const std::size_t towers = scheme_.context().ext_basis().size();
+
+  // Host phase 1, per request: centered base extension Q -> Q u B.
+  std::vector<driver::EvalMultOperands> ops(count);
+  std::vector<std::vector<driver::TowerTensor>> tensors(count);
+  std::vector<std::exception_ptr> errs(count);
+  exec_.for_each(count, [&](std::size_t r) {
+    try {
+      ops[r] = ChipBfvEvaluator::prepare(scheme_, round[r].req.a, round[r].req.b);
+      tensors[r].resize(towers);
+    } catch (...) {
+      errs[r] = std::current_exception();
+    }
+  });
+
+  std::vector<std::size_t> live;
+  live.reserve(count);
+  for (std::size_t r = 0; r < count; ++r)
+    if (errs[r] == nullptr) live.push_back(r);
+
+  // Chip phase: per-(group, chip) or per-(tower-shard, chip) sessions.
+  if (!live.empty()) {
+    const auto chip_errs = opts_.strategy == Strategy::kBatchPerChip
+                               ? run_batch_per_chip(live, ops, tensors)
+                               : run_shard_towers(live, ops, tensors);
+    for (std::size_t c = 0; c < chip_errs.size(); ++c) {
+      if (chip_errs[c] == nullptr) continue;
+      if (opts_.strategy == Strategy::kBatchPerChip) {
+        // Chip c only served live[c], live[c + C], ...
+        for (std::size_t k = c; k < live.size(); k += chip_errs.size())
+          errs[live[k]] = chip_errs[c];
+      } else {
+        // A tower shard failed: every request in the round misses towers.
+        for (std::size_t r : live)
+          if (errs[r] == nullptr) errs[r] = chip_errs[c];
+      }
+    }
+  }
+
+  // Host phase 2, per request: reassemble towers, t/q-round, fulfill.
+  exec_.for_each(count, [&](std::size_t r) {
+    if (errs[r] == nullptr) {
+      try {
+        round[r].promise.set_value(ChipBfvEvaluator::assemble(scheme_, tensors[r]));
+        return;
+      } catch (...) {
+        errs[r] = std::current_exception();
+      }
+    }
+    round[r].promise.set_exception(errs[r]);
+  });
+
+  std::size_t failed = 0;
+  for (const auto& e : errs)
+    if (e != nullptr) ++failed;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.completed += count - failed;
+    stats_.failed += failed;
+  }
+}
+
+std::vector<std::exception_ptr> EvalService::run_batch_per_chip(
+    const std::vector<std::size_t>& live,
+    const std::vector<driver::EvalMultOperands>& ops,
+    std::vector<std::vector<driver::TowerTensor>>& tensors) {
+  using driver::ChipBfvEvaluator;
+  const std::size_t chips = std::min(farm_.size(), live.size());
+  const std::size_t towers = scheme_.context().ext_basis().size();
+  std::vector<std::exception_ptr> chip_errs(chips);
+  exec_.for_each(chips, [&](std::size_t c) {
+    const auto t0 = Clock::now();
+    driver::ChipMulReport rep;
+    std::uint64_t tower_runs = 0;
+    // Chip c's share of the stride-C round-robin below (c < chips <= live).
+    const std::uint64_t requests = (live.size() - c + chips - 1) / chips;
+    auto& drv = farm_.driver(c);
+    try {
+      // Tower-outer loop: one ring configuration serves the whole group.
+      for (std::size_t tw = 0; tw < towers; ++tw) {
+        ChipBfvEvaluator::configure_tower(drv, scheme_, tw, &rep);
+        for (std::size_t k = c; k < live.size(); k += chips) {
+          const std::size_t r = live[k];
+          ChipBfvEvaluator::load_tower(drv, ops[r], tw, &rep);
+          ChipBfvEvaluator::execute_tower(drv, &rep);
+          tensors[r][tw] = ChipBfvEvaluator::read_tower(drv, &rep);
+          ++tower_runs;
+        }
+      }
+    } catch (...) {
+      chip_errs[c] = std::current_exception();
+    }
+    note_chip_session(c, rep, requests, tower_runs, seconds_since(t0));
+  });
+  return chip_errs;
+}
+
+std::vector<std::exception_ptr> EvalService::run_shard_towers(
+    const std::vector<std::size_t>& live,
+    const std::vector<driver::EvalMultOperands>& ops,
+    std::vector<std::vector<driver::TowerTensor>>& tensors) {
+  using driver::ChipBfvEvaluator;
+  const std::size_t towers = scheme_.context().ext_basis().size();
+  const std::size_t chips = std::min(farm_.size(), towers);
+  std::vector<std::exception_ptr> chip_errs(chips);
+  exec_.for_each(chips, [&](std::size_t c) {
+    const auto t0 = Clock::now();
+    driver::ChipMulReport rep;
+    std::uint64_t tower_runs = 0;
+    auto& drv = farm_.driver(c);
+    try {
+      // Chip c owns extended towers {c, c + C, ...} of every request in the
+      // round; each is configured once and shared by the group.
+      for (std::size_t tw = c; tw < towers; tw += chips) {
+        ChipBfvEvaluator::configure_tower(drv, scheme_, tw, &rep);
+        for (std::size_t r : live) {
+          ChipBfvEvaluator::load_tower(drv, ops[r], tw, &rep);
+          ChipBfvEvaluator::execute_tower(drv, &rep);
+          tensors[r][tw] = ChipBfvEvaluator::read_tower(drv, &rep);
+          ++tower_runs;
+        }
+      }
+    } catch (...) {
+      chip_errs[c] = std::current_exception();
+    }
+    note_chip_session(c, rep, live.size(), tower_runs, seconds_since(t0));
+  });
+  return chip_errs;
+}
+
+void EvalService::note_chip_session(std::size_t chip, const driver::ChipMulReport& rep,
+                                    std::uint64_t requests, std::uint64_t tower_runs,
+                                    double busy_wall_seconds) {
+  if (tower_runs == 0 && rep.towers == 0) return;  // chip sat this round out
+  const double compute_seconds = rep.chip_ms * 1e-3;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto& c = stats_.per_chip[chip];
+  ++c.sessions;
+  c.requests += requests;
+  c.tower_runs += tower_runs;
+  c.ring_configs += rep.towers;
+  c.chip_cycles += rep.chip_cycles;
+  c.io_seconds += rep.io_seconds;
+  c.compute_seconds += compute_seconds;
+  c.busy_wall_seconds += busy_wall_seconds;
+  ++stats_.sessions;
+  stats_.io_seconds += rep.io_seconds;
+  stats_.compute_seconds += compute_seconds;
+}
+
+}  // namespace cofhee::service

@@ -1,0 +1,141 @@
+// Async multi-chip EvalMult service: the scheduler layer above
+// driver::ChipBfvEvaluator.
+//
+// ChipBfv.IoDominatesAtSmallRings shows the serial link, not the PE,
+// bounding EvalMult at bring-up ring sizes; the two levers against that are
+// (a) amortizing per-tower ring reconfiguration over many requests in one
+// chip session and (b) spreading one request's independent extended-basis
+// towers across several chips.  EvalService implements both behind one
+// async API:
+//
+//   ChipFarm farm(4);
+//   EvalService svc(scheme, farm, {Strategy::kShardTowers});
+//   std::future<bfv::Ciphertext> f = svc.submit({ca, cb});
+//   bfv::Ciphertext product = f.get();     // == scheme.multiply(ca, cb)
+//
+// A dispatcher thread coalesces queued requests into rounds of at most
+// `max_batch` and fans the chip sessions out over a backend::Executor --
+// per (request-group, chip) in kBatchPerChip, per (tower-shard, chip) in
+// kShardTowers -- the same pool shapes Bfv::multiply uses for its (tower,
+// transform) tasks.  Host-side phases (base extension, t/q rounding) fan
+// out per request.  Both strategies produce ciphertexts byte-identical to
+// the serial single-chip path (tests/service/test_eval_service.cpp).
+//
+// Shutdown is graceful: shutdown() (and the destructor) stop intake,
+// drain every queued request, and join the dispatcher.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "backend/exec_policy.hpp"
+#include "bfv/bfv.hpp"
+#include "driver/chip_bfv.hpp"
+#include "service/chip_farm.hpp"
+#include "service/service_stats.hpp"
+
+namespace cofhee::service {
+
+/// One EvalMult (without relinearization, the Fig. 6 operation).
+struct EvalMultRequest {
+  bfv::Ciphertext a, b;
+};
+
+enum class Strategy : std::uint8_t {
+  /// Whole requests round-robined over chips; each chip runs its share of a
+  /// round as one session, ring-configuring every tower once for the group.
+  kBatchPerChip = 0,
+  /// One round's extended-basis towers sharded across all chips (chip c
+  /// owns towers {c, c+C, ...} of every request) and reassembled on the
+  /// host.  Cuts single-request latency by ~|towers|/C.
+  kShardTowers = 1,
+};
+
+struct ServiceOptions {
+  Strategy strategy = Strategy::kBatchPerChip;
+  /// Most requests one dispatcher round coalesces into chip sessions.
+  /// 1 reproduces the one-request-per-session serial behavior.
+  std::size_t max_batch = 16;
+  /// Fan sessions out over a pooled Executor sized to the farm; false runs
+  /// the whole scheduler single-threaded (the bit-exact reference shape).
+  bool pooled_dispatch = true;
+};
+
+class EvalService {
+ public:
+  /// `scheme` supplies host-side RNS plumbing and must outlive the service;
+  /// its const evaluation entry points are used concurrently.  Throws
+  /// std::invalid_argument when the scheme's ring does not fit the farm's
+  /// chips.
+  EvalService(const bfv::Bfv& scheme, ChipFarm& farm, ServiceOptions opts = {});
+  ~EvalService();
+
+  EvalService(const EvalService&) = delete;
+  EvalService& operator=(const EvalService&) = delete;
+
+  /// Enqueue one EvalMult; the future carries the product ciphertext or the
+  /// exception that defeated it.  Throws std::invalid_argument on non-2-
+  /// element ciphertexts and std::runtime_error after shutdown().
+  std::future<bfv::Ciphertext> submit(EvalMultRequest req);
+
+  /// Enqueue a group atomically, so one dispatcher round can coalesce it
+  /// into batched chip sessions (subject to max_batch).
+  std::vector<std::future<bfv::Ciphertext>> submit_batch(
+      std::vector<EvalMultRequest> reqs);
+
+  /// Block until every request accepted so far has completed.
+  void drain();
+
+  /// Stop intake, drain the queue, join the dispatcher.  Idempotent.
+  void shutdown();
+
+  /// Consistent snapshot (including live queue depth and wall clock).
+  [[nodiscard]] ServiceStats stats() const;
+
+  [[nodiscard]] const ServiceOptions& options() const noexcept { return opts_; }
+  [[nodiscard]] ChipFarm& farm() noexcept { return farm_; }
+
+ private:
+  struct Pending {
+    EvalMultRequest req;
+    std::promise<bfv::Ciphertext> promise;
+  };
+
+  void dispatcher_loop();
+  void run_round(std::vector<Pending>& round);
+  /// Chip-session fan-out; writes tensors for `live` request slots and
+  /// records per-chip stats.  Returns per-chip exceptions (null = clean).
+  std::vector<std::exception_ptr> run_batch_per_chip(
+      const std::vector<std::size_t>& live,
+      const std::vector<driver::EvalMultOperands>& ops,
+      std::vector<std::vector<driver::TowerTensor>>& tensors);
+  std::vector<std::exception_ptr> run_shard_towers(
+      const std::vector<std::size_t>& live,
+      const std::vector<driver::EvalMultOperands>& ops,
+      std::vector<std::vector<driver::TowerTensor>>& tensors);
+  void note_chip_session(std::size_t chip, const driver::ChipMulReport& rep,
+                         std::uint64_t requests, std::uint64_t tower_runs,
+                         double busy_wall_seconds);
+
+  const bfv::Bfv& scheme_;
+  ChipFarm& farm_;
+  ServiceOptions opts_;
+  backend::Executor exec_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // dispatcher: queue non-empty or stopping
+  std::condition_variable idle_cv_;  // drain(): queue empty and nothing in flight
+  std::deque<Pending> queue_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+  ServiceStats stats_;  // per_chip sized to the farm; queue_depth/wall filled on read
+  std::chrono::steady_clock::time_point start_;
+  std::thread dispatcher_;
+};
+
+}  // namespace cofhee::service

@@ -1,0 +1,77 @@
+// Observability for the evaluation service (service/eval_service.hpp).
+//
+// Two time axes coexist: *simulated* seconds come from the chip model's
+// cycle counter and the serial links' byte accounting (deterministic --
+// the numbers bench_service_throughput regression-tracks), while *wall*
+// seconds are host wall-clock (how long the scheduler actually ran;
+// machine-dependent, never regression-tracked).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cofhee::service {
+
+/// Per-chip accounting.  A "session" is one continuous occupancy of a chip
+/// by a request group: its towers are ring-configured once each and then
+/// shared by every request in the group (the transport amortization the
+/// service exists for).
+struct ChipStats {
+  std::uint64_t sessions = 0;
+  std::uint64_t requests = 0;     // requests this chip touched
+  std::uint64_t tower_runs = 0;   // Algorithm-3 executions
+  std::uint64_t ring_configs = 0; // ring reconfigurations paid
+  std::uint64_t chip_cycles = 0;
+  double io_seconds = 0;          // simulated serial-link transport
+  double compute_seconds = 0;     // simulated chip compute
+  double busy_wall_seconds = 0;   // host wall-clock inside sessions
+
+  /// Simulated time this chip's serial link + PE were owned by sessions.
+  [[nodiscard]] double simulated_seconds() const noexcept {
+    return io_seconds + compute_seconds;
+  }
+};
+
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;      // completed exceptionally
+  std::uint64_t rounds = 0;      // dispatcher rounds (coalesced batches)
+  std::uint64_t sessions = 0;    // sum of per-chip sessions
+  std::size_t queue_depth = 0;   // pending requests at sampling time
+  std::size_t peak_queue_depth = 0;
+  double io_seconds = 0;         // simulated, summed over chips
+  double compute_seconds = 0;    // simulated, summed over chips
+  double wall_seconds = 0;       // since service construction
+  std::vector<ChipStats> per_chip;
+
+  /// Simulated farm makespan: the busiest chip's serial-link + compute
+  /// time.  Chips run concurrently, so this is the model's answer to "how
+  /// long did serving these requests take".
+  [[nodiscard]] double simulated_seconds() const noexcept {
+    double m = 0;
+    for (const auto& c : per_chip)
+      if (c.simulated_seconds() > m) m = c.simulated_seconds();
+    return m;
+  }
+
+  /// Deterministic throughput: completed requests over the simulated
+  /// makespan (the bench_service_throughput headline number).
+  [[nodiscard]] double simulated_requests_per_sec() const noexcept {
+    const double s = simulated_seconds();
+    return s > 0 ? static_cast<double>(completed) / s : 0.0;
+  }
+
+  /// Wall-clock throughput since service start (machine-dependent).
+  [[nodiscard]] double requests_per_sec() const noexcept {
+    return wall_seconds > 0 ? static_cast<double>(completed) / wall_seconds : 0.0;
+  }
+
+  /// Fraction of wall time chip `i`'s sessions were running.
+  [[nodiscard]] double utilization(std::size_t i) const {
+    return wall_seconds > 0 ? per_chip.at(i).busy_wall_seconds / wall_seconds : 0.0;
+  }
+};
+
+}  // namespace cofhee::service

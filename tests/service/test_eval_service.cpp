@@ -1,0 +1,190 @@
+// Differential battery for the evaluation service: every (strategy, chip
+// count, batch size) combination must produce ciphertexts byte-identical
+// to the serial software path -- every tower of every component equal, not
+// merely decrypting to the same plaintext -- plus stats accounting and
+// graceful-shutdown behavior.
+#include "service/eval_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "bfv/encoder.hpp"
+
+namespace cofhee::service {
+namespace {
+
+struct ServiceFixture {
+  bfv::Bfv scheme{bfv::BfvParams::test_tiny(64), /*seed=*/17};
+  bfv::SecretKey sk = scheme.keygen_secret();
+  bfv::PublicKey pk = scheme.keygen_public(sk);
+  bfv::IntegerEncoder enc{scheme.context()};
+
+  // A fixed request mix (products stay inside |x*y| < t/2) with the serial
+  // software reference computed once up front.
+  std::vector<std::pair<std::int64_t, std::int64_t>> plains = {
+      {0, 1}, {1, 1}, {-1, 7}, {2, 3}, {255, -128}, {-181, 181}};
+  std::vector<EvalMultRequest> requests;
+  std::vector<bfv::Ciphertext> expected;
+
+  ServiceFixture() {
+    for (const auto& [x, y] : plains) {
+      EvalMultRequest r{scheme.encrypt(pk, enc.encode(x)),
+                        scheme.encrypt(pk, enc.encode(y))};
+      expected.push_back(scheme.multiply(r.a, r.b));
+      requests.push_back(std::move(r));
+    }
+  }
+};
+
+void expect_bit_exact(const bfv::Ciphertext& got, const bfv::Ciphertext& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got.c[i].towers, want.c[i].towers) << "component " << i;
+}
+
+TEST(EvalService, DifferentialMatrixIsBitExact) {
+  ServiceFixture f;
+  for (Strategy strategy : {Strategy::kBatchPerChip, Strategy::kShardTowers}) {
+    for (std::size_t chips : {1u, 2u, 4u}) {
+      for (std::size_t batch : {1u, 4u, 16u}) {
+        SCOPED_TRACE("strategy=" + std::to_string(static_cast<int>(strategy)) +
+                     " chips=" + std::to_string(chips) +
+                     " batch=" + std::to_string(batch));
+        ChipFarm farm(chips);
+        EvalService svc(f.scheme, farm, {strategy, batch});
+        auto futures = svc.submit_batch(f.requests);
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          const auto got = futures[i].get();
+          expect_bit_exact(got, f.expected[i]);
+          EXPECT_EQ(f.enc.decode(f.scheme.decrypt(f.sk, got)),
+                    f.plains[i].first * f.plains[i].second);
+        }
+      }
+    }
+  }
+}
+
+TEST(EvalService, ShardedFourChipsMatchesSerialEvaluator) {
+  // The acceptance-criterion configuration spelled out: 4 chips,
+  // kShardTowers, vs the single-chip serial ChipBfvEvaluator.
+  ServiceFixture f;
+  chip::CofheeChip solo;
+  driver::ChipBfvEvaluator serial(solo);
+  ChipFarm farm(4);
+  EvalService svc(f.scheme, farm, {Strategy::kShardTowers});
+  auto futures = svc.submit_batch(f.requests);
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto want = serial.multiply(f.scheme, f.requests[i].a, f.requests[i].b);
+    expect_bit_exact(futures[i].get(), want);
+  }
+}
+
+TEST(EvalService, SerialDispatchMatchesPooled) {
+  ServiceFixture f;
+  std::vector<bfv::Ciphertext> pooled, serial;
+  for (bool pool : {true, false}) {
+    ChipFarm farm(3);
+    EvalService svc(f.scheme, farm, {Strategy::kBatchPerChip, 4, pool});
+    auto futures = svc.submit_batch(f.requests);
+    for (auto& fu : futures) (pool ? pooled : serial).push_back(fu.get());
+  }
+  ASSERT_EQ(pooled.size(), serial.size());
+  for (std::size_t i = 0; i < pooled.size(); ++i)
+    expect_bit_exact(pooled[i], serial[i]);
+}
+
+TEST(EvalService, StatsAccountTheWork) {
+  ServiceFixture f;
+  const std::size_t chips = 2;
+  ChipFarm farm(chips);
+  EvalService svc(f.scheme, farm, {Strategy::kBatchPerChip, f.requests.size()});
+  auto futures = svc.submit_batch(f.requests);
+  for (auto& fu : futures) (void)fu.get();
+  svc.drain();
+  const auto s = svc.stats();
+
+  const std::size_t towers = f.scheme.context().ext_basis().size();
+  EXPECT_EQ(s.submitted, f.requests.size());
+  EXPECT_EQ(s.completed, f.requests.size());
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_GE(s.peak_queue_depth, f.requests.size());
+  EXPECT_GT(s.io_seconds, 0.0);
+  EXPECT_GT(s.compute_seconds, 0.0);
+  EXPECT_GT(s.wall_seconds, 0.0);
+  EXPECT_GT(s.simulated_requests_per_sec(), 0.0);
+  ASSERT_EQ(s.per_chip.size(), chips);
+  std::uint64_t reqs = 0, tower_runs = 0;
+  for (std::size_t c = 0; c < chips; ++c) {
+    reqs += s.per_chip[c].requests;
+    tower_runs += s.per_chip[c].tower_runs;
+    EXPECT_GE(s.utilization(c), 0.0);
+  }
+  EXPECT_EQ(reqs, f.requests.size());
+  EXPECT_EQ(tower_runs, f.requests.size() * towers);
+}
+
+TEST(EvalService, BatchingAmortizesRingConfiguration) {
+  // The whole point of submit_batch: one session ring-configures each tower
+  // once for the group, so the batched service pays fewer reconfigurations
+  // -- and strictly less serial-link time -- than one-request-per-session.
+  ServiceFixture f;
+  auto run = [&](std::size_t max_batch) {
+    ChipFarm farm(1);
+    EvalService svc(f.scheme, farm, {Strategy::kBatchPerChip, max_batch});
+    auto futures = svc.submit_batch(f.requests);
+    for (auto& fu : futures) (void)fu.get();
+    svc.drain();
+    return svc.stats();
+  };
+  const auto batched = run(f.requests.size());
+  const auto serial = run(1);
+  const std::size_t towers = f.scheme.context().ext_basis().size();
+  EXPECT_EQ(batched.per_chip[0].ring_configs, towers);
+  EXPECT_EQ(serial.per_chip[0].ring_configs, towers * f.requests.size());
+  EXPECT_LT(batched.io_seconds, serial.io_seconds);
+  EXPECT_GT(batched.simulated_requests_per_sec(),
+            serial.simulated_requests_per_sec());
+}
+
+TEST(EvalService, ShutdownDrainsTheQueue) {
+  ServiceFixture f;
+  ChipFarm farm(2);
+  std::vector<std::future<bfv::Ciphertext>> futures;
+  {
+    EvalService svc(f.scheme, farm, {Strategy::kShardTowers, 2});
+    futures = svc.submit_batch(f.requests);
+    svc.shutdown();  // must complete every accepted request first
+    EXPECT_THROW((void)svc.submit({f.requests[0].a, f.requests[0].b}),
+                 std::runtime_error);
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    expect_bit_exact(futures[i].get(), f.expected[i]);
+}
+
+TEST(EvalService, MalformedRequestsAreRejectedWithoutPoisoningOthers) {
+  ServiceFixture f;
+  ChipFarm farm(2);
+  EvalService svc(f.scheme, farm, {Strategy::kBatchPerChip, 8});
+  // 3-element ciphertext (un-relinearized product) is rejected at submit.
+  EXPECT_THROW((void)svc.submit({f.expected[0], f.requests[0].b}),
+               std::invalid_argument);
+  auto ok = svc.submit({f.requests[1].a, f.requests[1].b});
+  expect_bit_exact(ok.get(), f.expected[1]);
+  svc.drain();  // the round's stats post after its promises are fulfilled
+  const auto s = svc.stats();
+  EXPECT_EQ(s.failed, 0u);
+  EXPECT_EQ(s.completed, 1u);
+}
+
+TEST(ChipFarm, RejectsEmptyFarmAndOversizedRing) {
+  EXPECT_THROW(ChipFarm(0), std::invalid_argument);
+  bfv::Bfv big(bfv::BfvParams::create(1u << 14, {54, 55}, 65537), 1);
+  ChipFarm farm(1);  // bank_words = 2^14 -> n up to 2^13 in 2 slots
+  EXPECT_THROW(EvalService(big, farm), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cofhee::service

@@ -1,0 +1,115 @@
+// Concurrency battery for the evaluation service: many producer threads
+// submitting simultaneously (from a backend::ThreadPool, the way an
+// application layer would), results verified bit-exactly against the
+// serial software path.  Runs under the TSan CI lane (label `service`).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <vector>
+
+#include "backend/thread_pool.hpp"
+#include "bfv/encoder.hpp"
+#include "service/eval_service.hpp"
+
+namespace cofhee::service {
+namespace {
+
+struct StressFixture {
+  bfv::Bfv scheme{bfv::BfvParams::test_tiny(64), /*seed=*/23};
+  bfv::SecretKey sk = scheme.keygen_secret();
+  bfv::PublicKey pk = scheme.keygen_public(sk);
+  bfv::IntegerEncoder enc{scheme.context()};
+};
+
+TEST(ServiceStress, ConcurrentSubmittersGetBitExactResults) {
+  StressFixture f;
+  constexpr std::size_t kProducers = 8;
+  constexpr std::size_t kPerProducer = 4;
+
+  // Pre-encrypt outside the pool: Bfv sampling is stateful and the service
+  // contract only covers concurrent const evaluation.
+  std::vector<std::vector<EvalMultRequest>> reqs(kProducers);
+  std::vector<std::vector<bfv::Ciphertext>> want(kProducers);
+  std::vector<std::vector<std::int64_t>> prod(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    for (std::size_t i = 0; i < kPerProducer; ++i) {
+      const auto x = static_cast<std::int64_t>(p + 1);
+      const auto y = static_cast<std::int64_t>(i) - 2;
+      EvalMultRequest r{f.scheme.encrypt(f.pk, f.enc.encode(x)),
+                        f.scheme.encrypt(f.pk, f.enc.encode(y))};
+      want[p].push_back(f.scheme.multiply(r.a, r.b));
+      prod[p].push_back(x * y);
+      reqs[p].push_back(std::move(r));
+    }
+  }
+
+  for (Strategy strategy : {Strategy::kBatchPerChip, Strategy::kShardTowers}) {
+    SCOPED_TRACE(static_cast<int>(strategy));
+    ChipFarm farm(2);
+    EvalService svc(f.scheme, farm, {strategy, /*max_batch=*/8});
+    std::atomic<int> mismatches{0};
+
+    backend::ThreadPool producers(kProducers);
+    producers.parallel_for(kProducers, [&](std::size_t p) {
+      // Mix the two entry points: half the producers batch, half trickle.
+      std::vector<std::future<bfv::Ciphertext>> futures;
+      if (p % 2 == 0) {
+        futures = svc.submit_batch(reqs[p]);
+      } else {
+        for (const auto& r : reqs[p]) futures.push_back(svc.submit({r.a, r.b}));
+      }
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        const auto got = futures[i].get();
+        if (got.size() != want[p][i].size()) {
+          ++mismatches;
+          continue;
+        }
+        for (std::size_t k = 0; k < got.size(); ++k)
+          if (got.c[k].towers != want[p][i].c[k].towers) ++mismatches;
+        if (f.enc.decode(f.scheme.decrypt(f.sk, got)) != prod[p][i]) ++mismatches;
+      }
+    });
+
+    EXPECT_EQ(mismatches.load(), 0);
+    svc.drain();
+    const auto s = svc.stats();
+    EXPECT_EQ(s.submitted, kProducers * kPerProducer);
+    EXPECT_EQ(s.completed, kProducers * kPerProducer);
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_EQ(s.queue_depth, 0u);
+  }
+}
+
+TEST(ServiceStress, InterleavedSubmitAndStatsPolling) {
+  StressFixture f;
+  ChipFarm farm(2);
+  EvalService svc(f.scheme, farm, {Strategy::kShardTowers, 4});
+  const EvalMultRequest proto{f.scheme.encrypt(f.pk, f.enc.encode(9)),
+                              f.scheme.encrypt(f.pk, f.enc.encode(-4))};
+  const auto want = f.scheme.multiply(proto.a, proto.b);
+
+  backend::ThreadPool pool(4);
+  std::atomic<int> mismatches{0};
+  pool.parallel_for(4, [&](std::size_t worker) {
+    if (worker == 0) {
+      // A monitoring thread hammering the stats endpoint mid-traffic.
+      for (int i = 0; i < 200; ++i) {
+        const auto s = svc.stats();
+        if (s.completed > s.submitted) ++mismatches;
+      }
+      return;
+    }
+    for (int i = 0; i < 6; ++i) {
+      auto got = svc.submit({proto.a, proto.b}).get();
+      for (std::size_t k = 0; k < got.size(); ++k)
+        if (got.c[k].towers != want.c[k].towers) ++mismatches;
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+  svc.drain();
+  EXPECT_EQ(svc.stats().completed, 18u);
+}
+
+}  // namespace
+}  // namespace cofhee::service
