@@ -3,19 +3,29 @@
 // ChipBfv.IoDominatesAtSmallRings (and the paper's Section VIII-A remark)
 // says the serial link, not the PE, bounds EvalMult at n = 2^12.  This
 // bench measures what the cofhee::service scheduler buys back there, in
-// *simulated* seconds (link byte accounting + chip cycle model, so the
-// numbers are machine-independent and regression-tracked):
+// *simulated* seconds (link byte accounting + chip cycle model + the
+// service's deterministic host cost model, so the numbers are
+// machine-independent and regression-tracked):
 //
-//   serial_1chip   -- one request per session (the pre-service behavior):
-//                     every request re-pays ring configuration per tower.
-//   batched_1chip  -- one session per round: ring configuration amortized
-//                     over the whole batch (the submit_batch win).
-//   batched_4chip  -- kBatchPerChip over 4 chips: throughput scaling.
-//   sharded_4chip  -- kShardTowers over 4 chips: latency scaling (one
-//                     request's towers run concurrently).
+//   serial_1chip        -- one EvalMult per session (the pre-service
+//                          behavior): every request re-pays ring
+//                          configuration per tower.
+//   batched_1chip       -- one session per round: ring configuration
+//                          amortized over the whole batch.
+//   batched_4chip       -- kBatchPerChip over 4 chips: throughput scaling.
+//   sharded_4chip       -- kShardTowers over 4 chips: latency scaling.
+//   relin_batched_1chip -- Algorithm-2 key switching as its own request
+//                          kind, batched through one chip.
+//   multrelin_noverlap_1chip / multrelin_overlap_1chip -- the paper's
+//                          complete EvalMult (tensor + key switch) with
+//                          double-buffered rounds off vs on: host base
+//                          extension / rounding hidden under the previous
+//                          round's chip stage.
+//   multrelin_overlap_4chip -- overlap + farm scaling combined.
 //
-// The acceptance bar: batched EvalMult/sec >= the one-request-per-session
-// baseline at n = 4096.
+// Acceptance bars: batched EvalMult/sec >= the one-request-per-session
+// baseline, and double-buffered end-to-end throughput >= the
+// non-overlapped schedule, both at n = 4096.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -27,6 +37,7 @@
 namespace {
 
 using namespace cofhee;
+using service::RequestKind;
 using service::Strategy;
 
 struct Scenario {
@@ -34,23 +45,39 @@ struct Scenario {
   std::size_t chips;
   Strategy strategy;
   std::size_t max_batch;
+  RequestKind kind;
+  bool overlap;
 };
 
 struct Run {
   service::ServiceStats stats;
-  double evalmult_per_sec;
+  double evalmult_per_sec;  // chip-axis throughput (farm makespan)
+  double e2e_per_sec;       // pipeline-model end-to-end throughput
 };
 
-Run run_scenario(const bfv::Bfv& scheme, const Scenario& sc,
-                 const std::vector<service::EvalMultRequest>& requests) {
+Run run_scenario(const bfv::Bfv& scheme, const bfv::RelinKeys& rk, const Scenario& sc,
+                 const std::vector<service::EvalRequest>& requests) {
   service::ChipFarm farm(sc.chips);
-  service::EvalService svc(scheme, farm, {sc.strategy, sc.max_batch});
-  auto futures = svc.submit_batch(requests);
+  service::ServiceOptions opts;
+  opts.strategy = sc.strategy;
+  opts.max_batch = sc.max_batch;
+  opts.relin_keys = &rk;
+  opts.overlap_rounds = sc.overlap;
+  service::EvalService svc(scheme, farm, opts);
+  std::vector<service::EvalRequest> reqs = requests;
+  for (auto& r : reqs) r.kind = sc.kind;
+  if (sc.kind == RequestKind::kRelinearize)
+    for (auto& r : reqs) {
+      r.a = scheme.multiply(r.a, r.b);
+      r.b = {};
+    }
+  auto futures = svc.submit_batch(reqs);
   for (auto& f : futures) (void)f.get();
   svc.drain();
   Run r;
   r.stats = svc.stats();
   r.evalmult_per_sec = r.stats.simulated_requests_per_sec();
+  r.e2e_per_sec = r.stats.e2e_requests_per_sec();
   return r;
 }
 
@@ -65,52 +92,80 @@ int main(int argc, char** argv) {
   bfv::Bfv scheme(bfv::BfvParams::paper_small(), /*seed=*/42);
   const auto sk = scheme.keygen_secret();
   const auto pk = scheme.keygen_public(sk);
+  const auto rk = scheme.keygen_relin(sk, 16);
   bfv::IntegerEncoder enc(scheme.context());
   const auto ca = scheme.encrypt(pk, enc.encode(1234));
   const auto cb = scheme.encrypt(pk, enc.encode(-56));
 
   constexpr std::size_t kRequests = 6;
-  std::vector<service::EvalMultRequest> requests;
-  for (std::size_t i = 0; i < kRequests; ++i) requests.push_back({ca, cb});
+  std::vector<service::EvalRequest> requests;
+  for (std::size_t i = 0; i < kRequests; ++i)
+    requests.push_back({ca, cb, RequestKind::kEvalMult});
 
   const Scenario scenarios[] = {
-      {"serial_1chip", 1, Strategy::kBatchPerChip, 1},
-      {"batched_1chip", 1, Strategy::kBatchPerChip, kRequests},
-      {"batched_4chip", 4, Strategy::kBatchPerChip, kRequests},
-      {"sharded_4chip", 4, Strategy::kShardTowers, kRequests},
+      {"serial_1chip", 1, Strategy::kBatchPerChip, 1, RequestKind::kEvalMult, true},
+      {"batched_1chip", 1, Strategy::kBatchPerChip, kRequests, RequestKind::kEvalMult,
+       true},
+      {"batched_4chip", 4, Strategy::kBatchPerChip, kRequests, RequestKind::kEvalMult,
+       true},
+      {"sharded_4chip", 4, Strategy::kShardTowers, kRequests, RequestKind::kEvalMult,
+       true},
+      {"relin_batched_1chip", 1, Strategy::kBatchPerChip, kRequests,
+       RequestKind::kRelinearize, true},
+      {"multrelin_noverlap_1chip", 1, Strategy::kBatchPerChip, 2,
+       RequestKind::kMultRelin, false},
+      {"multrelin_overlap_1chip", 1, Strategy::kBatchPerChip, 2,
+       RequestKind::kMultRelin, true},
+      {"multrelin_overlap_4chip", 4, Strategy::kShardTowers, 2,
+       RequestKind::kMultRelin, true},
   };
 
-  eval::section("Evaluation service -- EvalMult throughput, n = 4096 (simulated)");
-  eval::Table t({"scenario", "chips", "max batch", "sessions", "ring cfgs",
-                 "io s", "compute ms", "EvalMult/s", "vs serial"});
+  eval::section("Evaluation service -- throughput, n = 4096 (simulated)");
+  eval::Table t({"scenario", "chips", "batch", "sessions", "ring cfgs", "ks muls",
+                 "io s", "compute ms", "req/s chip", "req/s e2e", "overlap s"});
   double baseline = 0;
+  double overlap_ref_e2e = 0;  // multrelin_noverlap_1chip
   for (const auto& sc : scenarios) {
-    const Run r = run_scenario(scheme, sc, requests);
+    const Run r = run_scenario(scheme, rk, sc, requests);
     if (baseline == 0) baseline = r.evalmult_per_sec;
+    if (std::string(sc.name) == "multrelin_noverlap_1chip") overlap_ref_e2e = r.e2e_per_sec;
     std::uint64_t ring_configs = 0;
     for (const auto& c : r.stats.per_chip) ring_configs += c.ring_configs;
     t.row({sc.name, std::to_string(sc.chips), std::to_string(sc.max_batch),
            std::to_string(r.stats.sessions), std::to_string(ring_configs),
-           eval::fmt(r.stats.io_seconds, 4), eval::fmt(r.stats.compute_seconds * 1e3, 2),
-           eval::fmt(r.evalmult_per_sec, 2),
-           eval::fmt(r.evalmult_per_sec / baseline, 2) + "x"});
+           std::to_string(r.stats.ks_products), eval::fmt(r.stats.io_seconds, 4),
+           eval::fmt(r.stats.compute_seconds * 1e3, 2),
+           eval::fmt(r.evalmult_per_sec, 2), eval::fmt(r.e2e_per_sec, 2),
+           eval::fmt(r.stats.overlap_saved_seconds(), 4)});
     const std::string key = std::string(sc.name) + "/";
     metrics.set(key + "evalmult_per_sec", r.evalmult_per_sec);
+    metrics.set(key + "e2e_per_sec", r.e2e_per_sec);
     metrics.set(key + "io_seconds", r.stats.io_seconds);
     metrics.set(key + "compute_ms", r.stats.compute_seconds * 1e3);
     metrics.set(key + "sessions", static_cast<double>(r.stats.sessions));
     metrics.set(key + "ring_configs", static_cast<double>(ring_configs));
+    metrics.set(key + "ks_products", static_cast<double>(r.stats.ks_products));
+    metrics.set(key + "pipeline_span_s", r.stats.pipeline_span_seconds);
+    metrics.set(key + "serial_span_s", r.stats.serial_span_seconds);
+    metrics.set(key + "overlap_saved_s", r.stats.overlap_saved_seconds());
+    metrics.set(key + "chip_occupancy", r.stats.chip_occupancy());
     metrics.set(key + "speedup_vs_serial", r.evalmult_per_sec / baseline);
+    if (overlap_ref_e2e > 0)
+      metrics.set(key + "e2e_gain_vs_noverlap", r.e2e_per_sec / overlap_ref_e2e);
   }
   t.print();
 
   std::puts(
-      "\nReading: all times are the deterministic transport + cycle model\n"
-      "(UART/SPI byte counts, 250 MHz PE), not host wall clock.  Batching\n"
-      "pays ring reconfiguration (Q/BARRETT/INV_POLYDEG registers + twiddle\n"
-      "ROM) once per tower per session instead of once per tower per\n"
-      "request; sharding additionally spreads one request's towers across\n"
-      "the farm, cutting its latency by ~towers/chips.");
+      "\nReading: all times are the deterministic transport + cycle + host\n"
+      "cost model (UART/SPI byte counts, 250 MHz PE, modeled host\n"
+      "coefficient rate), not host wall clock.  Batching pays ring\n"
+      "reconfiguration (Q/BARRETT/INV_POLYDEG registers + twiddle ROM) once\n"
+      "per tower per session instead of once per tower per request;\n"
+      "sharding additionally spreads one request's towers across the farm;\n"
+      "relinearization rides the same sessions as per-(digit, tower)\n"
+      "Algorithm-2 PolyMuls; double-buffered rounds hide host-side base\n"
+      "extension / rounding under the previous round's chip stage\n"
+      "(req/s e2e up, req/s chip unchanged).");
   if (!json_path.empty() && !metrics.write(json_path)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;

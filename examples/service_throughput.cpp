@@ -27,18 +27,26 @@ int main() {
   const auto pk = scheme.keygen_public(sk);
   bfv::IntegerEncoder enc(scheme.context());
 
+  const auto rk = scheme.keygen_relin(sk, 16);
+
   constexpr std::size_t kChips = 4;
   service::ChipFarm farm(kChips);
-  service::EvalService svc(scheme, farm,
-                           {service::Strategy::kShardTowers, /*max_batch=*/8});
+  service::ServiceOptions opts;
+  opts.strategy = service::Strategy::kShardTowers;
+  opts.max_batch = 4;  // several rounds, so double-buffering can engage
+  opts.relin_keys = &rk;
+  opts.overlap_rounds = true;
+  service::EvalService svc(scheme, farm, opts);
 
-  std::printf("Submitting 8 EvalMult requests to a %zu-chip farm "
-              "(kShardTowers)...\n", farm.size());
-  std::vector<service::EvalMultRequest> requests;
+  std::printf("Submitting 8 complete EvalMult (tensor + relinearize) "
+              "requests to a %zu-chip farm (kShardTowers, double-buffered "
+              "rounds)...\n", farm.size());
+  std::vector<service::EvalRequest> requests;
   std::vector<std::int64_t> expect;
   for (int i = 1; i <= 8; ++i) {
     requests.push_back({scheme.encrypt(pk, enc.encode(100 + i)),
-                        scheme.encrypt(pk, enc.encode(-i))});
+                        scheme.encrypt(pk, enc.encode(-i)),
+                        service::RequestKind::kMultRelin});
     expect.push_back(static_cast<std::int64_t>(100 + i) * -i);
   }
   auto futures = svc.submit_batch(std::move(requests));
@@ -47,9 +55,10 @@ int main() {
   for (std::size_t i = 0; i < futures.size(); ++i) {
     const auto product = futures[i].get();  // std::future: block per result
     const auto got = enc.decode(scheme.decrypt(sk, product));
-    all_ok = all_ok && got == expect[i];
-    std::printf("  request %zu: decrypt(EvalMult) = %lld (expected %lld)\n", i,
-                static_cast<long long>(got), static_cast<long long>(expect[i]));
+    all_ok = all_ok && got == expect[i] && product.size() == 2;
+    std::printf("  request %zu: decrypt(EvalMult+relin) = %lld (expected %lld, "
+                "%zu components)\n", i, static_cast<long long>(got),
+                static_cast<long long>(expect[i]), product.size());
   }
   svc.drain();
 
@@ -65,12 +74,20 @@ int main() {
               "(farm makespan %.4f s)\n",
               s.io_seconds, s.compute_seconds, s.simulated_requests_per_sec(),
               s.simulated_seconds());
-  eval::Table t({"chip", "sessions", "requests", "tower runs", "ring cfgs",
-                 "io s", "compute ms", "utilization"});
+  std::printf("pipeline model: %.4f s double-buffered vs %.4f s back-to-back "
+              "(%llu/%llu rounds overlapped, %.2f req/s end-to-end, chip "
+              "occupancy %.1f%%)\n",
+              s.pipeline_span_seconds, s.serial_span_seconds,
+              static_cast<unsigned long long>(s.overlapped_rounds),
+              static_cast<unsigned long long>(s.rounds),
+              s.e2e_requests_per_sec(), 100.0 * s.chip_occupancy());
+  eval::Table t({"chip", "sessions", "requests", "tower runs", "relin runs",
+                 "ks muls", "ring cfgs", "io s", "compute ms", "utilization"});
   for (std::size_t c = 0; c < s.per_chip.size(); ++c) {
     const auto& pc = s.per_chip[c];
     t.row({std::to_string(c), std::to_string(pc.sessions),
            std::to_string(pc.requests), std::to_string(pc.tower_runs),
+           std::to_string(pc.relin_tower_runs), std::to_string(pc.ks_products),
            std::to_string(pc.ring_configs), eval::fmt(pc.io_seconds, 4),
            eval::fmt(pc.compute_seconds * 1e3, 2),
            eval::fmt(100.0 * s.utilization(c), 1) + "%"});

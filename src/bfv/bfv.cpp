@@ -278,8 +278,27 @@ Ciphertext Bfv::multiply(const Ciphertext& a, const Ciphertext& b) const {
   return r;
 }
 
-Ciphertext Bfv::relinearize(const Ciphertext& ct, const RelinKeys& rk) const {
-  if (ct.size() != 3) throw std::invalid_argument("Bfv: relinearize expects 3 elements");
+void Bfv::validate_relin_keys(const RelinKeys& rk) const {
+  const auto& qb = ctx_.q_basis();
+  if (rk.digit_bits == 0 || rk.digit_bits > 32)
+    throw std::invalid_argument("Bfv: relin digit_bits in [1,32]");
+  if (rk.keys.empty()) throw std::invalid_argument("Bfv: empty relin keys");
+  if (rk.keys.size() * rk.digit_bits < ctx_.big_q().bit_len())
+    throw std::invalid_argument(
+        "Bfv: relin keys cover fewer digits than log2(Q) -- generated at a "
+        "different level");
+  for (const auto& [b, a] : rk.keys) {
+    if (b.towers.size() != qb.size() || a.towers.size() != qb.size())
+      throw std::invalid_argument(
+          "Bfv: relin key tower count does not match this scheme's Q basis");
+    for (std::size_t i = 0; i < qb.size(); ++i)
+      if (b.towers[i].size() != ctx_.n() || a.towers[i].size() != ctx_.n())
+        throw std::invalid_argument(
+            "Bfv: relin key polynomial degree does not match this ring");
+  }
+}
+
+std::vector<RnsPoly> Bfv::relin_digits(const RnsPoly& c2, const RelinKeys& rk) const {
   const auto& qb = ctx_.q_basis();
   const unsigned w = rk.digit_bits;
   const u64 mask = (w == 64) ? ~u64{0} : ((u64{1} << w) - 1);
@@ -292,7 +311,7 @@ Ciphertext Bfv::relinearize(const Ciphertext& ct, const RelinKeys& rk) const {
   ctx_.exec().for_ranges(ctx_.n(), [&](std::size_t lo, std::size_t hi) {
     std::vector<u64> res(qb.size());
     for (std::size_t j = lo; j < hi; ++j) {
-      for (std::size_t i = 0; i < qb.size(); ++i) res[i] = ct.c[2].towers[i][j];
+      for (std::size_t i = 0; i < qb.size(); ++i) res[i] = c2.towers[i][j];
       BigInt x = qb.reconstruct(res);
       for (std::size_t d = 0; d < nd; ++d) {
         const u64 digit = x.limb[0] & mask;
@@ -302,6 +321,15 @@ Ciphertext Bfv::relinearize(const Ciphertext& ct, const RelinKeys& rk) const {
       }
     }
   });
+  return digits;
+}
+
+Ciphertext Bfv::relinearize(const Ciphertext& ct, const RelinKeys& rk) const {
+  if (ct.size() != 3) throw std::invalid_argument("Bfv: relinearize expects 3 elements");
+  validate_relin_keys(rk);
+  const auto& qb = ctx_.q_basis();
+  const std::size_t nd = rk.keys.size();
+  const std::vector<RnsPoly> digits = relin_digits(ct.c[2], rk);
 
   // Key-switch products: one task per (digit, component, tower) -- the
   // relinearization digit loops are nd * 2 * towers independent negacyclic

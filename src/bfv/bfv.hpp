@@ -92,12 +92,32 @@ class Bfv {
     return scale_round_to_q(y_ext);
   }
 
+  /// Base-2^w digit decomposition of `c2` over the Q basis: the host half of
+  /// Algorithm-2 key switching, shared verbatim with the chip-backed
+  /// relinearization (driver/chip_bfv.hpp) so both paths are bit-identical.
+  /// Validates `rk` against this scheme's level first (see
+  /// validate_relin_keys) and throws std::invalid_argument on mismatch.
+  [[nodiscard]] std::vector<poly::RnsPoly> relin_digits_public(
+      const poly::RnsPoly& c2, const RelinKeys& rk) const {
+    validate_relin_keys(rk);
+    return relin_digits(c2, rk);
+  }
+
+  /// Reject relinearization keys generated at a different level or ring:
+  /// wrong tower count / polynomial degree, digit width outside [1,32], or
+  /// too few digits to cover log2(Q) (which would silently drop high digits
+  /// and corrupt the result).  Throws std::invalid_argument.
+  void validate_relin_keys(const RelinKeys& rk) const;
+
  private:
   [[nodiscard]] poly::RnsPoly sample_small_rns(bool ternary);
   /// Centered exact base extension Q -> Q u B of one polynomial.
   [[nodiscard]] poly::RnsPoly extend_centered(const poly::RnsPoly& p) const;
   /// round(t * y / Q) mod Q for a polynomial given in the extended basis.
   [[nodiscard]] poly::RnsPoly scale_round_to_q(const poly::RnsPoly& y_ext) const;
+  /// Digit decomposition behind relinearize()/relin_digits_public().
+  [[nodiscard]] std::vector<poly::RnsPoly> relin_digits(const poly::RnsPoly& c2,
+                                                        const RelinKeys& rk) const;
 
   BfvContext ctx_;
   poly::Rng rng_;

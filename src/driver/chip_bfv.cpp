@@ -99,6 +99,107 @@ bfv::Ciphertext ChipBfvEvaluator::assemble(const bfv::Bfv& bfv,
   return out;
 }
 
+RelinOperands ChipBfvEvaluator::prepare_relin(const bfv::Bfv& bfv,
+                                              const bfv::Ciphertext& ct,
+                                              const bfv::RelinKeys& rk) {
+  if (ct.size() != 3)
+    throw std::invalid_argument(
+        "ChipBfvEvaluator: relinearization expects a 3-element ciphertext");
+  RelinOperands ops;
+  ops.digits = bfv.relin_digits_public(ct.c[2], rk);  // validates rk
+  ops.c0 = ct.c[0];
+  ops.c1 = ct.c[1];
+  return ops;
+}
+
+void ChipBfvEvaluator::configure_relin_tower(HostDriver& drv, const bfv::Bfv& bfv,
+                                             std::size_t tower, ChipMulReport* report) {
+  if (tower >= bfv.context().q_basis().size())
+    throw std::invalid_argument("ChipBfvEvaluator: relin tower outside the Q basis");
+  // Q is a prefix of the extended basis, so the same ring image applies.
+  configure_tower(drv, bfv, tower, report);
+}
+
+RelinTowerAcc ChipBfvEvaluator::relin_tower(HostDriver& drv, const bfv::Bfv& bfv,
+                                            const RelinOperands& ops,
+                                            const bfv::RelinKeys& rk, std::size_t tower,
+                                            ChipMulReport* report) {
+  const auto& ring = bfv.context().q_basis().tower(tower);
+  RelinTowerAcc acc{ops.c0.towers.at(tower), ops.c1.towers.at(tower)};
+  double io = 0;
+  for (std::size_t d = 0; d < ops.digits.size(); ++d) {
+    // The digit is shared by both components: upload once, reuse for the
+    // two key polynomials (PolyMul leaves SP0/SP1 intact).
+    io += drv.load_polynomial(Bank::kSp0, 0, widen(ops.digits[d].towers[tower]));
+    for (int comp = 0; comp < 2; ++comp) {
+      const auto& key = comp == 0 ? rk.keys[d].first : rk.keys[d].second;
+      io += drv.load_polynomial(Bank::kSp1, 0, widen(key.towers[tower]));
+      const auto r = drv.poly_mul();
+      double rio = 0;
+      const auto prod = narrow(drv.read_polynomial(Bank::kSp2, 0, drv.n(), &rio));
+      io += rio;
+      auto& dst = comp == 0 ? acc.c0 : acc.c1;
+      dst = poly::pointwise_add(ring, dst, prod);
+      if (report != nullptr) {
+        report->chip_cycles += r.compute_cycles;
+        report->chip_ms += r.compute_ms;
+        ++report->ks_products;
+      }
+    }
+  }
+  if (report != nullptr) report->io_seconds += io;
+  return acc;
+}
+
+bfv::Ciphertext ChipBfvEvaluator::assemble_relin(
+    const std::vector<RelinTowerAcc>& towers) {
+  bfv::Ciphertext out;
+  out.c.resize(2);
+  out.c[0].towers.resize(towers.size());
+  out.c[1].towers.resize(towers.size());
+  for (std::size_t tw = 0; tw < towers.size(); ++tw) {
+    out.c[0].towers[tw] = towers[tw].c0;
+    out.c[1].towers[tw] = towers[tw].c1;
+  }
+  return out;
+}
+
+bfv::Ciphertext ChipBfvEvaluator::relinearize(const bfv::Bfv& bfv,
+                                              const bfv::Ciphertext& ct,
+                                              const bfv::RelinKeys& rk,
+                                              ChipMulReport* report) {
+  const auto& ctx = bfv.context();
+  if (2 * ctx.n() > chip_.config().bank_words)
+    throw std::invalid_argument("ChipBfvEvaluator: ring too large for on-chip slots");
+  const RelinOperands ops = prepare_relin(bfv, ct, rk);
+
+  ChipMulReport rep;
+  std::vector<RelinTowerAcc> accs(ctx.q_basis().size());
+  HostDriver drv(chip_, mode_, link_);
+  for (std::size_t tw = 0; tw < accs.size(); ++tw) {
+    configure_relin_tower(drv, bfv, tw, &rep);
+    accs[tw] = relin_tower(drv, bfv, ops, rk, tw, &rep);
+  }
+
+  bfv::Ciphertext out = assemble_relin(accs);
+  if (report != nullptr) *report = rep;
+  return out;
+}
+
+bfv::Ciphertext ChipBfvEvaluator::multiply_relin(const bfv::Bfv& bfv,
+                                                 const bfv::Ciphertext& a,
+                                                 const bfv::Ciphertext& b,
+                                                 const bfv::RelinKeys& rk,
+                                                 ChipMulReport* report) {
+  ChipMulReport rep;
+  const bfv::Ciphertext tensor = multiply(bfv, a, b, &rep);
+  ChipMulReport relin_rep;
+  bfv::Ciphertext out = relinearize(bfv, tensor, rk, &relin_rep);
+  rep += relin_rep;
+  if (report != nullptr) *report = rep;
+  return out;
+}
+
 bfv::Ciphertext ChipBfvEvaluator::multiply(const bfv::Bfv& bfv,
                                            const bfv::Ciphertext& a,
                                            const bfv::Ciphertext& b,

@@ -9,16 +9,25 @@
 // prescribes ("low-level polynomial operations" on chip, "data movement"
 // and higher-level steps on the host, Sections I and III).
 //
-// The per-tower pipeline is exposed as separate phases -- prepare (host),
-// configure_tower / load_tower / execute_tower / read_tower (chip session),
-// assemble (host) -- so a scheduler that owns several chips
-// (service/eval_service.hpp) can interleave them: amortize one ring
-// configuration over a batch of requests, or shard one request's towers
-// across a chip farm.  multiply() is the serial single-chip composition of
-// the same phases.
+// Relinearization (the second half of a full EvalMult) follows the same
+// split: the host digit-decomposes c2 over the Q basis (an exact CRT lift
+// the chip has no datapath for), and every per-(digit, tower) key-switch
+// product -- the dominant on-chip cost in the HEAX line of work -- runs as
+// one Algorithm-2 PolyMul on the PE, with the host accumulating the
+// read-back products into c0/c1.
 //
-// Bit-exactness against the pure-software Bfv::multiply is asserted by
-// tests/driver/test_chip_bfv.cpp.
+// Both pipelines are exposed as separate phases -- prepare/prepare_relin
+// (host), configure_tower / load_tower / execute_tower / read_tower /
+// relin_tower (chip session), assemble/assemble_relin (host) -- so a
+// scheduler that owns several chips (service/eval_service.hpp) can
+// interleave them: amortize one ring configuration over a batch of
+// requests, shard one request's towers across a chip farm, or overlap
+// host-side base conversion with the previous round's chip phases.
+// multiply() / relinearize() / multiply_relin() are the serial single-chip
+// compositions of the same phases.
+//
+// Bit-exactness against the pure-software Bfv::multiply/relinearize is
+// asserted by tests/driver/test_chip_bfv.cpp.
 #pragma once
 
 #include <cstdint>
@@ -30,18 +39,29 @@
 
 namespace cofhee::driver {
 
+/// Per-session accounting of one chip's work, split along the paper's
+/// compute-vs-transport axis.  All times are simulated (cycle model + serial
+/// link byte counts), never host wall clock.
 struct ChipMulReport {
+  /// PE cycles at the configured clock (250 MHz default).
   std::uint64_t chip_cycles = 0;
+  /// chip_cycles converted to milliseconds.
   double chip_ms = 0;
-  double io_seconds = 0;  // serial-link transport: ring-reconfiguration
-                          // register writes + twiddle ROM + polynomials
-  unsigned towers = 0;    // ring configurations performed
+  /// Serial-link transport seconds: ring-reconfiguration register writes +
+  /// twiddle ROM preload + polynomial upload/readback.
+  double io_seconds = 0;
+  /// Ring configurations performed (one per tower visited).
+  unsigned towers = 0;
+  /// Algorithm-2 key-switch PolyMuls executed (relinearization only).
+  unsigned ks_products = 0;
 
+  /// Accumulate another session's counters into this one.
   ChipMulReport& operator+=(const ChipMulReport& o) {
     chip_cycles += o.chip_cycles;
     chip_ms += o.chip_ms;
     io_seconds += o.io_seconds;
     towers += o.towers;
+    ks_products += o.ks_products;
     return *this;
   }
 };
@@ -50,15 +70,42 @@ struct ChipMulReport {
 /// base-extended (centered) from Q to the extended basis Q u B, ready for
 /// per-tower dispatch to any chip.
 struct EvalMultOperands {
+  /// Extended components of the two operand ciphertexts (a = {a0, a1},
+  /// b = {b0, b1}).
   poly::RnsPoly a0, a1, b0, b1;
 };
 
 /// One extended-basis tower of the Eq. 4 tensor (Y0, Y1, Y2) as read back
 /// from a chip.
 struct TowerTensor {
+  /// The three tensor polynomials of this tower, canonical residues.
   poly::Coeffs<nt::u64> y0, y1, y2;
 };
 
+/// Host-side prepared operands of one Algorithm-2 relinearization: c2
+/// digit-decomposed over the Q basis (base 2^w, exact CRT lift), plus the
+/// {c0, c1} passthrough the key-switch products accumulate into.
+struct RelinOperands {
+  /// Base-2^w digits of c2, ascending digit order, each an RNS polynomial
+  /// over the Q basis.
+  std::vector<poly::RnsPoly> digits;
+  /// First component of the input ciphertext (accumulation base for c0').
+  poly::RnsPoly c0;
+  /// Second component of the input ciphertext (accumulation base for c1').
+  poly::RnsPoly c1;
+};
+
+/// One Q-basis tower of the relinearized output, accumulated host-side from
+/// the chip's per-digit key-switch products.
+struct RelinTowerAcc {
+  /// Output component towers: c0' = c0 + sum_d D_d * rk_d.b, and
+  /// c1' = c1 + sum_d D_d * rk_d.a, canonical residues mod q_tower.
+  poly::Coeffs<nt::u64> c0, c1;
+};
+
+/// Runs BFV EvalMult (tensor and/or Algorithm-2 key switching) on a chip
+/// model, exposing each per-tower step as a phase a multi-chip scheduler
+/// can interleave.
 class ChipBfvEvaluator {
  public:
   /// The evaluator drives `chip` through `mode`; ring reconfiguration
@@ -72,6 +119,21 @@ class ChipBfvEvaluator {
   /// to bfv.multiply(a, b).
   bfv::Ciphertext multiply(const bfv::Bfv& bfv, const bfv::Ciphertext& a,
                            const bfv::Ciphertext& b, ChipMulReport* report = nullptr);
+
+  /// Algorithm-2 key switching of a 3-element ciphertext back to 2
+  /// components, the key-switch products computed on chip.  Bit-exact vs
+  /// bfv.relinearize(ct, rk).  Throws std::invalid_argument on a 2-element
+  /// input or relin keys generated at a different level (see
+  /// bfv::Bfv::validate_relin_keys).
+  bfv::Ciphertext relinearize(const bfv::Bfv& bfv, const bfv::Ciphertext& ct,
+                              const bfv::RelinKeys& rk, ChipMulReport* report = nullptr);
+
+  /// The paper's complete EvalMult: multiply() followed by relinearize(),
+  /// both halves on chip.  Bit-exact vs
+  /// bfv.relinearize(bfv.multiply(a, b), rk).
+  bfv::Ciphertext multiply_relin(const bfv::Bfv& bfv, const bfv::Ciphertext& a,
+                                 const bfv::Ciphertext& b, const bfv::RelinKeys& rk,
+                                 ChipMulReport* report = nullptr);
 
   // --- per-tower phases (shared with cofhee::service) ---------------------
   /// Host: centered exact base extension Q -> Q u B of both ciphertexts.
@@ -101,6 +163,38 @@ class ChipBfvEvaluator {
   /// apply the t/q rounding back to the Q basis (Eq. 4's outer operation).
   [[nodiscard]] static bfv::Ciphertext assemble(const bfv::Bfv& bfv,
                                                 const std::vector<TowerTensor>& tensors);
+
+  // --- per-tower relinearization phases (shared with cofhee::service) -----
+  /// Host: validate `rk` against the scheme's level and digit-decompose
+  /// ct.c[2] over the Q basis (base 2^w, exact CRT lift).  Throws
+  /// std::invalid_argument unless `ct` is 3-element and `rk` matches the
+  /// scheme (tower count, degree, digit coverage of log2(Q)).
+  [[nodiscard]] static RelinOperands prepare_relin(const bfv::Bfv& bfv,
+                                                   const bfv::Ciphertext& ct,
+                                                   const bfv::RelinKeys& rk);
+
+  /// Program `drv`'s chip for Q-basis tower `tower` (Q is a prefix of the
+  /// extended basis, so the ring image matches configure_tower at the same
+  /// index).  Timed into report->io_seconds, counted in report->towers.
+  /// Throws std::invalid_argument on a tower index outside the Q basis.
+  static void configure_relin_tower(HostDriver& drv, const bfv::Bfv& bfv,
+                                    std::size_t tower, ChipMulReport* report);
+
+  /// Run every (digit, component) key-switch product of `tower` on the
+  /// configured chip -- digit to SP0, key polynomial to SP1, Algorithm-2
+  /// PolyMul, product read back from SP2 -- and accumulate into the tower's
+  /// c0/c1 host-side in ascending digit order (the software reference's
+  /// summation order, so results are bit-identical).
+  [[nodiscard]] static RelinTowerAcc relin_tower(HostDriver& drv, const bfv::Bfv& bfv,
+                                                 const RelinOperands& ops,
+                                                 const bfv::RelinKeys& rk,
+                                                 std::size_t tower,
+                                                 ChipMulReport* report);
+
+  /// Host: stack the per-Q-tower accumulations into the 2-element result
+  /// (no rounding -- relinearization stays in the Q basis).
+  [[nodiscard]] static bfv::Ciphertext assemble_relin(
+      const std::vector<RelinTowerAcc>& towers);
 
  private:
   CofheeChip& chip_;

@@ -24,23 +24,37 @@ using chip::CofheeChip;
 using chip::Instr;
 using chip::MemRef;
 using chip::Opcode;
+/// Native coefficient word of the chip's 128-bit datapath.
 using u128 = unsigned __int128;
 
+/// The paper's three command-execution modes (Section III-I).
 enum class ExecMode : std::uint8_t {
-  kDirect = 0,  // mode 1: one register-triggered command at a time
-  kFifo = 1,    // mode 2: preloaded command FIFO
-  kCm0 = 2,     // mode 3: on-chip Cortex-M0 sequencer
+  kDirect = 0,  ///< mode 1: one register-triggered command at a time
+  kFifo = 1,    ///< mode 2: preloaded command FIFO
+  kCm0 = 2,     ///< mode 3: on-chip Cortex-M0 sequencer
 };
 
-enum class Link : std::uint8_t { kUart = 0, kSpi = 1 };
+/// Host-link selection (Section III-H).
+enum class Link : std::uint8_t {
+  kUart = 0,  ///< UART 8N1 at the bring-up baud rate
+  kSpi = 1,   ///< SPI mode 0 at up to 50 MHz
+};
 
+/// Per-operation accounting, splitting chip compute from serial transport
+/// (the decomposition behind the paper's mode-1-is-slow remark).
 struct ExecReport {
+  /// PE cycles at the configured clock.
   std::uint64_t compute_cycles = 0;
+  /// compute_cycles in milliseconds.
   double compute_ms = 0;
-  double io_seconds = 0;    // serial transfer time (loads, triggers, readback)
+  /// Serial transfer time (loads, triggers, readback).  Seconds.
+  double io_seconds = 0;
+  /// Commands dispatched.
   std::uint64_t commands = 0;
-  std::uint64_t cm0_cycles = 0;  // sequencer work (overlapped with compute)
+  /// Sequencer work (overlapped with compute).  Cycles.
+  std::uint64_t cm0_cycles = 0;
 
+  /// Accumulate another operation's counters into this one.
   ExecReport& operator+=(const ExecReport& o) {
     compute_cycles += o.compute_cycles;
     compute_ms += o.compute_ms;
@@ -51,12 +65,18 @@ struct ExecReport {
   }
 };
 
+/// The bring-up PC's side of the protocol: register programming, twiddle
+/// preload, timed polynomial transport and command sequencing in all three
+/// execution modes.
 class HostDriver {
  public:
+  /// Drive `chip` (kept by reference, caller-owned) in `mode` over `link`.
   explicit HostDriver(CofheeChip& chip, ExecMode mode = ExecMode::kFifo,
                       Link link = Link::kSpi);
 
+  /// The chip this driver talks to.
   [[nodiscard]] CofheeChip& chip() noexcept { return chip_; }
+  /// The execution mode commands run in.
   [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
 
   /// Program Q/N/INV_POLYDEG/BARRETTCTL* and preload the twiddle ROM with
@@ -66,12 +86,17 @@ class HostDriver {
   /// ring-reconfiguration cost the host pays between RNS towers.
   double configure_ring(u128 q, std::size_t n, u128 psi, bool timed = false);
 
+  /// Host-side mirror of the chip's NTT engine for the configured ring.
   [[nodiscard]] const poly::MergedNtt128& ntt_engine() const { return engine_; }
+  /// Configured polynomial degree (0 before configure_ring).
   [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  /// Configured modulus (0 before configure_ring).
   [[nodiscard]] u128 q() const noexcept { return q_; }
 
-  /// Timed polynomial upload/download over the serial link.
+  /// Timed polynomial upload over the serial link; returns transfer seconds.
   double load_polynomial(Bank bank, std::size_t offset, std::span<const u128> coeffs);
+  /// Timed polynomial download; `io_seconds` (when non-null) receives the
+  /// transfer time of this read.
   std::vector<u128> read_polynomial(Bank bank, std::size_t offset, std::size_t count,
                                     double* io_seconds = nullptr);
 
@@ -79,8 +104,9 @@ class HostDriver {
   ExecReport run(std::span<const Instr> program);
 
   // --- composed operations -----------------------------------------------
-  /// Single in-place NTT / iNTT of the polynomial at `x`, result at `dst`.
+  /// Single NTT of the polynomial at `x`, result at `dst`.
   ExecReport ntt(const MemRef& x, const MemRef& dst);
+  /// Single inverse NTT of the polynomial at `x`, result at `dst`.
   ExecReport intt(const MemRef& x, const MemRef& dst);
 
   /// Polynomial multiplication (Algorithm 2): operands preloaded at SP0 and

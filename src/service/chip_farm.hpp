@@ -17,6 +17,9 @@
 
 namespace cofhee::service {
 
+/// Owns N identical chip models, each paired with its own HostDriver and
+/// serial link, so a scheduler task can take a whole (chip, driver, link)
+/// triple without sharing a bus.
 class ChipFarm {
  public:
   /// `chips` identical instances (all built from `cfg`), each driven in
@@ -24,9 +27,13 @@ class ChipFarm {
   explicit ChipFarm(std::size_t chips, driver::ExecMode mode = driver::ExecMode::kFifo,
                     driver::Link link = driver::Link::kSpi, chip::ChipConfig cfg = {});
 
+  /// Number of chips in the farm.
   [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  /// Chip model `i` (throws std::out_of_range past size()).
   [[nodiscard]] chip::CofheeChip& chip(std::size_t i) { return *slots_.at(i).soc; }
+  /// The driver owning chip `i`'s serial link.
   [[nodiscard]] driver::HostDriver& driver(std::size_t i) { return *slots_.at(i).drv; }
+  /// Const view of chip model `i`.
   [[nodiscard]] const chip::CofheeChip& chip(std::size_t i) const {
     return *slots_.at(i).soc;
   }

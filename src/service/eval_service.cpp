@@ -9,10 +9,12 @@ namespace cofhee::service {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
 
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
+double sim_seconds(const driver::ChipMulReport& rep) {
+  return rep.io_seconds + rep.chip_ms * 1e-3;
 }
 
 }  // namespace
@@ -27,30 +29,56 @@ EvalService::EvalService(const bfv::Bfv& scheme, ChipFarm& farm, ServiceOptions 
       start_(Clock::now()) {
   if (2 * scheme_.context().n() > farm_.chip(0).config().bank_words)
     throw std::invalid_argument("EvalService: ring too large for the farm's chips");
+  // Reject mismatched key material up front (wrong level / ring) instead of
+  // letting every relin request fail at dispatch.
+  if (opts_.relin_keys != nullptr) scheme_.validate_relin_keys(*opts_.relin_keys);
   if (opts_.max_batch == 0) opts_.max_batch = 1;
+  if (opts_.host_coeff_ops_per_sec <= 0) opts_.host_coeff_ops_per_sec = 250e6;
   stats_.per_chip.resize(farm_.size());
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
 EvalService::~EvalService() { shutdown(); }
 
-std::future<bfv::Ciphertext> EvalService::submit(EvalMultRequest req) {
-  std::vector<EvalMultRequest> one;
+std::future<bfv::Ciphertext> EvalService::submit(EvalRequest req) {
+  std::vector<EvalRequest> one;
   one.push_back(std::move(req));
   auto futures = submit_batch(std::move(one));
   return std::move(futures.front());
 }
 
 std::vector<std::future<bfv::Ciphertext>> EvalService::submit_batch(
-    std::vector<EvalMultRequest> reqs) {
-  for (const auto& r : reqs)
-    if (r.a.size() != 2 || r.b.size() != 2)
-      throw std::invalid_argument("EvalService: 2-element ciphertexts expected");
+    std::vector<EvalRequest> reqs) {
+  if (reqs.empty()) return {};  // nothing accepted: leave the active window alone
+  for (const auto& r : reqs) {
+    switch (r.kind) {
+      case RequestKind::kEvalMult:
+      case RequestKind::kMultRelin:
+        if (r.a.size() != 2 || r.b.size() != 2)
+          throw std::invalid_argument("EvalService: 2-element ciphertexts expected");
+        break;
+      case RequestKind::kRelinearize:
+        if (r.a.size() != 3)
+          throw std::invalid_argument(
+              "EvalService: relinearize expects a 3-element ciphertext");
+        break;
+      default:
+        throw std::invalid_argument("EvalService: unknown request kind");
+    }
+    if (r.kind != RequestKind::kEvalMult && opts_.relin_keys == nullptr)
+      throw std::invalid_argument(
+          "EvalService: relinearization request but no relin_keys configured");
+  }
+  if (opts_.max_queue != 0 && reqs.size() > opts_.max_queue)
+    throw std::invalid_argument(
+        "EvalService: batch larger than the queue capacity can ever admit");
   std::vector<std::future<bfv::Ciphertext>> futures;
   futures.reserve(reqs.size());
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stopping_) throw std::runtime_error("EvalService: submit after shutdown");
+    if (opts_.max_queue != 0 && queue_.size() + reqs.size() > opts_.max_queue)
+      throw std::runtime_error("EvalService: queue full");
     for (auto& r : reqs) {
       Pending p;
       p.req = std::move(r);
@@ -59,6 +87,10 @@ std::vector<std::future<bfv::Ciphertext>> EvalService::submit_batch(
     }
     stats_.submitted += reqs.size();
     stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+    if (!any_accepted_) {
+      any_accepted_ = true;
+      first_accept_ = Clock::now();
+    }
   }
   work_cv_.notify_one();
   return futures;
@@ -83,105 +115,310 @@ ServiceStats EvalService::stats() const {
   ServiceStats s = stats_;
   s.queue_depth = queue_.size() + in_flight_;
   s.wall_seconds = seconds_since(start_);
+  if (any_accepted_) {
+    const auto end =
+        (queue_.empty() && in_flight_ == 0) ? last_done_ : Clock::now();
+    s.active_seconds =
+        std::max(0.0, std::chrono::duration<double>(end - first_accept_).count());
+  }
   return s;
 }
 
+double EvalService::host_seconds(double ops) const noexcept {
+  return ops / opts_.host_coeff_ops_per_sec;
+}
+
 void EvalService::dispatcher_loop() {
+  // Two-slot session buffer: `prev` holds round k-1 with its chip stage in
+  // flight while this thread prepares round k host-side (overlap_rounds),
+  // then finishes k-1 while round k's chip stage runs.
+  std::unique_ptr<Session> prev;
+  auto chip_stage_guarded = [this](Session& s) {
+    try {
+      run_chip_stage(s);
+    } catch (...) {
+      const auto e = std::current_exception();
+      for (auto& err : s.errs)
+        if (err == nullptr) err = e;
+    }
+  };
   for (;;) {
-    std::vector<Pending> round;
+    std::unique_ptr<Session> cur;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      work_cv_.wait(lk, [this] { return !queue_.empty() || stopping_; });
-      if (queue_.empty()) break;  // stopping with nothing left: drained
-      const std::size_t take = std::min(queue_.size(), opts_.max_batch);
-      round.reserve(take);
-      for (std::size_t i = 0; i < take; ++i) {
-        round.push_back(std::move(queue_.front()));
-        queue_.pop_front();
+      if (prev == nullptr)
+        work_cv_.wait(lk, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty() && prev == nullptr) break;  // stopping and drained
+      if (!queue_.empty()) {
+        const std::size_t take = std::min(queue_.size(), opts_.max_batch);
+        cur = std::make_unique<Session>();
+        cur->round.reserve(take);
+        for (std::size_t i = 0; i < take; ++i) {
+          cur->round.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+        in_flight_ += take;
+        ++stats_.rounds;
       }
-      in_flight_ += take;
-      ++stats_.rounds;
     }
-    run_round(round);
-    {
+
+    if (cur != nullptr) {
+      // Host phase 1 of round k -- with a chip stage in flight this is the
+      // double-buffering overlap (base extension hidden under chip time).
+      const bool overlapped = prev != nullptr;
+      const auto t0 = Clock::now();
+      host_prepare(*cur);
+      const double prep_wall = seconds_since(t0);
       std::lock_guard<std::mutex> lk(mu_);
-      in_flight_ -= round.size();
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      stats_.sim_host_prep_seconds += cur->sim_prep;
+      model_host_ += cur->sim_prep;
+      cur->model_ready = model_host_;
+      if (overlapped) {
+        ++stats_.overlapped_rounds;
+        stats_.overlap_wall_seconds += prep_wall;
+      }
+    }
+
+    if (prev != nullptr) {
+      prev->chip.get();  // join round k-1's chip stage (never throws; errors
+                         // were folded into prev->errs)
+      std::lock_guard<std::mutex> lk(mu_);
+      const double start = std::max(prev->model_ready, model_chip_);
+      prev->model_chip_end = start + prev->sim_chip;
+      model_chip_ = prev->model_chip_end;
+      stats_.sim_chip_round_seconds += prev->sim_chip;
+    }
+
+    bool cur_async = false;
+    if (cur != nullptr) {
+      if (opts_.overlap_rounds) {
+        Session* raw = cur.get();
+        cur->chip =
+            std::async(std::launch::async, [chip_stage_guarded, raw] { chip_stage_guarded(*raw); });
+        cur_async = true;
+      } else {
+        chip_stage_guarded(*cur);
+        std::lock_guard<std::mutex> lk(mu_);
+        const double start = std::max(cur->model_ready, model_chip_);
+        cur->model_chip_end = start + cur->sim_chip;
+        model_chip_ = cur->model_chip_end;
+        stats_.sim_chip_round_seconds += cur->sim_chip;
+      }
+    }
+
+    auto finish_session = [this](Session& s, bool overlapped_finish) {
+      const auto t0 = Clock::now();
+      host_finish(s);
+      const double fin_wall = seconds_since(t0);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        model_host_ = std::max(model_host_, s.model_chip_end) + s.sim_finish;
+        stats_.sim_host_finish_seconds += s.sim_finish;
+        stats_.serial_span_seconds += s.sim_prep + s.sim_chip + s.sim_finish;
+        stats_.pipeline_span_seconds = std::max(model_host_, model_chip_);
+        if (overlapped_finish) stats_.overlap_wall_seconds += fin_wall;
+      }
+      retire(s);
+    };
+
+    if (prev != nullptr) {
+      // Host phase 2 of round k-1 overlaps round k's chip stage.
+      finish_session(*prev, cur_async);
+      prev.reset();
+    }
+    if (cur != nullptr) {
+      if (cur_async) {
+        prev = std::move(cur);
+      } else {
+        finish_session(*cur, false);
+      }
     }
   }
   // Unblock any drain() racing a shutdown with an empty queue.
   idle_cv_.notify_all();
 }
 
-void EvalService::run_round(std::vector<Pending>& round) {
+void EvalService::host_prepare(Session& s) {
   using driver::ChipBfvEvaluator;
-  const std::size_t count = round.size();
-  const std::size_t towers = scheme_.context().ext_basis().size();
+  const std::size_t count = s.round.size();
+  const auto& ctx = scheme_.context();
+  const double n = static_cast<double>(ctx.n());
+  const double qt = static_cast<double>(ctx.q_basis().size());
+  const double et = static_cast<double>(ctx.ext_basis().size());
+  const double nd =
+      opts_.relin_keys != nullptr ? static_cast<double>(opts_.relin_keys->keys.size()) : 0;
+  s.slots.resize(count);
+  s.errs.assign(count, nullptr);
 
-  // Host phase 1, per request: centered base extension Q -> Q u B.
-  std::vector<driver::EvalMultOperands> ops(count);
-  std::vector<std::vector<driver::TowerTensor>> tensors(count);
-  std::vector<std::exception_ptr> errs(count);
+  double ops = 0;  // host cost model: coefficient operations this phase
+  for (const auto& p : s.round)
+    ops += p.req.kind == RequestKind::kRelinearize
+               ? n * qt * (1.0 + nd)      // CRT lift + digit residue writes
+               : 4.0 * n * (qt + et);     // centered base extension, 4 polys
+
   exec_.for_each(count, [&](std::size_t r) {
+    auto& req = s.round[r].req;
+    auto& slot = s.slots[r];
     try {
-      ops[r] = ChipBfvEvaluator::prepare(scheme_, round[r].req.a, round[r].req.b);
-      tensors[r].resize(towers);
+      if (req.kind == RequestKind::kRelinearize) {
+        slot.relin = ChipBfvEvaluator::prepare_relin(scheme_, req.a, *opts_.relin_keys);
+      } else {
+        slot.mult = ChipBfvEvaluator::prepare(scheme_, req.a, req.b);
+        slot.tensors.resize(ctx.ext_basis().size());
+      }
     } catch (...) {
-      errs[r] = std::current_exception();
+      s.errs[r] = std::current_exception();
     }
   });
+  s.sim_prep = host_seconds(ops);
+}
 
-  std::vector<std::size_t> live;
-  live.reserve(count);
+void EvalService::run_chip_stage(Session& s) {
+  using driver::ChipBfvEvaluator;
+  const std::size_t count = s.round.size();
+  const auto& ctx = scheme_.context();
+  const double n = static_cast<double>(ctx.n());
+  const double qt = static_cast<double>(ctx.q_basis().size());
+  const double et = static_cast<double>(ctx.ext_basis().size());
+  const double nd =
+      opts_.relin_keys != nullptr ? static_cast<double>(opts_.relin_keys->keys.size()) : 0;
+  // The two sub-stages are barrier-serialized (the key switch consumes the
+  // mid-round host output), so each gets its own per-chip span and the
+  // round's span is busiest(A) + mid-host + busiest(B).
+  std::vector<double> chip_sim_a(farm_.size(), 0.0);
+  std::vector<double> chip_sim_b(farm_.size(), 0.0);
+
+  // Sub-stage A: Eq. 4 tensor sessions over the extended basis.
+  std::vector<std::size_t> mult_live;
+  mult_live.reserve(count);
   for (std::size_t r = 0; r < count; ++r)
-    if (errs[r] == nullptr) live.push_back(r);
-
-  // Chip phase: per-(group, chip) or per-(tower-shard, chip) sessions.
-  if (!live.empty()) {
+    if (s.errs[r] == nullptr && s.round[r].req.kind != RequestKind::kRelinearize)
+      mult_live.push_back(r);
+  if (!mult_live.empty()) {
     const auto chip_errs = opts_.strategy == Strategy::kBatchPerChip
-                               ? run_batch_per_chip(live, ops, tensors)
-                               : run_shard_towers(live, ops, tensors);
+                               ? run_mult_batch_per_chip(s, mult_live, chip_sim_a)
+                               : run_mult_shard_towers(s, mult_live, chip_sim_a);
     for (std::size_t c = 0; c < chip_errs.size(); ++c) {
       if (chip_errs[c] == nullptr) continue;
       if (opts_.strategy == Strategy::kBatchPerChip) {
-        // Chip c only served live[c], live[c + C], ...
-        for (std::size_t k = c; k < live.size(); k += chip_errs.size())
-          errs[live[k]] = chip_errs[c];
+        // Chip c only served mult_live[c], mult_live[c + C], ...
+        for (std::size_t k = c; k < mult_live.size(); k += chip_errs.size())
+          s.errs[mult_live[k]] = chip_errs[c];
       } else {
-        // A tower shard failed: every request in the round misses towers.
-        for (std::size_t r : live)
-          if (errs[r] == nullptr) errs[r] = chip_errs[c];
+        // A tower shard failed: every tensor in the round misses towers.
+        for (std::size_t r : mult_live)
+          if (s.errs[r] == nullptr) s.errs[r] = chip_errs[c];
       }
     }
   }
 
-  // Host phase 2, per request: reassemble towers, t/q-round, fulfill.
-  exec_.for_each(count, [&](std::size_t r) {
-    if (errs[r] == nullptr) {
+  // Mid-round host work (kMultRelin): reassemble the tensor, t/q-round it
+  // to a 3-element ciphertext, digit-decompose c2 for the key switch.
+  double stage_host_ops = 0;
+  std::vector<std::size_t> mid;
+  mid.reserve(count);
+  for (std::size_t r = 0; r < count; ++r)
+    if (s.errs[r] == nullptr && s.round[r].req.kind == RequestKind::kMultRelin)
+      mid.push_back(r);
+  if (!mid.empty()) {
+    exec_.for_each(mid.size(), [&](std::size_t i) {
+      const std::size_t r = mid[i];
+      auto& slot = s.slots[r];
       try {
-        round[r].promise.set_value(ChipBfvEvaluator::assemble(scheme_, tensors[r]));
-        return;
+        const bfv::Ciphertext tensor = ChipBfvEvaluator::assemble(scheme_, slot.tensors);
+        slot.relin = ChipBfvEvaluator::prepare_relin(scheme_, tensor, *opts_.relin_keys);
+        slot.tensors.clear();
+        slot.tensors.shrink_to_fit();
       } catch (...) {
-        errs[r] = std::current_exception();
+        s.errs[r] = std::current_exception();
+      }
+    });
+    stage_host_ops +=
+        static_cast<double>(mid.size()) * (3.0 * n * (et + qt) + n * qt * (1.0 + nd));
+  }
+
+  // Sub-stage B: Algorithm-2 key-switch sessions over the Q basis.
+  std::vector<std::size_t> relin_live;
+  relin_live.reserve(count);
+  for (std::size_t r = 0; r < count; ++r)
+    if (s.errs[r] == nullptr && s.round[r].req.kind != RequestKind::kEvalMult)
+      relin_live.push_back(r);
+  if (!relin_live.empty()) {
+    for (std::size_t r : relin_live) s.slots[r].relin_accs.resize(ctx.q_basis().size());
+    const auto chip_errs = opts_.strategy == Strategy::kBatchPerChip
+                               ? run_relin_batch_per_chip(s, relin_live, chip_sim_b)
+                               : run_relin_shard_towers(s, relin_live, chip_sim_b);
+    for (std::size_t c = 0; c < chip_errs.size(); ++c) {
+      if (chip_errs[c] == nullptr) continue;
+      if (opts_.strategy == Strategy::kBatchPerChip) {
+        for (std::size_t k = c; k < relin_live.size(); k += chip_errs.size())
+          if (s.errs[relin_live[k]] == nullptr) s.errs[relin_live[k]] = chip_errs[c];
+      } else {
+        for (std::size_t r : relin_live)
+          if (s.errs[r] == nullptr) s.errs[r] = chip_errs[c];
       }
     }
-    round[r].promise.set_exception(errs[r]);
-  });
-
-  std::size_t failed = 0;
-  for (const auto& e : errs)
-    if (e != nullptr) ++failed;
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stats_.completed += count - failed;
-    stats_.failed += failed;
+    // Host-side accumulation of the read-back key-switch products runs
+    // inside the sessions (pointwise adds per digit, component, tower).
+    stage_host_ops += static_cast<double>(relin_live.size()) * 2.0 * n * qt * nd;
   }
+
+  // The round's chip-stage span: the busiest chip of each serialized
+  // sub-stage plus the host work that executed inside the stage.
+  double busiest_a = 0, busiest_b = 0;
+  for (double cs : chip_sim_a) busiest_a = std::max(busiest_a, cs);
+  for (double cs : chip_sim_b) busiest_b = std::max(busiest_b, cs);
+  s.sim_chip = busiest_a + busiest_b + host_seconds(stage_host_ops);
 }
 
-std::vector<std::exception_ptr> EvalService::run_batch_per_chip(
-    const std::vector<std::size_t>& live,
-    const std::vector<driver::EvalMultOperands>& ops,
-    std::vector<std::vector<driver::TowerTensor>>& tensors) {
+void EvalService::host_finish(Session& s) {
+  using driver::ChipBfvEvaluator;
+  const std::size_t count = s.round.size();
+  const auto& ctx = scheme_.context();
+  const double n = static_cast<double>(ctx.n());
+  const double qt = static_cast<double>(ctx.q_basis().size());
+  const double et = static_cast<double>(ctx.ext_basis().size());
+
+  double ops = 0;
+  for (std::size_t r = 0; r < count; ++r)
+    if (s.errs[r] == nullptr)
+      ops += s.round[r].req.kind == RequestKind::kEvalMult
+                 ? 3.0 * n * (et + qt)  // tensor reassembly + t/q rounding
+                 : 2.0 * n * qt;        // stacking the relinearized towers
+
+  exec_.for_each(count, [&](std::size_t r) {
+    if (s.errs[r] == nullptr) {
+      try {
+        auto& slot = s.slots[r];
+        if (s.round[r].req.kind == RequestKind::kEvalMult) {
+          s.round[r].promise.set_value(ChipBfvEvaluator::assemble(scheme_, slot.tensors));
+        } else {
+          s.round[r].promise.set_value(ChipBfvEvaluator::assemble_relin(slot.relin_accs));
+        }
+        return;
+      } catch (...) {
+        s.errs[r] = std::current_exception();
+      }
+    }
+    s.round[r].promise.set_exception(s.errs[r]);
+  });
+  s.sim_finish = host_seconds(ops);
+}
+
+void EvalService::retire(Session& s) {
+  std::size_t failed = 0;
+  for (const auto& e : s.errs)
+    if (e != nullptr) ++failed;
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.completed += s.round.size() - failed;
+  stats_.failed += failed;
+  in_flight_ -= s.round.size();
+  last_done_ = Clock::now();
+  if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+}
+
+std::vector<std::exception_ptr> EvalService::run_mult_batch_per_chip(
+    Session& s, const std::vector<std::size_t>& live, std::vector<double>& chip_sim) {
   using driver::ChipBfvEvaluator;
   const std::size_t chips = std::min(farm_.size(), live.size());
   const std::size_t towers = scheme_.context().ext_basis().size();
@@ -199,24 +436,23 @@ std::vector<std::exception_ptr> EvalService::run_batch_per_chip(
         ChipBfvEvaluator::configure_tower(drv, scheme_, tw, &rep);
         for (std::size_t k = c; k < live.size(); k += chips) {
           const std::size_t r = live[k];
-          ChipBfvEvaluator::load_tower(drv, ops[r], tw, &rep);
+          ChipBfvEvaluator::load_tower(drv, s.slots[r].mult, tw, &rep);
           ChipBfvEvaluator::execute_tower(drv, &rep);
-          tensors[r][tw] = ChipBfvEvaluator::read_tower(drv, &rep);
+          s.slots[r].tensors[tw] = ChipBfvEvaluator::read_tower(drv, &rep);
           ++tower_runs;
         }
       }
     } catch (...) {
       chip_errs[c] = std::current_exception();
     }
-    note_chip_session(c, rep, requests, tower_runs, seconds_since(t0));
+    chip_sim[c] += sim_seconds(rep);
+    note_chip_session(c, rep, requests, tower_runs, 0, seconds_since(t0));
   });
   return chip_errs;
 }
 
-std::vector<std::exception_ptr> EvalService::run_shard_towers(
-    const std::vector<std::size_t>& live,
-    const std::vector<driver::EvalMultOperands>& ops,
-    std::vector<std::vector<driver::TowerTensor>>& tensors) {
+std::vector<std::exception_ptr> EvalService::run_mult_shard_towers(
+    Session& s, const std::vector<std::size_t>& live, std::vector<double>& chip_sim) {
   using driver::ChipBfvEvaluator;
   const std::size_t towers = scheme_.context().ext_basis().size();
   const std::size_t chips = std::min(farm_.size(), towers);
@@ -232,36 +468,105 @@ std::vector<std::exception_ptr> EvalService::run_shard_towers(
       for (std::size_t tw = c; tw < towers; tw += chips) {
         ChipBfvEvaluator::configure_tower(drv, scheme_, tw, &rep);
         for (std::size_t r : live) {
-          ChipBfvEvaluator::load_tower(drv, ops[r], tw, &rep);
+          ChipBfvEvaluator::load_tower(drv, s.slots[r].mult, tw, &rep);
           ChipBfvEvaluator::execute_tower(drv, &rep);
-          tensors[r][tw] = ChipBfvEvaluator::read_tower(drv, &rep);
+          s.slots[r].tensors[tw] = ChipBfvEvaluator::read_tower(drv, &rep);
           ++tower_runs;
         }
       }
     } catch (...) {
       chip_errs[c] = std::current_exception();
     }
-    note_chip_session(c, rep, live.size(), tower_runs, seconds_since(t0));
+    chip_sim[c] += sim_seconds(rep);
+    note_chip_session(c, rep, live.size(), tower_runs, 0, seconds_since(t0));
+  });
+  return chip_errs;
+}
+
+std::vector<std::exception_ptr> EvalService::run_relin_batch_per_chip(
+    Session& s, const std::vector<std::size_t>& live, std::vector<double>& chip_sim) {
+  using driver::ChipBfvEvaluator;
+  const std::size_t chips = std::min(farm_.size(), live.size());
+  const std::size_t towers = scheme_.context().q_basis().size();
+  std::vector<std::exception_ptr> chip_errs(chips);
+  exec_.for_each(chips, [&](std::size_t c) {
+    const auto t0 = Clock::now();
+    driver::ChipMulReport rep;
+    std::uint64_t relin_runs = 0;
+    const std::uint64_t requests = (live.size() - c + chips - 1) / chips;
+    auto& drv = farm_.driver(c);
+    try {
+      // Tower-outer again: one Q-tower ring configuration serves every
+      // digit of every request in the chip's share.
+      for (std::size_t tw = 0; tw < towers; ++tw) {
+        ChipBfvEvaluator::configure_relin_tower(drv, scheme_, tw, &rep);
+        for (std::size_t k = c; k < live.size(); k += chips) {
+          const std::size_t r = live[k];
+          s.slots[r].relin_accs[tw] = ChipBfvEvaluator::relin_tower(
+              drv, scheme_, s.slots[r].relin, *opts_.relin_keys, tw, &rep);
+          ++relin_runs;
+        }
+      }
+    } catch (...) {
+      chip_errs[c] = std::current_exception();
+    }
+    chip_sim[c] += sim_seconds(rep);
+    note_chip_session(c, rep, requests, 0, relin_runs, seconds_since(t0));
+  });
+  return chip_errs;
+}
+
+std::vector<std::exception_ptr> EvalService::run_relin_shard_towers(
+    Session& s, const std::vector<std::size_t>& live, std::vector<double>& chip_sim) {
+  using driver::ChipBfvEvaluator;
+  const std::size_t towers = scheme_.context().q_basis().size();
+  const std::size_t chips = std::min(farm_.size(), towers);
+  std::vector<std::exception_ptr> chip_errs(chips);
+  exec_.for_each(chips, [&](std::size_t c) {
+    const auto t0 = Clock::now();
+    driver::ChipMulReport rep;
+    std::uint64_t relin_runs = 0;
+    auto& drv = farm_.driver(c);
+    try {
+      // Chip c owns Q towers {c, c + C, ...} of every request's key switch.
+      for (std::size_t tw = c; tw < towers; tw += chips) {
+        ChipBfvEvaluator::configure_relin_tower(drv, scheme_, tw, &rep);
+        for (std::size_t r : live) {
+          s.slots[r].relin_accs[tw] = ChipBfvEvaluator::relin_tower(
+              drv, scheme_, s.slots[r].relin, *opts_.relin_keys, tw, &rep);
+          ++relin_runs;
+        }
+      }
+    } catch (...) {
+      chip_errs[c] = std::current_exception();
+    }
+    chip_sim[c] += sim_seconds(rep);
+    note_chip_session(c, rep, live.size(), 0, relin_runs, seconds_since(t0));
   });
   return chip_errs;
 }
 
 void EvalService::note_chip_session(std::size_t chip, const driver::ChipMulReport& rep,
                                     std::uint64_t requests, std::uint64_t tower_runs,
+                                    std::uint64_t relin_tower_runs,
                                     double busy_wall_seconds) {
-  if (tower_runs == 0 && rep.towers == 0) return;  // chip sat this round out
+  if (tower_runs == 0 && relin_tower_runs == 0 && rep.towers == 0)
+    return;  // chip sat this round out
   const double compute_seconds = rep.chip_ms * 1e-3;
   std::lock_guard<std::mutex> lk(mu_);
   auto& c = stats_.per_chip[chip];
   ++c.sessions;
   c.requests += requests;
   c.tower_runs += tower_runs;
+  c.relin_tower_runs += relin_tower_runs;
+  c.ks_products += rep.ks_products;
   c.ring_configs += rep.towers;
   c.chip_cycles += rep.chip_cycles;
   c.io_seconds += rep.io_seconds;
   c.compute_seconds += compute_seconds;
   c.busy_wall_seconds += busy_wall_seconds;
   ++stats_.sessions;
+  stats_.ks_products += rep.ks_products;
   stats_.io_seconds += rep.io_seconds;
   stats_.compute_seconds += compute_seconds;
 }

@@ -1,11 +1,13 @@
-// Async multi-chip EvalMult service: the scheduler layer above
+// Async multi-chip evaluation service: the scheduler layer above
 // driver::ChipBfvEvaluator.
 //
 // ChipBfv.IoDominatesAtSmallRings shows the serial link, not the PE,
-// bounding EvalMult at bring-up ring sizes; the two levers against that are
+// bounding EvalMult at bring-up ring sizes; the levers against that are
 // (a) amortizing per-tower ring reconfiguration over many requests in one
-// chip session and (b) spreading one request's independent extended-basis
-// towers across several chips.  EvalService implements both behind one
+// chip session, (b) spreading one request's independent towers across
+// several chips, and (c) hiding host-side base conversion / rounding under
+// the previous round's chip phases (double-buffered rounds, the
+// HEAAN-demystified overlap).  EvalService implements all three behind one
 // async API:
 //
 //   ChipFarm farm(4);
@@ -13,22 +15,29 @@
 //   std::future<bfv::Ciphertext> f = svc.submit({ca, cb});
 //   bfv::Ciphertext product = f.get();     // == scheme.multiply(ca, cb)
 //
-// A dispatcher thread coalesces queued requests into rounds of at most
-// `max_batch` and fans the chip sessions out over a backend::Executor --
-// per (request-group, chip) in kBatchPerChip, per (tower-shard, chip) in
-// kShardTowers -- the same pool shapes Bfv::multiply uses for its (tower,
-// transform) tasks.  Host-side phases (base extension, t/q rounding) fan
-// out per request.  Both strategies produce ciphertexts byte-identical to
-// the serial single-chip path (tests/service/test_eval_service.cpp).
+// Three request kinds flow through the same farm: kEvalMult (the Eq. 4
+// tensor), kRelinearize (Algorithm-2 key switching of a 3-element
+// ciphertext), and kMultRelin (the paper's complete EvalMult -- tensor,
+// then key switching, chained inside one round).  A dispatcher thread
+// coalesces queued requests into rounds of at most `max_batch`, fans chip
+// sessions out over a backend::Executor -- per (request-group, chip) in
+// kBatchPerChip, per (tower-shard, chip) in kShardTowers -- and, with
+// overlap_rounds enabled, prepares round k host-side while round k-1's
+// chip stage is still in flight (a two-slot session buffer).  All paths
+// produce ciphertexts byte-identical to the serial single-chip software
+// path (tests/service/test_eval_service.cpp).
 //
 // Shutdown is graceful: shutdown() (and the destructor) stop intake,
-// drain every queued request, and join the dispatcher.
+// drain every queued request and the pipelined session, and join the
+// dispatcher.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -41,22 +50,47 @@
 
 namespace cofhee::service {
 
-/// One EvalMult (without relinearization, the Fig. 6 operation).
-struct EvalMultRequest {
-  bfv::Ciphertext a, b;
+/// What a request asks the farm to compute.
+enum class RequestKind : std::uint8_t {
+  /// Eq. 4 tensor + t/q rounding; 2-element inputs, 3-element result
+  /// ("without relinearization", the Fig. 6 operation).
+  kEvalMult = 0,
+  /// Algorithm-2 key switching of a 3-element ciphertext (field `a`; `b` is
+  /// ignored) back to 2 elements.  Requires ServiceOptions::relin_keys.
+  kRelinearize = 1,
+  /// The paper's complete EvalMult: tensor then key switching, chained
+  /// inside one round.  Requires ServiceOptions::relin_keys.
+  kMultRelin = 2,
 };
 
+/// One evaluation request.  Field use depends on `kind` (see RequestKind).
+struct EvalRequest {
+  /// First operand: 2-element for kEvalMult/kMultRelin, 3-element for
+  /// kRelinearize.
+  bfv::Ciphertext a;
+  /// Second operand (kEvalMult/kMultRelin); ignored for kRelinearize.
+  bfv::Ciphertext b;
+  /// Operation to perform; defaults to the tensor-only EvalMult.
+  RequestKind kind = RequestKind::kEvalMult;
+};
+
+/// Backward-compatible name from when the service only knew EvalMult.
+using EvalMultRequest = EvalRequest;
+
+/// How a round's chip work is split across the farm.
 enum class Strategy : std::uint8_t {
   /// Whole requests round-robined over chips; each chip runs its share of a
   /// round as one session, ring-configuring every tower once for the group.
   kBatchPerChip = 0,
-  /// One round's extended-basis towers sharded across all chips (chip c
-  /// owns towers {c, c+C, ...} of every request) and reassembled on the
-  /// host.  Cuts single-request latency by ~|towers|/C.
+  /// One round's towers sharded across all chips (chip c owns towers
+  /// {c, c+C, ...} of every request) and reassembled on the host.  Cuts
+  /// single-request latency by ~|towers|/C.
   kShardTowers = 1,
 };
 
+/// Runtime configuration of an EvalService.
 struct ServiceOptions {
+  /// Chip-work split for every round.
   Strategy strategy = Strategy::kBatchPerChip;
   /// Most requests one dispatcher round coalesces into chip sessions.
   /// 1 reproduces the one-request-per-session serial behavior.
@@ -64,63 +98,128 @@ struct ServiceOptions {
   /// Fan sessions out over a pooled Executor sized to the farm; false runs
   /// the whole scheduler single-threaded (the bit-exact reference shape).
   bool pooled_dispatch = true;
+  /// Key material for kRelinearize / kMultRelin requests; the caller keeps
+  /// it alive for the service's lifetime.  Validated against the scheme at
+  /// construction (std::invalid_argument on a level/ring mismatch).
+  /// Submitting a relin request while this is null throws.
+  const bfv::RelinKeys* relin_keys = nullptr;
+  /// Double-buffered rounds: prepare round k host-side while round k-1's
+  /// chip stage is in flight, and finish round k-1 while round k's chip
+  /// stage runs.  false executes every phase back-to-back (the reference
+  /// schedule; results are bit-identical either way).
+  bool overlap_rounds = true;
+  /// Request-queue capacity; 0 means unbounded.  submit()/submit_batch()
+  /// throw std::invalid_argument for a batch that could never fit and
+  /// std::runtime_error when the queue is currently full.
+  std::size_t max_queue = 0;
+  /// Deterministic host cost model: coefficient operations per second the
+  /// virtual host resource processes (base extension, digit decompose, t/q
+  /// rounding).  Feeds the sim_host_* / *_span_seconds stats; never affects
+  /// results or wall-clock behavior.
+  double host_coeff_ops_per_sec = 250e6;
 };
 
+/// Async multi-chip evaluation front end over a ChipFarm.
 class EvalService {
  public:
   /// `scheme` supplies host-side RNS plumbing and must outlive the service;
   /// its const evaluation entry points are used concurrently.  Throws
   /// std::invalid_argument when the scheme's ring does not fit the farm's
-  /// chips.
+  /// chips or opts.relin_keys mismatches the scheme's level.
   EvalService(const bfv::Bfv& scheme, ChipFarm& farm, ServiceOptions opts = {});
   ~EvalService();
 
   EvalService(const EvalService&) = delete;
   EvalService& operator=(const EvalService&) = delete;
 
-  /// Enqueue one EvalMult; the future carries the product ciphertext or the
-  /// exception that defeated it.  Throws std::invalid_argument on non-2-
-  /// element ciphertexts and std::runtime_error after shutdown().
-  std::future<bfv::Ciphertext> submit(EvalMultRequest req);
+  /// Enqueue one request; the future carries the result ciphertext or the
+  /// exception that defeated it.  Throws std::invalid_argument on malformed
+  /// operands (wrong element count for the kind, relin kinds without keys)
+  /// and std::runtime_error after shutdown() or when the queue is full.
+  std::future<bfv::Ciphertext> submit(EvalRequest req);
 
   /// Enqueue a group atomically, so one dispatcher round can coalesce it
-  /// into batched chip sessions (subject to max_batch).
+  /// into batched chip sessions (subject to max_batch).  Kinds may be
+  /// mixed freely within a batch.
   std::vector<std::future<bfv::Ciphertext>> submit_batch(
-      std::vector<EvalMultRequest> reqs);
+      std::vector<EvalRequest> reqs);
 
   /// Block until every request accepted so far has completed.
   void drain();
 
-  /// Stop intake, drain the queue, join the dispatcher.  Idempotent.
+  /// Stop intake, drain the queue and the pipelined session, join the
+  /// dispatcher.  Idempotent.
   void shutdown();
 
   /// Consistent snapshot (including live queue depth and wall clock).
   [[nodiscard]] ServiceStats stats() const;
 
+  /// The options this service was built with (max_batch normalized to >= 1).
   [[nodiscard]] const ServiceOptions& options() const noexcept { return opts_; }
+  /// The farm this service schedules onto.
   [[nodiscard]] ChipFarm& farm() noexcept { return farm_; }
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Pending {
-    EvalMultRequest req;
+    EvalRequest req;
     std::promise<bfv::Ciphertext> promise;
   };
 
+  /// Per-request working state inside a round.
+  struct RoundSlot {
+    driver::EvalMultOperands mult;               // kEvalMult / kMultRelin
+    driver::RelinOperands relin;                 // kRelinearize / kMultRelin
+    std::vector<driver::TowerTensor> tensors;    // tensor-stage outputs
+    std::vector<driver::RelinTowerAcc> relin_accs;  // key-switch outputs
+  };
+
+  /// One dispatcher round flowing through the two-slot session buffer.
+  struct Session {
+    std::vector<Pending> round;
+    std::vector<RoundSlot> slots;
+    std::vector<std::exception_ptr> errs;
+    std::future<void> chip;   // in-flight chip stage (overlap mode)
+    double sim_prep = 0;      // modeled host seconds, pre-chip
+    double sim_chip = 0;      // round chip-stage span (simulated)
+    double sim_finish = 0;    // modeled host seconds, post-chip
+    double model_ready = 0;   // virtual host clock when the chip stage could start
+    double model_chip_end = 0;  // virtual chip clock at this round's chip end
+  };
+
   void dispatcher_loop();
-  void run_round(std::vector<Pending>& round);
-  /// Chip-session fan-out; writes tensors for `live` request slots and
-  /// records per-chip stats.  Returns per-chip exceptions (null = clean).
-  std::vector<std::exception_ptr> run_batch_per_chip(
-      const std::vector<std::size_t>& live,
-      const std::vector<driver::EvalMultOperands>& ops,
-      std::vector<std::vector<driver::TowerTensor>>& tensors);
-  std::vector<std::exception_ptr> run_shard_towers(
-      const std::vector<std::size_t>& live,
-      const std::vector<driver::EvalMultOperands>& ops,
-      std::vector<std::vector<driver::TowerTensor>>& tensors);
+  /// Host phase 1: base extension / digit decomposition per request.
+  void host_prepare(Session& s);
+  /// Chip stage: tensor sessions, mult-relin mid-round host work, then
+  /// key-switch sessions.  Fills s.sim_chip.
+  void run_chip_stage(Session& s);
+  /// Host phase 2: reassembly / rounding, promise fulfillment.
+  void host_finish(Session& s);
+  /// Final stats + in-flight accounting for a finished session.
+  void retire(Session& s);
+
+  /// Tensor-stage fan-out; writes tensors for `live` slots and records
+  /// per-chip stats.  Returns per-chip exceptions (null = clean).
+  std::vector<std::exception_ptr> run_mult_batch_per_chip(
+      Session& s, const std::vector<std::size_t>& live,
+      std::vector<double>& chip_sim);
+  std::vector<std::exception_ptr> run_mult_shard_towers(
+      Session& s, const std::vector<std::size_t>& live,
+      std::vector<double>& chip_sim);
+  /// Key-switch-stage fan-out over the Q basis, same shapes as above.
+  std::vector<std::exception_ptr> run_relin_batch_per_chip(
+      Session& s, const std::vector<std::size_t>& live,
+      std::vector<double>& chip_sim);
+  std::vector<std::exception_ptr> run_relin_shard_towers(
+      Session& s, const std::vector<std::size_t>& live,
+      std::vector<double>& chip_sim);
+
   void note_chip_session(std::size_t chip, const driver::ChipMulReport& rep,
                          std::uint64_t requests, std::uint64_t tower_runs,
-                         double busy_wall_seconds);
+                         std::uint64_t relin_tower_runs, double busy_wall_seconds);
+  /// Modeled host seconds for `ops` coefficient operations.
+  [[nodiscard]] double host_seconds(double ops) const noexcept;
 
   const bfv::Bfv& scheme_;
   ChipFarm& farm_;
@@ -134,7 +233,12 @@ class EvalService {
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   ServiceStats stats_;  // per_chip sized to the farm; queue_depth/wall filled on read
-  std::chrono::steady_clock::time_point start_;
+  double model_host_ = 0;  // pipeline model: virtual host resource clock
+  double model_chip_ = 0;  // pipeline model: virtual chip-farm resource clock
+  bool any_accepted_ = false;
+  Clock::time_point first_accept_{};
+  Clock::time_point last_done_{};
+  Clock::time_point start_;
   std::thread dispatcher_;
 };
 

@@ -1,12 +1,23 @@
 // Observability for the evaluation service (service/eval_service.hpp).
 //
-// Two time axes coexist: *simulated* seconds come from the chip model's
-// cycle counter and the serial links' byte accounting (deterministic --
-// the numbers bench_service_throughput regression-tracks), while *wall*
-// seconds are host wall-clock (how long the scheduler actually ran;
-// machine-dependent, never regression-tracked).
+// Three time axes coexist and every field below names its own:
+//
+//  * *simulated* seconds come from the chip model's cycle counter, the
+//    serial links' byte accounting, and the service's deterministic host
+//    cost model (see ServiceOptions::host_coeff_ops_per_sec).  They are
+//    machine-independent -- the numbers bench_service_throughput
+//    regression-tracks.
+//  * *wall* seconds are host wall-clock (how long the scheduler actually
+//    ran; machine-dependent, never regression-tracked).
+//  * the *pipeline model* replays the dispatcher's actual schedule on the
+//    simulated axis: one virtual host resource, one virtual chip-farm
+//    resource, advanced in the order phases really executed.  With
+//    double-buffered rounds enabled, host phases hide under chip phases and
+//    pipeline_span_seconds < serial_span_seconds; with overlap disabled the
+//    two spans coincide.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -18,37 +29,99 @@ namespace cofhee::service {
 /// shared by every request in the group (the transport amortization the
 /// service exists for).
 struct ChipStats {
+  /// Sessions (continuous chip occupancies) this chip ran.  Count.
   std::uint64_t sessions = 0;
-  std::uint64_t requests = 0;     // requests this chip touched
-  std::uint64_t tower_runs = 0;   // Algorithm-3 executions
-  std::uint64_t ring_configs = 0; // ring reconfigurations paid
+  /// Requests this chip touched (a sharded request counts on every chip
+  /// serving one of its towers).  Count.
+  std::uint64_t requests = 0;
+  /// Algorithm-3 (ciphertext-tensor) executions.  Count.
+  std::uint64_t tower_runs = 0;
+  /// Per-(request, Q-tower) relinearization runs (each bundling this
+  /// tower's key-switch products).  Count.
+  std::uint64_t relin_tower_runs = 0;
+  /// Algorithm-2 key-switch PolyMuls executed.  Count.
+  std::uint64_t ks_products = 0;
+  /// Ring reconfigurations paid (register writes + twiddle preload).  Count.
+  std::uint64_t ring_configs = 0;
+  /// PE cycles at the configured clock.  Cycles.
   std::uint64_t chip_cycles = 0;
-  double io_seconds = 0;          // simulated serial-link transport
-  double compute_seconds = 0;     // simulated chip compute
-  double busy_wall_seconds = 0;   // host wall-clock inside sessions
+  /// Simulated serial-link transport.  Seconds (simulated).
+  double io_seconds = 0;
+  /// Simulated chip compute (chip_cycles at the modeled clock).  Seconds
+  /// (simulated).
+  double compute_seconds = 0;
+  /// Host wall-clock spent inside this chip's sessions.  Seconds (wall).
+  double busy_wall_seconds = 0;
 
   /// Simulated time this chip's serial link + PE were owned by sessions.
+  /// Seconds (simulated).
   [[nodiscard]] double simulated_seconds() const noexcept {
     return io_seconds + compute_seconds;
   }
 };
 
+/// Aggregate service counters.  Snapshot-consistent when obtained through
+/// EvalService::stats().
 struct ServiceStats {
+  /// Requests accepted by submit()/submit_batch().  Count.
   std::uint64_t submitted = 0;
+  /// Requests whose future was fulfilled with a value.  Count.
   std::uint64_t completed = 0;
-  std::uint64_t failed = 0;      // completed exceptionally
-  std::uint64_t rounds = 0;      // dispatcher rounds (coalesced batches)
-  std::uint64_t sessions = 0;    // sum of per-chip sessions
-  std::size_t queue_depth = 0;   // pending requests at sampling time
+  /// Requests whose future was fulfilled with an exception.  Count.
+  std::uint64_t failed = 0;
+  /// Dispatcher rounds (coalesced batches).  Count.
+  std::uint64_t rounds = 0;
+  /// Rounds whose host-side preparation ran while a previous round's chip
+  /// stage was still in flight (double-buffering engaged).  Count.
+  std::uint64_t overlapped_rounds = 0;
+  /// Sum of per-chip sessions.  Count.
+  std::uint64_t sessions = 0;
+  /// Algorithm-2 key-switch PolyMuls, summed over chips.  Count.
+  std::uint64_t ks_products = 0;
+  /// Requests pending (queued + in flight) at sampling time.  Count.
+  std::size_t queue_depth = 0;
+  /// Largest queue depth ever observed at submit time.  Count.
   std::size_t peak_queue_depth = 0;
-  double io_seconds = 0;         // simulated, summed over chips
-  double compute_seconds = 0;    // simulated, summed over chips
-  double wall_seconds = 0;       // since service construction
+  /// Simulated serial-link transport, summed over chips.  Seconds
+  /// (simulated).
+  double io_seconds = 0;
+  /// Simulated chip compute, summed over chips.  Seconds (simulated).
+  double compute_seconds = 0;
+  /// Modeled host time in pre-chip phases (base extension, relin digit
+  /// decomposition).  Seconds (simulated, host cost model).
+  double sim_host_prep_seconds = 0;
+  /// Modeled host time in post-chip phases (tensor reassembly + t/q
+  /// rounding, relin stacking).  Seconds (simulated, host cost model).
+  double sim_host_finish_seconds = 0;
+  /// Sum over rounds of each round's chip-stage span: the busiest chip's
+  /// simulated session time plus modeled host work executed inside the
+  /// stage (mult-relin mid-round assembly/decompose, key-switch
+  /// accumulation).  Seconds (simulated).
+  double sim_chip_round_seconds = 0;
+  /// Pipeline-model makespan of the schedule as actually executed:
+  /// double-buffered rounds hide host phases under chip phases here.
+  /// Seconds (simulated).
+  double pipeline_span_seconds = 0;
+  /// Pipeline-model makespan had every phase run back-to-back
+  /// (prep + chip + finish summed per round).  Seconds (simulated).
+  double serial_span_seconds = 0;
+  /// Host wall-clock spent in host phases while a chip stage was in flight
+  /// (the measured, machine-dependent counterpart of the model's overlap).
+  /// Seconds (wall).
+  double overlap_wall_seconds = 0;
+  /// Wall-clock since service construction.  Seconds (wall).
+  double wall_seconds = 0;
+  /// Active window on the monotonic clock: first accepted submit to the
+  /// last completion (or to the sampling instant while work is in flight).
+  /// 0 before any request is accepted.  Seconds (wall).
+  double active_seconds = 0;
+  /// Per-chip breakdowns, indexed by ChipFarm chip index.
   std::vector<ChipStats> per_chip;
 
   /// Simulated farm makespan: the busiest chip's serial-link + compute
   /// time.  Chips run concurrently, so this is the model's answer to "how
-  /// long did serving these requests take".
+  /// long did the chip side of serving these requests take".  Seconds
+  /// (simulated).
   [[nodiscard]] double simulated_seconds() const noexcept {
     double m = 0;
     for (const auto& c : per_chip)
@@ -56,21 +129,53 @@ struct ServiceStats {
     return m;
   }
 
-  /// Deterministic throughput: completed requests over the simulated
-  /// makespan (the bench_service_throughput headline number).
+  /// Deterministic chip-side throughput: completed requests over the
+  /// simulated farm makespan.  Requests per second (simulated).
   [[nodiscard]] double simulated_requests_per_sec() const noexcept {
     const double s = simulated_seconds();
     return s > 0 ? static_cast<double>(completed) / s : 0.0;
   }
 
-  /// Wall-clock throughput since service start (machine-dependent).
-  [[nodiscard]] double requests_per_sec() const noexcept {
-    return wall_seconds > 0 ? static_cast<double>(completed) / wall_seconds : 0.0;
+  /// Deterministic end-to-end throughput: completed requests over the
+  /// pipeline-model makespan (host + chip resources, overlapped the way the
+  /// dispatcher actually scheduled them) -- the double-buffering headline
+  /// number bench_service_throughput regression-tracks.  Requests per
+  /// second (simulated).
+  [[nodiscard]] double e2e_requests_per_sec() const noexcept {
+    return pipeline_span_seconds > 0
+               ? static_cast<double>(completed) / pipeline_span_seconds
+               : 0.0;
   }
 
-  /// Fraction of wall time chip `i`'s sessions were running.
+  /// Simulated time double-buffering removed from the serial schedule.
+  /// Seconds (simulated).
+  [[nodiscard]] double overlap_saved_seconds() const noexcept {
+    return std::max(0.0, serial_span_seconds - pipeline_span_seconds);
+  }
+
+  /// Fraction of the pipeline-model span the chip resource was busy --
+  /// 1.0 means host work is fully hidden.  Dimensionless in [0, 1].
+  [[nodiscard]] double chip_occupancy() const noexcept {
+    return pipeline_span_seconds > 0
+               ? sim_chip_round_seconds / pipeline_span_seconds
+               : 0.0;
+  }
+
+  /// Wall-clock throughput over the active window (first accepted submit to
+  /// last completion on the monotonic clock), so an idle service's rate does
+  /// not decay with lifetime.  Requests per second (wall,
+  /// machine-dependent).
+  [[nodiscard]] double requests_per_sec() const noexcept {
+    return active_seconds > 0 ? static_cast<double>(completed) / active_seconds
+                              : 0.0;
+  }
+
+  /// Fraction of the active window (not the service lifetime -- idling
+  /// after the traffic must not decay this, same as requests_per_sec())
+  /// chip `i`'s sessions were running.  Dimensionless.
   [[nodiscard]] double utilization(std::size_t i) const {
-    return wall_seconds > 0 ? per_chip.at(i).busy_wall_seconds / wall_seconds : 0.0;
+    return active_seconds > 0 ? per_chip.at(i).busy_wall_seconds / active_seconds
+                              : 0.0;
   }
 };
 

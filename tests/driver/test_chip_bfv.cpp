@@ -66,6 +66,78 @@ TEST(ChipBfv, IoDominatesAtSmallRings) {
   EXPECT_GT(rep.io_seconds, rep.chip_ms * 1e-3);
 }
 
+TEST(ChipBfv, RelinearizeMatchesSoftwareBitExactly) {
+  StackFixture f;
+  bfv::IntegerEncoder enc(f.scheme.context());
+  const auto rk = f.scheme.keygen_relin(f.sk, 16);
+  const auto ca = f.scheme.encrypt(f.pk, enc.encode(45));
+  const auto cb = f.scheme.encrypt(f.pk, enc.encode(-3));
+  const auto tensor = f.scheme.multiply(ca, cb);  // 3 elements
+
+  const auto sw = f.scheme.relinearize(tensor, rk);
+
+  ChipBfvEvaluator chip_eval(f.soc);
+  ChipMulReport rep;
+  const auto hw = chip_eval.relinearize(f.scheme, tensor, rk, &rep);
+
+  ASSERT_EQ(hw.size(), 2u);
+  for (std::size_t i = 0; i < hw.size(); ++i)
+    EXPECT_EQ(hw.c[i].towers, sw.c[i].towers) << "component " << i;
+  EXPECT_EQ(enc.decode(f.scheme.decrypt(f.sk, hw)), 45 * -3);
+  // One ring configuration per Q tower, and per (digit, component) products:
+  // |Q| towers x |digits| x 2 PolyMuls.
+  const auto qt = f.scheme.context().q_basis().size();
+  EXPECT_EQ(rep.towers, qt);
+  EXPECT_EQ(rep.ks_products, qt * rk.keys.size() * 2);
+  EXPECT_GT(rep.chip_cycles, 0u);
+  EXPECT_GT(rep.io_seconds, 0.0);
+}
+
+TEST(ChipBfv, MultiplyRelinMatchesSoftwareChain) {
+  StackFixture f;
+  bfv::IntegerEncoder enc(f.scheme.context());
+  const auto rk = f.scheme.keygen_relin(f.sk, 16);
+  const auto ca = f.scheme.encrypt(f.pk, enc.encode(19));
+  const auto cb = f.scheme.encrypt(f.pk, enc.encode(23));
+
+  const auto sw = f.scheme.relinearize(f.scheme.multiply(ca, cb), rk);
+
+  ChipBfvEvaluator chip_eval(f.soc);
+  ChipMulReport rep;
+  const auto hw = chip_eval.multiply_relin(f.scheme, ca, cb, rk, &rep);
+
+  ASSERT_EQ(hw.size(), 2u);
+  for (std::size_t i = 0; i < hw.size(); ++i)
+    EXPECT_EQ(hw.c[i].towers, sw.c[i].towers) << "component " << i;
+  EXPECT_EQ(enc.decode(f.scheme.decrypt(f.sk, hw)), 19 * 23);
+  // Both halves accounted: tensor ring configs over the extended basis plus
+  // key-switch configs over Q.
+  const auto& ctx = f.scheme.context();
+  EXPECT_EQ(rep.towers, ctx.ext_basis().size() + ctx.q_basis().size());
+  EXPECT_EQ(rep.ks_products, ctx.q_basis().size() * rk.keys.size() * 2);
+}
+
+TEST(ChipBfv, RelinearizeRejectsMalformedInputs) {
+  StackFixture f;
+  bfv::IntegerEncoder enc(f.scheme.context());
+  const auto rk = f.scheme.keygen_relin(f.sk, 16);
+  const auto ct2 = f.scheme.encrypt(f.pk, enc.encode(7));  // 2 elements
+  ChipBfvEvaluator ev(f.soc);
+  EXPECT_THROW((void)ev.relinearize(f.scheme, ct2, rk), std::invalid_argument);
+
+  // Keys generated at a different level (one tower vs two) are rejected
+  // before touching the chip.
+  bfv::Bfv other(bfv::BfvParams::create(64, {40}, 65537), 9);
+  const auto other_rk = other.keygen_relin(other.keygen_secret(), 16);
+  const auto tensor = f.scheme.multiply(ct2, f.scheme.encrypt(f.pk, enc.encode(2)));
+  EXPECT_THROW((void)ev.relinearize(f.scheme, tensor, other_rk), std::invalid_argument);
+
+  // Too few digits to cover log2(Q): high digits would be dropped silently.
+  bfv::RelinKeys truncated = rk;
+  truncated.keys.resize(1);
+  EXPECT_THROW((void)ev.relinearize(f.scheme, tensor, truncated), std::invalid_argument);
+}
+
 TEST(ChipBfv, RejectsOversizedRing) {
   chip::CofheeChip soc;  // bank_words = 2^14 -> n up to 2^13 in 2 slots
   bfv::Bfv big(bfv::BfvParams::create(1u << 14, {54, 55}, 65537), 1);

@@ -81,6 +81,72 @@ TEST(ServiceStress, ConcurrentSubmittersGetBitExactResults) {
   }
 }
 
+TEST(ServiceStress, PipelinedMixedKindRoundsUnderConcurrentSubmitters) {
+  // The double-buffered dispatcher under fire: small rounds (max_batch=2)
+  // so consecutive rounds overlap, all three request kinds interleaved from
+  // concurrent producers, results checked bit-exactly against the serial
+  // software path.  Runs under the TSan lane (label `service`).
+  StressFixture f;
+  const bfv::RelinKeys rk = f.scheme.keygen_relin(f.sk, 16);
+  constexpr std::size_t kProducers = 6;
+  constexpr std::size_t kPerProducer = 3;
+
+  std::vector<std::vector<EvalRequest>> reqs(kProducers);
+  std::vector<std::vector<bfv::Ciphertext>> want(kProducers);
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    for (std::size_t i = 0; i < kPerProducer; ++i) {
+      const auto kind = static_cast<RequestKind>((p + i) % 3);
+      const auto ca = f.scheme.encrypt(f.pk, f.enc.encode(static_cast<std::int64_t>(p) - 1));
+      const auto cb = f.scheme.encrypt(f.pk, f.enc.encode(static_cast<std::int64_t>(i) + 2));
+      const auto tensor = f.scheme.multiply(ca, cb);
+      if (kind == RequestKind::kEvalMult) {
+        want[p].push_back(tensor);
+        reqs[p].push_back({ca, cb, kind});
+      } else if (kind == RequestKind::kRelinearize) {
+        want[p].push_back(f.scheme.relinearize(tensor, rk));
+        reqs[p].push_back({tensor, {}, kind});
+      } else {
+        want[p].push_back(f.scheme.relinearize(tensor, rk));
+        reqs[p].push_back({ca, cb, kind});
+      }
+    }
+  }
+
+  for (Strategy strategy : {Strategy::kBatchPerChip, Strategy::kShardTowers}) {
+    SCOPED_TRACE(static_cast<int>(strategy));
+    ChipFarm farm(2);
+    ServiceOptions opts;
+    opts.strategy = strategy;
+    opts.max_batch = 2;
+    opts.relin_keys = &rk;
+    opts.overlap_rounds = true;
+    EvalService svc(f.scheme, farm, opts);
+    std::atomic<int> mismatches{0};
+
+    backend::ThreadPool producers(kProducers);
+    producers.parallel_for(kProducers, [&](std::size_t p) {
+      std::vector<std::future<bfv::Ciphertext>> futures;
+      for (const auto& r : reqs[p]) futures.push_back(svc.submit(r));
+      for (std::size_t i = 0; i < futures.size(); ++i) {
+        const auto got = futures[i].get();
+        if (got.size() != want[p][i].size()) {
+          ++mismatches;
+          continue;
+        }
+        for (std::size_t k = 0; k < got.size(); ++k)
+          if (got.c[k].towers != want[p][i].c[k].towers) ++mismatches;
+      }
+    });
+
+    EXPECT_EQ(mismatches.load(), 0);
+    svc.drain();
+    const auto s = svc.stats();
+    EXPECT_EQ(s.completed, kProducers * kPerProducer);
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_LE(s.pipeline_span_seconds, s.serial_span_seconds + 1e-12);
+  }
+}
+
 TEST(ServiceStress, InterleavedSubmitAndStatsPolling) {
   StressFixture f;
   ChipFarm farm(2);
