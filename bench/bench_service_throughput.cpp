@@ -15,17 +15,29 @@
 //   batched_4chip       -- kBatchPerChip over 4 chips: throughput scaling.
 //   sharded_4chip       -- kShardTowers over 4 chips: latency scaling.
 //   relin_batched_1chip -- Algorithm-2 key switching as its own request
-//                          kind, batched through one chip.
+//                          kind, batched through one chip (the batch-aware
+//                          relin-key cache shares key uploads across the
+//                          group: key_cache_hits > 0, io down).
 //   multrelin_noverlap_1chip / multrelin_overlap_1chip -- the paper's
 //                          complete EvalMult (tensor + key switch) with
-//                          double-buffered rounds off vs on: host base
-//                          extension / rounding hidden under the previous
-//                          round's chip stage.
+//                          pipelined rounds off vs on: host base extension
+//                          / rounding hidden under the previous round's
+//                          chip stage.
 //   multrelin_overlap_4chip -- overlap + farm scaling combined.
+//   multrelin_depth4_1chip -- the K-slot session ring at depth 4 (chained
+//                          chip stages, finishes deferred behind the ring).
+//   hetero_roundrobin_4chip / hetero_loadaware_4chip -- a mixed farm (2x
+//                          SPI at 250 MHz + 2x UART at 125 MHz): blind
+//                          striding pays the slow link's makespan, the
+//                          load-aware Placer routes towers to the cheap
+//                          chips.
+//   hetero_loadaware_depth4_4chip -- heterogeneous placement + the depth-4
+//                          ring combined on full EvalMult traffic.
 //
 // Acceptance bars: batched EvalMult/sec >= the one-request-per-session
-// baseline, and double-buffered end-to-end throughput >= the
-// non-overlapped schedule, both at n = 4096.
+// baseline, pipelined end-to-end throughput >= the non-overlapped
+// schedule (at every depth), and load-aware placement >= round-robin on
+// the heterogeneous farm, all at n = 4096.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -47,7 +59,20 @@ struct Scenario {
   std::size_t max_batch;
   RequestKind kind;
   bool overlap;
+  std::size_t depth = 2;  // session-ring depth (2 = classic double buffer)
+  bool hetero = false;    // back half of the farm on UART at 125 MHz
+  service::Placement placement = service::Placement::kLoadAware;
 };
+
+service::ChipFarm make_farm(const Scenario& sc) {
+  if (!sc.hetero) return service::ChipFarm(sc.chips);
+  std::vector<service::ChipSpec> specs(sc.chips);
+  for (std::size_t c = sc.chips / 2; c < sc.chips; ++c) {
+    specs[c].link = cofhee::driver::Link::kUart;
+    specs[c].cfg.freq_mhz = 125.0;
+  }
+  return service::ChipFarm(specs);
+}
 
 struct Run {
   service::ServiceStats stats;
@@ -57,12 +82,14 @@ struct Run {
 
 Run run_scenario(const bfv::Bfv& scheme, const bfv::RelinKeys& rk, const Scenario& sc,
                  const std::vector<service::EvalRequest>& requests) {
-  service::ChipFarm farm(sc.chips);
+  service::ChipFarm farm = make_farm(sc);
   service::ServiceOptions opts;
   opts.strategy = sc.strategy;
   opts.max_batch = sc.max_batch;
   opts.relin_keys = &rk;
   opts.overlap_rounds = sc.overlap;
+  opts.pipeline_depth = sc.depth;
+  opts.placement = sc.placement;
   service::EvalService svc(scheme, farm, opts);
   std::vector<service::EvalRequest> reqs = requests;
   for (auto& r : reqs) r.kind = sc.kind;
@@ -118,11 +145,23 @@ int main(int argc, char** argv) {
        RequestKind::kMultRelin, true},
       {"multrelin_overlap_4chip", 4, Strategy::kShardTowers, 2,
        RequestKind::kMultRelin, true},
+      {"multrelin_depth4_1chip", 1, Strategy::kBatchPerChip, 2,
+       RequestKind::kMultRelin, true, /*depth=*/4},
+      {"hetero_roundrobin_4chip", 4, Strategy::kShardTowers, kRequests,
+       RequestKind::kEvalMult, true, 2, /*hetero=*/true,
+       service::Placement::kRoundRobin},
+      {"hetero_loadaware_4chip", 4, Strategy::kShardTowers, kRequests,
+       RequestKind::kEvalMult, true, 2, /*hetero=*/true,
+       service::Placement::kLoadAware},
+      {"hetero_loadaware_depth4_4chip", 4, Strategy::kShardTowers, 2,
+       RequestKind::kMultRelin, true, /*depth=*/4, /*hetero=*/true,
+       service::Placement::kLoadAware},
   };
 
   eval::section("Evaluation service -- throughput, n = 4096 (simulated)");
   eval::Table t({"scenario", "chips", "batch", "sessions", "ring cfgs", "ks muls",
-                 "io s", "compute ms", "req/s chip", "req/s e2e", "overlap s"});
+                 "key hits", "io s", "compute ms", "req/s chip", "req/s e2e",
+                 "overlap s"});
   double baseline = 0;
   double overlap_ref_e2e = 0;  // multrelin_noverlap_1chip
   for (const auto& sc : scenarios) {
@@ -133,7 +172,8 @@ int main(int argc, char** argv) {
     for (const auto& c : r.stats.per_chip) ring_configs += c.ring_configs;
     t.row({sc.name, std::to_string(sc.chips), std::to_string(sc.max_batch),
            std::to_string(r.stats.sessions), std::to_string(ring_configs),
-           std::to_string(r.stats.ks_products), eval::fmt(r.stats.io_seconds, 4),
+           std::to_string(r.stats.ks_products),
+           std::to_string(r.stats.key_cache_hits), eval::fmt(r.stats.io_seconds, 4),
            eval::fmt(r.stats.compute_seconds * 1e3, 2),
            eval::fmt(r.evalmult_per_sec, 2), eval::fmt(r.e2e_per_sec, 2),
            eval::fmt(r.stats.overlap_saved_seconds(), 4)});
@@ -145,6 +185,8 @@ int main(int argc, char** argv) {
     metrics.set(key + "sessions", static_cast<double>(r.stats.sessions));
     metrics.set(key + "ring_configs", static_cast<double>(ring_configs));
     metrics.set(key + "ks_products", static_cast<double>(r.stats.ks_products));
+    metrics.set(key + "key_uploads", static_cast<double>(r.stats.key_uploads));
+    metrics.set(key + "key_cache_hits", static_cast<double>(r.stats.key_cache_hits));
     metrics.set(key + "pipeline_span_s", r.stats.pipeline_span_seconds);
     metrics.set(key + "serial_span_s", r.stats.serial_span_seconds);
     metrics.set(key + "overlap_saved_s", r.stats.overlap_saved_seconds());
@@ -163,9 +205,13 @@ int main(int argc, char** argv) {
       "per tower per session instead of once per tower per request;\n"
       "sharding additionally spreads one request's towers across the farm;\n"
       "relinearization rides the same sessions as per-(digit, tower)\n"
-      "Algorithm-2 PolyMuls; double-buffered rounds hide host-side base\n"
-      "extension / rounding under the previous round's chip stage\n"
-      "(req/s e2e up, req/s chip unchanged).");
+      "Algorithm-2 PolyMuls, with the batch-aware key cache sharing key\n"
+      "uploads across a group (R+1 instead of 2R per digit and tower);\n"
+      "pipelined rounds (K-slot ring, depth 2 = double buffering) hide\n"
+      "host-side base extension / rounding under earlier rounds' chip\n"
+      "stages (req/s e2e up, req/s chip unchanged); on the heterogeneous\n"
+      "farm the load-aware Placer keeps tower work off the 10x-slower UART\n"
+      "links, which blind round-robin cannot.");
   if (!json_path.empty() && !metrics.write(json_path)) {
     std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
     return 1;

@@ -29,18 +29,23 @@ int main() {
 
   const auto rk = scheme.keygen_relin(sk, 16);
 
-  constexpr std::size_t kChips = 4;
-  service::ChipFarm farm(kChips);
+  // A heterogeneous farm: three SPI-linked chips plus one legacy bring-up
+  // slot on UART at half clock.  The load-aware Placer keeps tower work on
+  // the cheap links; the slow chip only helps when it actually pays off.
+  std::vector<service::ChipSpec> specs(4);
+  specs[3].link = driver::Link::kUart;
+  specs[3].cfg.freq_mhz = 125.0;
+  service::ChipFarm farm(specs);
   service::ServiceOptions opts;
   opts.strategy = service::Strategy::kShardTowers;
-  opts.max_batch = 4;  // several rounds, so double-buffering can engage
+  opts.max_batch = 4;       // several rounds, so the pipeline can engage
+  opts.pipeline_depth = 4;  // K-slot session ring (2 = classic double buffer)
   opts.relin_keys = &rk;
-  opts.overlap_rounds = true;
   service::EvalService svc(scheme, farm, opts);
 
   std::printf("Submitting 8 complete EvalMult (tensor + relinearize) "
-              "requests to a %zu-chip farm (kShardTowers, double-buffered "
-              "rounds)...\n", farm.size());
+              "requests to a %zu-chip heterogeneous farm (kShardTowers, "
+              "load-aware placement, depth-4 session ring)...\n", farm.size());
   std::vector<service::EvalRequest> requests;
   std::vector<std::int64_t> expect;
   for (int i = 1; i <= 8; ++i) {
@@ -49,7 +54,18 @@ int main() {
                         service::RequestKind::kMultRelin});
     expect.push_back(static_cast<std::int64_t>(100 + i) * -i);
   }
-  auto futures = svc.submit_batch(std::move(requests));
+  // Two tenants sharing the farm: the batch tenant outweighs the
+  // interactive one 1:2, and the interactive tenant's requests ride the
+  // high-priority class.
+  std::vector<service::EvalRequest> tail(requests.begin() + 4, requests.end());
+  requests.resize(4);
+  auto futures = svc.submit_batch(std::move(requests),
+                                  {service::Priority::kNormal, /*tenant=*/1,
+                                   /*weight=*/2});
+  auto urgent = svc.submit_batch(std::move(tail),
+                                 {service::Priority::kHigh, /*tenant=*/2,
+                                  /*weight=*/1});
+  for (auto& f : urgent) futures.push_back(std::move(f));
 
   bool all_ok = true;
   for (std::size_t i = 0; i < futures.size(); ++i) {
@@ -81,18 +97,42 @@ int main() {
               static_cast<unsigned long long>(s.overlapped_rounds),
               static_cast<unsigned long long>(s.rounds),
               s.e2e_requests_per_sec(), 100.0 * s.chip_occupancy());
-  eval::Table t({"chip", "sessions", "requests", "tower runs", "relin runs",
-                 "ks muls", "ring cfgs", "io s", "compute ms", "utilization"});
+  std::printf("relin-key cache: %llu uploads paid, %llu skipped as hits\n",
+              static_cast<unsigned long long>(s.key_uploads),
+              static_cast<unsigned long long>(s.key_cache_hits));
+  eval::Table t({"chip", "sessions", "placements", "requests", "tower runs",
+                 "relin runs", "ks muls", "ring cfgs", "io s", "compute ms",
+                 "utilization"});
   for (std::size_t c = 0; c < s.per_chip.size(); ++c) {
     const auto& pc = s.per_chip[c];
     t.row({std::to_string(c), std::to_string(pc.sessions),
-           std::to_string(pc.requests), std::to_string(pc.tower_runs),
-           std::to_string(pc.relin_tower_runs), std::to_string(pc.ks_products),
-           std::to_string(pc.ring_configs), eval::fmt(pc.io_seconds, 4),
-           eval::fmt(pc.compute_seconds * 1e3, 2),
+           std::to_string(pc.placements), std::to_string(pc.requests),
+           std::to_string(pc.tower_runs), std::to_string(pc.relin_tower_runs),
+           std::to_string(pc.ks_products), std::to_string(pc.ring_configs),
+           eval::fmt(pc.io_seconds, 4), eval::fmt(pc.compute_seconds * 1e3, 2),
            eval::fmt(100.0 * s.utilization(c), 1) + "%"});
   }
   t.print();
+
+  eval::section("Scheduler (classes and tenants)");
+  static const char* kClassNames[] = {"high", "normal", "low"};
+  eval::Table sched({"class", "submitted", "completed", "forced picks",
+                     "p50 ms", "p99 ms"});
+  for (std::size_t c = 0; c < s.per_class.size(); ++c) {
+    const auto& pc = s.per_class[c];
+    if (pc.submitted == 0) continue;
+    sched.row({kClassNames[c], std::to_string(pc.submitted),
+               std::to_string(pc.completed), std::to_string(pc.forced_picks),
+               eval::fmt(pc.latency.p50 * 1e3, 2),
+               eval::fmt(pc.latency.p99 * 1e3, 2)});
+  }
+  sched.print();
+  eval::Table tens({"tenant", "weight", "submitted", "completed", "p50 ms"});
+  for (const auto& tn : s.per_tenant)
+    tens.row({std::to_string(tn.tenant), std::to_string(tn.weight),
+              std::to_string(tn.submitted), std::to_string(tn.completed),
+              eval::fmt(tn.latency.p50 * 1e3, 2)});
+  tens.print();
 
   std::puts(all_ok ? "\nAll products decrypted correctly."
                    : "\nMISMATCH: some products decrypted wrong!");

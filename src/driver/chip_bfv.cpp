@@ -1,6 +1,7 @@
 #include "driver/chip_bfv.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 #include "nt/primes.hpp"
 
@@ -124,31 +125,59 @@ RelinTowerAcc ChipBfvEvaluator::relin_tower(HostDriver& drv, const bfv::Bfv& bfv
                                             const RelinOperands& ops,
                                             const bfv::RelinKeys& rk, std::size_t tower,
                                             ChipMulReport* report) {
+  auto accs = relin_tower_batch(drv, bfv, {&ops}, rk, tower, /*cache=*/nullptr, report);
+  return std::move(accs.front());
+}
+
+std::vector<RelinTowerAcc> ChipBfvEvaluator::relin_tower_batch(
+    HostDriver& drv, const bfv::Bfv& bfv, const std::vector<const RelinOperands*>& group,
+    const bfv::RelinKeys& rk, std::size_t tower, RelinKeyCache* cache,
+    ChipMulReport* report) {
   const auto& ring = bfv.context().q_basis().tower(tower);
-  RelinTowerAcc acc{ops.c0.towers.at(tower), ops.c1.towers.at(tower)};
+  std::vector<RelinTowerAcc> accs;
+  accs.reserve(group.size());
+  for (const RelinOperands* ops : group)
+    accs.push_back({ops->c0.towers.at(tower), ops->c1.towers.at(tower)});
   double io = 0;
-  for (std::size_t d = 0; d < ops.digits.size(); ++d) {
-    // The digit is shared by both components: upload once, reuse for the
-    // two key polynomials (PolyMul leaves SP0/SP1 intact).
-    io += drv.load_polynomial(Bank::kSp0, 0, widen(ops.digits[d].towers[tower]));
-    for (int comp = 0; comp < 2; ++comp) {
-      const auto& key = comp == 0 ? rk.keys[d].first : rk.keys[d].second;
-      io += drv.load_polynomial(Bank::kSp1, 0, widen(key.towers[tower]));
-      const auto r = drv.poly_mul();
-      double rio = 0;
-      const auto prod = narrow(drv.read_polynomial(Bank::kSp2, 0, drv.n(), &rio));
-      io += rio;
-      auto& dst = comp == 0 ? acc.c0 : acc.c1;
-      dst = poly::pointwise_add(ring, dst, prod);
-      if (report != nullptr) {
-        report->chip_cycles += r.compute_cycles;
-        report->chip_ms += r.compute_ms;
-        ++report->ks_products;
+  // Digit-outer, request-inner: inside one digit every request needs the
+  // same two key polynomials, so serpentining the component order per
+  // request makes consecutive products share SP1's resident key (cache
+  // hits) while each request's digit is uploaded once and reused for both
+  // components (PolyMul leaves SP0/SP1 intact).  Accumulation stays in
+  // ascending digit order per component, so results match the software
+  // reference bit for bit.
+  const std::size_t digits = group.empty() ? 0 : group.front()->digits.size();
+  for (std::size_t d = 0; d < digits; ++d) {
+    for (std::size_t r = 0; r < group.size(); ++r) {
+      const RelinOperands& ops = *group[r];
+      io += drv.load_polynomial(Bank::kSp0, 0, widen(ops.digits[d].towers[tower]));
+      const unsigned first = r % 2 == 0 ? 0 : 1;  // serpentine component order
+      for (unsigned step = 0; step < 2; ++step) {
+        const unsigned comp = step == 0 ? first : 1 - first;
+        if (cache != nullptr && cache->hit(&rk, tower, d, comp)) {
+          if (report != nullptr) ++report->key_cache_hits;
+        } else {
+          const auto& key = comp == 0 ? rk.keys[d].first : rk.keys[d].second;
+          io += drv.load_polynomial(Bank::kSp1, 0, widen(key.towers[tower]));
+          if (cache != nullptr) cache->loaded(&rk, tower, d, comp);
+          if (report != nullptr) ++report->key_uploads;
+        }
+        const auto rep = drv.poly_mul();
+        double rio = 0;
+        const auto prod = narrow(drv.read_polynomial(Bank::kSp2, 0, drv.n(), &rio));
+        io += rio;
+        auto& dst = comp == 0 ? accs[r].c0 : accs[r].c1;
+        dst = poly::pointwise_add(ring, dst, prod);
+        if (report != nullptr) {
+          report->chip_cycles += rep.compute_cycles;
+          report->chip_ms += rep.compute_ms;
+          ++report->ks_products;
+        }
       }
     }
   }
   if (report != nullptr) report->io_seconds += io;
-  return acc;
+  return accs;
 }
 
 bfv::Ciphertext ChipBfvEvaluator::assemble_relin(

@@ -54,6 +54,12 @@ struct ChipMulReport {
   unsigned towers = 0;
   /// Algorithm-2 key-switch PolyMuls executed (relinearization only).
   unsigned ks_products = 0;
+  /// Relin-key tower uploads actually paid over the serial link.
+  std::uint64_t key_uploads = 0;
+  /// Relin-key tower uploads skipped because the key was already resident
+  /// in SP1 (batch-aware key caching; key_uploads + key_cache_hits equals
+  /// the key loads a cache-less session would pay).
+  std::uint64_t key_cache_hits = 0;
 
   /// Accumulate another session's counters into this one.
   ChipMulReport& operator+=(const ChipMulReport& o) {
@@ -62,8 +68,44 @@ struct ChipMulReport {
     io_seconds += o.io_seconds;
     towers += o.towers;
     ks_products += o.ks_products;
+    key_uploads += o.key_uploads;
+    key_cache_hits += o.key_cache_hits;
     return *this;
   }
+};
+
+/// Tag of the relinearization-key tower currently resident in a chip's SP1
+/// bank, so consecutive key-switch products that reuse the same (keys,
+/// tower, digit, component) key polynomial skip the serial-link upload.
+/// One cache per chip; the owner must invalidate() whenever SP1 is
+/// clobbered by non-relin traffic (e.g. a tensor session's load_tower) and
+/// relies on key identity by address -- regenerating keys into the same
+/// RelinKeys object must go through a fresh address or an invalidate().
+class RelinKeyCache {
+ public:
+  /// True when the tagged key polynomial is already loaded (a cache hit);
+  /// a changed `keys` pointer never hits, which is how key rotation
+  /// invalidates the cache.
+  [[nodiscard]] bool hit(const bfv::RelinKeys* keys, std::size_t tower,
+                         std::size_t digit, unsigned comp) const noexcept {
+    return keys_ == keys && tower_ == tower && digit_ == digit && comp_ == comp;
+  }
+  /// Record the key polynomial just uploaded into SP1.
+  void loaded(const bfv::RelinKeys* keys, std::size_t tower, std::size_t digit,
+              unsigned comp) noexcept {
+    keys_ = keys;
+    tower_ = tower;
+    digit_ = digit;
+    comp_ = comp;
+  }
+  /// Forget the resident key (SP1 was clobbered or keys changed).
+  void invalidate() noexcept { keys_ = nullptr; }
+
+ private:
+  const bfv::RelinKeys* keys_ = nullptr;
+  std::size_t tower_ = 0;
+  std::size_t digit_ = 0;
+  unsigned comp_ = 0;
 };
 
 /// Host-side prepared operands of one EvalMult: the four input polynomials
@@ -190,6 +232,22 @@ class ChipBfvEvaluator {
                                                  const bfv::RelinKeys& rk,
                                                  std::size_t tower,
                                                  ChipMulReport* report);
+
+  /// Batched form of relin_tower: run `tower`'s key-switch products for a
+  /// whole request group in one chip session, digit-outer / request-inner,
+  /// with the per-request component order serpentine so consecutive
+  /// products share a key polynomial whenever possible.  With `cache`
+  /// non-null, key uploads whose (keys, tower, digit, component) tag is
+  /// already resident in SP1 are skipped and counted in
+  /// report->key_cache_hits -- for a group of R requests this cuts the key
+  /// transport per digit from 2R uploads to R+1.  Results are bit-identical
+  /// to calling relin_tower per request (host accumulation stays in
+  /// ascending digit order per component).  Returns one accumulation per
+  /// group entry, in group order.
+  [[nodiscard]] static std::vector<RelinTowerAcc> relin_tower_batch(
+      HostDriver& drv, const bfv::Bfv& bfv,
+      const std::vector<const RelinOperands*>& group, const bfv::RelinKeys& rk,
+      std::size_t tower, RelinKeyCache* cache, ChipMulReport* report);
 
   /// Host: stack the per-Q-tower accumulations into the 2-element result
   /// (no rounding -- relinearization stays in the Q basis).

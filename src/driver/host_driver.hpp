@@ -78,6 +78,9 @@ class HostDriver {
   [[nodiscard]] CofheeChip& chip() noexcept { return chip_; }
   /// The execution mode commands run in.
   [[nodiscard]] ExecMode mode() const noexcept { return mode_; }
+  /// The serial link polynomials travel over (UART or SPI) -- the transport
+  /// axis of the service's placement cost model.
+  [[nodiscard]] Link link() const noexcept { return link_; }
 
   /// Program Q/N/INV_POLYDEG/BARRETTCTL* and preload the twiddle ROM with
   /// the bit-reversed psi powers.  One-time setup per modulus.  When `timed`

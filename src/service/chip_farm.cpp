@@ -5,13 +5,17 @@
 namespace cofhee::service {
 
 ChipFarm::ChipFarm(std::size_t chips, driver::ExecMode mode, driver::Link link,
-                   chip::ChipConfig cfg) {
-  if (chips == 0) throw std::invalid_argument("ChipFarm: at least one chip required");
-  slots_.reserve(chips);
-  for (std::size_t i = 0; i < chips; ++i) {
+                   chip::ChipConfig cfg)
+    : ChipFarm(std::vector<ChipSpec>(chips, ChipSpec{cfg, mode, link})) {}
+
+ChipFarm::ChipFarm(const std::vector<ChipSpec>& specs) {
+  if (specs.empty())
+    throw std::invalid_argument("ChipFarm: at least one chip required");
+  slots_.reserve(specs.size());
+  for (const ChipSpec& spec : specs) {
     Slot s;
-    s.soc = std::make_unique<chip::CofheeChip>(cfg);
-    s.drv = std::make_unique<driver::HostDriver>(*s.soc, mode, link);
+    s.soc = std::make_unique<chip::CofheeChip>(spec.cfg);
+    s.drv = std::make_unique<driver::HostDriver>(*s.soc, spec.mode, spec.link);
     slots_.push_back(std::move(s));
   }
 }

@@ -2,10 +2,13 @@
 //
 // The paper drives a single chip from a bring-up PC; the scaling story
 // (Section VIII, and the HEAX / HEAAN-demystified line of work) is many
-// accelerators behind one host.  ChipFarm owns N identical CofheeChip
-// models, each paired with its own HostDriver -- one serial link per chip,
-// so no bus is ever shared between concurrent scheduler tasks and a chip's
-// (driver, link, cycle counter) triple can be handed to a worker wholesale.
+// accelerators behind one host.  ChipFarm owns N CofheeChip models, each
+// paired with its own HostDriver -- one serial link per chip, so no bus is
+// ever shared between concurrent scheduler tasks and a chip's (driver,
+// link, cycle counter) triple can be handed to a worker wholesale.  Farms
+// may be heterogeneous: each slot carries its own ChipConfig, execution
+// mode and link (the ChipSpec constructor), and the scheduler's Placer
+// scores work onto the mixed fleet instead of striding blindly.
 #pragma once
 
 #include <cstddef>
@@ -17,15 +20,31 @@
 
 namespace cofhee::service {
 
-/// Owns N identical chip models, each paired with its own HostDriver and
-/// serial link, so a scheduler task can take a whole (chip, driver, link)
-/// triple without sharing a bus.
+/// One farm slot's build recipe: the chip's structural config plus how its
+/// host link drives it.  Defaults reproduce the homogeneous v1 farm slot
+/// (fabricated-chip config, FIFO mode, SPI link).
+struct ChipSpec {
+  /// Structural + cycle-model parameters of this chip instance.
+  chip::ChipConfig cfg{};
+  /// Command-execution mode the slot's driver uses (Section III-I).
+  driver::ExecMode mode = driver::ExecMode::kFifo;
+  /// Serial link the slot's driver moves polynomials over (Section III-H).
+  driver::Link link = driver::Link::kSpi;
+};
+
+/// Owns N chip models (identical or mixed), each paired with its own
+/// HostDriver and serial link, so a scheduler task can take a whole
+/// (chip, driver, link) triple without sharing a bus.
 class ChipFarm {
  public:
   /// `chips` identical instances (all built from `cfg`), each driven in
   /// `mode` over its own `link`.  Throws std::invalid_argument on 0 chips.
   explicit ChipFarm(std::size_t chips, driver::ExecMode mode = driver::ExecMode::kFifo,
                     driver::Link link = driver::Link::kSpi, chip::ChipConfig cfg = {});
+
+  /// Heterogeneous farm: one chip per spec, each with its own config, mode
+  /// and link.  Throws std::invalid_argument on an empty spec list.
+  explicit ChipFarm(const std::vector<ChipSpec>& specs);
 
   /// Number of chips in the farm.
   [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
@@ -36,6 +55,10 @@ class ChipFarm {
   /// Const view of chip model `i`.
   [[nodiscard]] const chip::CofheeChip& chip(std::size_t i) const {
     return *slots_.at(i).soc;
+  }
+  /// Structural config of chip `i` (the placement eligibility source).
+  [[nodiscard]] const chip::ChipConfig& config(std::size_t i) const {
+    return chip(i).config();
   }
 
  private:

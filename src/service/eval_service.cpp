@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <stdexcept>
 #include <utility>
 
@@ -23,33 +24,70 @@ EvalService::EvalService(const bfv::Bfv& scheme, ChipFarm& farm, ServiceOptions 
     : scheme_(scheme),
       farm_(farm),
       opts_(opts),
+      depth_(1),
       exec_(opts.pooled_dispatch && farm.size() > 1
                 ? backend::ExecPolicy::pooled(farm.size())
                 : backend::ExecPolicy::serial()),
+      queue_(opts.sched, opts.starvation_bound),
       start_(Clock::now()) {
-  if (2 * scheme_.context().n() > farm_.chip(0).config().bank_words)
-    throw std::invalid_argument("EvalService: ring too large for the farm's chips");
+  // Per-chip eligibility: the farm may be heterogeneous, so the ring only
+  // has to fit somewhere; chips it does not fit are skipped by placement.
+  const std::size_t n = scheme_.context().n();
+  chip_eligible_.resize(farm_.size());
+  chip_unit_cost_.resize(farm_.size());
+  key_caches_.resize(farm_.size());
+  bool any_eligible = false;
+  for (std::size_t c = 0; c < farm_.size(); ++c) {
+    chip_eligible_[c] = 2 * n <= farm_.config(c).bank_words;
+    any_eligible = any_eligible || chip_eligible_[c];
+  }
+  if (!any_eligible)
+    throw FarmCapacityError("EvalService: ring too large for every chip in the farm");
+  // Modeled simulated seconds one tower run costs per chip (link transport
+  // of the 7 tower polynomials + an NTT-dominated cycle estimate).  Only
+  // the ranking across chips matters: it seeds the Placer before any
+  // measured per-chip load exists.
+  for (std::size_t c = 0; c < farm_.size(); ++c) {
+    auto& soc = farm_.chip(c);
+    const auto& cfg = soc.config();
+    const double bps = farm_.driver(c).link() == driver::Link::kUart
+                           ? soc.uart().bytes_per_second()
+                           : soc.spi().bytes_per_second();
+    const double dn = static_cast<double>(n);
+    const double lg = std::log2(dn);
+    const double io = (7.0 * dn * 16.0 + 7.0 * 9.0) / bps;
+    const double cycles =
+        7.0 * (dn / 2.0 * lg + cfg.stage_overhead * lg + cfg.pointwise_fill + 1.0);
+    chip_unit_cost_[c] = io + cycles * cfg.cycle_ns() * 1e-9;
+  }
   // Reject mismatched key material up front (wrong level / ring) instead of
   // letting every relin request fail at dispatch.
   if (opts_.relin_keys != nullptr) scheme_.validate_relin_keys(*opts_.relin_keys);
   if (opts_.max_batch == 0) opts_.max_batch = 1;
+  if (opts_.pipeline_depth == 0) opts_.pipeline_depth = 1;
+  if (opts_.max_tracked_tenants == 0) opts_.max_tracked_tenants = 1;
   if (opts_.host_coeff_ops_per_sec <= 0) opts_.host_coeff_ops_per_sec = 250e6;
+  depth_ = opts_.overlap_rounds ? opts_.pipeline_depth : 1;
   stats_.per_chip.resize(farm_.size());
+  stats_.per_class.resize(kNumPriorities);
+  class_latency_.resize(kNumPriorities);
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
 EvalService::~EvalService() { shutdown(); }
 
-std::future<bfv::Ciphertext> EvalService::submit(EvalRequest req) {
+std::future<bfv::Ciphertext> EvalService::submit(EvalRequest req, SubmitOptions so) {
   std::vector<EvalRequest> one;
   one.push_back(std::move(req));
-  auto futures = submit_batch(std::move(one));
+  auto futures = submit_batch(std::move(one), so);
   return std::move(futures.front());
 }
 
 std::vector<std::future<bfv::Ciphertext>> EvalService::submit_batch(
-    std::vector<EvalRequest> reqs) {
+    std::vector<EvalRequest> reqs, SubmitOptions so) {
   if (reqs.empty()) return {};  // nothing accepted: leave the active window alone
+  if (static_cast<std::size_t>(so.priority) >= kNumPriorities)
+    throw std::invalid_argument("EvalService: unknown priority class");
   for (const auto& r : reqs) {
     switch (r.kind) {
       case RequestKind::kEvalMult:
@@ -72,6 +110,7 @@ std::vector<std::future<bfv::Ciphertext>> EvalService::submit_batch(
   if (opts_.max_queue != 0 && reqs.size() > opts_.max_queue)
     throw std::invalid_argument(
         "EvalService: batch larger than the queue capacity can ever admit");
+  so.weight = std::max<std::uint32_t>(1, so.weight);
   std::vector<std::future<bfv::Ciphertext>> futures;
   futures.reserve(reqs.size());
   {
@@ -79,13 +118,22 @@ std::vector<std::future<bfv::Ciphertext>> EvalService::submit_batch(
     if (stopping_) throw std::runtime_error("EvalService: submit after shutdown");
     if (opts_.max_queue != 0 && queue_.size() + reqs.size() > opts_.max_queue)
       throw std::runtime_error("EvalService: queue full");
+    const double now = seconds_since(start_);
     for (auto& r : reqs) {
       Pending p;
       p.req = std::move(r);
+      p.so = so;
+      p.enqueued = now;
       futures.push_back(p.promise.get_future());
-      queue_.push_back(std::move(p));
+      queue_.push(std::move(p));
     }
     stats_.submitted += reqs.size();
+    stats_.per_class[static_cast<std::size_t>(so.priority)].submitted += reqs.size();
+    TenantAgg& ten = tenant_agg(so.tenant);
+    // The overflow bucket mixes tenants of different weights; a single
+    // reported weight would be meaningless, so it stays at the 0 marker.
+    if (ten.counts.tenant != kOverflowTenantId) ten.counts.weight = so.weight;
+    ten.counts.submitted += reqs.size();
     stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
     if (!any_accepted_) {
       any_accepted_ = true;
@@ -111,16 +159,38 @@ void EvalService::shutdown() {
 }
 
 ServiceStats EvalService::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
-  ServiceStats s = stats_;
-  s.queue_depth = queue_.size() + in_flight_;
-  s.wall_seconds = seconds_since(start_);
-  if (any_accepted_) {
-    const auto end =
-        (queue_.empty() && in_flight_ == 0) ? last_done_ : Clock::now();
-    s.active_seconds =
-        std::max(0.0, std::chrono::duration<double>(end - first_accept_).count());
+  ServiceStats s;
+  std::vector<LatencyWindow> cls_windows;
+  std::vector<LatencyWindow> ten_windows;
+  {
+    // Under the mutex: plain copies only.  The percentile snapshots sort
+    // up to 4096 samples per window, so they run after the lock is
+    // released -- a monitoring poll must not stall submit/dispatch.
+    std::lock_guard<std::mutex> lk(mu_);
+    s = stats_;
+    s.max_class_skip = std::max(s.max_class_skip, queue_.max_skip_observed());
+    cls_windows = class_latency_;
+    s.per_tenant.reserve(tenants_.size());
+    ten_windows.reserve(tenants_.size());
+    for (const auto& [id, agg] : tenants_) {
+      s.per_tenant.push_back(agg.counts);
+      ten_windows.push_back(agg.latency);
+    }
+    s.queue_depth = queue_.size() + in_flight_;
+    s.wall_seconds = seconds_since(start_);
+    if (any_accepted_) {
+      const auto end =
+          (queue_.empty() && in_flight_ == 0) ? last_done_ : Clock::now();
+      s.active_seconds =
+          std::max(0.0, std::chrono::duration<double>(end - first_accept_).count());
+    }
   }
+  for (std::size_t c = 0; c < cls_windows.size(); ++c)
+    s.per_class[c].latency = cls_windows[c].snapshot();
+  for (std::size_t t = 0; t < s.per_tenant.size(); ++t)
+    s.per_tenant[t].latency = ten_windows[t].snapshot();
+  std::sort(s.per_tenant.begin(), s.per_tenant.end(),
+            [](const TenantStats& a, const TenantStats& b) { return a.tenant < b.tenant; });
   return s;
 }
 
@@ -128,11 +198,31 @@ double EvalService::host_seconds(double ops) const noexcept {
   return ops / opts_.host_coeff_ops_per_sec;
 }
 
+EvalService::TenantAgg& EvalService::tenant_agg(std::uint64_t tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    // Bound the table: once max_tracked_tenants distinct ids exist, later
+    // ids share the overflow bucket (fairness itself is unaffected -- the
+    // queue keys on the real tenant id, only the stats breakdown folds).
+    if (tenant != kOverflowTenantId && tenants_.size() >= opts_.max_tracked_tenants)
+      return tenant_agg(kOverflowTenantId);
+    it = tenants_.try_emplace(tenant).first;
+    it->second.counts.tenant = tenant;
+    // The overflow bucket aggregates mixed-weight tenants: weight 0 marks
+    // "not a single tenant's weight" (see TenantStats::weight).
+    if (tenant == kOverflowTenantId) it->second.counts.weight = 0;
+  }
+  return it->second;
+}
+
 void EvalService::dispatcher_loop() {
-  // Two-slot session buffer: `prev` holds round k-1 with its chip stage in
-  // flight while this thread prepares round k host-side (overlap_rounds),
-  // then finishes k-1 while round k's chip stage runs.
-  std::unique_ptr<Session> prev;
+  // K-slot session ring: up to depth_ - 1 sessions keep their chip stages
+  // in flight (chained back-to-back, since the chips are an exclusive
+  // resource) while this thread prepares new rounds ahead of them and
+  // defers their finishes.  depth_ == 2 is the classic two-slot double
+  // buffer; depth_ == 1 runs every phase back-to-back.
+  std::deque<std::unique_ptr<Session>> ring;
+  std::shared_future<void> chip_tail;  // most recently launched chip stage
   auto chip_stage_guarded = [this](Session& s) {
     try {
       run_chip_stage(s);
@@ -142,100 +232,112 @@ void EvalService::dispatcher_loop() {
         if (err == nullptr) err = e;
     }
   };
+  // Join, model and finish the ring's oldest session (ring order == chip
+  // order, so the pipeline model advances exactly as executed).
+  auto retire_oldest = [&] {
+    std::unique_ptr<Session> s = std::move(ring.front());
+    ring.pop_front();
+    s->chip.wait();  // never throws; errors were folded into s->errs
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      const double start = std::max(s->model_ready, model_chip_);
+      s->model_chip_end = start + s->sim_chip;
+      model_chip_ = s->model_chip_end;
+      stats_.sim_chip_round_seconds += s->sim_chip;
+    }
+    finish_session(*s, /*overlapped_finish=*/!ring.empty());
+  };
+
   for (;;) {
     std::unique_ptr<Session> cur;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      if (prev == nullptr)
+      if (ring.empty())
         work_cv_.wait(lk, [this] { return !queue_.empty() || stopping_; });
-      if (queue_.empty() && prev == nullptr) break;  // stopping and drained
+      if (queue_.empty() && ring.empty()) break;  // stopping and drained
       if (!queue_.empty()) {
-        const std::size_t take = std::min(queue_.size(), opts_.max_batch);
         cur = std::make_unique<Session>();
-        cur->round.reserve(take);
-        for (std::size_t i = 0; i < take; ++i) {
-          cur->round.push_back(std::move(queue_.front()));
-          queue_.pop_front();
-        }
-        in_flight_ += take;
+        cur->round = queue_.pop_round(opts_.max_batch, seconds_since(start_));
+        in_flight_ += cur->round.size();
         ++stats_.rounds;
+        for (const Pending& p : cur->round) {
+          auto& cls = stats_.per_class[static_cast<std::size_t>(p.so.priority)];
+          ++cls.dispatched;
+          if (p.forced) {
+            ++cls.forced_picks;
+            ++stats_.forced_picks;
+          }
+        }
+        stats_.max_class_skip =
+            std::max(stats_.max_class_skip, queue_.max_skip_observed());
       }
     }
 
     if (cur != nullptr) {
-      // Host phase 1 of round k -- with a chip stage in flight this is the
-      // double-buffering overlap (base extension hidden under chip time).
-      const bool overlapped = prev != nullptr;
+      // Host phase 1 of round k -- with chip stages in flight this is the
+      // pipelining overlap (base extension hidden under chip time).
+      const bool overlapped = !ring.empty();
       const auto t0 = Clock::now();
       host_prepare(*cur);
       const double prep_wall = seconds_since(t0);
-      std::lock_guard<std::mutex> lk(mu_);
-      stats_.sim_host_prep_seconds += cur->sim_prep;
-      model_host_ += cur->sim_prep;
-      cur->model_ready = model_host_;
-      if (overlapped) {
-        ++stats_.overlapped_rounds;
-        stats_.overlap_wall_seconds += prep_wall;
-      }
-    }
-
-    if (prev != nullptr) {
-      prev->chip.get();  // join round k-1's chip stage (never throws; errors
-                         // were folded into prev->errs)
-      std::lock_guard<std::mutex> lk(mu_);
-      const double start = std::max(prev->model_ready, model_chip_);
-      prev->model_chip_end = start + prev->sim_chip;
-      model_chip_ = prev->model_chip_end;
-      stats_.sim_chip_round_seconds += prev->sim_chip;
-    }
-
-    bool cur_async = false;
-    if (cur != nullptr) {
-      if (opts_.overlap_rounds) {
-        Session* raw = cur.get();
-        cur->chip =
-            std::async(std::launch::async, [chip_stage_guarded, raw] { chip_stage_guarded(*raw); });
-        cur_async = true;
-      } else {
-        chip_stage_guarded(*cur);
-        std::lock_guard<std::mutex> lk(mu_);
-        const double start = std::max(cur->model_ready, model_chip_);
-        cur->model_chip_end = start + cur->sim_chip;
-        model_chip_ = cur->model_chip_end;
-        stats_.sim_chip_round_seconds += cur->sim_chip;
-      }
-    }
-
-    auto finish_session = [this](Session& s, bool overlapped_finish) {
-      const auto t0 = Clock::now();
-      host_finish(s);
-      const double fin_wall = seconds_since(t0);
       {
         std::lock_guard<std::mutex> lk(mu_);
-        model_host_ = std::max(model_host_, s.model_chip_end) + s.sim_finish;
-        stats_.sim_host_finish_seconds += s.sim_finish;
-        stats_.serial_span_seconds += s.sim_prep + s.sim_chip + s.sim_finish;
-        stats_.pipeline_span_seconds = std::max(model_host_, model_chip_);
-        if (overlapped_finish) stats_.overlap_wall_seconds += fin_wall;
+        stats_.sim_host_prep_seconds += cur->sim_prep;
+        model_host_ += cur->sim_prep;
+        cur->model_ready = model_host_;
+        if (overlapped) {
+          ++stats_.overlapped_rounds;
+          stats_.overlap_wall_seconds += prep_wall;
+        }
       }
-      retire(s);
-    };
-
-    if (prev != nullptr) {
-      // Host phase 2 of round k-1 overlaps round k's chip stage.
-      finish_session(*prev, cur_async);
-      prev.reset();
-    }
-    if (cur != nullptr) {
-      if (cur_async) {
-        prev = std::move(cur);
+      if (depth_ > 1) {
+        // Chain this round's chip stage behind the previous one (chips are
+        // exclusive) and slot the session into the ring.
+        Session* raw = cur.get();
+        std::shared_future<void> prev = chip_tail;
+        cur->chip = std::async(std::launch::async,
+                               [chip_stage_guarded, raw, prev] {
+                                 if (prev.valid()) prev.wait();
+                                 chip_stage_guarded(*raw);
+                               })
+                        .share();
+        chip_tail = cur->chip;
+        ring.push_back(std::move(cur));
+        while (ring.size() > depth_ - 1) retire_oldest();
       } else {
+        chip_stage_guarded(*cur);
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          const double start = std::max(cur->model_ready, model_chip_);
+          cur->model_chip_end = start + cur->sim_chip;
+          model_chip_ = cur->model_chip_end;
+          stats_.sim_chip_round_seconds += cur->sim_chip;
+        }
         finish_session(*cur, false);
       }
+    } else {
+      // Queue ran dry (or shutdown): drain one pipelined session, then
+      // re-check for new arrivals.
+      retire_oldest();
     }
   }
   // Unblock any drain() racing a shutdown with an empty queue.
   idle_cv_.notify_all();
+}
+
+void EvalService::finish_session(Session& s, bool overlapped_finish) {
+  const auto t0 = Clock::now();
+  host_finish(s);
+  const double fin_wall = seconds_since(t0);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    model_host_ = std::max(model_host_, s.model_chip_end) + s.sim_finish;
+    stats_.sim_host_finish_seconds += s.sim_finish;
+    stats_.serial_span_seconds += s.sim_prep + s.sim_chip + s.sim_finish;
+    stats_.pipeline_span_seconds = std::max(model_host_, model_chip_);
+    if (overlapped_finish) stats_.overlap_wall_seconds += fin_wall;
+  }
+  retire(s);
 }
 
 void EvalService::host_prepare(Session& s) {
@@ -295,21 +397,10 @@ void EvalService::run_chip_stage(Session& s) {
     if (s.errs[r] == nullptr && s.round[r].req.kind != RequestKind::kRelinearize)
       mult_live.push_back(r);
   if (!mult_live.empty()) {
-    const auto chip_errs = opts_.strategy == Strategy::kBatchPerChip
-                               ? run_mult_batch_per_chip(s, mult_live, chip_sim_a)
-                               : run_mult_shard_towers(s, mult_live, chip_sim_a);
-    for (std::size_t c = 0; c < chip_errs.size(); ++c) {
-      if (chip_errs[c] == nullptr) continue;
-      if (opts_.strategy == Strategy::kBatchPerChip) {
-        // Chip c only served mult_live[c], mult_live[c + C], ...
-        for (std::size_t k = c; k < mult_live.size(); k += chip_errs.size())
-          s.errs[mult_live[k]] = chip_errs[c];
-      } else {
-        // A tower shard failed: every tensor in the round misses towers.
-        for (std::size_t r : mult_live)
-          if (s.errs[r] == nullptr) s.errs[r] = chip_errs[c];
-      }
-    }
+    if (opts_.strategy == Strategy::kBatchPerChip)
+      run_mult_batch_per_chip(s, mult_live, chip_sim_a);
+    else
+      run_mult_shard_towers(s, mult_live, chip_sim_a);
   }
 
   // Mid-round host work (kMultRelin): reassemble the tensor, t/q-round it
@@ -345,19 +436,10 @@ void EvalService::run_chip_stage(Session& s) {
       relin_live.push_back(r);
   if (!relin_live.empty()) {
     for (std::size_t r : relin_live) s.slots[r].relin_accs.resize(ctx.q_basis().size());
-    const auto chip_errs = opts_.strategy == Strategy::kBatchPerChip
-                               ? run_relin_batch_per_chip(s, relin_live, chip_sim_b)
-                               : run_relin_shard_towers(s, relin_live, chip_sim_b);
-    for (std::size_t c = 0; c < chip_errs.size(); ++c) {
-      if (chip_errs[c] == nullptr) continue;
-      if (opts_.strategy == Strategy::kBatchPerChip) {
-        for (std::size_t k = c; k < relin_live.size(); k += chip_errs.size())
-          if (s.errs[relin_live[k]] == nullptr) s.errs[relin_live[k]] = chip_errs[c];
-      } else {
-        for (std::size_t r : relin_live)
-          if (s.errs[r] == nullptr) s.errs[r] = chip_errs[c];
-      }
-    }
+    if (opts_.strategy == Strategy::kBatchPerChip)
+      run_relin_batch_per_chip(s, relin_live, chip_sim_b);
+    else
+      run_relin_shard_towers(s, relin_live, chip_sim_b);
     // Host-side accumulation of the read-back key-switch products runs
     // inside the sessions (pointwise adds per digit, component, tower).
     stage_host_ops += static_cast<double>(relin_live.size()) * 2.0 * n * qt * nd;
@@ -406,144 +488,194 @@ void EvalService::host_finish(Session& s) {
 }
 
 void EvalService::retire(Session& s) {
-  std::size_t failed = 0;
-  for (const auto& e : s.errs)
-    if (e != nullptr) ++failed;
+  const double now = seconds_since(start_);
   std::lock_guard<std::mutex> lk(mu_);
-  stats_.completed += s.round.size() - failed;
-  stats_.failed += failed;
+  for (std::size_t i = 0; i < s.round.size(); ++i) {
+    const Pending& p = s.round[i];
+    const std::size_t cls_idx = static_cast<std::size_t>(p.so.priority);
+    auto& cls = stats_.per_class[cls_idx];
+    TenantAgg& ten = tenant_agg(p.so.tenant);
+    if (s.errs[i] != nullptr) {
+      ++stats_.failed;
+      ++cls.failed;
+      ++ten.counts.failed;
+    } else {
+      ++stats_.completed;
+      ++cls.completed;
+      ++ten.counts.completed;
+    }
+    const double lat = std::max(0.0, now - p.enqueued);
+    class_latency_[cls_idx].record(lat);
+    ten.latency.record(lat);
+  }
   in_flight_ -= s.round.size();
   last_done_ = Clock::now();
   if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
 }
 
-std::vector<std::exception_ptr> EvalService::run_mult_batch_per_chip(
-    Session& s, const std::vector<std::size_t>& live, std::vector<double>& chip_sim) {
+std::vector<ChipScore> EvalService::chip_scores() const {
+  // Chip stages are barrier-synchronized, so every placement starts from
+  // idle chips; heterogeneity enters through the per-chip unit costs.
+  std::vector<ChipScore> scores(chip_eligible_.size());
+  for (std::size_t c = 0; c < scores.size(); ++c) {
+    scores[c].eligible = chip_eligible_[c];
+    scores[c].load = 0;
+    scores[c].unit_cost = chip_unit_cost_[c];
+  }
+  return scores;
+}
+
+std::vector<std::vector<std::size_t>> EvalService::place_items(std::size_t items) {
+  const auto assign = Placer::assign(chip_scores(), items, opts_.placement);
+  std::vector<std::vector<std::size_t>> mine(farm_.size());
+  for (std::size_t i = 0; i < items; ++i) mine[assign[i]].push_back(i);
+  std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t c = 0; c < mine.size(); ++c)
+    stats_.per_chip[c].placements += mine[c].size();
+  return mine;
+}
+
+template <typename Work>
+void EvalService::run_stage(Session& s, const std::vector<std::size_t>& live,
+                            std::vector<double>& chip_sim, std::size_t items,
+                            bool per_item_errors, Work&& work) {
+  const auto mine = place_items(items);
+  std::vector<std::size_t> active;
+  for (std::size_t c = 0; c < mine.size(); ++c)
+    if (!mine[c].empty()) active.push_back(c);
+  std::vector<std::exception_ptr> chip_errs(farm_.size());
+  exec_.for_each(active.size(), [&](std::size_t k) {
+    const std::size_t c = active[k];
+    const auto t0 = Clock::now();
+    driver::ChipMulReport rep;
+    StageCounters n;
+    try {
+      work(c, mine[c], rep, n);
+    } catch (...) {
+      chip_errs[c] = std::current_exception();
+    }
+    chip_sim[c] += sim_seconds(rep);
+    note_chip_session(c, rep, n.requests, n.tower_runs, n.relin_tower_runs,
+                      seconds_since(t0));
+  });
+  for (std::size_t c : active) {
+    if (chip_errs[c] == nullptr) continue;
+    if (per_item_errors) {
+      // Batch strategies: only the chip's own placed requests are lost.
+      for (std::size_t i : mine[c])
+        if (s.errs[live[i]] == nullptr) s.errs[live[i]] = chip_errs[c];
+    } else {
+      // Tower shards: a lost shard starves every request in the round.
+      for (std::size_t r : live)
+        if (s.errs[r] == nullptr) s.errs[r] = chip_errs[c];
+    }
+  }
+}
+
+void EvalService::run_mult_batch_per_chip(Session& s,
+                                          const std::vector<std::size_t>& live,
+                                          std::vector<double>& chip_sim) {
   using driver::ChipBfvEvaluator;
-  const std::size_t chips = std::min(farm_.size(), live.size());
   const std::size_t towers = scheme_.context().ext_basis().size();
-  std::vector<std::exception_ptr> chip_errs(chips);
-  exec_.for_each(chips, [&](std::size_t c) {
-    const auto t0 = Clock::now();
-    driver::ChipMulReport rep;
-    std::uint64_t tower_runs = 0;
-    // Chip c's share of the stride-C round-robin below (c < chips <= live).
-    const std::uint64_t requests = (live.size() - c + chips - 1) / chips;
-    auto& drv = farm_.driver(c);
-    try {
-      // Tower-outer loop: one ring configuration serves the whole group.
-      for (std::size_t tw = 0; tw < towers; ++tw) {
-        ChipBfvEvaluator::configure_tower(drv, scheme_, tw, &rep);
-        for (std::size_t k = c; k < live.size(); k += chips) {
-          const std::size_t r = live[k];
-          ChipBfvEvaluator::load_tower(drv, s.slots[r].mult, tw, &rep);
-          ChipBfvEvaluator::execute_tower(drv, &rep);
-          s.slots[r].tensors[tw] = ChipBfvEvaluator::read_tower(drv, &rep);
-          ++tower_runs;
-        }
-      }
-    } catch (...) {
-      chip_errs[c] = std::current_exception();
-    }
-    chip_sim[c] += sim_seconds(rep);
-    note_chip_session(c, rep, requests, tower_runs, 0, seconds_since(t0));
-  });
-  return chip_errs;
+  // Whole requests onto chips, then one tower-outer session per chip: one
+  // ring configuration serves the chip's whole share of the round.
+  run_stage(s, live, chip_sim, live.size(), /*per_item_errors=*/true,
+            [&](std::size_t c, const std::vector<std::size_t>& placed,
+                driver::ChipMulReport& rep, StageCounters& n) {
+              auto& drv = farm_.driver(c);
+              key_caches_[c].invalidate();  // tensor uploads clobber SP1
+              n.requests = placed.size();
+              for (std::size_t tw = 0; tw < towers; ++tw) {
+                ChipBfvEvaluator::configure_tower(drv, scheme_, tw, &rep);
+                for (std::size_t i : placed) {
+                  const std::size_t r = live[i];
+                  ChipBfvEvaluator::load_tower(drv, s.slots[r].mult, tw, &rep);
+                  ChipBfvEvaluator::execute_tower(drv, &rep);
+                  s.slots[r].tensors[tw] = ChipBfvEvaluator::read_tower(drv, &rep);
+                  ++n.tower_runs;
+                }
+              }
+            });
 }
 
-std::vector<std::exception_ptr> EvalService::run_mult_shard_towers(
-    Session& s, const std::vector<std::size_t>& live, std::vector<double>& chip_sim) {
+void EvalService::run_mult_shard_towers(Session& s,
+                                        const std::vector<std::size_t>& live,
+                                        std::vector<double>& chip_sim) {
   using driver::ChipBfvEvaluator;
   const std::size_t towers = scheme_.context().ext_basis().size();
-  const std::size_t chips = std::min(farm_.size(), towers);
-  std::vector<std::exception_ptr> chip_errs(chips);
-  exec_.for_each(chips, [&](std::size_t c) {
-    const auto t0 = Clock::now();
-    driver::ChipMulReport rep;
-    std::uint64_t tower_runs = 0;
-    auto& drv = farm_.driver(c);
-    try {
-      // Chip c owns extended towers {c, c + C, ...} of every request in the
-      // round; each is configured once and shared by the group.
-      for (std::size_t tw = c; tw < towers; tw += chips) {
-        ChipBfvEvaluator::configure_tower(drv, scheme_, tw, &rep);
-        for (std::size_t r : live) {
-          ChipBfvEvaluator::load_tower(drv, s.slots[r].mult, tw, &rep);
-          ChipBfvEvaluator::execute_tower(drv, &rep);
-          s.slots[r].tensors[tw] = ChipBfvEvaluator::read_tower(drv, &rep);
-          ++tower_runs;
-        }
-      }
-    } catch (...) {
-      chip_errs[c] = std::current_exception();
-    }
-    chip_sim[c] += sim_seconds(rep);
-    note_chip_session(c, rep, live.size(), tower_runs, 0, seconds_since(t0));
-  });
-  return chip_errs;
+  // Towers onto chips: every chip configures its towers once each and runs
+  // them for every request in the round.
+  run_stage(s, live, chip_sim, towers, /*per_item_errors=*/false,
+            [&](std::size_t c, const std::vector<std::size_t>& placed,
+                driver::ChipMulReport& rep, StageCounters& n) {
+              auto& drv = farm_.driver(c);
+              key_caches_[c].invalidate();  // tensor uploads clobber SP1
+              n.requests = live.size();
+              for (std::size_t tw : placed) {
+                ChipBfvEvaluator::configure_tower(drv, scheme_, tw, &rep);
+                for (std::size_t r : live) {
+                  ChipBfvEvaluator::load_tower(drv, s.slots[r].mult, tw, &rep);
+                  ChipBfvEvaluator::execute_tower(drv, &rep);
+                  s.slots[r].tensors[tw] = ChipBfvEvaluator::read_tower(drv, &rep);
+                  ++n.tower_runs;
+                }
+              }
+            });
 }
 
-std::vector<std::exception_ptr> EvalService::run_relin_batch_per_chip(
-    Session& s, const std::vector<std::size_t>& live, std::vector<double>& chip_sim) {
+void EvalService::run_relin_batch_per_chip(Session& s,
+                                           const std::vector<std::size_t>& live,
+                                           std::vector<double>& chip_sim) {
   using driver::ChipBfvEvaluator;
-  const std::size_t chips = std::min(farm_.size(), live.size());
   const std::size_t towers = scheme_.context().q_basis().size();
-  std::vector<std::exception_ptr> chip_errs(chips);
-  exec_.for_each(chips, [&](std::size_t c) {
-    const auto t0 = Clock::now();
-    driver::ChipMulReport rep;
-    std::uint64_t relin_runs = 0;
-    const std::uint64_t requests = (live.size() - c + chips - 1) / chips;
-    auto& drv = farm_.driver(c);
-    try {
-      // Tower-outer again: one Q-tower ring configuration serves every
-      // digit of every request in the chip's share.
-      for (std::size_t tw = 0; tw < towers; ++tw) {
-        ChipBfvEvaluator::configure_relin_tower(drv, scheme_, tw, &rep);
-        for (std::size_t k = c; k < live.size(); k += chips) {
-          const std::size_t r = live[k];
-          s.slots[r].relin_accs[tw] = ChipBfvEvaluator::relin_tower(
-              drv, scheme_, s.slots[r].relin, *opts_.relin_keys, tw, &rep);
-          ++relin_runs;
-        }
-      }
-    } catch (...) {
-      chip_errs[c] = std::current_exception();
-    }
-    chip_sim[c] += sim_seconds(rep);
-    note_chip_session(c, rep, requests, 0, relin_runs, seconds_since(t0));
-  });
-  return chip_errs;
+  run_stage(s, live, chip_sim, live.size(), /*per_item_errors=*/true,
+            [&](std::size_t c, const std::vector<std::size_t>& placed,
+                driver::ChipMulReport& rep, StageCounters& n) {
+              auto& drv = farm_.driver(c);
+              // The chip's share of the round as one group per tower: the
+              // batched key switch shares key uploads across the group
+              // (SP1 key cache).
+              std::vector<const driver::RelinOperands*> group;
+              group.reserve(placed.size());
+              for (std::size_t i : placed) group.push_back(&s.slots[live[i]].relin);
+              n.requests = placed.size();
+              for (std::size_t tw = 0; tw < towers; ++tw) {
+                ChipBfvEvaluator::configure_relin_tower(drv, scheme_, tw, &rep);
+                auto accs = ChipBfvEvaluator::relin_tower_batch(
+                    drv, scheme_, group, *opts_.relin_keys, tw, &key_caches_[c],
+                    &rep);
+                for (std::size_t j = 0; j < placed.size(); ++j)
+                  s.slots[live[placed[j]]].relin_accs[tw] = std::move(accs[j]);
+                n.relin_tower_runs += group.size();
+              }
+            });
 }
 
-std::vector<std::exception_ptr> EvalService::run_relin_shard_towers(
-    Session& s, const std::vector<std::size_t>& live, std::vector<double>& chip_sim) {
+void EvalService::run_relin_shard_towers(Session& s,
+                                         const std::vector<std::size_t>& live,
+                                         std::vector<double>& chip_sim) {
   using driver::ChipBfvEvaluator;
-  const std::size_t towers = scheme_.context().q_basis().size();
-  const std::size_t chips = std::min(farm_.size(), towers);
-  std::vector<std::exception_ptr> chip_errs(chips);
-  exec_.for_each(chips, [&](std::size_t c) {
-    const auto t0 = Clock::now();
-    driver::ChipMulReport rep;
-    std::uint64_t relin_runs = 0;
-    auto& drv = farm_.driver(c);
-    try {
-      // Chip c owns Q towers {c, c + C, ...} of every request's key switch.
-      for (std::size_t tw = c; tw < towers; tw += chips) {
-        ChipBfvEvaluator::configure_relin_tower(drv, scheme_, tw, &rep);
-        for (std::size_t r : live) {
-          s.slots[r].relin_accs[tw] = ChipBfvEvaluator::relin_tower(
-              drv, scheme_, s.slots[r].relin, *opts_.relin_keys, tw, &rep);
-          ++relin_runs;
-        }
-      }
-    } catch (...) {
-      chip_errs[c] = std::current_exception();
-    }
-    chip_sim[c] += sim_seconds(rep);
-    note_chip_session(c, rep, live.size(), 0, relin_runs, seconds_since(t0));
-  });
-  return chip_errs;
+  run_stage(s, live, chip_sim, scheme_.context().q_basis().size(),
+            /*per_item_errors=*/false,
+            [&](std::size_t c, const std::vector<std::size_t>& placed,
+                driver::ChipMulReport& rep, StageCounters& n) {
+              auto& drv = farm_.driver(c);
+              std::vector<const driver::RelinOperands*> group;
+              group.reserve(live.size());
+              for (std::size_t r : live) group.push_back(&s.slots[r].relin);
+              n.requests = live.size();
+              // Chip c owns its placed Q towers of every request's key
+              // switch.
+              for (std::size_t tw : placed) {
+                ChipBfvEvaluator::configure_relin_tower(drv, scheme_, tw, &rep);
+                auto accs = ChipBfvEvaluator::relin_tower_batch(
+                    drv, scheme_, group, *opts_.relin_keys, tw, &key_caches_[c],
+                    &rep);
+                for (std::size_t j = 0; j < live.size(); ++j)
+                  s.slots[live[j]].relin_accs[tw] = std::move(accs[j]);
+                n.relin_tower_runs += live.size();
+              }
+            });
 }
 
 void EvalService::note_chip_session(std::size_t chip, const driver::ChipMulReport& rep,
@@ -560,6 +692,8 @@ void EvalService::note_chip_session(std::size_t chip, const driver::ChipMulRepor
   c.tower_runs += tower_runs;
   c.relin_tower_runs += relin_tower_runs;
   c.ks_products += rep.ks_products;
+  c.key_uploads += rep.key_uploads;
+  c.key_cache_hits += rep.key_cache_hits;
   c.ring_configs += rep.towers;
   c.chip_cycles += rep.chip_cycles;
   c.io_seconds += rep.io_seconds;
@@ -567,6 +701,8 @@ void EvalService::note_chip_session(std::size_t chip, const driver::ChipMulRepor
   c.busy_wall_seconds += busy_wall_seconds;
   ++stats_.sessions;
   stats_.ks_products += rep.ks_products;
+  stats_.key_uploads += rep.key_uploads;
+  stats_.key_cache_hits += rep.key_cache_hits;
   stats_.io_seconds += rep.io_seconds;
   stats_.compute_seconds += compute_seconds;
 }

@@ -6,9 +6,8 @@
 // (a) amortizing per-tower ring reconfiguration over many requests in one
 // chip session, (b) spreading one request's independent towers across
 // several chips, and (c) hiding host-side base conversion / rounding under
-// the previous round's chip phases (double-buffered rounds, the
-// HEAAN-demystified overlap).  EvalService implements all three behind one
-// async API:
+// earlier rounds' chip phases (pipelined rounds, the HEAAN-demystified
+// overlap).  EvalService implements all three behind one async API:
 //
 //   ChipFarm farm(4);
 //   EvalService svc(scheme, farm, {Strategy::kShardTowers});
@@ -18,17 +17,36 @@
 // Three request kinds flow through the same farm: kEvalMult (the Eq. 4
 // tensor), kRelinearize (Algorithm-2 key switching of a 3-element
 // ciphertext), and kMultRelin (the paper's complete EvalMult -- tensor,
-// then key switching, chained inside one round).  A dispatcher thread
-// coalesces queued requests into rounds of at most `max_batch`, fans chip
-// sessions out over a backend::Executor -- per (request-group, chip) in
-// kBatchPerChip, per (tower-shard, chip) in kShardTowers -- and, with
-// overlap_rounds enabled, prepares round k host-side while round k-1's
-// chip stage is still in flight (a two-slot session buffer).  All paths
-// produce ciphertexts byte-identical to the serial single-chip software
-// path (tests/service/test_eval_service.cpp).
+// then key switching, chained inside one round).
+//
+// Scheduler v2 (this layer's second generation) adds:
+//
+//  * a priority + fairness request queue (service/request_queue.hpp):
+//    submits carry SubmitOptions{priority, tenant, weight}; classes are
+//    served in priority order with a starvation bound, tenants inside a
+//    class in weighted deficit round-robin (SchedPolicy::kFifo restores
+//    the v1 arrival-order reference schedule);
+//  * heterogeneous farms: ChipFarm slots may differ in ChipConfig, mode
+//    and link, and a Placer (service/placer.hpp) scores each round's work
+//    onto chips by projected finish time under the deterministic cost
+//    model instead of striding round-robin -- a chip whose config cannot
+//    serve the ring is skipped; if no chip can, requests fail with
+//    FarmCapacityError;
+//  * a K-slot session ring (ServiceOptions::pipeline_depth): up to K-1
+//    rounds ride the pipeline with their chip stages chained while the
+//    dispatcher prepares ahead and defers finishes, generalizing the v1
+//    two-slot double buffer (depth 1 = fully serial reference);
+//  * batch-aware relin-key caching: one driver::RelinKeyCache per chip
+//    skips re-uploading key towers shared by consecutive key-switch
+//    products in a session (counted in ServiceStats::key_cache_hits,
+//    invalidated whenever tensor traffic clobbers SP1 or keys change).
+//
+// All paths produce ciphertexts byte-identical to the serial single-chip
+// software path (tests/service/: test_eval_service.cpp, test_scheduler.cpp,
+// test_heterogeneous_farm.cpp, test_service_pipeline_fuzz.cpp).
 //
 // Shutdown is graceful: shutdown() (and the destructor) stop intake,
-// drain every queued request and the pipelined session, and join the
+// drain every queued request and the pipelined sessions, and join the
 // dispatcher.
 #pragma once
 
@@ -40,50 +58,26 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "backend/exec_policy.hpp"
 #include "bfv/bfv.hpp"
 #include "driver/chip_bfv.hpp"
 #include "service/chip_farm.hpp"
+#include "service/placer.hpp"
+#include "service/request_queue.hpp"
 #include "service/service_stats.hpp"
 
 namespace cofhee::service {
 
-/// What a request asks the farm to compute.
-enum class RequestKind : std::uint8_t {
-  /// Eq. 4 tensor + t/q rounding; 2-element inputs, 3-element result
-  /// ("without relinearization", the Fig. 6 operation).
-  kEvalMult = 0,
-  /// Algorithm-2 key switching of a 3-element ciphertext (field `a`; `b` is
-  /// ignored) back to 2 elements.  Requires ServiceOptions::relin_keys.
-  kRelinearize = 1,
-  /// The paper's complete EvalMult: tensor then key switching, chained
-  /// inside one round.  Requires ServiceOptions::relin_keys.
-  kMultRelin = 2,
-};
-
-/// One evaluation request.  Field use depends on `kind` (see RequestKind).
-struct EvalRequest {
-  /// First operand: 2-element for kEvalMult/kMultRelin, 3-element for
-  /// kRelinearize.
-  bfv::Ciphertext a;
-  /// Second operand (kEvalMult/kMultRelin); ignored for kRelinearize.
-  bfv::Ciphertext b;
-  /// Operation to perform; defaults to the tensor-only EvalMult.
-  RequestKind kind = RequestKind::kEvalMult;
-};
-
-/// Backward-compatible name from when the service only knew EvalMult.
-using EvalMultRequest = EvalRequest;
-
 /// How a round's chip work is split across the farm.
 enum class Strategy : std::uint8_t {
-  /// Whole requests round-robined over chips; each chip runs its share of a
-  /// round as one session, ring-configuring every tower once for the group.
+  /// Whole requests placed onto chips; each chip runs its share of a round
+  /// as one session, ring-configuring every tower once for the group.
   kBatchPerChip = 0,
-  /// One round's towers sharded across all chips (chip c owns towers
-  /// {c, c+C, ...} of every request) and reassembled on the host.  Cuts
+  /// One round's towers placed across the farm (every chip serves its
+  /// towers for every request) and reassembled on the host.  Cuts
   /// single-request latency by ~|towers|/C.
   kShardTowers = 1,
 };
@@ -103,10 +97,11 @@ struct ServiceOptions {
   /// construction (std::invalid_argument on a level/ring mismatch).
   /// Submitting a relin request while this is null throws.
   const bfv::RelinKeys* relin_keys = nullptr;
-  /// Double-buffered rounds: prepare round k host-side while round k-1's
-  /// chip stage is in flight, and finish round k-1 while round k's chip
-  /// stage runs.  false executes every phase back-to-back (the reference
-  /// schedule; results are bit-identical either way).
+  /// Pipelined rounds: prepare round k host-side while earlier rounds'
+  /// chip stages are in flight, and defer finishes behind the session
+  /// ring.  false executes every phase back-to-back (the reference
+  /// schedule; results are bit-identical either way).  Equivalent to
+  /// pipeline_depth = 1 when false.
   bool overlap_rounds = true;
   /// Request-queue capacity; 0 means unbounded.  submit()/submit_batch()
   /// throw std::invalid_argument for a batch that could never fit and
@@ -117,6 +112,29 @@ struct ServiceOptions {
   /// rounding).  Feeds the sim_host_* / *_span_seconds stats; never affects
   /// results or wall-clock behavior.
   double host_coeff_ops_per_sec = 250e6;
+  /// Queue ordering: priority classes + per-tenant weighted deficit
+  /// round-robin (the default), or strict arrival order (the v1 reference
+  /// path the scheduler tests differentiate against).
+  SchedPolicy sched = SchedPolicy::kPriorityFair;
+  /// Most consecutive picks a backlogged priority class may lose to other
+  /// classes before it is force-served (0 = strict priority, unbounded
+  /// starvation).  Only meaningful under SchedPolicy::kPriorityFair.
+  std::size_t starvation_bound = 64;
+  /// Work-onto-chip mapping: load-aware scoring over the per-chip cost
+  /// model (the default) or the v1 round-robin stride.
+  Placement placement = Placement::kLoadAware;
+  /// Session-ring depth K: up to K-1 rounds keep their chip stages in
+  /// flight while the dispatcher prepares ahead and defers finishes.
+  /// 1 disables pipelining (fully serial reference), 2 reproduces the v1
+  /// two-slot double buffer.  Normalized to >= 1; ignored (treated as 1)
+  /// when overlap_rounds is false.
+  std::size_t pipeline_depth = 2;
+  /// Most distinct tenant ids tracked individually in
+  /// ServiceStats::per_tenant; later ids aggregate under
+  /// kOverflowTenantId, keeping per-tenant memory bounded for services
+  /// fronting open-ended id spaces.  Normalized to >= 1.  Scheduling
+  /// fairness is unaffected -- only the stats breakdown is capped.
+  std::size_t max_tracked_tenants = 256;
 };
 
 /// Async multi-chip evaluation front end over a ChipFarm.
@@ -124,8 +142,9 @@ class EvalService {
  public:
   /// `scheme` supplies host-side RNS plumbing and must outlive the service;
   /// its const evaluation entry points are used concurrently.  Throws
-  /// std::invalid_argument when the scheme's ring does not fit the farm's
-  /// chips or opts.relin_keys mismatches the scheme's level.
+  /// FarmCapacityError (a std::invalid_argument) when the scheme's ring
+  /// fits none of the farm's chips, and std::invalid_argument when
+  /// opts.relin_keys mismatches the scheme's level.
   EvalService(const bfv::Bfv& scheme, ChipFarm& farm, ServiceOptions opts = {});
   ~EvalService();
 
@@ -133,39 +152,37 @@ class EvalService {
   EvalService& operator=(const EvalService&) = delete;
 
   /// Enqueue one request; the future carries the result ciphertext or the
-  /// exception that defeated it.  Throws std::invalid_argument on malformed
-  /// operands (wrong element count for the kind, relin kinds without keys)
-  /// and std::runtime_error after shutdown() or when the queue is full.
-  std::future<bfv::Ciphertext> submit(EvalRequest req);
+  /// exception that defeated it.  `so` tags the request with its priority
+  /// class, tenant and fairness weight.  Throws std::invalid_argument on
+  /// malformed operands (wrong element count for the kind, relin kinds
+  /// without keys) and std::runtime_error after shutdown() or when the
+  /// queue is full.
+  std::future<bfv::Ciphertext> submit(EvalRequest req, SubmitOptions so = {});
 
   /// Enqueue a group atomically, so one dispatcher round can coalesce it
   /// into batched chip sessions (subject to max_batch).  Kinds may be
-  /// mixed freely within a batch.
+  /// mixed freely within a batch; every request carries the same `so`.
   std::vector<std::future<bfv::Ciphertext>> submit_batch(
-      std::vector<EvalRequest> reqs);
+      std::vector<EvalRequest> reqs, SubmitOptions so = {});
 
   /// Block until every request accepted so far has completed.
   void drain();
 
-  /// Stop intake, drain the queue and the pipelined session, join the
+  /// Stop intake, drain the queue and the pipelined sessions, join the
   /// dispatcher.  Idempotent.
   void shutdown();
 
   /// Consistent snapshot (including live queue depth and wall clock).
   [[nodiscard]] ServiceStats stats() const;
 
-  /// The options this service was built with (max_batch normalized to >= 1).
+  /// The options this service was built with (max_batch / pipeline_depth
+  /// normalized to >= 1).
   [[nodiscard]] const ServiceOptions& options() const noexcept { return opts_; }
   /// The farm this service schedules onto.
   [[nodiscard]] ChipFarm& farm() noexcept { return farm_; }
 
  private:
   using Clock = std::chrono::steady_clock;
-
-  struct Pending {
-    EvalRequest req;
-    std::promise<bfv::Ciphertext> promise;
-  };
 
   /// Per-request working state inside a round.
   struct RoundSlot {
@@ -175,18 +192,28 @@ class EvalService {
     std::vector<driver::RelinTowerAcc> relin_accs;  // key-switch outputs
   };
 
-  /// One dispatcher round flowing through the two-slot session buffer.
+  /// One dispatcher round flowing through the K-slot session ring.
   struct Session {
     std::vector<Pending> round;
     std::vector<RoundSlot> slots;
     std::vector<std::exception_ptr> errs;
-    std::future<void> chip;   // in-flight chip stage (overlap mode)
+    std::shared_future<void> chip;  // in-flight chip stage (pipelined mode)
     double sim_prep = 0;      // modeled host seconds, pre-chip
     double sim_chip = 0;      // round chip-stage span (simulated)
     double sim_finish = 0;    // modeled host seconds, post-chip
     double model_ready = 0;   // virtual host clock when the chip stage could start
     double model_chip_end = 0;  // virtual chip clock at this round's chip end
   };
+
+  /// Per-tenant accumulator behind ServiceStats::per_tenant.
+  struct TenantAgg {
+    TenantStats counts;
+    LatencyWindow latency;
+  };
+
+  /// The tracked accumulator for `tenant`, or the kOverflowTenantId bucket
+  /// once max_tracked_tenants distinct ids exist.  Caller holds mu_.
+  TenantAgg& tenant_agg(std::uint64_t tenant);
 
   void dispatcher_loop();
   /// Host phase 1: base extension / digit decomposition per request.
@@ -198,22 +225,49 @@ class EvalService {
   void host_finish(Session& s);
   /// Final stats + in-flight accounting for a finished session.
   void retire(Session& s);
+  /// Model + stats bookkeeping once a session's chip stage has completed
+  /// (in ring order), then host_finish + retire.
+  void finish_session(Session& s, bool overlapped_finish);
 
-  /// Tensor-stage fan-out; writes tensors for `live` slots and records
-  /// per-chip stats.  Returns per-chip exceptions (null = clean).
-  std::vector<std::exception_ptr> run_mult_batch_per_chip(
-      Session& s, const std::vector<std::size_t>& live,
-      std::vector<double>& chip_sim);
-  std::vector<std::exception_ptr> run_mult_shard_towers(
-      Session& s, const std::vector<std::size_t>& live,
-      std::vector<double>& chip_sim);
+  /// Placement inputs for one stage: per-chip eligibility and the modeled
+  /// unit cost, starting from idle chips (stages are barrier-synchronized).
+  [[nodiscard]] std::vector<ChipScore> chip_scores() const;
+  /// Place `items` uniform work items onto chips; returns the item indices
+  /// grouped per chip (empty for chips that sat the stage out) and counts
+  /// the placements into ServiceStats.  Throws FarmCapacityError when no
+  /// chip is eligible.
+  std::vector<std::vector<std::size_t>> place_items(std::size_t items);
+
+  /// Work counters one chip's stage body reports into note_chip_session.
+  struct StageCounters {
+    std::uint64_t requests = 0;
+    std::uint64_t tower_runs = 0;
+    std::uint64_t relin_tower_runs = 0;
+  };
+
+  /// Shared stage scaffold: place `items` onto chips, fan the per-chip
+  /// `work(chip, placed_items, report, counters)` body out over the
+  /// Executor, record per-chip stats/sim time, and fold a chip's failure
+  /// into s.errs -- onto the chip's own placed slots when
+  /// `per_item_errors` (batch strategies, items index `live`), onto every
+  /// live slot otherwise (tower shards: any lost shard starves the whole
+  /// round).  Defined in eval_service.cpp (only used there).
+  template <typename Work>
+  void run_stage(Session& s, const std::vector<std::size_t>& live,
+                 std::vector<double>& chip_sim, std::size_t items,
+                 bool per_item_errors, Work&& work);
+
+  /// Tensor-stage fan-out; writes tensors for `live` slots, records
+  /// per-chip stats and folds chip failures into s.errs.
+  void run_mult_batch_per_chip(Session& s, const std::vector<std::size_t>& live,
+                               std::vector<double>& chip_sim);
+  void run_mult_shard_towers(Session& s, const std::vector<std::size_t>& live,
+                             std::vector<double>& chip_sim);
   /// Key-switch-stage fan-out over the Q basis, same shapes as above.
-  std::vector<std::exception_ptr> run_relin_batch_per_chip(
-      Session& s, const std::vector<std::size_t>& live,
-      std::vector<double>& chip_sim);
-  std::vector<std::exception_ptr> run_relin_shard_towers(
-      Session& s, const std::vector<std::size_t>& live,
-      std::vector<double>& chip_sim);
+  void run_relin_batch_per_chip(Session& s, const std::vector<std::size_t>& live,
+                                std::vector<double>& chip_sim);
+  void run_relin_shard_towers(Session& s, const std::vector<std::size_t>& live,
+                              std::vector<double>& chip_sim);
 
   void note_chip_session(std::size_t chip, const driver::ChipMulReport& rep,
                          std::uint64_t requests, std::uint64_t tower_runs,
@@ -224,15 +278,21 @@ class EvalService {
   const bfv::Bfv& scheme_;
   ChipFarm& farm_;
   ServiceOptions opts_;
+  std::size_t depth_;  // effective session-ring depth (>= 1)
   backend::Executor exec_;
+  std::vector<bool> chip_eligible_;     // can chip c serve the ring at all?
+  std::vector<double> chip_unit_cost_;  // modeled seconds per work item
+  std::vector<driver::RelinKeyCache> key_caches_;  // one per chip
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // dispatcher: queue non-empty or stopping
   std::condition_variable idle_cv_;  // drain(): queue empty and nothing in flight
-  std::deque<Pending> queue_;
+  RequestQueue queue_;
   std::size_t in_flight_ = 0;
   bool stopping_ = false;
   ServiceStats stats_;  // per_chip sized to the farm; queue_depth/wall filled on read
+  std::vector<LatencyWindow> class_latency_;           // kNumPriorities windows
+  std::unordered_map<std::uint64_t, TenantAgg> tenants_;
   double model_host_ = 0;  // pipeline model: virtual host resource clock
   double model_chip_ = 0;  // pipeline model: virtual chip-farm resource clock
   bool any_accepted_ = false;

@@ -1,0 +1,40 @@
+#include "service/placer.hpp"
+
+namespace cofhee::service {
+
+std::vector<std::size_t> Placer::assign(std::vector<ChipScore> chips,
+                                        std::size_t items, Placement policy) {
+  std::vector<std::size_t> eligible;
+  eligible.reserve(chips.size());
+  for (std::size_t c = 0; c < chips.size(); ++c)
+    if (chips[c].eligible) eligible.push_back(c);
+  if (eligible.empty())
+    throw FarmCapacityError("Placer: no chip in the farm can serve this request");
+
+  std::vector<std::size_t> assign(items);
+  if (policy == Placement::kRoundRobin) {
+    for (std::size_t i = 0; i < items; ++i) assign[i] = eligible[i % eligible.size()];
+    return assign;
+  }
+  // Load-aware: each item goes to the eligible chip with the smallest
+  // projected finish time (current load + one more unit), then carries that
+  // load forward so subsequent items spread out.  With identical scores
+  // this reproduces the round-robin stride exactly (ties break low).
+  for (std::size_t i = 0; i < items; ++i) {
+    std::size_t best = eligible.front();
+    double best_t = chips[best].load + chips[best].unit_cost;
+    for (std::size_t k = 1; k < eligible.size(); ++k) {
+      const std::size_t c = eligible[k];
+      const double t = chips[c].load + chips[c].unit_cost;
+      if (t < best_t) {
+        best = c;
+        best_t = t;
+      }
+    }
+    assign[i] = best;
+    chips[best].load = best_t;
+  }
+  return assign;
+}
+
+}  // namespace cofhee::service

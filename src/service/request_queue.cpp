@@ -1,0 +1,115 @@
+#include "service/request_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace cofhee::service {
+
+RequestQueue::RequestQueue(SchedPolicy policy, std::size_t starvation_bound)
+    : policy_(policy), bound_(starvation_bound) {}
+
+void RequestQueue::push(Pending p) {
+  // Priority indexes the fixed class table, so an out-of-range value (e.g.
+  // deserialized from the wire) must be a clean error, not a stray write.
+  if (static_cast<std::size_t>(p.so.priority) >= kNumPriorities)
+    throw std::invalid_argument("RequestQueue: unknown priority class");
+  ++size_;
+  if (policy_ == SchedPolicy::kFifo) {
+    fifo_.push_back(std::move(p));
+    return;
+  }
+  auto& cls = classes_[static_cast<std::size_t>(p.so.priority)];
+  auto [it, inserted] = cls.tenants.try_emplace(p.so.tenant);
+  TenantQueue& tq = it->second;
+  tq.weight = std::max<std::uint32_t>(1, p.so.weight);  // latest submit wins
+  if (tq.q.empty()) cls.rotation.push_back(p.so.tenant);
+  tq.q.push_back(std::move(p));
+  ++cls.size;
+}
+
+std::size_t RequestQueue::pick_class(bool* forced) {
+  // Normal order: the highest-priority (lowest-index) non-empty class.
+  std::size_t best = kNumPriorities;
+  for (std::size_t c = 0; c < kNumPriorities; ++c) {
+    if (classes_[c].size != 0) {
+      best = c;
+      break;
+    }
+  }
+  // Starvation override: a lower class that already lost `bound_` picks in
+  // a row is served now (the most-starved one; ties to the higher class).
+  if (bound_ != 0) {
+    std::size_t starved = kNumPriorities;
+    for (std::size_t c = 0; c < kNumPriorities; ++c) {
+      if (c == best || classes_[c].size == 0 || classes_[c].skipped < bound_)
+        continue;
+      if (starved == kNumPriorities ||
+          classes_[c].skipped > classes_[starved].skipped)
+        starved = c;
+    }
+    if (starved != kNumPriorities) {
+      *forced = true;
+      return starved;
+    }
+  }
+  *forced = false;
+  return best;
+}
+
+Pending RequestQueue::pop_one(double now) {
+  bool forced = false;
+  const std::size_t picked = pick_class(&forced);
+  if (forced) ++forced_picks_;
+  // Every other class with a backlog just lost this pick.
+  for (std::size_t c = 0; c < kNumPriorities; ++c) {
+    if (c == picked || classes_[c].size == 0) continue;
+    ++classes_[c].skipped;
+    max_skip_observed_ = std::max(max_skip_observed_, classes_[c].skipped);
+  }
+  ClassState& cls = classes_[picked];
+  cls.skipped = 0;
+
+  // Weighted deficit round-robin inside the class: the tenant at the front
+  // of the rotation holds the turn; a fresh turn grants `weight` picks.
+  const std::uint64_t tenant = cls.rotation.front();
+  TenantQueue& tq = cls.tenants.at(tenant);
+  if (tq.deficit == 0) tq.deficit = tq.weight;
+  Pending p = std::move(tq.q.front());
+  tq.q.pop_front();
+  --tq.deficit;
+  --cls.size;
+  --size_;
+  if (tq.q.empty()) {
+    // Drained: the tenant leaves the rotation and forfeits its leftover
+    // deficit (so an idle tenant cannot bank credit -- DRR's anti-burst
+    // rule, which makes the deficit counters converge).
+    cls.rotation.pop_front();
+    tq.deficit = 0;
+  } else if (tq.deficit == 0) {
+    cls.rotation.pop_front();
+    cls.rotation.push_back(tenant);
+  }
+  p.dequeued = now;
+  p.forced = forced;
+  return p;
+}
+
+std::vector<Pending> RequestQueue::pop_round(std::size_t max_batch, double now) {
+  std::vector<Pending> round;
+  round.reserve(std::min(max_batch, size_));
+  if (policy_ == SchedPolicy::kFifo) {
+    while (!fifo_.empty() && round.size() < max_batch) {
+      Pending p = std::move(fifo_.front());
+      fifo_.pop_front();
+      --size_;
+      p.dequeued = now;
+      round.push_back(std::move(p));
+    }
+    return round;
+  }
+  while (size_ != 0 && round.size() < max_batch) round.push_back(pop_one(now));
+  return round;
+}
+
+}  // namespace cofhee::service

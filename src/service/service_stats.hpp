@@ -31,6 +31,9 @@ namespace cofhee::service {
 struct ChipStats {
   /// Sessions (continuous chip occupancies) this chip ran.  Count.
   std::uint64_t sessions = 0;
+  /// Work items (whole requests under kBatchPerChip, tower shards under
+  /// kShardTowers) the Placer assigned to this chip.  Count.
+  std::uint64_t placements = 0;
   /// Requests this chip touched (a sharded request counts on every chip
   /// serving one of its towers).  Count.
   std::uint64_t requests = 0;
@@ -41,6 +44,12 @@ struct ChipStats {
   std::uint64_t relin_tower_runs = 0;
   /// Algorithm-2 key-switch PolyMuls executed.  Count.
   std::uint64_t ks_products = 0;
+  /// Relin-key tower uploads paid over this chip's serial link.  Count.
+  std::uint64_t key_uploads = 0;
+  /// Relin-key tower uploads skipped because the key was already resident
+  /// in SP1 (batch-aware key caching).  key_uploads + key_cache_hits is the
+  /// cache-less upload count.  Count.
+  std::uint64_t key_cache_hits = 0;
   /// Ring reconfigurations paid (register writes + twiddle preload).  Count.
   std::uint64_t ring_configs = 0;
   /// PE cycles at the configured clock.  Cycles.
@@ -58,6 +67,105 @@ struct ChipStats {
   [[nodiscard]] double simulated_seconds() const noexcept {
     return io_seconds + compute_seconds;
   }
+};
+
+/// Order statistics of request latencies (submit to completion), computed
+/// over a bounded window of the most recent samples.  Seconds (wall,
+/// machine-dependent -- observability only, never regression-tracked).
+struct LatencyStats {
+  /// Samples ever recorded (not bounded by the window).  Count.
+  std::uint64_t count = 0;
+  /// Median latency over the retained window.  Seconds (wall).
+  double p50 = 0;
+  /// 95th-percentile latency over the retained window.  Seconds (wall).
+  double p95 = 0;
+  /// 99th-percentile latency over the retained window.  Seconds (wall).
+  double p99 = 0;
+  /// Largest latency ever recorded.  Seconds (wall).
+  double max_seconds = 0;
+};
+
+/// Bounded sample window feeding LatencyStats: a fixed-capacity ring that
+/// overwrites the oldest sample, so long-lived services track recent
+/// behavior at O(1) memory per class/tenant.
+class LatencyWindow {
+ public:
+  /// Record one latency sample.  Seconds.
+  void record(double seconds) {
+    ++count_;
+    max_ = std::max(max_, seconds);
+    if (samples_.size() < kCapacity) {
+      samples_.push_back(seconds);
+    } else {
+      samples_[next_] = seconds;
+      next_ = (next_ + 1) % kCapacity;
+    }
+  }
+
+  /// Percentile snapshot of the retained window.
+  [[nodiscard]] LatencyStats snapshot() const {
+    LatencyStats s;
+    s.count = count_;
+    s.max_seconds = max_;
+    if (samples_.empty()) return s;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto at = [&](double q) {
+      const auto i = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
+      return sorted[i];
+    };
+    s.p50 = at(0.50);
+    s.p95 = at(0.95);
+    s.p99 = at(0.99);
+    return s;
+  }
+
+ private:
+  static constexpr std::size_t kCapacity = 4096;
+  std::vector<double> samples_;
+  std::size_t next_ = 0;
+  std::uint64_t count_ = 0;
+  double max_ = 0;
+};
+
+/// Per-priority-class accounting (index = static_cast<size_t>(Priority)).
+struct ClassStats {
+  /// Requests accepted into this class.  Count.
+  std::uint64_t submitted = 0;
+  /// Requests the scheduler handed to a round.  Count.
+  std::uint64_t dispatched = 0;
+  /// Requests completed with a value.  Count.
+  std::uint64_t completed = 0;
+  /// Requests completed with an exception.  Count.
+  std::uint64_t failed = 0;
+  /// Picks the starvation bound forced for this class out of priority
+  /// order (i.e. this class was force-served past waiting higher-priority
+  /// work).  Count.
+  std::uint64_t forced_picks = 0;
+  /// Submit-to-completion latency percentiles.  Seconds (wall).
+  LatencyStats latency;
+};
+
+/// Sentinel tenant id that aggregates every tenant beyond the tracking cap
+/// (ServiceOptions::max_tracked_tenants), so per-tenant accounting stays
+/// bounded no matter how many distinct ids traffic carries.
+inline constexpr std::uint64_t kOverflowTenantId = ~std::uint64_t{0};
+
+/// Per-tenant accounting inside the fairness scheduler.
+struct TenantStats {
+  /// Tenant id (SubmitOptions::tenant).
+  std::uint64_t tenant = 0;
+  /// Latest submitted DRR weight; 0 for the kOverflowTenantId bucket,
+  /// whose traffic mixes tenants of different weights.  Dimensionless.
+  std::uint32_t weight = 1;
+  /// Requests accepted from this tenant.  Count.
+  std::uint64_t submitted = 0;
+  /// Requests completed with a value.  Count.
+  std::uint64_t completed = 0;
+  /// Requests completed with an exception.  Count.
+  std::uint64_t failed = 0;
+  /// Submit-to-completion latency percentiles.  Seconds (wall).
+  LatencyStats latency;
 };
 
 /// Aggregate service counters.  Snapshot-consistent when obtained through
@@ -78,6 +186,20 @@ struct ServiceStats {
   std::uint64_t sessions = 0;
   /// Algorithm-2 key-switch PolyMuls, summed over chips.  Count.
   std::uint64_t ks_products = 0;
+  /// Relin-key tower uploads paid, summed over chips.  Count.
+  std::uint64_t key_uploads = 0;
+  /// Relin-key tower uploads skipped by the batch-aware key cache, summed
+  /// over chips (key_uploads + key_cache_hits == the cache-less count, and
+  /// for relin traffic that cache-less count equals ks_products).  Count.
+  std::uint64_t key_cache_hits = 0;
+  /// Picks the starvation bound forced out of priority order, summed over
+  /// classes.  Count.
+  std::uint64_t forced_picks = 0;
+  /// Largest consecutive-pick deficit any waiting class ever reached; with
+  /// a non-zero ServiceOptions::starvation_bound B this never exceeds
+  /// B + kNumPriorities - 2 (only one starved class can be force-served
+  /// per pick).  Count.
+  std::uint64_t max_class_skip = 0;
   /// Requests pending (queued + in flight) at sampling time.  Count.
   std::size_t queue_depth = 0;
   /// Largest queue depth ever observed at submit time.  Count.
@@ -117,6 +239,14 @@ struct ServiceStats {
   double active_seconds = 0;
   /// Per-chip breakdowns, indexed by ChipFarm chip index.
   std::vector<ChipStats> per_chip;
+  /// Per-priority-class breakdowns, indexed by static_cast<size_t>(Priority)
+  /// (always kNumPriorities entries).
+  std::vector<ClassStats> per_class;
+  /// Per-tenant breakdowns, sorted by tenant id.  At most
+  /// ServiceOptions::max_tracked_tenants distinct ids are tracked; traffic
+  /// from later ids aggregates under kOverflowTenantId (always the last
+  /// entry when present, since the sentinel is the largest id).
+  std::vector<TenantStats> per_tenant;
 
   /// Simulated farm makespan: the busiest chip's serial-link + compute
   /// time.  Chips run concurrently, so this is the model's answer to "how

@@ -1,0 +1,207 @@
+// Heterogeneous chip farms: mixed ChipConfigs (different ring capacities,
+// clocks and serial links) behind one EvalService.  The Placer must route
+// work to the modeled-cheapest chips, results must stay bit-exact no
+// matter how lopsided the farm is, and a chip whose config cannot serve
+// the ring must be skipped cleanly -- with a typed FarmCapacityError when
+// no chip can serve at all -- never a hang.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "bfv/encoder.hpp"
+#include "service/eval_service.hpp"
+#include "service/placer.hpp"
+
+namespace cofhee::service {
+namespace {
+
+struct HeteroFixture {
+  bfv::Bfv scheme{bfv::BfvParams::test_tiny(64), /*seed=*/41};
+  bfv::SecretKey sk = scheme.keygen_secret();
+  bfv::PublicKey pk = scheme.keygen_public(sk);
+  bfv::RelinKeys rk = scheme.keygen_relin(sk, 16);
+  bfv::IntegerEncoder enc{scheme.context()};
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> plains = {
+      {3, 4}, {-7, 6}, {12, -12}, {1, 0}, {90, 2}, {-33, -3}};
+  std::vector<EvalRequest> requests;
+  std::vector<bfv::Ciphertext> expected;
+
+  HeteroFixture() {
+    for (const auto& [x, y] : plains) {
+      EvalRequest r{scheme.encrypt(pk, enc.encode(x)),
+                    scheme.encrypt(pk, enc.encode(y))};
+      expected.push_back(scheme.multiply(r.a, r.b));
+      requests.push_back(std::move(r));
+    }
+  }
+};
+
+void expect_bit_exact(const bfv::Ciphertext& got, const bfv::Ciphertext& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got.c[i].towers, want.c[i].towers) << "component " << i;
+}
+
+/// A fast slot (SPI link, stock clock) and a slow slot (UART bring-up
+/// link, half clock) -- the heterogeneity the cost model must see.
+std::vector<ChipSpec> fast_and_slow() {
+  ChipSpec fast;  // defaults: SPI, 250 MHz
+  ChipSpec slow;
+  slow.link = driver::Link::kUart;
+  slow.cfg.freq_mhz = 125.0;
+  return {fast, slow};
+}
+
+TEST(HeterogeneousFarm, MixedConfigFarmIsBitExact) {
+  HeteroFixture f;
+  for (Strategy strategy : {Strategy::kBatchPerChip, Strategy::kShardTowers}) {
+    for (Placement placement : {Placement::kRoundRobin, Placement::kLoadAware}) {
+      SCOPED_TRACE("strategy=" + std::to_string(static_cast<int>(strategy)) +
+                   " placement=" + std::to_string(static_cast<int>(placement)));
+      ChipFarm farm(fast_and_slow());
+      ServiceOptions opts;
+      opts.strategy = strategy;
+      opts.placement = placement;
+      opts.max_batch = f.requests.size();
+      EvalService svc(f.scheme, farm, opts);
+      auto futures = svc.submit_batch(f.requests);
+      for (std::size_t i = 0; i < futures.size(); ++i)
+        expect_bit_exact(futures[i].get(), f.expected[i]);
+      svc.drain();
+      EXPECT_EQ(svc.stats().failed, 0u);
+    }
+  }
+}
+
+TEST(HeterogeneousFarm, MixedFarmRelinearizationIsBitExact) {
+  HeteroFixture f;
+  ChipFarm farm(fast_and_slow());
+  ServiceOptions opts;
+  opts.strategy = Strategy::kShardTowers;
+  opts.relin_keys = &f.rk;
+  opts.max_batch = 4;
+  EvalService svc(f.scheme, farm, opts);
+  std::vector<EvalRequest> reqs;
+  for (const auto& r : f.requests) reqs.push_back({r.a, r.b, RequestKind::kMultRelin});
+  auto futures = svc.submit_batch(reqs);
+  for (std::size_t i = 0; i < futures.size(); ++i)
+    expect_bit_exact(futures[i].get(), f.scheme.relinearize(f.expected[i], f.rk));
+}
+
+TEST(HeterogeneousFarm, PlacementPicksTheModeledCheapestChip) {
+  // A single-request round on a {SPI, UART} farm: the load-aware placer
+  // must put the session on the SPI chip -- its modeled unit cost is ~20x
+  // cheaper -- and the UART chip must sit the round out.
+  HeteroFixture f;
+  ChipFarm farm(fast_and_slow());
+  ServiceOptions opts;
+  opts.strategy = Strategy::kBatchPerChip;
+  opts.max_batch = 1;
+  EvalService svc(f.scheme, farm, opts);
+  auto fu = svc.submit({f.requests[0].a, f.requests[0].b});
+  expect_bit_exact(fu.get(), f.expected[0]);
+  svc.drain();
+  const auto s = svc.stats();
+  EXPECT_EQ(s.per_chip[0].placements, 1u);
+  EXPECT_EQ(s.per_chip[0].sessions, 1u);
+  EXPECT_EQ(s.per_chip[1].placements, 0u);
+  EXPECT_EQ(s.per_chip[1].sessions, 0u);
+}
+
+TEST(HeterogeneousFarm, LoadAwareBeatsRoundRobinOnASkewedFarm) {
+  // kShardTowers spreads tower work; round-robin gives the UART chip the
+  // same share as the SPI chip, so the round's makespan is bounded by the
+  // slow link.  Load-aware placement must strictly shrink the simulated
+  // farm makespan while staying bit-exact.
+  HeteroFixture f;
+  auto run = [&](Placement placement) {
+    ChipFarm farm(fast_and_slow());
+    ServiceOptions opts;
+    opts.strategy = Strategy::kShardTowers;
+    opts.placement = placement;
+    opts.max_batch = f.requests.size();
+    EvalService svc(f.scheme, farm, opts);
+    auto futures = svc.submit_batch(f.requests);
+    for (std::size_t i = 0; i < futures.size(); ++i)
+      expect_bit_exact(futures[i].get(), f.expected[i]);
+    svc.drain();
+    return svc.stats();
+  };
+  const auto rr = run(Placement::kRoundRobin);
+  const auto la = run(Placement::kLoadAware);
+  // Round-robin loaded both chips; load-aware shifted towers to the chip
+  // with the cheaper modeled seconds-per-tower.
+  EXPECT_GT(rr.per_chip[1].placements, 0u);
+  EXPECT_GE(la.per_chip[0].placements, la.per_chip[1].placements);
+  EXPECT_LT(la.per_chip[1].placements, rr.per_chip[1].placements);
+  EXPECT_LT(la.simulated_seconds(), rr.simulated_seconds());
+  EXPECT_GT(la.simulated_requests_per_sec(), rr.simulated_requests_per_sec());
+}
+
+TEST(HeterogeneousFarm, UndersizedChipIsSkippedCleanly) {
+  // Chip 1's banks cannot hold 2n words for this ring: placement must
+  // never select it, traffic must complete bit-exactly on chip 0 alone,
+  // and nothing may hang.
+  HeteroFixture f;
+  ChipSpec ok;
+  ChipSpec tiny;
+  tiny.cfg.bank_words = 64;  // < 2n = 128
+  ChipFarm farm({ok, tiny});
+  for (Strategy strategy : {Strategy::kBatchPerChip, Strategy::kShardTowers}) {
+    SCOPED_TRACE(static_cast<int>(strategy));
+    ServiceOptions opts;
+    opts.strategy = strategy;
+    opts.max_batch = 4;
+    EvalService svc(f.scheme, farm, opts);
+    auto futures = svc.submit_batch(f.requests);
+    for (std::size_t i = 0; i < futures.size(); ++i)
+      expect_bit_exact(futures[i].get(), f.expected[i]);
+    svc.drain();
+    const auto s = svc.stats();
+    EXPECT_EQ(s.failed, 0u);
+    EXPECT_EQ(s.per_chip[1].placements, 0u);
+    EXPECT_EQ(s.per_chip[1].sessions, 0u);
+  }
+}
+
+TEST(HeterogeneousFarm, NoEligibleChipIsATypedError) {
+  // When no chip in the farm can serve the ring, construction fails with
+  // the typed FarmCapacityError (still a std::invalid_argument for
+  // compatibility) instead of hanging or failing request by request.
+  HeteroFixture f;
+  ChipSpec tiny;
+  tiny.cfg.bank_words = 64;
+  ChipFarm farm({tiny, tiny});
+  EXPECT_THROW(EvalService(f.scheme, farm), FarmCapacityError);
+  EXPECT_THROW(EvalService(f.scheme, farm), std::invalid_argument);
+}
+
+TEST(Placer, AssignSkipsIneligibleAndThrowsTyped) {
+  // Unit-level: the greedy pass never selects an ineligible chip, honors
+  // unit costs, and an all-ineligible farm is a typed error.
+  std::vector<ChipScore> chips(3);
+  chips[0] = {true, 0.0, 1.0};
+  chips[1] = {false, 0.0, 0.1};  // cheapest but ineligible: must be skipped
+  chips[2] = {true, 0.0, 3.0};
+  const auto assign = Placer::assign(chips, 5, Placement::kLoadAware);
+  ASSERT_EQ(assign.size(), 5u);
+  int c0 = 0, c2 = 0;
+  for (std::size_t chip : assign) {
+    EXPECT_NE(chip, 1u);
+    (chip == 0 ? c0 : c2)++;
+  }
+  // unit costs 1 vs 3: chip 0 absorbs ~3x the items (exactly 4:1 here).
+  EXPECT_EQ(c0, 4);
+  EXPECT_EQ(c2, 1);
+
+  const auto rr = Placer::assign(chips, 4, Placement::kRoundRobin);
+  EXPECT_EQ(rr, (std::vector<std::size_t>{0, 2, 0, 2}));
+
+  std::vector<ChipScore> none(2);  // all ineligible
+  EXPECT_THROW(Placer::assign(none, 1, Placement::kLoadAware), FarmCapacityError);
+}
+
+}  // namespace
+}  // namespace cofhee::service

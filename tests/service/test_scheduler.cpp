@@ -1,0 +1,374 @@
+// Deterministic scheduler-v2 harness.
+//
+// The RequestQueue is exercised directly with a mock clock and scripted
+// arrival traces -- pop order depends only on arrival order and
+// SubmitOptions, never on wall time, so every assertion here is exact:
+// priority ordering, weighted per-tenant fairness (deficit shares converge
+// to the weight ratio), and the starvation bound (no backlogged class ever
+// waits more than `bound` consecutive picks).  On top of that, the
+// EvalService differential matrix shows the v2 scheduler is bit-exact vs
+// the v1 FIFO path for every (policy x kind x chips) cell, and that the
+// per-class / per-tenant stats account the traffic.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <vector>
+
+#include "bfv/encoder.hpp"
+#include "service/eval_service.hpp"
+#include "service/request_queue.hpp"
+
+namespace cofhee::service {
+namespace {
+
+/// Scripted virtual time for the queue's enqueue/dequeue stamps.
+struct MockClock {
+  double t = 0;
+  double tick() { return t += 1.0; }
+};
+
+/// Arrival with an id smuggled through the enqueue stamp (the queue never
+/// interprets it, so pops can be identified exactly).
+Pending arrival(double id, Priority prio, std::uint64_t tenant = 0,
+                std::uint32_t weight = 1) {
+  Pending p;
+  p.so.priority = prio;
+  p.so.tenant = tenant;
+  p.so.weight = weight;
+  p.enqueued = id;
+  return p;
+}
+
+std::vector<double> pop_ids(RequestQueue& q, std::size_t count, double now = 100) {
+  std::vector<double> ids;
+  auto round = q.pop_round(count, now);
+  ids.reserve(round.size());
+  for (const auto& p : round) ids.push_back(p.enqueued);
+  return ids;
+}
+
+TEST(RequestQueue, FifoPolicyPreservesArrivalOrder) {
+  RequestQueue q(SchedPolicy::kFifo, 4);
+  MockClock clk;
+  // Priorities and tenants are deliberately scrambled: FIFO ignores them.
+  q.push(arrival(clk.tick(), Priority::kLow, 7));
+  q.push(arrival(clk.tick(), Priority::kHigh, 3));
+  q.push(arrival(clk.tick(), Priority::kNormal, 7, 9));
+  q.push(arrival(clk.tick(), Priority::kHigh, 1));
+  EXPECT_EQ(pop_ids(q, 16), (std::vector<double>{1, 2, 3, 4}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RequestQueue, PriorityClassesAreServedInOrder) {
+  RequestQueue q(SchedPolicy::kPriorityFair, /*starvation_bound=*/1000);
+  MockClock clk;
+  q.push(arrival(clk.tick(), Priority::kLow));     // 1
+  q.push(arrival(clk.tick(), Priority::kNormal));  // 2
+  q.push(arrival(clk.tick(), Priority::kHigh));    // 3
+  q.push(arrival(clk.tick(), Priority::kLow));     // 4
+  q.push(arrival(clk.tick(), Priority::kHigh));    // 5
+  q.push(arrival(clk.tick(), Priority::kNormal));  // 6
+  // All high first (FIFO within the class), then normal, then low.
+  EXPECT_EQ(pop_ids(q, 16), (std::vector<double>{3, 5, 2, 6, 1, 4}));
+  EXPECT_EQ(q.forced_picks(), 0u);
+}
+
+TEST(RequestQueue, DequeueStampsUseTheCallerClock) {
+  RequestQueue q(SchedPolicy::kPriorityFair, 8);
+  q.push(arrival(1.5, Priority::kNormal));
+  auto round = q.pop_round(1, 42.25);
+  ASSERT_EQ(round.size(), 1u);
+  EXPECT_DOUBLE_EQ(round[0].enqueued, 1.5);
+  EXPECT_DOUBLE_EQ(round[0].dequeued, 42.25);
+}
+
+TEST(RequestQueue, WeightedTenantSharesConvergeToTheWeightRatio) {
+  RequestQueue q(SchedPolicy::kPriorityFair, 1000);
+  MockClock clk;
+  // Tenant 1 (weight 1) and tenant 2 (weight 3), both fully backlogged.
+  for (int i = 0; i < 16; ++i) q.push(arrival(clk.tick(), Priority::kNormal, 1, 1));
+  for (int i = 0; i < 16; ++i) q.push(arrival(clk.tick(), Priority::kNormal, 2, 3));
+  // Deficit round-robin: tenant 1's turn grants 1 pick, tenant 2's grants
+  // 3, so every 4-pick window splits exactly 1:3 while both are
+  // backlogged -- the "deficit counters converge" property.
+  const auto ids = pop_ids(q, 16);
+  ASSERT_EQ(ids.size(), 16u);
+  for (std::size_t w = 0; w < 16; w += 4) {
+    int t1 = 0, t2 = 0;
+    for (std::size_t i = w; i < w + 4; ++i) (ids[i] <= 16 ? t1 : t2)++;
+    EXPECT_EQ(t1, 1) << "window at " << w;
+    EXPECT_EQ(t2, 3) << "window at " << w;
+  }
+  // Within each tenant the order stayed FIFO.
+  double last_t1 = 0, last_t2 = 0;
+  for (double id : ids) {
+    if (id <= 16) {
+      EXPECT_GT(id, last_t1);
+      last_t1 = id;
+    } else {
+      EXPECT_GT(id, last_t2);
+      last_t2 = id;
+    }
+  }
+}
+
+TEST(RequestQueue, DrainedTenantForfeitsItsDeficit) {
+  RequestQueue q(SchedPolicy::kPriorityFair, 1000);
+  MockClock clk;
+  // Tenant 9 has weight 5 but only 1 queued request: it must not bank the
+  // unused deficit -- tenant 8 gets the rest of the round immediately.
+  q.push(arrival(clk.tick(), Priority::kNormal, 9, 5));  // 1
+  q.push(arrival(clk.tick(), Priority::kNormal, 8, 1));  // 2
+  q.push(arrival(clk.tick(), Priority::kNormal, 8, 1));  // 3
+  EXPECT_EQ(pop_ids(q, 16), (std::vector<double>{1, 2, 3}));
+}
+
+TEST(RequestQueue, LatestSubmittedWeightWins) {
+  RequestQueue q(SchedPolicy::kPriorityFair, 1000);
+  MockClock clk;
+  // Tenant 1 first submits at weight 1, then re-submits at weight 3; the
+  // rotation then grants it 3 picks per turn against tenant 2's 1.
+  q.push(arrival(clk.tick(), Priority::kNormal, 1, 1));  // 1
+  q.push(arrival(clk.tick(), Priority::kNormal, 2, 1));  // 2
+  for (int i = 0; i < 4; ++i) q.push(arrival(clk.tick(), Priority::kNormal, 1, 3));
+  for (int i = 0; i < 2; ++i) q.push(arrival(clk.tick(), Priority::kNormal, 2, 1));
+  // Turns: t1 x3 (ids 1,3,4), t2 x1 (2), t1 x3 (5,6), t2 x1 (7), ...
+  EXPECT_EQ(pop_ids(q, 16), (std::vector<double>{1, 3, 4, 2, 5, 6, 7, 8}));
+}
+
+TEST(RequestQueue, StarvationBoundForcesALowPickInTime) {
+  constexpr std::size_t kBound = 4;
+  RequestQueue q(SchedPolicy::kPriorityFair, kBound);
+  MockClock clk;
+  q.push(arrival(clk.tick(), Priority::kLow));  // 1, the starvation victim
+  for (int i = 0; i < 20; ++i) q.push(arrival(clk.tick(), Priority::kHigh));
+  // Picks 1..kBound go to the high class; after that the low class has
+  // been skipped kBound consecutive times and must be force-served.
+  std::vector<Pending> picks;
+  for (int i = 0; i < 6; ++i) {
+    auto round = q.pop_round(1, clk.tick());
+    ASSERT_EQ(round.size(), 1u);
+    picks.push_back(std::move(round[0]));
+  }
+  for (std::size_t i = 0; i < kBound; ++i) {
+    EXPECT_EQ(picks[i].so.priority, Priority::kHigh) << "pick " << i;
+    EXPECT_FALSE(picks[i].forced);
+  }
+  EXPECT_EQ(picks[kBound].so.priority, Priority::kLow);
+  EXPECT_TRUE(picks[kBound].forced);
+  EXPECT_EQ(picks[kBound].enqueued, 1.0);
+  EXPECT_EQ(picks[kBound + 1].so.priority, Priority::kHigh);
+  EXPECT_EQ(q.forced_picks(), 1u);
+  // The no-starvation invariant: no class ever waited past the bound.
+  EXPECT_LE(q.max_skip_observed(), kBound);
+}
+
+TEST(RequestQueue, BoundZeroMeansStrictPriority) {
+  RequestQueue q(SchedPolicy::kPriorityFair, /*starvation_bound=*/0);
+  MockClock clk;
+  q.push(arrival(clk.tick(), Priority::kLow));  // 1
+  for (int i = 0; i < 32; ++i) q.push(arrival(clk.tick(), Priority::kHigh));
+  const auto ids = pop_ids(q, 32);
+  EXPECT_EQ(ids.size(), 32u);
+  for (double id : ids) EXPECT_NE(id, 1.0);  // low never served while high waits
+  EXPECT_EQ(q.forced_picks(), 0u);
+  // Only once the high class drains does the low request surface.
+  EXPECT_EQ(pop_ids(q, 4), (std::vector<double>{1}));
+}
+
+// ---------------------------------------------------------------------------
+// EvalService-level differential: scheduler v2 must change only the order
+// work is picked, never the bytes of any result.
+
+struct SchedulerFixture {
+  bfv::Bfv scheme{bfv::BfvParams::test_tiny(64), /*seed=*/77};
+  bfv::SecretKey sk = scheme.keygen_secret();
+  bfv::PublicKey pk = scheme.keygen_public(sk);
+  bfv::RelinKeys rk = scheme.keygen_relin(sk, 16);
+  bfv::IntegerEncoder enc{scheme.context()};
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> plains = {
+      {2, 3}, {-5, 4}, {9, -9}, {0, 11}, {127, 2}, {-64, -2}};
+
+  EvalRequest request_of(RequestKind kind, std::size_t i) const {
+    bfv::Bfv& s = const_cast<bfv::Bfv&>(scheme);
+    const auto ca = s.encrypt(pk, enc.encode(plains[i].first));
+    const auto cb = s.encrypt(pk, enc.encode(plains[i].second));
+    if (kind == RequestKind::kRelinearize) return {scheme.multiply(ca, cb), {}, kind};
+    return {ca, cb, kind};
+  }
+  bfv::Ciphertext expected_of(const EvalRequest& r) const {
+    if (r.kind == RequestKind::kEvalMult) return scheme.multiply(r.a, r.b);
+    if (r.kind == RequestKind::kRelinearize) return scheme.relinearize(r.a, rk);
+    return scheme.relinearize(scheme.multiply(r.a, r.b), rk);
+  }
+};
+
+void expect_bit_exact(const bfv::Ciphertext& got, const bfv::Ciphertext& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got.c[i].towers, want.c[i].towers) << "component " << i;
+}
+
+TEST(SchedulerService, PolicyKindChipsMatrixIsBitExactVsFifo) {
+  SchedulerFixture f;
+  // Assorted scheduling tags: order changes under kPriorityFair, bytes
+  // must not.
+  const SubmitOptions tags[] = {
+      {Priority::kLow, 1, 1},  {Priority::kHigh, 2, 3}, {Priority::kNormal, 1, 1},
+      {Priority::kHigh, 1, 1}, {Priority::kLow, 3, 2},  {Priority::kNormal, 2, 3}};
+  for (RequestKind kind : {RequestKind::kEvalMult, RequestKind::kRelinearize,
+                           RequestKind::kMultRelin}) {
+    std::vector<EvalRequest> reqs;
+    std::vector<bfv::Ciphertext> want;
+    for (std::size_t i = 0; i < f.plains.size(); ++i) {
+      reqs.push_back(f.request_of(kind, i));
+      want.push_back(f.expected_of(reqs.back()));
+    }
+    for (SchedPolicy policy : {SchedPolicy::kFifo, SchedPolicy::kPriorityFair}) {
+      for (std::size_t chips : {1u, 2u, 4u}) {
+        SCOPED_TRACE("kind=" + std::to_string(static_cast<int>(kind)) +
+                     " policy=" + std::to_string(static_cast<int>(policy)) +
+                     " chips=" + std::to_string(chips));
+        ChipFarm farm(chips);
+        ServiceOptions opts;
+        opts.max_batch = 3;
+        opts.relin_keys = &f.rk;
+        opts.sched = policy;
+        opts.starvation_bound = 2;
+        EvalService svc(f.scheme, farm, opts);
+        std::vector<std::future<bfv::Ciphertext>> futures;
+        for (std::size_t i = 0; i < reqs.size(); ++i)
+          futures.push_back(svc.submit(reqs[i], tags[i]));
+        for (std::size_t i = 0; i < futures.size(); ++i)
+          expect_bit_exact(futures[i].get(), want[i]);
+        svc.drain();
+        const auto s = svc.stats();
+        EXPECT_EQ(s.completed, reqs.size());
+        EXPECT_EQ(s.failed, 0u);
+        if (opts.starvation_bound != 0) {
+          // With several classes starving at once only one is force-served
+          // per pick, so the bound degrades by at most kNumPriorities - 2.
+          EXPECT_LE(s.max_class_skip, opts.starvation_bound + kNumPriorities - 2);
+        }
+      }
+    }
+  }
+}
+
+TEST(SchedulerService, ClassAndTenantStatsAccountTheTraffic) {
+  SchedulerFixture f;
+  ChipFarm farm(2);
+  ServiceOptions opts;
+  opts.max_batch = 2;
+  EvalService svc(f.scheme, farm, opts);
+  std::vector<std::future<bfv::Ciphertext>> futures;
+  // 4 high-priority requests from tenant 5 (weight 2), 2 low from tenant 9.
+  for (std::size_t i = 0; i < 4; ++i)
+    futures.push_back(svc.submit(f.request_of(RequestKind::kEvalMult, i),
+                                 {Priority::kHigh, 5, 2}));
+  for (std::size_t i = 4; i < 6; ++i)
+    futures.push_back(svc.submit(f.request_of(RequestKind::kEvalMult, i),
+                                 {Priority::kLow, 9, 1}));
+  for (auto& fu : futures) (void)fu.get();
+  svc.drain();
+  const auto s = svc.stats();
+
+  ASSERT_EQ(s.per_class.size(), kNumPriorities);
+  const auto& high = s.per_class[static_cast<std::size_t>(Priority::kHigh)];
+  const auto& norm = s.per_class[static_cast<std::size_t>(Priority::kNormal)];
+  const auto& low = s.per_class[static_cast<std::size_t>(Priority::kLow)];
+  EXPECT_EQ(high.submitted, 4u);
+  EXPECT_EQ(high.dispatched, 4u);
+  EXPECT_EQ(high.completed, 4u);
+  EXPECT_EQ(norm.submitted, 0u);
+  EXPECT_EQ(low.submitted, 2u);
+  EXPECT_EQ(low.completed, 2u);
+  EXPECT_EQ(high.latency.count, 4u);
+  EXPECT_LE(high.latency.p50, high.latency.p99);
+  EXPECT_LE(high.latency.p99, high.latency.max_seconds + 1e-12);
+
+  ASSERT_EQ(s.per_tenant.size(), 2u);
+  EXPECT_EQ(s.per_tenant[0].tenant, 5u);
+  EXPECT_EQ(s.per_tenant[0].weight, 2u);
+  EXPECT_EQ(s.per_tenant[0].submitted, 4u);
+  EXPECT_EQ(s.per_tenant[0].completed, 4u);
+  EXPECT_EQ(s.per_tenant[1].tenant, 9u);
+  EXPECT_EQ(s.per_tenant[1].submitted, 2u);
+  EXPECT_EQ(s.per_tenant[1].latency.count, 2u);
+}
+
+TEST(SchedulerService, OutOfRangePriorityIsRejectedAtSubmit) {
+  // Priority indexes the fixed class tables, so a value deserialized off
+  // the wire must be rejected cleanly at both layers, never index OOB.
+  SchedulerFixture f;
+  ChipFarm farm(1);
+  EvalService svc(f.scheme, farm);
+  SubmitOptions bad;
+  bad.priority = static_cast<Priority>(kNumPriorities);
+  EXPECT_THROW((void)svc.submit(f.request_of(RequestKind::kEvalMult, 0), bad),
+               std::invalid_argument);
+  RequestQueue q;
+  Pending p;
+  p.so = bad;
+  EXPECT_THROW(q.push(std::move(p)), std::invalid_argument);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(SchedulerService, TenantTrackingIsBoundedByTheOverflowBucket) {
+  // Stats stay bounded for open-ended tenant id spaces: past the cap, new
+  // ids aggregate under kOverflowTenantId (scheduling still keys on the
+  // real id -- only the breakdown folds).
+  SchedulerFixture f;
+  ChipFarm farm(1);
+  ServiceOptions opts;
+  opts.max_batch = 8;
+  opts.max_tracked_tenants = 2;
+  EvalService svc(f.scheme, farm, opts);
+  std::vector<std::future<bfv::Ciphertext>> futures;
+  for (std::size_t i = 0; i < 4; ++i)
+    futures.push_back(svc.submit(f.request_of(RequestKind::kEvalMult, i),
+                                 {Priority::kNormal, /*tenant=*/i, 1}));
+  for (auto& fu : futures) (void)fu.get();
+  svc.drain();
+  const auto s = svc.stats();
+  ASSERT_EQ(s.per_tenant.size(), 3u);  // tenants 0, 1, and the overflow bucket
+  EXPECT_EQ(s.per_tenant[0].tenant, 0u);
+  EXPECT_EQ(s.per_tenant[1].tenant, 1u);
+  EXPECT_EQ(s.per_tenant[2].tenant, kOverflowTenantId);
+  EXPECT_EQ(s.per_tenant[2].submitted, 2u);  // tenants 2 and 3 folded
+  EXPECT_EQ(s.per_tenant[2].completed, 2u);
+  EXPECT_EQ(s.per_tenant[2].weight, 0u);  // mixed-weight marker
+  EXPECT_EQ(s.per_tenant[0].submitted + s.per_tenant[1].submitted +
+                s.per_tenant[2].submitted,
+            4u);
+}
+
+TEST(SchedulerService, StarvationStaysBoundedUnderPriorityFlood) {
+  // One low-priority request inside a flood of high-priority traffic with
+  // single-request rounds: it must complete, the bound must hold, and the
+  // scheduler must record any forced pick it needed.
+  SchedulerFixture f;
+  ChipFarm farm(1);
+  ServiceOptions opts;
+  opts.max_batch = 1;
+  opts.starvation_bound = 2;
+  EvalService svc(f.scheme, farm, opts);
+  std::vector<EvalRequest> flood;
+  for (std::size_t i = 0; i < 5; ++i)
+    flood.push_back(f.request_of(RequestKind::kEvalMult, i % f.plains.size()));
+  auto high = svc.submit_batch(flood, {Priority::kHigh, 1, 1});
+  auto low = svc.submit(f.request_of(RequestKind::kEvalMult, 5), {Priority::kLow, 2, 1});
+  for (auto& fu : high) (void)fu.get();
+  (void)low.get();
+  svc.drain();
+  const auto s = svc.stats();
+  EXPECT_EQ(s.completed, 6u);
+  EXPECT_LE(s.max_class_skip, opts.starvation_bound);
+  const auto& lowc = s.per_class[static_cast<std::size_t>(Priority::kLow)];
+  EXPECT_EQ(lowc.completed, 1u);
+}
+
+}  // namespace
+}  // namespace cofhee::service

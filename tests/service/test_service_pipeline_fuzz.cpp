@@ -1,0 +1,212 @@
+// Property/fuzz battery for the K-slot session ring and the batch-aware
+// relin-key cache.
+//
+// Seeded randomized request streams (kinds, values, scheduling tags,
+// submit chunking) must be bit-exact through pipeline_depth 1, 2 and 4 --
+// the ring changes only when phases run, never what they compute.  The
+// key cache must be pure savings: hit counters monotone, uploads + hits
+// exactly the cache-less upload count (== ks_products), io strictly
+// smaller for batched groups, and a key change must never produce a stale
+// hit.  Runs under the TSan lane (labels `service`, `scheduler`).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <future>
+#include <random>
+#include <vector>
+
+#include "bfv/encoder.hpp"
+#include "service/eval_service.hpp"
+
+namespace cofhee::service {
+namespace {
+
+struct FuzzFixture {
+  bfv::Bfv scheme{bfv::BfvParams::test_tiny(64), /*seed=*/53};
+  bfv::SecretKey sk = scheme.keygen_secret();
+  bfv::PublicKey pk = scheme.keygen_public(sk);
+  bfv::RelinKeys rk = scheme.keygen_relin(sk, 16);
+  bfv::IntegerEncoder enc{scheme.context()};
+
+  EvalRequest random_request(std::mt19937& rng, bfv::Ciphertext* want) const {
+    bfv::Bfv& s = const_cast<bfv::Bfv&>(scheme);
+    std::uniform_int_distribution<std::int64_t> val(-100, 100);
+    const auto kind = static_cast<RequestKind>(rng() % 3);
+    const auto ca = s.encrypt(pk, enc.encode(val(rng)));
+    const auto cb = s.encrypt(pk, enc.encode(val(rng)));
+    const auto tensor = scheme.multiply(ca, cb);
+    if (kind == RequestKind::kEvalMult) {
+      *want = tensor;
+      return {ca, cb, kind};
+    }
+    *want = scheme.relinearize(tensor, rk);
+    if (kind == RequestKind::kRelinearize) return {tensor, {}, kind};
+    return {ca, cb, kind};
+  }
+};
+
+void expect_bit_exact(const bfv::Ciphertext& got, const bfv::Ciphertext& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got.c[i].towers, want.c[i].towers) << "component " << i;
+}
+
+TEST(ServicePipelineFuzz, RandomStreamsAreBitExactAcrossPipelineDepths) {
+  FuzzFixture f;
+  constexpr std::uint32_t kSeeds[] = {101, 7777};
+  for (std::uint32_t seed : kSeeds) {
+    // One scripted stream per seed: requests, scheduling tags and the
+    // chunking of submits are all drawn from the seeded generator, so
+    // every depth replays the identical trace.
+    std::mt19937 gen(seed);
+    std::vector<EvalRequest> reqs;
+    std::vector<SubmitOptions> tags;
+    std::vector<bfv::Ciphertext> want(12);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      reqs.push_back(f.random_request(gen, &want[i]));
+      tags.push_back({static_cast<Priority>(gen() % kNumPriorities), gen() % 3,
+                      static_cast<std::uint32_t>(1 + gen() % 3)});
+    }
+    std::vector<std::size_t> chunks;
+    for (std::size_t left = reqs.size(); left > 0;) {
+      const std::size_t c = std::min<std::size_t>(left, 1 + gen() % 4);
+      chunks.push_back(c);
+      left -= c;
+    }
+    for (std::size_t depth : {1u, 2u, 4u}) {
+      SCOPED_TRACE("seed=" + std::to_string(seed) +
+                   " depth=" + std::to_string(depth));
+      ChipFarm farm(2);
+      ServiceOptions opts;
+      opts.max_batch = 3;
+      opts.relin_keys = &f.rk;
+      opts.pipeline_depth = depth;
+      EvalService svc(f.scheme, farm, opts);
+      std::vector<std::future<bfv::Ciphertext>> futures;
+      std::size_t next = 0;
+      for (std::size_t c : chunks) {
+        std::vector<EvalRequest> batch(reqs.begin() + next, reqs.begin() + next + c);
+        auto fs = svc.submit_batch(std::move(batch), tags[next]);
+        for (auto& fu : fs) futures.push_back(std::move(fu));
+        next += c;
+      }
+      for (std::size_t i = 0; i < futures.size(); ++i)
+        expect_bit_exact(futures[i].get(), want[i]);
+      svc.drain();
+      const auto s = svc.stats();
+      EXPECT_EQ(s.completed, reqs.size());
+      EXPECT_EQ(s.failed, 0u);
+      // The pipeline model never beats physics: the pipelined span is
+      // bounded by the back-to-back schedule, and depth 1 matches it.
+      EXPECT_LE(s.pipeline_span_seconds, s.serial_span_seconds + 1e-12);
+      if (depth == 1) {
+        EXPECT_EQ(s.overlapped_rounds, 0u);
+        EXPECT_NEAR(s.pipeline_span_seconds, s.serial_span_seconds, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(ServicePipelineFuzz, KeyCacheCountersAreMonotoneAndConsistent) {
+  FuzzFixture f;
+  ChipFarm farm(1);
+  ServiceOptions opts;
+  opts.relin_keys = &f.rk;
+  opts.max_batch = 4;
+  EvalService svc(f.scheme, farm, opts);
+  const auto tensor =
+      f.scheme.multiply(f.scheme.encrypt(f.pk, f.enc.encode(21)),
+                        f.scheme.encrypt(f.pk, f.enc.encode(-2)));
+  std::uint64_t last_hits = 0, last_uploads = 0;
+  std::mt19937 gen(99);
+  for (int round = 0; round < 6; ++round) {
+    std::vector<EvalRequest> batch(1 + gen() % 4,
+                                   {tensor, {}, RequestKind::kRelinearize});
+    auto futures = svc.submit_batch(batch);
+    for (auto& fu : futures) (void)fu.get();
+    svc.drain();
+    const auto s = svc.stats();
+    // Monotone counters, and together they account every key-switch
+    // product's key load: cache hits are pure savings, never lost work.
+    EXPECT_GE(s.key_cache_hits, last_hits);
+    EXPECT_GE(s.key_uploads, last_uploads);
+    EXPECT_EQ(s.key_uploads + s.key_cache_hits, s.ks_products);
+    last_hits = s.key_cache_hits;
+    last_uploads = s.key_uploads;
+  }
+  EXPECT_GT(last_uploads, 0u);
+}
+
+TEST(ServicePipelineFuzz, BatchedGroupsHitTheKeyCacheAndSaveIo) {
+  // The same relin traffic once as one-request sessions and once as one
+  // batched group: the group shares key uploads (hits > 0) and pays
+  // strictly less serial-link time, with bit-identical results.
+  FuzzFixture f;
+  const auto tensor =
+      f.scheme.multiply(f.scheme.encrypt(f.pk, f.enc.encode(17)),
+                        f.scheme.encrypt(f.pk, f.enc.encode(5)));
+  const auto want = f.scheme.relinearize(tensor, f.rk);
+  auto run = [&](std::size_t max_batch) {
+    ChipFarm farm(1);
+    ServiceOptions opts;
+    opts.relin_keys = &f.rk;
+    opts.max_batch = max_batch;
+    EvalService svc(f.scheme, farm, opts);
+    std::vector<EvalRequest> reqs(4, {tensor, {}, RequestKind::kRelinearize});
+    auto futures = svc.submit_batch(reqs);
+    for (auto& fu : futures) expect_bit_exact(fu.get(), want);
+    svc.drain();
+    return svc.stats();
+  };
+  const auto batched = run(4);
+  const auto serial = run(1);
+  EXPECT_GT(batched.key_cache_hits, 0u);
+  EXPECT_EQ(serial.key_cache_hits, 0u);  // R = 1 groups cannot share keys
+  EXPECT_LT(batched.key_uploads, serial.key_uploads);
+  EXPECT_LT(batched.io_seconds, serial.io_seconds);
+  EXPECT_EQ(batched.ks_products, serial.ks_products);
+}
+
+TEST(ServicePipelineFuzz, KeyCacheTagNeverHitsAcrossKeyChange) {
+  // Unit-level invalidation semantics: a different RelinKeys object (key
+  // rotation) or an explicit invalidate() must never produce a hit, while
+  // the matching tag does.
+  FuzzFixture f;
+  const bfv::RelinKeys rk2 = f.scheme.keygen_relin(f.sk, 16);
+  driver::RelinKeyCache cache;
+  EXPECT_FALSE(cache.hit(&f.rk, 0, 0, 0));
+  cache.loaded(&f.rk, 0, 0, 0);
+  EXPECT_TRUE(cache.hit(&f.rk, 0, 0, 0));
+  EXPECT_FALSE(cache.hit(&rk2, 0, 0, 0));  // key change: stale tag must miss
+  EXPECT_FALSE(cache.hit(&f.rk, 1, 0, 0));
+  EXPECT_FALSE(cache.hit(&f.rk, 0, 1, 0));
+  EXPECT_FALSE(cache.hit(&f.rk, 0, 0, 1));
+  cache.invalidate();
+  EXPECT_FALSE(cache.hit(&f.rk, 0, 0, 0));
+}
+
+TEST(ServicePipelineFuzz, KeyRotationAcrossServicesStaysCorrect) {
+  // Two services over the same farm with different key material: the
+  // second must never reuse the first's resident keys (fresh caches), and
+  // its results must match the software path under the new keys.
+  FuzzFixture f;
+  const bfv::RelinKeys rk2 = f.scheme.keygen_relin(f.sk, 16);
+  const auto tensor =
+      f.scheme.multiply(f.scheme.encrypt(f.pk, f.enc.encode(9)),
+                        f.scheme.encrypt(f.pk, f.enc.encode(13)));
+  ChipFarm farm(1);
+  const std::vector<const bfv::RelinKeys*> keysets{&f.rk, &rk2};
+  for (const bfv::RelinKeys* keys : keysets) {
+    ServiceOptions opts;
+    opts.relin_keys = keys;
+    opts.max_batch = 3;
+    EvalService svc(f.scheme, farm, opts);
+    std::vector<EvalRequest> reqs(3, {tensor, {}, RequestKind::kRelinearize});
+    auto futures = svc.submit_batch(reqs);
+    const auto want = f.scheme.relinearize(tensor, *keys);
+    for (auto& fu : futures) expect_bit_exact(fu.get(), want);
+  }
+}
+
+}  // namespace
+}  // namespace cofhee::service
