@@ -1,10 +1,22 @@
 // CryptoNets-style encrypted neural-network inference (paper Section VI-C,
-// ref [38]): dense -> square activation -> dense, entirely on ciphertexts.
+// ref [38]): dense -> square activation -> dense, entirely on ciphertexts,
+// expressed as an expression graph and executed through the chip farm.
+//
+// The graph API is the three-step lifecycle:
+//   1. build   -- declare inputs, compose ops (CryptoNet::build_graph emits
+//                 the whole network into the graph);
+//   2. compile -- topologically level the DAG into dependency rounds: all
+//                 hidden-neuron squarings are mutually independent, so they
+//                 land in one round and batch onto the farm together;
+//   3. run     -- GraphExecutor submits each round to the EvalService and
+//                 keeps intermediates resident host-side between rounds.
 #include <cstdio>
 #include <vector>
 
 #include "apps/cryptonets.hpp"
 #include "bfv/encoder.hpp"
+#include "graph/executor.hpp"
+#include "service/eval_service.hpp"
 
 int main() {
   using namespace cofhee;
@@ -27,9 +39,26 @@ int main() {
   std::vector<bfv::Ciphertext> enc_pixels;
   for (const auto v : image) enc_pixels.push_back(scheme.encrypt(pk, enc.encode(v)));
 
-  // Server side: blind inference.
-  apps::CryptoNet::OpTally ops;
-  const auto logits = net.infer_encrypted(scheme, pk, rk, enc_pixels, &ops);
+  // Server side, step 1: build the inference circuit as a graph.
+  graph::Graph g;
+  std::vector<graph::NodeId> pixels;
+  for (std::size_t i = 0; i < cfg.inputs; ++i) pixels.push_back(g.input());
+  (void)net.build_graph(g, pixels);
+
+  // Step 2: compile into dependency-leveled rounds.
+  const auto cg = graph::compile(g);
+  std::printf("compiled: %zu rounds, %zu chip ops (%zu squarings), %zu host ops\n",
+              cg.rounds.size(), cg.chip_ops, cg.squares, cg.host_ops);
+
+  // Step 3: run through a 2-chip farm.  All five x^2 activations are one
+  // round, submitted as one batch; the squaring hint lets each chip build
+  // the second operand's SRAM banks by DMA instead of re-uploading them.
+  service::ChipFarm farm(2);
+  service::ServiceOptions opts;
+  opts.relin_keys = &rk;
+  service::EvalService svc(scheme, farm, opts);
+  graph::GraphExecutor ex(scheme, svc);
+  const auto logits = ex.run(cg, enc_pixels);
 
   std::puts("logit  encrypted  plaintext");
   std::size_t best = 0;
@@ -46,13 +75,13 @@ int main() {
   }
   std::printf("predicted class: %zu\n\n", best);
 
-  std::printf("operation tally: %llu ct*pt muls, %llu ct+ct adds, %llu ct*ct muls, "
-              "%llu relins\n", static_cast<unsigned long long>(ops.ct_pt_muls),
-              static_cast<unsigned long long>(ops.ct_ct_adds),
-              static_cast<unsigned long long>(ops.ct_ct_muls),
-              static_cast<unsigned long long>(ops.relins));
+  const auto st = svc.stats();
+  std::printf("farm: %llu sessions, %llu SRAM scratch reuses, %.4f simulated io s\n",
+              static_cast<unsigned long long>(st.sessions),
+              static_cast<unsigned long long>(st.sram_reuses), st.io_seconds);
   std::puts("The full MNIST CryptoNets run is 457,550 adds / 449,000 ct*pt /\n"
             "10,200 ct*ct -- Table X estimates 88.35 s on CoFHEE vs 197 s on the\n"
-            "CPU (see bench_table10_endtoend).");
+            "CPU (see bench_table10_endtoend; bench_graph tracks this graph\n"
+            "path's images/sec on 1-, 2- and 4-chip farms).");
   return 0;
 }

@@ -2,12 +2,19 @@
 // privacy-preserving cancer-type prediction).  A client submits encrypted
 // feature vectors; the server computes the linear score and a cubic
 // sigmoid surrogate without ever decrypting.
+//
+// All three patients are packed into ONE expression graph: compile()
+// levels the per-patient circuits into shared rounds (every patient's z^2
+// is round 0, every z * (3 - z^2) is round 1), so the whole cohort batches
+// onto the chip farm two rounds deep instead of patient-by-patient.
 #include <cstdio>
 #include <vector>
 
 #include "apps/cryptonets.hpp"  // decode_logit
 #include "apps/logreg.hpp"
 #include "bfv/encoder.hpp"
+#include "graph/executor.hpp"
+#include "service/eval_service.hpp"
 
 int main() {
   using namespace cofhee;
@@ -29,17 +36,35 @@ int main() {
       {0, 0, 3, 0, 0},   // z = +1: expected positive
   };
 
+  // Build one graph covering the whole cohort: per patient, the linear
+  // score (host-side plaintext muls + adds) feeding the two-level cubic.
+  graph::Graph g;
+  std::vector<bfv::Ciphertext> enc_features;
+  for (const auto& x : patients) {
+    std::vector<graph::NodeId> feats;
+    for (const auto v : x) {
+      feats.push_back(g.input());
+      enc_features.push_back(scheme.encrypt(pk, enc.encode(v)));
+    }
+    const auto z = model.build_score_graph(g, feats);
+    g.mark_output(z);
+    g.mark_output(model.build_sigmoid_graph(g, z));
+  }
+  const auto cg = graph::compile(g);
+  std::printf("compiled cohort: %zu rounds, %zu chip ops for %zu patients\n\n",
+              cg.rounds.size(), cg.chip_ops, patients.size());
+
+  service::ChipFarm farm(2);
+  service::ServiceOptions opts;
+  opts.relin_keys = &rk;
+  service::EvalService svc(scheme, farm, opts);
+  graph::GraphExecutor ex(scheme, svc);
+  const auto outs = ex.run(cg, enc_features);  // [score, sigmoid] per patient
+
   std::puts("patient  score  sigmoid~  class   (plaintext check)");
   for (std::size_t p = 0; p < patients.size(); ++p) {
-    std::vector<bfv::Ciphertext> enc_features;
-    for (const auto v : patients[p])
-      enc_features.push_back(scheme.encrypt(pk, enc.encode(v)));
-
-    const auto cz = model.score_encrypted(scheme, enc_features);
-    const auto cs = model.sigmoid_encrypted(scheme, rk, cz);
-
-    const auto z = apps::decode_logit(scheme, sk, cz);
-    const auto s = apps::decode_logit(scheme, sk, cs);
+    const auto z = apps::decode_logit(scheme, sk, outs[2 * p]);
+    const auto s = apps::decode_logit(scheme, sk, outs[2 * p + 1]);
     const auto z_ref = model.score_plain(patients[p]);
     std::printf("  %zu      %4lld   %6lld   %s  (z_ref=%lld, %s)\n", p,
                 static_cast<long long>(z), static_cast<long long>(s),

@@ -25,6 +25,14 @@ bfv::Ciphertext mul_signed_scalar(bfv::Bfv& scheme, const bfv::Ciphertext& ct,
   return w < 0 ? scheme.negate(r) : r;
 }
 
+/// Graph-side twin of mul_signed_scalar: same magnitude/negate split.
+graph::NodeId mul_signed_node(graph::Graph& g, const bfv::BfvContext& ctx,
+                              graph::NodeId x, std::int64_t w) {
+  const auto r =
+      g.mul_plain(x, scalar_plain(ctx, static_cast<std::uint64_t>(w < 0 ? -w : w)));
+  return w < 0 ? g.negate(r) : r;
+}
+
 std::int64_t centered(nt::u64 c, nt::u64 t) {
   return c > t / 2 ? static_cast<std::int64_t>(c) - static_cast<std::int64_t>(t)
                    : static_cast<std::int64_t>(c);
@@ -102,6 +110,31 @@ std::vector<bfv::Ciphertext> CryptoNet::infer_encrypted(
   }
   if (tally != nullptr) *tally = t;
   (void)pk;
+  return out;
+}
+
+std::vector<graph::NodeId> CryptoNet::build_graph(
+    graph::Graph& g, const std::vector<graph::NodeId>& inputs) const {
+  if (inputs.size() != cfg_.inputs)
+    throw graph::GraphInputError("CryptoNet: expected " + std::to_string(cfg_.inputs) +
+                                 " input nodes, got " + std::to_string(inputs.size()));
+  std::vector<graph::NodeId> hidden;
+  hidden.reserve(cfg_.hidden);
+  for (std::size_t i = 0; i < cfg_.hidden; ++i) {
+    graph::NodeId acc = mul_signed_node(g, ctx_, inputs[0], w1_[i][0]);
+    for (std::size_t j = 1; j < cfg_.inputs; ++j)
+      acc = g.add(acc, mul_signed_node(g, ctx_, inputs[j], w1_[i][j]));
+    hidden.push_back(g.square_relin(acc));  // x^2 activation
+  }
+  std::vector<graph::NodeId> out;
+  out.reserve(cfg_.outputs);
+  for (std::size_t i = 0; i < cfg_.outputs; ++i) {
+    graph::NodeId acc = mul_signed_node(g, ctx_, hidden[0], w2_[i][0]);
+    for (std::size_t j = 1; j < cfg_.hidden; ++j)
+      acc = g.add(acc, mul_signed_node(g, ctx_, hidden[j], w2_[i][j]));
+    g.mark_output(acc);
+    out.push_back(acc);
+  }
   return out;
 }
 

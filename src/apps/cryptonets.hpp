@@ -17,6 +17,7 @@
 
 #include "bfv/bfv.hpp"
 #include "bfv/encoder.hpp"
+#include "graph/graph.hpp"
 
 namespace cofhee::apps {
 
@@ -44,6 +45,15 @@ class CryptoNet {
   [[nodiscard]] std::vector<bfv::Ciphertext> infer_encrypted(
       bfv::Bfv& scheme, const bfv::PublicKey& pk, const bfv::RelinKeys& rk,
       const std::vector<bfv::Ciphertext>& enc_inputs, OpTally* tally = nullptr) const;
+
+  /// Build the same inference circuit as a graph over `inputs` (one input
+  /// node per feature, declared in feature order); returns one node per
+  /// output logit and marks each as a graph output.  Op-for-op the exact
+  /// arithmetic of infer_encrypted -- same signed-scalar handling, squares
+  /// as complete EvalMults -- so executing the compiled graph through the
+  /// chip farm is bit-exact vs the serial software path.
+  std::vector<graph::NodeId> build_graph(graph::Graph& g,
+                                         const std::vector<graph::NodeId>& inputs) const;
 
   [[nodiscard]] const std::vector<std::vector<std::int64_t>>& w1() const {
     return w1_;

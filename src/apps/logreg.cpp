@@ -72,4 +72,27 @@ bfv::Ciphertext LogisticModel::sigmoid_encrypted(bfv::Bfv& scheme,
   return scheme.relinearize(scheme.multiply(z, inner), rk);
 }
 
+graph::NodeId LogisticModel::build_score_graph(
+    graph::Graph& g, const std::vector<graph::NodeId>& features) const {
+  if (features.size() != w_.size())
+    throw graph::GraphInputError("LogisticModel: expected " + std::to_string(w_.size()) +
+                                 " feature nodes, got " + std::to_string(features.size()));
+  const auto mul_signed = [&](graph::NodeId x, std::int64_t w) {
+    const auto r = g.mul_plain(x, scalar_plain(ctx_, w < 0 ? -w : w));
+    return w < 0 ? g.negate(r) : r;
+  };
+  graph::NodeId acc = mul_signed(features[0], w_[0]);
+  for (std::size_t i = 1; i < w_.size(); ++i)
+    acc = g.add(acc, mul_signed(features[i], w_[i]));
+  return g.add_plain(acc, scalar_plain(ctx_, b_));
+}
+
+graph::NodeId LogisticModel::build_sigmoid_graph(graph::Graph& g, graph::NodeId z) const {
+  // Mirrors sigmoid_encrypted: z^2 as a complete EvalMult, 3 - z^2 as
+  // negate + plaintext add, then the outer multiply + relin.
+  const auto z2 = g.square_relin(z);
+  const auto inner = g.add_plain(g.negate(z2), scalar_plain(ctx_, 3));
+  return g.mul_relin(z, inner);
+}
+
 }  // namespace cofhee::apps

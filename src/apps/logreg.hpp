@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bfv/bfv.hpp"
+#include "graph/graph.hpp"
 
 namespace cofhee::apps {
 
@@ -37,6 +38,17 @@ class LogisticModel {
                                                   const bfv::Ciphertext& z) const;
 
   [[nodiscard]] std::int64_t sigmoid_plain(std::int64_t z) const;
+
+  /// Build the linear score z = w.x + b as a graph over `features` (one
+  /// input node per feature); returns the score node (not yet marked as an
+  /// output).  Same arithmetic as score_encrypted, bit-exact.
+  graph::NodeId build_score_graph(graph::Graph& g,
+                                  const std::vector<graph::NodeId>& features) const;
+
+  /// Extend a graph with the cubic sigmoid surrogate s(z) = z * (3 - z^2)
+  /// applied to node `z`; returns the result node.  Same composition as
+  /// sigmoid_encrypted (square + relin, negate + plain add, mul + relin).
+  graph::NodeId build_sigmoid_graph(graph::Graph& g, graph::NodeId z) const;
 
  private:
   const bfv::BfvContext& ctx_;

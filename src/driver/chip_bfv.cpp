@@ -36,6 +36,19 @@ EvalMultOperands ChipBfvEvaluator::prepare(const bfv::Bfv& bfv, const bfv::Ciphe
   return ops;
 }
 
+EvalMultOperands ChipBfvEvaluator::prepare_square(const bfv::Bfv& bfv,
+                                                  const bfv::Ciphertext& a) {
+  if (a.size() != 2)
+    throw std::invalid_argument("ChipBfvEvaluator: 2-element ciphertext expected");
+  // Squaring extends one ciphertext instead of two; the chip rebuilds the
+  // B-operand banks from A's by DMA (load_tower), so b0/b1 stay empty.
+  EvalMultOperands ops;
+  ops.a0 = bfv.extend_centered_public(a.c[0]);
+  ops.a1 = bfv.extend_centered_public(a.c[1]);
+  ops.square = true;
+  return ops;
+}
+
 void ChipBfvEvaluator::configure_tower(HostDriver& drv, const bfv::Bfv& bfv,
                                        std::size_t tower, ChipMulReport* report) {
   const auto& ctx = bfv.context();
@@ -56,8 +69,23 @@ void ChipBfvEvaluator::load_tower(HostDriver& drv, const EvalMultOperands& ops,
   double io = 0;
   io += drv.load_polynomial(Bank::kSp0, 0, widen(ops.a0.towers[tower]));
   io += drv.load_polynomial(Bank::kSp1, 0, widen(ops.a1.towers[tower]));
-  io += drv.load_polynomial(Bank::kSp2, 0, widen(ops.b0.towers[tower]));
-  io += drv.load_polynomial(Bank::kSp3, 0, widen(ops.b1.towers[tower]));
+  if (ops.square) {
+    // B == A and A's towers are already resident: duplicate SP0/SP1 into
+    // SP2/SP3 at DMA speed instead of re-sending the same words over the
+    // serial link (the dominant cost at bring-up ring sizes).
+    const std::size_t n = ops.a0.towers[tower].size();
+    std::uint64_t cycles = drv.copy_polynomial(Bank::kSp0, 0, Bank::kSp2, 0, n);
+    cycles += drv.copy_polynomial(Bank::kSp1, 0, Bank::kSp3, 0, n);
+    if (report != nullptr) {
+      report->chip_cycles += cycles;
+      report->chip_ms +=
+          static_cast<double>(cycles) * drv.chip().config().cycle_ns() * 1e-6;
+      report->sram_reuses += 2;
+    }
+  } else {
+    io += drv.load_polynomial(Bank::kSp2, 0, widen(ops.b0.towers[tower]));
+    io += drv.load_polynomial(Bank::kSp3, 0, widen(ops.b1.towers[tower]));
+  }
   if (report != nullptr) report->io_seconds += io;
 }
 
@@ -236,7 +264,8 @@ bfv::Ciphertext ChipBfvEvaluator::multiply(const bfv::Bfv& bfv,
   const auto& ctx = bfv.context();
   if (2 * ctx.n() > chip_.config().bank_words)
     throw std::invalid_argument("ChipBfvEvaluator: ring too large for on-chip slots");
-  const EvalMultOperands ops = prepare(bfv, a, b);
+  const EvalMultOperands ops =
+      &a == &b ? prepare_square(bfv, a) : prepare(bfv, a, b);
 
   ChipMulReport rep;
   std::vector<TowerTensor> tensors(ctx.ext_basis().size());

@@ -60,6 +60,11 @@ struct ChipMulReport {
   /// in SP1 (batch-aware key caching; key_uploads + key_cache_hits equals
   /// the key loads a cache-less session would pay).
   std::uint64_t key_cache_hits = 0;
+  /// Operand uploads skipped because the polynomial was already resident in
+  /// an SP bank and was duplicated by on-chip DMA instead of re-sent over
+  /// the serial link (the squaring scratch-reuse hint: B == A, so B0/B1 are
+  /// synthesized from SP0/SP1 rather than uploaded into SP2/SP3).
+  std::uint64_t sram_reuses = 0;
 
   /// Accumulate another session's counters into this one.
   ChipMulReport& operator+=(const ChipMulReport& o) {
@@ -70,6 +75,7 @@ struct ChipMulReport {
     ks_products += o.ks_products;
     key_uploads += o.key_uploads;
     key_cache_hits += o.key_cache_hits;
+    sram_reuses += o.sram_reuses;
     return *this;
   }
 };
@@ -113,8 +119,14 @@ class RelinKeyCache {
 /// per-tower dispatch to any chip.
 struct EvalMultOperands {
   /// Extended components of the two operand ciphertexts (a = {a0, a1},
-  /// b = {b0, b1}).
+  /// b = {b0, b1}).  When `square` is set, b0/b1 are empty: B == A and the
+  /// chip synthesizes its SP2/SP3 images from SP0/SP1 by on-chip DMA.
   poly::RnsPoly a0, a1, b0, b1;
+  /// Squaring hint (prepare_square): the second operand is the same
+  /// ciphertext as the first, so load_tower skips the B serial uploads and
+  /// duplicates A's banks in SRAM instead.  Results are bit-identical to
+  /// the four-upload path.
+  bool square = false;
 };
 
 /// One extended-basis tower of the Eq. 4 tensor (Y0, Y1, Y2) as read back
@@ -158,7 +170,9 @@ class ChipBfvEvaluator {
 
   /// EvalMult without relinearization (the Fig. 6 operation), tensor
   /// computed on chip, scaling on the host.  Result decrypts identically
-  /// to bfv.multiply(a, b).
+  /// to bfv.multiply(a, b).  Passing the same object for both operands
+  /// (squaring) automatically takes the prepare_square / scratch-reuse
+  /// path: half the base-extension work, B uploads replaced by on-chip DMA.
   bfv::Ciphertext multiply(const bfv::Bfv& bfv, const bfv::Ciphertext& a,
                            const bfv::Ciphertext& b, ChipMulReport* report = nullptr);
 
@@ -184,6 +198,14 @@ class ChipBfvEvaluator {
                                                 const bfv::Ciphertext& a,
                                                 const bfv::Ciphertext& b);
 
+  /// Squaring form of prepare(): only `a` is base-extended (half the host
+  /// work of the general case) and the returned operands carry the
+  /// SRAM scratch-reuse hint, so load_tower turns the B0/B1 serial uploads
+  /// into on-chip DMA copies of SP0/SP1.  Bit-exact vs prepare(bfv, a, a).
+  /// Throws std::invalid_argument unless `a` is 2-element.
+  [[nodiscard]] static EvalMultOperands prepare_square(const bfv::Bfv& bfv,
+                                                       const bfv::Ciphertext& a);
+
   /// Program `drv`'s chip for extended tower `tower`: ring registers +
   /// twiddle ROM over the serial link (timed into report->io_seconds, and
   /// counted in report->towers).  Throws std::invalid_argument when the
@@ -191,7 +213,11 @@ class ChipBfvEvaluator {
   static void configure_tower(HostDriver& drv, const bfv::Bfv& bfv, std::size_t tower,
                               ChipMulReport* report);
 
-  /// Upload one tower of the four operand polynomials into SP0..SP3.
+  /// Upload one tower of the four operand polynomials into SP0..SP3.  Under
+  /// the squaring hint (EvalMultOperands::square) only A0/A1 travel the
+  /// serial link; B0/B1 are synthesized by on-chip DMA copies SP0 -> SP2 and
+  /// SP1 -> SP3 (cycles into report->chip_cycles, skips counted in
+  /// report->sram_reuses), roughly halving the upload transport per tower.
   static void load_tower(HostDriver& drv, const EvalMultOperands& ops,
                          std::size_t tower, ChipMulReport* report);
 

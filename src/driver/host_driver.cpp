@@ -99,6 +99,18 @@ double HostDriver::load_polynomial(Bank bank, std::size_t offset,
   return lk.stats().seconds - before;
 }
 
+std::uint64_t HostDriver::copy_polynomial(Bank src, std::size_t src_offset, Bank dst,
+                                          std::size_t dst_offset, std::size_t count) {
+  // Foreground transfer: window 0 means nothing hides the copy, every DMA
+  // cycle is charged -- still orders of magnitude cheaper than the serial
+  // link for the same words.
+  const std::uint64_t cycles =
+      stage({src, static_cast<std::uint32_t>(src_offset)},
+            {dst, static_cast<std::uint32_t>(dst_offset)}, count, 0);
+  chip_.charge_cycles(cycles);
+  return cycles;
+}
+
 std::vector<u128> HostDriver::read_polynomial(Bank bank, std::size_t offset,
                                               std::size_t count, double* io_seconds) {
   auto& lk = link_of(chip_, link_);

@@ -98,6 +98,15 @@ class HostDriver {
 
   /// Timed polynomial upload over the serial link; returns transfer seconds.
   double load_polynomial(Bank bank, std::size_t offset, std::span<const u128> coeffs);
+
+  /// Foreground on-chip DMA copy of `count` coefficient words from one bank
+  /// slot to another -- no serial transport at all, which is the point: a
+  /// polynomial already resident in SRAM (e.g. A0 in SP0 when squaring
+  /// needs the same value as B0 in SP2) is duplicated at MDMC speed instead
+  /// of being re-uploaded over UART/SPI.  Returns the DMA cycles charged to
+  /// the chip's cycle counter.
+  std::uint64_t copy_polynomial(Bank src, std::size_t src_offset, Bank dst,
+                                std::size_t dst_offset, std::size_t count);
   /// Timed polynomial download; `io_seconds` (when non-null) receives the
   /// transfer time of this read.
   std::vector<u128> read_polynomial(Bank bank, std::size_t offset, std::size_t count,

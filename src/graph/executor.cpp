@@ -1,0 +1,149 @@
+#include "graph/executor.hpp"
+
+#include <future>
+#include <utility>
+
+namespace cofhee::graph {
+
+namespace {
+
+void check_inputs(std::size_t want, std::size_t got) {
+  if (want != got)
+    throw GraphInputError("graph: program binds " + std::to_string(want) +
+                          " input(s), got " + std::to_string(got));
+}
+
+/// Evaluate one host-side node from the value table.
+bfv::Ciphertext host_op(const bfv::Bfv& scheme, const Node& nd,
+                        const std::vector<bfv::Ciphertext>& vals) {
+  switch (nd.op) {
+    case OpKind::kAdd:
+      return scheme.add(vals[nd.a], vals[nd.b]);
+    case OpKind::kNegate:
+      return scheme.negate(vals[nd.a]);
+    case OpKind::kAddPlain:
+      return scheme.add_plain(vals[nd.a], nd.plain);
+    default:  // kMulPlain; chip kinds never reach here
+      return scheme.mul_plain(vals[nd.a], nd.plain);
+  }
+}
+
+}  // namespace
+
+std::vector<bfv::Ciphertext> GraphExecutor::run(const CompiledGraph& cg,
+                                                const std::vector<bfv::Ciphertext>& inputs,
+                                                const service::SubmitOptions& so,
+                                                GraphRunStats* stats) const {
+  check_inputs(cg.num_inputs, inputs.size());
+  const std::size_t n = cg.width.size();
+
+  // Host-resident value table + live consumer counts.  A value is cleared
+  // (its towers freed) as soon as its last consumer has read it, so peak
+  // residency tracks the graph's live frontier, not its total size.
+  std::vector<bfv::Ciphertext> vals(n);
+  std::vector<std::uint32_t> left(cg.uses);
+  {
+    std::size_t next = 0;
+    for (NodeId id = 0; id < n; ++id)
+      if (cg.nodes[id].op == OpKind::kInput) vals[id] = inputs[next++];
+  }
+
+  const auto release = [&](NodeId id) {
+    if (left[id] > 0 && --left[id] == 0) vals[id] = bfv::Ciphertext{};
+  };
+
+  for (const Round& round : cg.rounds) {
+    for (NodeId id : round.host_ops) {
+      const Node& nd = cg.nodes[id];
+      vals[id] = host_op(scheme_, nd, vals);
+      release(nd.a);
+      if (nd.op == OpKind::kAdd) release(nd.b);
+    }
+
+    if (round.chip_ops.empty()) continue;
+    std::vector<service::EvalRequest> reqs;
+    reqs.reserve(round.chip_ops.size());
+    for (const ChipOp& op : round.chip_ops) {
+      const Node& nd = cg.nodes[op.node];
+      service::EvalRequest r;
+      r.kind = op.kind;
+      r.square = op.square;
+      r.a = vals[nd.a];
+      if (!op.square && op.kind != service::RequestKind::kRelinearize) r.b = vals[nd.b];
+      reqs.push_back(std::move(r));
+    }
+    auto futs = service_.submit_batch(std::move(reqs), so);
+    for (std::size_t i = 0; i < futs.size(); ++i) {
+      const ChipOp& op = round.chip_ops[i];
+      vals[op.node] = futs[i].get();
+    }
+    for (const ChipOp& op : round.chip_ops) {
+      // A squaring counts two uses of its operand, so release both slots.
+      const Node& nd = cg.nodes[op.node];
+      release(nd.a);
+      if (op.kind != service::RequestKind::kRelinearize) release(nd.b);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->rounds = cg.rounds.size();
+    stats->chip_requests = cg.chip_ops;
+    stats->squares = cg.squares;
+    stats->host_ops = cg.host_ops;
+  }
+
+  std::vector<bfv::Ciphertext> out;
+  out.reserve(cg.outputs.size());
+  for (NodeId id : cg.outputs) out.push_back(vals[id]);
+  return out;
+}
+
+std::vector<bfv::Ciphertext> evaluate_reference(const bfv::Bfv& scheme, const Graph& g,
+                                                const std::vector<bfv::Ciphertext>& inputs,
+                                                const bfv::RelinKeys* rk) {
+  // compile() provides validation and a topological order for free; the
+  // round structure is irrelevant here, only the sequencing.
+  const CompiledGraph cg = compile(g);
+  check_inputs(cg.num_inputs, inputs.size());
+
+  const auto& nodes = g.nodes();
+  std::vector<bfv::Ciphertext> vals(nodes.size());
+  {
+    std::size_t next = 0;
+    for (NodeId id = 0; id < nodes.size(); ++id)
+      if (nodes[id].op == OpKind::kInput) vals[id] = inputs[next++];
+  }
+
+  const auto require_rk = [&]() -> const bfv::RelinKeys& {
+    if (rk == nullptr)
+      throw GraphInputError("graph: reference evaluation needs relin keys for relin nodes");
+    return *rk;
+  };
+
+  for (const Round& round : cg.rounds) {
+    // Concatenating host then chip ops of each round is a valid topological
+    // order of the whole graph.
+    for (NodeId id : round.host_ops) vals[id] = host_op(scheme, nodes[id], vals);
+    for (const ChipOp& op : round.chip_ops) {
+      const Node& nd = nodes[op.node];
+      switch (op.kind) {
+        case service::RequestKind::kEvalMult:
+          vals[op.node] = scheme.multiply(vals[nd.a], vals[nd.b]);
+          break;
+        case service::RequestKind::kRelinearize:
+          vals[op.node] = scheme.relinearize(vals[nd.a], require_rk());
+          break;
+        case service::RequestKind::kMultRelin:
+          vals[op.node] = scheme.relinearize(scheme.multiply(vals[nd.a], vals[nd.b]), require_rk());
+          break;
+      }
+    }
+  }
+
+  std::vector<bfv::Ciphertext> out;
+  out.reserve(cg.outputs.size());
+  for (NodeId id : cg.outputs) out.push_back(vals[id]);
+  return out;
+}
+
+}  // namespace cofhee::graph

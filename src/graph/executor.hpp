@@ -1,0 +1,74 @@
+// Graph execution: drive a CompiledGraph's rounds through the chip farm.
+//
+// GraphExecutor walks the rounds compile() produced: each round's host ops
+// run inline on the scheme (coefficient adds, negation, plaintext mixes),
+// then the round's chip ops go to EvalService::submit_batch() as one batch
+// carrying the graph's SubmitOptions -- so a whole homomorphic program
+// schedules under one priority/tenant/weight tag, and the scheduler
+// interleaves concurrent programs fairly at round granularity.  Between
+// rounds every live intermediate stays resident host-side; values are
+// released the moment their last consumer has run.  Squaring nodes are
+// submitted with EvalRequest::square so the chip synthesizes the second
+// operand's SRAM banks by on-chip DMA instead of re-uploading them.
+//
+// evaluate_reference() is the trust anchor: the same graph evaluated
+// serially with pure-software bfv::Bfv calls, no chip model anywhere.
+// Every differential test (tests/graph/, tests/apps/) pins the executor's
+// outputs bit-exactly to it.
+#pragma once
+
+#include <vector>
+
+#include "bfv/bfv.hpp"
+#include "graph/graph.hpp"
+#include "service/eval_service.hpp"
+
+namespace cofhee::graph {
+
+/// Counters from one GraphExecutor::run(), for tests and benches.
+struct GraphRunStats {
+  /// Rounds executed (== CompiledGraph::rounds.size()).
+  std::size_t rounds = 0;
+  /// Requests submitted to the farm.
+  std::size_t chip_requests = 0;
+  /// Requests submitted with the squaring scratch-reuse hint.
+  std::size_t squares = 0;
+  /// Host-side ops evaluated inline.
+  std::size_t host_ops = 0;
+};
+
+/// Runs compiled graphs through an EvalService (see file comment).
+/// Stateless between runs; one executor may serve many graphs and threads
+/// concurrently (the service serializes internally).
+class GraphExecutor {
+ public:
+  /// `scheme` evaluates the host ops and must be the scheme the service was
+  /// built over; both references are retained, not copied.
+  GraphExecutor(const bfv::Bfv& scheme, service::EvalService& service)
+      : scheme_(scheme), service_(service) {}
+
+  /// Evaluate `cg` on `inputs` (bound to input nodes in declaration order;
+  /// count must match or GraphInputError).  Every chip round is submitted
+  /// under `so`.  Returns the marked outputs in marking order.  Service
+  /// errors (e.g. kRelinearize without relin keys) propagate out of the
+  /// round's futures.
+  std::vector<bfv::Ciphertext> run(const CompiledGraph& cg,
+                                   const std::vector<bfv::Ciphertext>& inputs,
+                                   const service::SubmitOptions& so = {},
+                                   GraphRunStats* stats = nullptr) const;
+
+ private:
+  const bfv::Bfv& scheme_;
+  service::EvalService& service_;
+};
+
+/// Serial pure-software evaluation of `g` -- the bit-exact reference the
+/// chip-farm path is tested against.  `rk` may be null for graphs without
+/// relin/mul_relin nodes; a graph that needs it throws GraphInputError.
+/// kMulRelin evaluates as relinearize(multiply(a, b)), the same composition
+/// the chip pipeline implements.
+std::vector<bfv::Ciphertext> evaluate_reference(const bfv::Bfv& scheme, const Graph& g,
+                                                const std::vector<bfv::Ciphertext>& inputs,
+                                                const bfv::RelinKeys* rk = nullptr);
+
+}  // namespace cofhee::graph

@@ -1,0 +1,183 @@
+#include "graph/graph.hpp"
+
+#include <cstddef>
+#include <queue>
+
+namespace cofhee::graph {
+
+namespace {
+
+bool is_chip_op(OpKind op) {
+  return op == OpKind::kMul || op == OpKind::kRelin || op == OpKind::kMulRelin;
+}
+
+bool has_b(OpKind op) {
+  return op == OpKind::kMul || op == OpKind::kMulRelin || op == OpKind::kAdd;
+}
+
+service::RequestKind kind_of(OpKind op) {
+  switch (op) {
+    case OpKind::kMul:
+      return service::RequestKind::kEvalMult;
+    case OpKind::kRelin:
+      return service::RequestKind::kRelinearize;
+    default:
+      return service::RequestKind::kMultRelin;
+  }
+}
+
+[[noreturn]] void throw_width(NodeId id, const char* what, unsigned got) {
+  throw GraphWidthError("graph: node " + std::to_string(id) + ": " + what +
+                        " (operand has " + std::to_string(got) + " elements)");
+}
+
+}  // namespace
+
+CompiledGraph compile(const Graph& g) {
+  const auto& nodes = g.nodes();
+  const std::size_t n = nodes.size();
+
+  CompiledGraph cg;
+  cg.nodes = nodes;
+  cg.outputs = g.outputs();
+  cg.num_inputs = g.num_inputs();
+  cg.width.assign(n, 0);
+  cg.uses.assign(n, 0);
+
+  // Operand references must name real nodes.  The builder guarantees this,
+  // but add_raw() graphs can dangle; reject before the toposort walks off
+  // the end.
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& nd = nodes[id];
+    if (nd.op == OpKind::kInput) continue;
+    if (nd.a >= n)
+      throw GraphInputError("graph: node " + std::to_string(id) +
+                            " operand a dangles (" + std::to_string(nd.a) + ")");
+    if (has_b(nd.op) && nd.b >= n)
+      throw GraphInputError("graph: node " + std::to_string(id) +
+                            " operand b dangles (" + std::to_string(nd.b) + ")");
+  }
+
+  // Consumer counts: operand uses plus output markings.  Computed before
+  // the sort so the executor can release dead values even in graphs where
+  // some node is never consumed.
+  for (const Node& nd : nodes) {
+    if (nd.op == OpKind::kInput) continue;
+    ++cg.uses[nd.a];
+    if (has_b(nd.op)) ++cg.uses[nd.b];
+  }
+  for (NodeId id : cg.outputs) ++cg.uses[id];
+
+  // Kahn's algorithm over operand -> node edges.  A min-heap (not a plain
+  // queue) keeps the emitted order deterministic and id-monotone per level,
+  // so round contents are stable across compilers and STL implementations.
+  std::vector<std::uint32_t> indegree(n, 0);
+  std::vector<std::vector<NodeId>> consumers(n);
+  for (NodeId id = 0; id < n; ++id) {
+    const Node& nd = nodes[id];
+    if (nd.op == OpKind::kInput) continue;
+    indegree[id] = has_b(nd.op) ? 2 : 1;
+    consumers[nd.a].push_back(id);
+    if (has_b(nd.op)) consumers[nd.b].push_back(id);
+  }
+
+  std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> ready;
+  for (NodeId id = 0; id < n; ++id)
+    if (indegree[id] == 0) ready.push(id);
+
+  // avail[id]: index of the first round in which id's value exists host-side.
+  // Inputs exist before round 0.  A host op runs in the round its last
+  // operand becomes available; a chip op is *submitted* in that round and
+  // its result exists one round later.
+  std::vector<std::uint32_t> avail(n, 0);
+  std::size_t emitted = 0;
+  std::uint32_t last_round = 0;
+
+  // (round, is_chip, id) triples gathered during the sort; rounds are
+  // materialized afterwards once the total count is known.
+  struct Placed {
+    std::uint32_t round;
+    bool chip;
+    NodeId id;
+  };
+  std::vector<Placed> placed;
+  placed.reserve(n);
+
+  while (!ready.empty()) {
+    const NodeId id = ready.top();
+    ready.pop();
+    ++emitted;
+    const Node& nd = nodes[id];
+
+    // Width propagation (element counts), with typed mismatch errors.
+    std::uint32_t at = 0;
+    switch (nd.op) {
+      case OpKind::kInput:
+        cg.width[id] = 2;
+        break;
+      case OpKind::kMul:
+      case OpKind::kMulRelin:
+        if (cg.width[nd.a] != 2) throw_width(id, "mul needs 2-element operands", cg.width[nd.a]);
+        if (cg.width[nd.b] != 2) throw_width(id, "mul needs 2-element operands", cg.width[nd.b]);
+        cg.width[id] = nd.op == OpKind::kMul ? 3 : 2;
+        at = std::max(avail[nd.a], avail[nd.b]);
+        break;
+      case OpKind::kRelin:
+        if (cg.width[nd.a] != 3)
+          throw_width(id, "relin needs a 3-element operand", cg.width[nd.a]);
+        cg.width[id] = 2;
+        at = avail[nd.a];
+        break;
+      case OpKind::kAdd:
+        if (cg.width[nd.a] != cg.width[nd.b])
+          throw GraphWidthError("graph: node " + std::to_string(id) +
+                                ": add over unequal widths (" +
+                                std::to_string(cg.width[nd.a]) + " vs " +
+                                std::to_string(cg.width[nd.b]) + ")");
+        cg.width[id] = cg.width[nd.a];
+        at = std::max(avail[nd.a], avail[nd.b]);
+        break;
+      case OpKind::kNegate:
+      case OpKind::kAddPlain:
+      case OpKind::kMulPlain:
+        cg.width[id] = cg.width[nd.a];
+        at = avail[nd.a];
+        break;
+    }
+
+    const bool chip = is_chip_op(nd.op);
+    avail[id] = chip ? at + 1 : at;
+    if (nd.op != OpKind::kInput) {
+      placed.push_back({at, chip, id});
+      last_round = std::max(last_round, at);
+    }
+
+    for (NodeId c : consumers[id])
+      if (--indegree[c] == 0) ready.push(c);
+  }
+
+  if (emitted != n)
+    throw GraphCycleError("graph: cycle detected (" + std::to_string(n - emitted) +
+                          " of " + std::to_string(n) + " nodes unreachable)");
+
+  if (!placed.empty()) {
+    cg.rounds.resize(static_cast<std::size_t>(last_round) + 1);
+    for (const Placed& p : placed) {
+      Round& r = cg.rounds[p.round];
+      if (p.chip) {
+        const Node& nd = nodes[p.id];
+        const bool square =
+            (nd.op == OpKind::kMul || nd.op == OpKind::kMulRelin) && nd.a == nd.b;
+        r.chip_ops.push_back({p.id, kind_of(nd.op), square});
+        ++cg.chip_ops;
+        if (square) ++cg.squares;
+      } else {
+        r.host_ops.push_back(p.id);
+        ++cg.host_ops;
+      }
+    }
+  }
+  return cg;
+}
+
+}  // namespace cofhee::graph

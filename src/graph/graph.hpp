@@ -1,0 +1,240 @@
+// Ciphertext expression DAGs: the program layer above the op server.
+//
+// The service (service/eval_service.hpp) evaluates isolated requests; real
+// FHE workloads are multi-op circuits -- CryptoEmu treats encrypted
+// computation as programs over an instruction set, and Virtual Secure
+// Platform schedules FHE work through a pipeline, not one call at a time
+// (PAPERS.md).  cofhee::graph closes that gap in three steps:
+//
+//   Graph g;                                  // 1. build the DAG
+//   auto x = g.input();
+//   auto y = g.add_plain(g.square_relin(x), bias);
+//   g.mark_output(y);
+//   CompiledGraph cg = compile(g);            // 2. level it into rounds
+//   GraphExecutor ex(scheme, service);        // 3. run it through the farm
+//   auto outs = ex.run(cg, {enc_x});          //    (graph/executor.hpp)
+//
+// compile() topologically levels the DAG: every chip op (mul / relin /
+// mul_relin -- the three RequestKinds the farm serves) lands in the
+// earliest round where all of its operands exist, and the host ops (add,
+// negate, plaintext add/mul -- cheap coefficient arithmetic the chip has no
+// reason to see) run host-side in the gaps between rounds.  One round's
+// chip ops are mutually independent by construction, so the executor
+// submits each round as one submit_batch() and the scheduler-v2 machinery
+// (priority classes, Placer, K-slot ring) spreads it across the farm.
+// Inter-op ciphertexts stay resident host-side between rounds; squaring
+// nodes (mul(x, x)) additionally carry the SRAM scratch-reuse hint so the
+// chip duplicates the operand's SP banks by DMA instead of re-uploading it.
+//
+// Malformed graphs fail with typed errors, never hangs: GraphCycleError
+// (the "DAG" has a cycle), GraphWidthError (ciphertext element-count
+// mismatch, e.g. relinearizing a 2-element ciphertext), GraphInputError
+// (dangling or out-of-range operand references, wrong input binding).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bfv/bfv.hpp"
+#include "service/request_queue.hpp"
+
+namespace cofhee::graph {
+
+/// Base of every graph-construction/compilation error, so callers can
+/// catch the whole family as std::invalid_argument.
+class GraphError : public std::invalid_argument {
+  using std::invalid_argument::invalid_argument;
+};
+
+/// The node set is not acyclic (only constructible through add_raw; the
+/// builder API cannot express a cycle).
+class GraphCycleError : public GraphError {
+  using GraphError::GraphError;
+};
+
+/// Ciphertext element-count mismatch: an op received a 2-element operand
+/// where it needs 3 (relin), a 3-element one where it needs 2 (mul inputs),
+/// or add over unequal widths.
+class GraphWidthError : public GraphError {
+  using GraphError::GraphError;
+};
+
+/// Dangling or out-of-range reference: an operand id names no node, or the
+/// executor was handed the wrong number of input ciphertexts.
+class GraphInputError : public GraphError {
+  using GraphError::GraphError;
+};
+
+/// Node operation.  kMul/kRelin/kMulRelin are chip ops (they map 1:1 onto
+/// service::RequestKind); everything else is host-side coefficient work.
+enum class OpKind : std::uint8_t {
+  kInput = 0,   ///< bound to a caller ciphertext at run time (width 2)
+  kMul,         ///< Eq. 4 tensor, 2x2 -> 3 elements (RequestKind::kEvalMult)
+  kRelin,       ///< Algorithm-2 key switch, 3 -> 2 (RequestKind::kRelinearize)
+  kMulRelin,    ///< complete EvalMult, 2x2 -> 2 (RequestKind::kMultRelin)
+  kAdd,         ///< component-wise ciphertext add (host), equal widths
+  kNegate,      ///< component-wise negation (host), width-preserving
+  kAddPlain,    ///< plaintext addition into c[0] (host), width-preserving
+  kMulPlain,    ///< plaintext multiplication (host), width-preserving
+};
+
+/// Node handle inside one Graph (index into Graph::nodes()).
+using NodeId = std::uint32_t;
+
+/// One DAG node.  Operand use by kind: a for every non-input op, b only
+/// for kMul / kMulRelin / kAdd, plain only for kAddPlain / kMulPlain.
+struct Node {
+  /// The operation this node computes.
+  OpKind op = OpKind::kInput;
+  /// First operand node.
+  NodeId a = 0;
+  /// Second operand node (kMul / kMulRelin / kAdd).
+  NodeId b = 0;
+  /// Plaintext payload (kAddPlain / kMulPlain).
+  bfv::Plaintext plain;
+};
+
+/// Builder for ciphertext expression DAGs.  The typed builder methods
+/// validate operand references eagerly (GraphInputError); structural
+/// properties that need the whole graph -- acyclicity and element-count
+/// consistency -- are checked by compile().
+class Graph {
+ public:
+  /// Declare the next input slot; the executor binds input ciphertexts in
+  /// declaration order.
+  NodeId input() {
+    ++num_inputs_;
+    return append({OpKind::kInput, 0, 0, {}});
+  }
+
+  /// Eq. 4 tensor product (3-element result, needs a later relin to come
+  /// back to 2).  mul(x, x) is recognized as a squaring and carries the
+  /// SRAM scratch-reuse hint through the service.
+  NodeId mul(NodeId a, NodeId b) { return append({OpKind::kMul, a, b, {}}); }
+  /// Squaring shorthand: mul(x, x).
+  NodeId square(NodeId x) { return mul(x, x); }
+  /// Algorithm-2 key switch of a 3-element value back to 2 elements.
+  NodeId relin(NodeId a) { return append({OpKind::kRelin, a, 0, {}}); }
+  /// The paper's complete EvalMult: tensor + key switch in one chip round.
+  NodeId mul_relin(NodeId a, NodeId b) { return append({OpKind::kMulRelin, a, b, {}}); }
+  /// Squaring shorthand with key switch: mul_relin(x, x).
+  NodeId square_relin(NodeId x) { return mul_relin(x, x); }
+  /// Component-wise ciphertext addition (host op; operands must have equal
+  /// element counts -- checked at compile()).
+  NodeId add(NodeId a, NodeId b) { return append({OpKind::kAdd, a, b, {}}); }
+  /// Component-wise negation (host op) -- the noise-free way to handle
+  /// negative plaintext scalars.
+  NodeId negate(NodeId a) { return append({OpKind::kNegate, a, 0, {}}); }
+  /// Plaintext addition (host op).
+  NodeId add_plain(NodeId a, bfv::Plaintext m) {
+    return append({OpKind::kAddPlain, a, 0, std::move(m)});
+  }
+  /// Plaintext multiplication (host op).
+  NodeId mul_plain(NodeId a, bfv::Plaintext m) {
+    return append({OpKind::kMulPlain, a, 0, std::move(m)});
+  }
+
+  /// Mark `id` as a program output (the executor returns outputs in marking
+  /// order; a node may be marked more than once).
+  void mark_output(NodeId id) {
+    check_ref(id, "output");
+    outputs_.push_back(id);
+  }
+
+  /// Unchecked raw append for generic front ends and the malformed-graph
+  /// tests: no reference validation at all, so cycles and dangling operand
+  /// ids are representable -- compile() is the layer that must reject them
+  /// with typed errors.
+  NodeId add_raw(Node n) {
+    nodes_.push_back(std::move(n));
+    if (nodes_.back().op == OpKind::kInput) ++num_inputs_;
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  /// All nodes in creation order (NodeId indexes this).
+  [[nodiscard]] const std::vector<Node>& nodes() const noexcept { return nodes_; }
+  /// Output nodes in marking order.
+  [[nodiscard]] const std::vector<NodeId>& outputs() const noexcept { return outputs_; }
+  /// Input slots declared (the executor expects exactly this many
+  /// ciphertexts, bound in declaration order).
+  [[nodiscard]] std::size_t num_inputs() const noexcept { return num_inputs_; }
+  /// Total node count.
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+
+ private:
+  void check_ref(NodeId id, const char* what) const {
+    if (id >= nodes_.size())
+      throw GraphInputError("graph: " + std::string(what) +
+                            " references unknown node " + std::to_string(id));
+  }
+
+  NodeId append(Node n) {
+    if (n.op != OpKind::kInput) check_ref(n.a, "operand a");
+    if (n.op == OpKind::kMul || n.op == OpKind::kMulRelin || n.op == OpKind::kAdd)
+      check_ref(n.b, "operand b");
+    nodes_.push_back(std::move(n));
+    return static_cast<NodeId>(nodes_.size() - 1);
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<NodeId> outputs_;
+  std::size_t num_inputs_ = 0;
+};
+
+/// One chip op of a compiled round, ready to become an EvalRequest.
+struct ChipOp {
+  /// The node this op computes.
+  NodeId node = 0;
+  /// Service request kind (kMul -> kEvalMult, kRelin -> kRelinearize,
+  /// kMulRelin -> kMultRelin).
+  service::RequestKind kind = service::RequestKind::kEvalMult;
+  /// Squaring detected (mul / mul_relin with a == b): the executor submits
+  /// the request with the SRAM scratch-reuse hint set.
+  bool square = false;
+};
+
+/// One dependency level of the compiled program: host ops that must run
+/// first (in stored order -- they may chain), then chip ops that are
+/// mutually independent and go to the farm as one submit_batch().  The
+/// final round may carry host ops only (epilogue work on the last chip
+/// results).
+struct Round {
+  /// Host-side nodes, topologically ordered.
+  std::vector<NodeId> host_ops;
+  /// Chip-bound nodes; independent of each other by construction.
+  std::vector<ChipOp> chip_ops;
+};
+
+/// A leveled, validated program: the executor's input.  Also usable as a
+/// plain topological order (rounds concatenated) by host-only evaluators.
+struct CompiledGraph {
+  /// Dependency-leveled rounds, executed in order.
+  std::vector<Round> rounds;
+  /// The validated node set (copied from the Graph; NodeId indexes it) --
+  /// the executor reads operand ids and plaintext payloads from here.
+  std::vector<Node> nodes;
+  /// Element count (2 or 3) of every node's value, indexed by NodeId.
+  std::vector<std::uint8_t> width;
+  /// Consumer count of every node (operand uses + output markings); the
+  /// executor releases a value when its count drains to zero.
+  std::vector<std::uint32_t> uses;
+  /// Output nodes in marking order (copied from the Graph).
+  std::vector<NodeId> outputs;
+  /// Input slots the program binds at run time.
+  std::size_t num_inputs = 0;
+  /// Total chip ops across rounds (the farm request count of one run).
+  std::size_t chip_ops = 0;
+  /// Total host ops across rounds.
+  std::size_t host_ops = 0;
+  /// Chip ops carrying the squaring scratch-reuse hint.
+  std::size_t squares = 0;
+};
+
+/// Topologically level `g` into dependency-aware rounds.  Throws
+/// GraphCycleError / GraphWidthError / GraphInputError on malformed graphs
+/// (see the class docs); a valid DAG compiles in O(nodes + edges).
+[[nodiscard]] CompiledGraph compile(const Graph& g);
+
+}  // namespace cofhee::graph

@@ -92,10 +92,14 @@ std::vector<std::future<bfv::Ciphertext>> EvalService::submit_batch(
     switch (r.kind) {
       case RequestKind::kEvalMult:
       case RequestKind::kMultRelin:
-        if (r.a.size() != 2 || r.b.size() != 2)
+        // Under the squaring hint b is ignored entirely (B == A).
+        if (r.a.size() != 2 || (!r.square && r.b.size() != 2))
           throw std::invalid_argument("EvalService: 2-element ciphertexts expected");
         break;
       case RequestKind::kRelinearize:
+        if (r.square)
+          throw std::invalid_argument(
+              "EvalService: the squaring hint applies to multiplication kinds only");
         if (r.a.size() != 3)
           throw std::invalid_argument(
               "EvalService: relinearize expects a 3-element ciphertext");
@@ -355,8 +359,8 @@ void EvalService::host_prepare(Session& s) {
   double ops = 0;  // host cost model: coefficient operations this phase
   for (const auto& p : s.round)
     ops += p.req.kind == RequestKind::kRelinearize
-               ? n * qt * (1.0 + nd)      // CRT lift + digit residue writes
-               : 4.0 * n * (qt + et);     // centered base extension, 4 polys
+               ? n * qt * (1.0 + nd)  // CRT lift + digit residue writes
+               : (p.req.square ? 2.0 : 4.0) * n * (qt + et);  // base extension
 
   exec_.for_each(count, [&](std::size_t r) {
     auto& req = s.round[r].req;
@@ -365,7 +369,8 @@ void EvalService::host_prepare(Session& s) {
       if (req.kind == RequestKind::kRelinearize) {
         slot.relin = ChipBfvEvaluator::prepare_relin(scheme_, req.a, *opts_.relin_keys);
       } else {
-        slot.mult = ChipBfvEvaluator::prepare(scheme_, req.a, req.b);
+        slot.mult = req.square ? ChipBfvEvaluator::prepare_square(scheme_, req.a)
+                               : ChipBfvEvaluator::prepare(scheme_, req.a, req.b);
         slot.tensors.resize(ctx.ext_basis().size());
       }
     } catch (...) {
@@ -694,6 +699,7 @@ void EvalService::note_chip_session(std::size_t chip, const driver::ChipMulRepor
   c.ks_products += rep.ks_products;
   c.key_uploads += rep.key_uploads;
   c.key_cache_hits += rep.key_cache_hits;
+  c.sram_reuses += rep.sram_reuses;
   c.ring_configs += rep.towers;
   c.chip_cycles += rep.chip_cycles;
   c.io_seconds += rep.io_seconds;
@@ -703,6 +709,7 @@ void EvalService::note_chip_session(std::size_t chip, const driver::ChipMulRepor
   stats_.ks_products += rep.ks_products;
   stats_.key_uploads += rep.key_uploads;
   stats_.key_cache_hits += rep.key_cache_hits;
+  stats_.sram_reuses += rep.sram_reuses;
   stats_.io_seconds += rep.io_seconds;
   stats_.compute_seconds += compute_seconds;
 }

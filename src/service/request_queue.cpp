@@ -23,6 +23,10 @@ void RequestQueue::push(Pending p) {
   auto [it, inserted] = cls.tenants.try_emplace(p.so.tenant);
   TenantQueue& tq = it->second;
   tq.weight = std::max<std::uint32_t>(1, p.so.weight);  // latest submit wins
+  // A turn in progress must not keep picks granted at the old weight:
+  // lowering a backlogged tenant's weight re-clamps its banked deficit, so
+  // the new weight takes effect this turn, not one full rotation later.
+  tq.deficit = std::min(tq.deficit, tq.weight);
   if (tq.q.empty()) cls.rotation.push_back(p.so.tenant);
   tq.q.push_back(std::move(p));
   ++cls.size;

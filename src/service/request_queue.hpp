@@ -52,6 +52,13 @@ struct EvalRequest {
   bfv::Ciphertext b;
   /// Operation to perform; defaults to the tensor-only EvalMult.
   RequestKind kind = RequestKind::kEvalMult;
+  /// Squaring hint for kEvalMult/kMultRelin: the second operand IS `a`
+  /// (`b` is ignored and may stay empty).  The service then base-extends
+  /// one ciphertext instead of two and the chip synthesizes the B operand
+  /// banks from A's by on-chip DMA instead of re-uploading them over the
+  /// serial link (ChipBfvEvaluator::prepare_square).  Bit-exact vs
+  /// submitting {a, a}.  Rejected for kRelinearize.
+  bool square = false;
 };
 
 /// Backward-compatible name from when the service only knew EvalMult.

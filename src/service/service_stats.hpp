@@ -52,6 +52,10 @@ struct ChipStats {
   std::uint64_t key_cache_hits = 0;
   /// Ring reconfigurations paid (register writes + twiddle preload).  Count.
   std::uint64_t ring_configs = 0;
+  /// Operand uploads replaced by on-chip DMA duplication because the
+  /// polynomial was already resident in an SP bank (squaring scratch-reuse
+  /// hint; 2 per tower run of a squared request).  Count.
+  std::uint64_t sram_reuses = 0;
   /// PE cycles at the configured clock.  Cycles.
   std::uint64_t chip_cycles = 0;
   /// Simulated serial-link transport.  Seconds (simulated).
@@ -102,17 +106,29 @@ class LatencyWindow {
     }
   }
 
-  /// Percentile snapshot of the retained window.
+  /// Percentile snapshot of the retained window.  O(N) selection, not a
+  /// full sort: stats() polls snapshot every class and tenant window, so a
+  /// sort here made monitoring O(tenants x N log N) per scrape.  One scratch
+  /// copy serves all three ranks; ranks are selected in ascending order so
+  /// each nth_element only partitions the suffix left unresolved by the
+  /// previous one (everything before the last selected rank is already <=
+  /// that rank's value).
   [[nodiscard]] LatencyStats snapshot() const {
     LatencyStats s;
     s.count = count_;
     s.max_seconds = max_;
     if (samples_.empty()) return s;
-    std::vector<double> sorted = samples_;
-    std::sort(sorted.begin(), sorted.end());
+    std::vector<double> scratch = samples_;
+    std::size_t done = 0;  // prefix [0, done) is already partitioned correctly
     const auto at = [&](double q) {
-      const auto i = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1));
-      return sorted[i];
+      const auto i = static_cast<std::size_t>(q * static_cast<double>(scratch.size() - 1));
+      if (i >= done) {
+        std::nth_element(scratch.begin() + static_cast<std::ptrdiff_t>(done),
+                         scratch.begin() + static_cast<std::ptrdiff_t>(i),
+                         scratch.end());
+        done = i;
+      }
+      return scratch[i];
     };
     s.p50 = at(0.50);
     s.p95 = at(0.95);
@@ -192,6 +208,9 @@ struct ServiceStats {
   /// over chips (key_uploads + key_cache_hits == the cache-less count, and
   /// for relin traffic that cache-less count equals ks_products).  Count.
   std::uint64_t key_cache_hits = 0;
+  /// Operand uploads the squaring scratch-reuse hint turned into on-chip
+  /// DMA copies, summed over chips (see ChipStats::sram_reuses).  Count.
+  std::uint64_t sram_reuses = 0;
   /// Picks the starvation bound forced out of priority order, summed over
   /// classes.  Count.
   std::uint64_t forced_picks = 0;

@@ -39,6 +39,49 @@ TEST(ChipBfv, MultiplyMatchesSoftwareBitExactly) {
   EXPECT_GT(rep.io_seconds, 0.0);
 }
 
+TEST(ChipBfv, SquaringReusesResidentOperandBanks) {
+  // Passing the same ciphertext for both operands must take the SRAM
+  // scratch-reuse path: B0/B1 synthesized from SP0/SP1 by on-chip DMA
+  // instead of re-uploaded, with bit-identical results and strictly less
+  // serial transport than the general two-operand path.
+  StackFixture f;
+  bfv::IntegerEncoder enc(f.scheme.context());
+  const auto ca = f.scheme.encrypt(f.pk, enc.encode(150));
+  const auto cb = ca;  // same value, distinct object: the general path
+
+  const auto sw = f.scheme.multiply(ca, ca);
+
+  ChipBfvEvaluator ev(f.soc);
+  ChipMulReport general, squared;
+  const auto hw_general = ev.multiply(f.scheme, ca, cb, &general);
+  const auto hw_squared = ev.multiply(f.scheme, ca, ca, &squared);
+
+  ASSERT_EQ(hw_squared.size(), sw.size());
+  for (std::size_t i = 0; i < sw.size(); ++i) {
+    EXPECT_EQ(hw_squared.c[i].towers, sw.c[i].towers) << "component " << i;
+    EXPECT_EQ(hw_general.c[i].towers, sw.c[i].towers) << "component " << i;
+  }
+  EXPECT_EQ(enc.decode(f.scheme.decrypt(f.sk, hw_squared)), 150 * 150);
+
+  // Two uploads skipped per extended tower, none on the general path.
+  const auto ext = f.scheme.context().ext_basis().size();
+  EXPECT_EQ(squared.sram_reuses, 2 * ext);
+  EXPECT_EQ(general.sram_reuses, 0u);
+  // The serial link carries half the uploads (readback unchanged)...
+  EXPECT_LT(squared.io_seconds, general.io_seconds);
+  // ...and the chip pays the foreground DMA duplication instead.
+  EXPECT_GT(squared.chip_cycles, general.chip_cycles);
+}
+
+TEST(ChipBfv, PrepareSquareRejectsNonCanonicalCiphertext) {
+  StackFixture f;
+  bfv::IntegerEncoder enc(f.scheme.context());
+  const auto ca = f.scheme.encrypt(f.pk, enc.encode(3));
+  const auto tensor = f.scheme.multiply(ca, ca);  // 3 elements
+  EXPECT_THROW((void)ChipBfvEvaluator::prepare_square(f.scheme, tensor),
+               std::invalid_argument);
+}
+
 TEST(ChipBfv, AllExecutionModesAgree) {
   StackFixture f;
   bfv::IntegerEncoder enc(f.scheme.context());

@@ -1,0 +1,214 @@
+// Graph layer unit tests: builder invariants, compiler leveling, typed
+// rejection of malformed graphs (cycles, width mismatches, dangling
+// references) -- every failure mode must throw its specific error type,
+// never hang or produce a runnable program.
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/executor.hpp"
+#include "service/eval_service.hpp"
+
+namespace cofhee::graph {
+namespace {
+
+bfv::Plaintext scalar(const bfv::BfvContext& ctx, std::uint64_t v) {
+  bfv::Plaintext p;
+  p.coeffs.assign(ctx.n(), 0);
+  p.coeffs[0] = v % ctx.t();
+  return p;
+}
+
+TEST(GraphBuilder, RejectsDanglingOperandsEagerly) {
+  Graph g;
+  const auto x = g.input();
+  EXPECT_THROW((void)g.mul(x, 7), GraphInputError);
+  EXPECT_THROW((void)g.relin(3), GraphInputError);
+  EXPECT_THROW((void)g.add(9, x), GraphInputError);
+  EXPECT_THROW(g.mark_output(5), GraphInputError);
+  // The graph is still usable after rejected calls.
+  const auto y = g.square_relin(x);
+  g.mark_output(y);
+  EXPECT_EQ(g.size(), 2u);
+}
+
+TEST(GraphCompile, LevelsADiamondIntoMinimalRounds) {
+  // x -> {x^2, 2x} -> x^2 + 2x: the square is a chip op (round 0, result
+  // in round 1), the plaintext double is host work in round 0, the add is
+  // host work in round 1 after the chip result lands.
+  bfv::Bfv scheme{bfv::BfvParams::test_tiny(32), 3};
+  Graph g;
+  const auto x = g.input();
+  const auto sq = g.square_relin(x);
+  const auto dbl = g.mul_plain(x, scalar(scheme.context(), 2));
+  const auto sum = g.add(sq, dbl);
+  g.mark_output(sum);
+
+  const auto cg = compile(g);
+  ASSERT_EQ(cg.rounds.size(), 2u);
+  ASSERT_EQ(cg.rounds[0].chip_ops.size(), 1u);
+  EXPECT_EQ(cg.rounds[0].chip_ops[0].node, sq);
+  EXPECT_TRUE(cg.rounds[0].chip_ops[0].square);
+  EXPECT_EQ(cg.rounds[0].chip_ops[0].kind, service::RequestKind::kMultRelin);
+  ASSERT_EQ(cg.rounds[0].host_ops.size(), 1u);
+  EXPECT_EQ(cg.rounds[0].host_ops[0], dbl);
+  ASSERT_EQ(cg.rounds[1].host_ops.size(), 1u);
+  EXPECT_EQ(cg.rounds[1].host_ops[0], sum);
+  EXPECT_TRUE(cg.rounds[1].chip_ops.empty());
+  EXPECT_EQ(cg.chip_ops, 1u);
+  EXPECT_EQ(cg.squares, 1u);
+  EXPECT_EQ(cg.host_ops, 2u);
+}
+
+TEST(GraphCompile, IndependentMulsShareARound) {
+  Graph g;
+  const auto a = g.input();
+  const auto b = g.input();
+  const auto c = g.input();
+  const auto ab = g.mul_relin(a, b);
+  const auto bc = g.mul_relin(b, c);
+  const auto out = g.mul_relin(ab, bc);
+  g.mark_output(out);
+
+  const auto cg = compile(g);
+  ASSERT_EQ(cg.rounds.size(), 2u);
+  EXPECT_EQ(cg.rounds[0].chip_ops.size(), 2u);  // ab and bc batch together
+  EXPECT_EQ(cg.rounds[1].chip_ops.size(), 1u);
+  EXPECT_EQ(cg.squares, 0u);
+}
+
+TEST(GraphCompile, SplitMulRelinLevelsAcrossTwoRounds) {
+  // An explicit tensor + separate relin costs one extra round vs the fused
+  // kind: the 3-element intermediate must come back before the key switch.
+  Graph g;
+  const auto a = g.input();
+  const auto b = g.input();
+  const auto t = g.mul(a, b);
+  const auto r = g.relin(t);
+  g.mark_output(r);
+  const auto cg = compile(g);
+  ASSERT_EQ(cg.rounds.size(), 2u);
+  EXPECT_EQ(cg.rounds[0].chip_ops[0].kind, service::RequestKind::kEvalMult);
+  EXPECT_EQ(cg.rounds[1].chip_ops[0].kind, service::RequestKind::kRelinearize);
+  EXPECT_EQ(cg.width[t], 3u);
+  EXPECT_EQ(cg.width[r], 2u);
+}
+
+TEST(GraphCompile, RejectsCyclesWithTypedError) {
+  // add_raw can reference forward, closing a cycle the builder API cannot.
+  Graph g;
+  const auto x = g.input();
+  Node n1{OpKind::kAdd, x, 2, {}};    // depends on node 2...
+  Node n2{OpKind::kNegate, 1, 0, {}};  // ...which depends on node 1
+  (void)g.add_raw(n1);
+  (void)g.add_raw(n2);
+  EXPECT_THROW((void)compile(g), GraphCycleError);
+}
+
+TEST(GraphCompile, RejectsSelfReferenceAsACycle) {
+  Graph g;
+  const auto x = g.input();
+  (void)x;
+  (void)g.add_raw({OpKind::kNegate, 1, 0, {}});  // node 1 consumes itself
+  EXPECT_THROW((void)compile(g), GraphCycleError);
+}
+
+TEST(GraphCompile, RejectsWidthMismatchesWithTypedError) {
+  {
+    // Relinearizing a 2-element ciphertext.
+    Graph g;
+    const auto x = g.input();
+    Node bad{OpKind::kRelin, x, 0, {}};
+    (void)g.add_raw(bad);
+    EXPECT_THROW((void)compile(g), GraphWidthError);
+  }
+  {
+    // Multiplying a 3-element tensor without relinearizing first.
+    Graph g;
+    const auto x = g.input();
+    const auto t = g.mul(x, x);
+    (void)g.mul(t, x);
+    EXPECT_THROW((void)compile(g), GraphWidthError);
+  }
+  {
+    // Adding a tensor to a canonical ciphertext.
+    Graph g;
+    const auto x = g.input();
+    const auto t = g.mul(x, x);
+    (void)g.add(t, x);
+    EXPECT_THROW((void)compile(g), GraphWidthError);
+  }
+}
+
+TEST(GraphCompile, RejectsDanglingRawReferences) {
+  Graph g;
+  (void)g.input();
+  (void)g.add_raw({OpKind::kNegate, 17, 0, {}});
+  EXPECT_THROW((void)compile(g), GraphInputError);
+}
+
+TEST(GraphCompile, EveryGraphErrorIsAnInvalidArgument) {
+  // Callers that don't care about the flavor can catch the family root.
+  Graph g;
+  (void)g.add_raw({OpKind::kNegate, 5, 0, {}});
+  EXPECT_THROW((void)compile(g), GraphError);
+  EXPECT_THROW((void)compile(g), std::invalid_argument);
+}
+
+TEST(GraphExecutorUnit, RejectsWrongInputCount) {
+  bfv::Bfv scheme{bfv::BfvParams::test_tiny(32), 3};
+  const auto sk = scheme.keygen_secret();
+  const auto pk = scheme.keygen_public(sk);
+  Graph g;
+  const auto x = g.input();
+  const auto y = g.input();
+  g.mark_output(g.add(x, y));
+  const auto cg = compile(g);
+
+  service::ChipFarm farm(1);
+  service::EvalService svc(scheme, farm, {});
+  GraphExecutor ex(scheme, svc);
+  bfv::Plaintext p;
+  p.coeffs.assign(scheme.context().n(), 0);
+  const auto ct = scheme.encrypt(pk, p);
+  EXPECT_THROW((void)ex.run(cg, {ct}), GraphInputError);
+  EXPECT_THROW((void)ex.run(cg, {ct, ct, ct}), GraphInputError);
+  EXPECT_THROW((void)evaluate_reference(scheme, g, {ct}), GraphInputError);
+}
+
+TEST(GraphExecutorUnit, ReferenceNeedsRelinKeysOnlyWhenUsed) {
+  bfv::Bfv scheme{bfv::BfvParams::test_tiny(32), 3};
+  const auto sk = scheme.keygen_secret();
+  const auto pk = scheme.keygen_public(sk);
+  bfv::Plaintext p;
+  p.coeffs.assign(scheme.context().n(), 0);
+  p.coeffs[0] = 5;
+  const auto ct = scheme.encrypt(pk, p);
+
+  Graph needs_rk;
+  const auto x = needs_rk.input();
+  needs_rk.mark_output(needs_rk.square_relin(x));
+  EXPECT_THROW((void)evaluate_reference(scheme, needs_rk, {ct}, nullptr), GraphInputError);
+
+  Graph no_rk;
+  const auto y = no_rk.input();
+  no_rk.mark_output(no_rk.negate(y));
+  EXPECT_NO_THROW((void)evaluate_reference(scheme, no_rk, {ct}, nullptr));
+}
+
+TEST(GraphCompile, EmptyAndOutputFreeGraphsAreValid) {
+  Graph empty;
+  const auto cg0 = compile(empty);
+  EXPECT_TRUE(cg0.rounds.empty());
+  EXPECT_TRUE(cg0.outputs.empty());
+
+  Graph no_out;
+  const auto x = no_out.input();
+  (void)no_out.negate(x);
+  const auto cg1 = compile(no_out);
+  EXPECT_EQ(cg1.host_ops, 1u);
+  EXPECT_TRUE(cg1.outputs.empty());
+}
+
+}  // namespace
+}  // namespace cofhee::graph

@@ -1,0 +1,194 @@
+// Seeded random-DAG fuzz: programs of arbitrary depth and fan-out built
+// from every OpKind, compiled and executed through the chip-farm service
+// under both strategies, multiple pipeline depths, and homogeneous plus
+// heterogeneous farms -- every run must be bit-exact against the serial
+// pure-software reference evaluator.  Bit-exactness (tower equality, no
+// decryption) means plaintext growth mod t is irrelevant, so the generator
+// is free to compose ops without magnitude bookkeeping.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "graph/executor.hpp"
+#include "service/eval_service.hpp"
+
+namespace cofhee::graph {
+namespace {
+
+struct FuzzFixture {
+  bfv::Bfv scheme{bfv::BfvParams::test_tiny(32), /*seed=*/23};
+  bfv::SecretKey sk = scheme.keygen_secret();
+  bfv::PublicKey pk = scheme.keygen_public(sk);
+  bfv::RelinKeys rk = scheme.keygen_relin(sk, 16);
+};
+
+/// Random plaintext with a handful of nonzero coefficients.
+bfv::Plaintext random_plain(std::mt19937_64& rng, const bfv::BfvContext& ctx) {
+  bfv::Plaintext p;
+  p.coeffs.assign(ctx.n(), 0);
+  const std::size_t nz = 1 + rng() % 3;
+  for (std::size_t i = 0; i < nz; ++i) p.coeffs[rng() % ctx.n()] = rng() % ctx.t();
+  return p;
+}
+
+/// Grow a random program: tracks 2- and 3-element frontiers so every op is
+/// width-legal, mixes chip and host ops, and leaves some tensor values
+/// unrelinearized on purpose (width-3 adds/negates are legal host work).
+Graph random_graph(std::mt19937_64& rng, const bfv::BfvContext& ctx, std::size_t inputs,
+                   std::size_t ops) {
+  Graph g;
+  std::vector<NodeId> w2, w3;
+  for (std::size_t i = 0; i < inputs; ++i) w2.push_back(g.input());
+  const auto pick = [&](const std::vector<NodeId>& v) { return v[rng() % v.size()]; };
+
+  for (std::size_t i = 0; i < ops; ++i) {
+    const auto r = rng() % 100;
+    if (!w3.empty() && r < 25) {
+      w2.push_back(g.relin(pick(w3)));
+    } else if (r < 45) {
+      w2.push_back(g.mul_relin(pick(w2), pick(w2)));  // may square (a == b)
+    } else if (r < 55) {
+      w3.push_back(g.mul(pick(w2), pick(w2)));
+    } else if (r < 62) {
+      w2.push_back(g.square_relin(pick(w2)));
+    } else if (r < 72) {
+      if (!w3.empty() && (rng() & 1) != 0)
+        w3.push_back(g.add(pick(w3), pick(w3)));
+      else
+        w2.push_back(g.add(pick(w2), pick(w2)));
+    } else if (r < 80) {
+      if (!w3.empty() && (rng() & 1) != 0)
+        w3.push_back(g.negate(pick(w3)));
+      else
+        w2.push_back(g.negate(pick(w2)));
+    } else if (r < 90) {
+      w2.push_back(g.add_plain(pick(w2), random_plain(rng, ctx)));
+    } else {
+      w2.push_back(g.mul_plain(pick(w2), random_plain(rng, ctx)));
+    }
+  }
+  // A random sample of the frontier as outputs, always at least one, with
+  // one 3-element output when available (outputs need not be canonical).
+  g.mark_output(w2.back());
+  for (NodeId id : w2)
+    if (rng() % 4 == 0) g.mark_output(id);
+  if (!w3.empty()) g.mark_output(w3.back());
+  return g;
+}
+
+void expect_bit_exact(const bfv::Ciphertext& got, const bfv::Ciphertext& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got.c[i].towers, want.c[i].towers) << "component " << i;
+}
+
+TEST(GraphFuzz, RandomDagsAreBitExactAcrossTheConfigMatrix) {
+  FuzzFixture f;
+  // The 4-chip farm is heterogeneous: back half on UART bring-up links at
+  // half clock, so load-aware placement actually skews the assignment.
+  std::vector<service::ChipSpec> hetero(4);
+  for (std::size_t i = 2; i < 4; ++i) {
+    hetero[i].link = driver::Link::kUart;
+    hetero[i].cfg.freq_mhz = 125.0;
+  }
+
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    std::mt19937_64 rng(seed);
+    const std::size_t inputs = 2 + rng() % 3;
+    const std::size_t ops = 12 + rng() % 14;
+    const Graph g = random_graph(rng, f.scheme.context(), inputs, ops);
+    const auto cg = compile(g);
+
+    std::vector<bfv::Ciphertext> enc;
+    for (std::size_t i = 0; i < inputs; ++i)
+      enc.push_back(f.scheme.encrypt(f.pk, random_plain(rng, f.scheme.context())));
+    const auto want = evaluate_reference(f.scheme, g, enc, &f.rk);
+    ASSERT_FALSE(want.empty());
+
+    for (auto strategy : {service::Strategy::kBatchPerChip, service::Strategy::kShardTowers}) {
+      for (std::size_t depth : {1u, 2u, 4u}) {
+        for (std::size_t chips : {1u, 2u, 4u}) {
+          SCOPED_TRACE("seed=" + std::to_string(seed) + " ops=" + std::to_string(ops) +
+                       " strategy=" + std::to_string(static_cast<int>(strategy)) +
+                       " depth=" + std::to_string(depth) + " chips=" + std::to_string(chips));
+          service::ChipFarm farm =
+              chips == 4 ? service::ChipFarm(hetero) : service::ChipFarm(chips);
+          service::ServiceOptions opts;
+          opts.strategy = strategy;
+          opts.relin_keys = &f.rk;
+          opts.pipeline_depth = depth;
+          service::EvalService svc(f.scheme, farm, opts);
+          GraphExecutor ex(f.scheme, svc);
+          const auto got = ex.run(cg, enc);
+          ASSERT_EQ(got.size(), want.size());
+          for (std::size_t i = 0; i < got.size(); ++i) expect_bit_exact(got[i], want[i]);
+        }
+      }
+    }
+  }
+}
+
+TEST(GraphFuzz, DeepChainStressesRoundCount) {
+  // A serial squaring chain has no intra-round parallelism at all: every
+  // op is its own round.  The executor must survive long round sequences
+  // and stay bit-exact.
+  FuzzFixture f;
+  Graph g;
+  auto x = g.input();
+  constexpr std::size_t kDepth = 12;
+  for (std::size_t i = 0; i < kDepth; ++i) x = g.square_relin(x);
+  g.mark_output(x);
+  const auto cg = compile(g);
+  EXPECT_EQ(cg.rounds.size(), kDepth);
+  EXPECT_EQ(cg.squares, kDepth);
+
+  std::mt19937_64 rng(99);
+  const std::vector<bfv::Ciphertext> enc = {
+      f.scheme.encrypt(f.pk, random_plain(rng, f.scheme.context()))};
+  const auto want = evaluate_reference(f.scheme, g, enc, &f.rk);
+
+  service::ChipFarm farm(2);
+  service::ServiceOptions opts;
+  opts.relin_keys = &f.rk;
+  service::EvalService svc(f.scheme, farm, opts);
+  GraphExecutor ex(f.scheme, svc);
+  GraphRunStats rs;
+  const auto got = ex.run(cg, enc, {}, &rs);
+  ASSERT_EQ(got.size(), 1u);
+  expect_bit_exact(got[0], want[0]);
+  EXPECT_EQ(rs.rounds, kDepth);
+  EXPECT_EQ(rs.squares, kDepth);
+  EXPECT_EQ(svc.stats().sram_reuses, 2 * kDepth * f.scheme.context().ext_basis().size());
+}
+
+TEST(GraphFuzz, WideFanOutBatchesIntoOneRound) {
+  // Maximum fan-out: N independent squarings of one input all land in
+  // round 0 and reach the farm as a single batch.
+  FuzzFixture f;
+  Graph g;
+  const auto x = g.input();
+  constexpr std::size_t kWidth = 16;
+  for (std::size_t i = 0; i < kWidth; ++i) g.mark_output(g.square_relin(x));
+  const auto cg = compile(g);
+  ASSERT_EQ(cg.rounds.size(), 1u);
+  EXPECT_EQ(cg.rounds[0].chip_ops.size(), kWidth);
+
+  std::mt19937_64 rng(7);
+  const std::vector<bfv::Ciphertext> enc = {
+      f.scheme.encrypt(f.pk, random_plain(rng, f.scheme.context()))};
+  const auto want = evaluate_reference(f.scheme, g, enc, &f.rk);
+
+  service::ChipFarm farm(4);
+  service::ServiceOptions opts;
+  opts.relin_keys = &f.rk;
+  service::EvalService svc(f.scheme, farm, opts);
+  GraphExecutor ex(f.scheme, svc);
+  const auto got = ex.run(cg, enc);
+  ASSERT_EQ(got.size(), kWidth);
+  for (std::size_t i = 0; i < kWidth; ++i) expect_bit_exact(got[i], want[i]);
+}
+
+}  // namespace
+}  // namespace cofhee::graph

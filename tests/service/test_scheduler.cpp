@@ -137,6 +137,42 @@ TEST(RequestQueue, LatestSubmittedWeightWins) {
   EXPECT_EQ(pop_ids(q, 16), (std::vector<double>{1, 3, 4, 2, 5, 6, 7, 8}));
 }
 
+TEST(RequestQueue, LoweringAWeightMidTurnClampsTheBankedDeficit) {
+  RequestQueue q(SchedPolicy::kPriorityFair, 1000);
+  MockClock clk;
+  // Tenant 1 starts a turn at weight 4 (grant of 4 picks), tenant 2 holds
+  // weight 1.  Two picks into tenant 1's turn its weight drops to 1: the
+  // banked deficit (2 picks left, granted at the old weight) must clamp to
+  // the new weight, so tenant 1 gets exactly one more pick before the
+  // rotation moves on -- not the full remainder of the stale grant.
+  for (int i = 1; i <= 6; ++i)
+    q.push(arrival(clk.tick(), Priority::kNormal, 1, 4));  // ids 1..6
+  for (int i = 7; i <= 9; ++i)
+    q.push(arrival(clk.tick(), Priority::kNormal, 2, 1));  // ids 7..9
+  EXPECT_EQ(pop_ids(q, 2), (std::vector<double>{1, 2}));   // deficit 4 -> 2
+  q.push(arrival(clk.tick(), Priority::kNormal, 1, 1));    // id 10, clamp
+  // One pick left for tenant 1's turn, then strict 1:1 alternation.
+  EXPECT_EQ(pop_ids(q, 16), (std::vector<double>{3, 7, 4, 8, 5, 9, 6, 10}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RequestQueue, RaisingAWeightMidTurnDoesNotRetroactivelyExtendIt) {
+  RequestQueue q(SchedPolicy::kPriorityFair, 1000);
+  MockClock clk;
+  // Tenant 1's turn was granted at weight 1; re-submitting at weight 3
+  // mid-backlog must only affect the *next* turn -- the in-flight grant is
+  // already spent, not topped up.
+  for (int i = 1; i <= 4; ++i)
+    q.push(arrival(clk.tick(), Priority::kNormal, 1, 1));  // ids 1..4
+  for (int i = 5; i <= 6; ++i)
+    q.push(arrival(clk.tick(), Priority::kNormal, 2, 1));  // ids 5..6
+  EXPECT_EQ(pop_ids(q, 1), (std::vector<double>{1}));  // t1 turn spent
+  q.push(arrival(clk.tick(), Priority::kNormal, 1, 3));  // id 7, raise
+  // Tenant 1's turn is over (deficit 0 stays 0); tenant 2 serves next, and
+  // only then does tenant 1 open a fresh turn at the new weight 3.
+  EXPECT_EQ(pop_ids(q, 16), (std::vector<double>{5, 2, 3, 4, 6, 7}));
+}
+
 TEST(RequestQueue, StarvationBoundForcesALowPickInTime) {
   constexpr std::size_t kBound = 4;
   RequestQueue q(SchedPolicy::kPriorityFair, kBound);

@@ -1,0 +1,200 @@
+// LatencyWindow percentile correctness + the stats-poll cost guarantee.
+//
+// snapshot() must report the same order statistics a full sort would (the
+// nth_element rewrite is an optimization, not a semantic change), including
+// across the ring-buffer wraparound, and a monitoring scrape over many
+// full class/tenant windows must cost less than the sort-per-window
+// implementation it replaced -- measured against an in-test full-sort
+// baseline so the bound is self-calibrating, not machine-tuned.  A live
+// poller hammering EvalService::stats() during traffic closes the loop:
+// monitoring never blocks or torments the dispatcher.
+#include "service/service_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "bfv/encoder.hpp"
+#include "service/eval_service.hpp"
+
+namespace cofhee::service {
+namespace {
+
+/// Reference percentiles: full sort of the retained window, same index rule
+/// as LatencyWindow::snapshot().
+LatencyStats sorted_reference(std::vector<double> retained, std::uint64_t count,
+                              double max_seconds) {
+  LatencyStats s;
+  s.count = count;
+  s.max_seconds = max_seconds;
+  if (retained.empty()) return s;
+  std::sort(retained.begin(), retained.end());
+  const auto at = [&](double q) {
+    return retained[static_cast<std::size_t>(
+        q * static_cast<double>(retained.size() - 1))];
+  };
+  s.p50 = at(0.50);
+  s.p95 = at(0.95);
+  s.p99 = at(0.99);
+  return s;
+}
+
+TEST(LatencyWindow, EmptyWindowSnapshotsToZeros) {
+  LatencyWindow w;
+  const auto s = w.snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p50, 0.0);
+  EXPECT_EQ(s.p95, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_EQ(s.max_seconds, 0.0);
+}
+
+TEST(LatencyWindow, SnapshotMatchesAFullSortAtEverySize) {
+  // Sizes straddle the interesting boundaries: single sample, the tiny
+  // windows where p50/p95/p99 collapse onto the same index, a mid-size
+  // window, and exactly-at-capacity.
+  std::mt19937_64 rng(0xC0FFEE);
+  std::uniform_real_distribution<double> lat(1e-6, 2.5);
+  for (std::size_t size : {1u, 2u, 3u, 7u, 100u, 1023u, 4096u}) {
+    SCOPED_TRACE(size);
+    LatencyWindow w;
+    std::vector<double> fed;
+    double mx = 0;
+    for (std::size_t i = 0; i < size; ++i) {
+      const double v = lat(rng);
+      fed.push_back(v);
+      mx = std::max(mx, v);
+      w.record(v);
+    }
+    const auto got = w.snapshot();
+    const auto want = sorted_reference(fed, size, mx);
+    EXPECT_EQ(got.count, want.count);
+    EXPECT_DOUBLE_EQ(got.p50, want.p50);
+    EXPECT_DOUBLE_EQ(got.p95, want.p95);
+    EXPECT_DOUBLE_EQ(got.p99, want.p99);
+    EXPECT_DOUBLE_EQ(got.max_seconds, want.max_seconds);
+  }
+}
+
+TEST(LatencyWindow, SnapshotCoversExactlyTheRetainedRingAfterWraparound) {
+  // 5000 monotonically increasing samples through a 4096-slot ring: the
+  // window must report percentiles of the *last 4096* samples only, while
+  // count and max keep the all-time view.
+  constexpr std::size_t kTotal = 5000, kCap = 4096;
+  LatencyWindow w;
+  std::vector<double> all;
+  for (std::size_t i = 1; i <= kTotal; ++i) {
+    w.record(static_cast<double>(i));
+    all.push_back(static_cast<double>(i));
+  }
+  const std::vector<double> retained(all.end() - kCap, all.end());
+  const auto got = w.snapshot();
+  const auto want =
+      sorted_reference(retained, kTotal, static_cast<double>(kTotal));
+  EXPECT_EQ(got.count, kTotal);
+  EXPECT_DOUBLE_EQ(got.p50, want.p50);
+  EXPECT_DOUBLE_EQ(got.p95, want.p95);
+  EXPECT_DOUBLE_EQ(got.p99, want.p99);
+  EXPECT_DOUBLE_EQ(got.max_seconds, static_cast<double>(kTotal));
+}
+
+TEST(LatencyWindow, PollingManyFullWindowsBeatsTheFullSortBaseline) {
+  // The scrape a busy service pays: every class and tracked tenant holds a
+  // full 4096-sample window, and a monitoring loop snapshots all of them
+  // repeatedly.  The selection-based snapshot must beat a full sort of the
+  // same windows -- the in-test baseline keeps the comparison fair on any
+  // machine instead of hard-coding a wall-time budget.
+  constexpr std::size_t kWindows = 16, kPolls = 100;
+  std::mt19937_64 rng(31337);
+  std::uniform_real_distribution<double> lat(1e-6, 2.5);
+  std::vector<LatencyWindow> windows(kWindows);
+  std::vector<std::vector<double>> raw(kWindows);
+  for (std::size_t t = 0; t < kWindows; ++t) {
+    for (std::size_t i = 0; i < 4096; ++i) {
+      const double v = lat(rng);
+      windows[t].record(v);
+      raw[t].push_back(v);
+    }
+  }
+
+  using clock = std::chrono::steady_clock;
+  double sink = 0;  // defeat dead-code elimination
+
+  const auto t0 = clock::now();
+  for (std::size_t p = 0; p < kPolls; ++p)
+    for (const auto& w : windows) sink += w.snapshot().p99;
+  const double snapshot_s = std::chrono::duration<double>(clock::now() - t0).count();
+
+  const auto t1 = clock::now();
+  for (std::size_t p = 0; p < kPolls; ++p) {
+    for (const auto& r : raw) {
+      std::vector<double> sorted = r;
+      std::sort(sorted.begin(), sorted.end());
+      sink += sorted[static_cast<std::size_t>(0.99 * (sorted.size() - 1))];
+    }
+  }
+  const double sort_s = std::chrono::duration<double>(clock::now() - t1).count();
+
+  EXPECT_GT(sink, 0.0);
+  EXPECT_LT(snapshot_s, sort_s)
+      << "selection snapshot (" << snapshot_s << "s for " << kPolls * kWindows
+      << " polls) must undercut the full-sort baseline (" << sort_s << "s)";
+}
+
+TEST(ServiceStatsPoll, ConcurrentScrapesNeverDisturbTraffic) {
+  // A poller thread scrapes stats() as fast as it can while a request batch
+  // flows through a 2-chip farm under the fairness scheduler (per-class and
+  // per-tenant windows all live).  Results must stay bit-exact and every
+  // scrape internally consistent (completed <= submitted).
+  bfv::Bfv scheme{bfv::BfvParams::test_tiny(32), /*seed=*/23};
+  const auto sk = scheme.keygen_secret();
+  const auto pk = scheme.keygen_public(sk);
+  bfv::IntegerEncoder enc{scheme.context()};
+
+  ChipFarm farm(2);
+  ServiceOptions opts;
+  opts.sched = SchedPolicy::kPriorityFair;
+  opts.max_batch = 4;
+  EvalService svc(scheme, farm, opts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> scrapes{0};
+  std::thread poller([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto st = svc.stats();
+      EXPECT_LE(st.completed + st.failed, st.submitted);
+      for (const auto& cls : st.per_class)
+        EXPECT_LE(cls.completed + cls.failed, cls.submitted);
+      scrapes.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::int64_t> xs = {3, -5, 7, 11, -2, 9, 1, -8};
+  std::vector<std::future<bfv::Ciphertext>> futs;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EvalRequest r{scheme.encrypt(pk, enc.encode(xs[i])),
+                  scheme.encrypt(pk, enc.encode(2)), RequestKind::kEvalMult};
+    SubmitOptions so;
+    so.tenant = i % 3;
+    so.priority = (i % 2) ? Priority::kHigh : Priority::kNormal;
+    futs.push_back(svc.submit(std::move(r), so));
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    const auto got = futs[i].get();
+    EXPECT_EQ(enc.decode(scheme.decrypt(sk, got)), xs[i] * 2);
+  }
+  stop.store(true);
+  poller.join();
+  EXPECT_GT(scrapes.load(), 0u);
+  const auto st = svc.stats();
+  EXPECT_EQ(st.completed, xs.size());
+  EXPECT_EQ(st.per_tenant.size(), 3u);
+}
+
+}  // namespace
+}  // namespace cofhee::service
