@@ -1,0 +1,88 @@
+#include "chip/fault.hpp"
+
+namespace cofhee::chip {
+
+namespace {
+
+/// splitmix64: tiny, seed-stable generator for reproducible schedules
+/// (matching the repo's seeded-test discipline; <random> distributions are
+/// not bit-stable across standard libraries).
+std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultSchedule FaultSchedule::random(std::uint64_t seed, std::uint64_t op_horizon,
+                                    std::size_t num_events,
+                                    double link_timeout_seconds) {
+  FaultSchedule s;
+  s.seed = seed;
+  s.link_timeout_seconds = link_timeout_seconds;
+  if (op_horizon == 0) op_horizon = 1;
+  std::uint64_t state = seed ^ 0xc0f4ee00c0f4ee00ULL;
+  s.events.reserve(num_events);
+  for (std::size_t i = 0; i < num_events; ++i) {
+    FaultEvent e;
+    // Kill events are rare (1 in 8) so most schedules exercise the healing
+    // paths rather than just chip death.
+    const std::uint64_t k = splitmix64(state) % 8;
+    e.kind = k == 0   ? FaultKind::kKillChip
+             : k < 4  ? FaultKind::kStallLink
+                      : FaultKind::kCorruptFrame;
+    e.at_op = splitmix64(state) % op_horizon;
+    if (e.kind == FaultKind::kCorruptFrame) e.count = 1 + splitmix64(state) % 8;
+    if (e.kind == FaultKind::kStallLink) {
+      // Spread stalls across (0, 2*timeout]: roughly half complete late
+      // (EWMA degradation), half exceed the host's patience (timeout).
+      const double frac =
+          static_cast<double>(1 + splitmix64(state) % 1000) / 500.0;
+      e.stall_seconds = frac * link_timeout_seconds;
+    }
+    s.events.push_back(e);
+  }
+  return s;
+}
+
+FaultInjector::FaultInjector(FaultSchedule schedule)
+    : schedule_(std::move(schedule)) {}
+
+double FaultInjector::on_transaction() {
+  const std::uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
+  if (dead_.load(std::memory_order_relaxed))
+    throw ChipFaultError("chip dead: link transaction " + std::to_string(op) +
+                         " rejected");
+  double stall = 0;
+  for (const FaultEvent& e : schedule_.events) {
+    if (e.kind == FaultKind::kKillChip) {
+      if (op < e.at_op) continue;
+      dead_.store(true, std::memory_order_relaxed);
+      faults_fired_.fetch_add(1, std::memory_order_relaxed);
+      throw ChipFaultError("chip killed at link transaction " +
+                           std::to_string(e.at_op));
+    }
+    if (op < e.at_op || op >= e.at_op + e.count) continue;
+    if (e.kind == FaultKind::kCorruptFrame) {
+      // The frame's integrity check fails before any byte lands in SRAM.
+      faults_fired_.fetch_add(1, std::memory_order_relaxed);
+      throw ChipFaultError("corrupt serial frame at link transaction " +
+                           std::to_string(op));
+    }
+    // kStallLink: the host waits out short stalls (the transaction merely
+    // completes late) and abandons long ones.
+    faults_fired_.fetch_add(1, std::memory_order_relaxed);
+    if (e.stall_seconds > schedule_.link_timeout_seconds)
+      throw LinkTimeoutError("link stalled " + std::to_string(e.stall_seconds) +
+                             "s at transaction " + std::to_string(op) +
+                             " (timeout " +
+                             std::to_string(schedule_.link_timeout_seconds) + "s)");
+    stall += e.stall_seconds;
+  }
+  return stall;
+}
+
+}  // namespace cofhee::chip

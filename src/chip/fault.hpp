@@ -1,0 +1,169 @@
+// Link/chip-layer fault injection (the "sick farm" model).
+//
+// Every layer above the serial links -- driver sessions, the evaluation
+// service, the graph executor -- historically trusted the chip model to be
+// perfect: no corrupt frames, no stalled links, no chip ever dying
+// mid-round.  Real deployments are not so polite, and the firmware-style
+// error/watchdog discipline (libtungsten's error modules; Virtual Secure
+// Platform's staged pipeline with explicit failure states at every stage
+// boundary) argues for typed, detectable failures instead of silent
+// garbage.  This header provides them:
+//
+//  * FaultSchedule: a deterministic, seed-reproducible list of fault events
+//    keyed by link-transaction index, attached to a farm slot via
+//    service::ChipSpec::faults.
+//  * FaultInjector: the per-chip runtime that fires the schedule.  Each
+//    serial-link transaction (register access or burst frame) consults the
+//    injector first; a fault surfaces as a typed exception *before* any
+//    byte moves, so chip SRAM is never silently corrupted -- the frame is
+//    rejected, exactly like a CRC check on a real wire.
+//
+// Fault taxonomy (FaultKind):
+//  * kCorruptFrame -- the frame's integrity check fails; the transaction
+//    throws ChipFaultError.  Transient: once the scheduled window passes,
+//    the link is healthy again (a quarantined chip can be re-admitted).
+//  * kStallLink -- the link stalls for stall_seconds of simulated time.
+//    Below the schedule's link_timeout_seconds the transaction completes
+//    late (degradation the service's EWMA cost tracking will observe and
+//    shed load away from); above it the host gives up and the transaction
+//    throws LinkTimeoutError.
+//  * kKillChip -- the chip dies; this and every later transaction (health
+//    probes included) throws ChipFaultError forever.
+//
+// The exceptions derive from FaultError (a std::runtime_error), so callers
+// can distinguish retryable hardware faults from logic errors -- the
+// evaluation service retries/requeues FaultError work and fails everything
+// else immediately.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cofhee::chip {
+
+/// Base of every injected/detected hardware fault.  Deriving from
+/// std::runtime_error keeps pre-fault-aware callers working; fault-aware
+/// callers (the service's retry/quarantine machinery) catch FaultError to
+/// separate retryable hardware failures from logic errors.
+class FaultError : public std::runtime_error {
+ public:
+  /// Construct with a message, like std::runtime_error.
+  using std::runtime_error::runtime_error;
+};
+
+/// A chip-side fault: corrupt serial frame (integrity check failed) or a
+/// dead chip.  Retryable on another chip; the operands are host-resident.
+class ChipFaultError : public FaultError {
+ public:
+  /// Construct with a message, like FaultError.
+  using FaultError::FaultError;
+};
+
+/// The host gave up waiting on a stalled serial link (the stall exceeded
+/// the schedule's link_timeout_seconds).  Retryable on another chip.
+class LinkTimeoutError : public FaultError {
+ public:
+  /// Construct with a message, like FaultError.
+  using FaultError::FaultError;
+};
+
+/// What a scheduled fault does to the link/chip (see file comment).
+enum class FaultKind : std::uint8_t {
+  kCorruptFrame = 0,  ///< frame integrity failure; transaction rejected
+  kStallLink = 1,     ///< link stalls for stall_seconds (simulated)
+  kKillChip = 2,      ///< chip dies; every later transaction fails
+};
+
+/// One scheduled fault, keyed by link-transaction index: the event affects
+/// transactions [at_op, at_op + count) of the chip's links (register
+/// accesses and burst frames both count as one transaction).
+struct FaultEvent {
+  /// What happens (see FaultKind).
+  FaultKind kind = FaultKind::kCorruptFrame;
+  /// First link transaction (0-based, counted across the chip's lifetime)
+  /// the event affects.
+  std::uint64_t at_op = 0;
+  /// Transactions affected, starting at at_op.  Ignored for kKillChip
+  /// (death is permanent).
+  std::uint64_t count = 1;
+  /// Simulated seconds a kStallLink event delays each affected
+  /// transaction.  Ignored for the other kinds.
+  double stall_seconds = 0;
+};
+
+/// A deterministic fault plan for one chip: events keyed by transaction
+/// index, plus the host's patience for stalled links.  Reproducible by
+/// construction -- chaos tests print the seed of a failing schedule.
+struct FaultSchedule {
+  /// Scheduled events; order does not matter (the injector scans all).
+  std::vector<FaultEvent> events;
+  /// Longest simulated stall the host waits out before declaring
+  /// LinkTimeoutError on the transaction.  Seconds (simulated).
+  double link_timeout_seconds = 1.0;
+  /// Provenance tag for reproduction (chaos batteries print it on
+  /// failure); never consulted by the injector itself.
+  std::uint64_t seed = 0;
+
+  /// True when no event is scheduled.
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+
+  /// A seed-reproducible random schedule: `num_events` events of random
+  /// kinds at transaction indices in [0, op_horizon), stalls in
+  /// (0, 2 * link_timeout) so both the late-but-alive and the timed-out
+  /// paths occur, corrupt windows of 1..8 frames.  Same seed, same
+  /// schedule, forever.
+  static FaultSchedule random(std::uint64_t seed, std::uint64_t op_horizon,
+                              std::size_t num_events,
+                              double link_timeout_seconds = 1.0);
+};
+
+/// Per-chip runtime of a FaultSchedule.  The chip's serial links call
+/// on_transaction() before moving any byte; the injector either lets the
+/// transaction pass (possibly charging stall seconds), or throws the typed
+/// fault.  Transactions are sequenced by the single session that owns the
+/// chip at any time (the service's chip stages are exclusive), so only the
+/// counters read by concurrent stats scrapes are atomic.
+class FaultInjector {
+ public:
+  /// Arm `schedule` (copied).  An empty schedule is legal and free.
+  explicit FaultInjector(FaultSchedule schedule);
+
+  /// Called by the serial link before each transaction.  Returns the extra
+  /// simulated stall seconds to account (0 almost always); throws
+  /// ChipFaultError on a corrupt frame or dead chip, LinkTimeoutError on a
+  /// stall past the schedule's timeout.
+  double on_transaction();
+
+  /// True once a kKillChip event has fired: the chip is gone for good and
+  /// every transaction (health probes included) throws.
+  [[nodiscard]] bool dead() const noexcept {
+    return dead_.load(std::memory_order_relaxed);
+  }
+
+  /// Faults fired so far: one per affected transaction (corrupt frame,
+  /// timed-out or late stall) plus one for the kill event itself --
+  /// repeated dead-chip rejections after the kill are not re-counted.
+  /// Feeds ServiceStats::faults_injected.
+  [[nodiscard]] std::uint64_t faults_fired() const noexcept {
+    return faults_fired_.load(std::memory_order_relaxed);
+  }
+
+  /// Link transactions observed so far (the schedule's time base).
+  [[nodiscard]] std::uint64_t ops() const noexcept {
+    return ops_.load(std::memory_order_relaxed);
+  }
+
+  /// The schedule this injector was armed with.
+  [[nodiscard]] const FaultSchedule& schedule() const noexcept { return schedule_; }
+
+ private:
+  FaultSchedule schedule_;
+  std::atomic<std::uint64_t> ops_{0};
+  std::atomic<std::uint64_t> faults_fired_{0};
+  std::atomic<bool> dead_{false};
+};
+
+}  // namespace cofhee::chip

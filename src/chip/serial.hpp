@@ -8,11 +8,18 @@
 // timing constraint).  The paper's points about execution mode 1 being slow
 // and n >= 2^14 needing host round-trips (Section VIII-A) fall out of these
 // byte counts.
+// Fault injection: when a FaultInjector is attached (ChipSpec::faults via
+// the service's ChipFarm), every transaction -- one register access or one
+// burst frame -- consults it first.  A faulted transaction throws the typed
+// error (chip/fault.hpp) before any byte moves, so SRAM is never silently
+// corrupted; a sub-timeout stall simply accounts extra line seconds, which
+// the service's measured per-chip costs then observe.
 #pragma once
 
 #include <cstdint>
 
 #include "chip/ahb.hpp"
+#include "chip/fault.hpp"
 
 namespace cofhee::chip {
 
@@ -31,12 +38,14 @@ class SerialLink {
 
   /// Host-side 32-bit register/memory write: 9 bytes on the wire.
   void host_write32(std::uint32_t addr, std::uint32_t value) {
+    pre_transaction();
     account_tx(9);
     bus_.write32(master_, addr, value);
   }
 
   /// Host-side 32-bit read: 5 bytes out, 4 bytes back.
   [[nodiscard]] std::uint32_t host_read32(std::uint32_t addr) {
+    pre_transaction();
     account_tx(5);
     account_rx(4);
     return bus_.read32(master_, addr);
@@ -45,12 +54,14 @@ class SerialLink {
   /// Bulk payload write (burst framing: 1 cmd + 4 addr + 4 len + payload).
   void host_write_burst(std::uint32_t addr, const std::uint32_t* words,
                         std::size_t count) {
+    pre_transaction();
     account_tx(9 + count * 4);
     for (std::size_t i = 0; i < count; ++i)
       bus_.write32(master_, addr + static_cast<std::uint32_t>(i) * 4, words[i]);
   }
 
   void host_read_burst(std::uint32_t addr, std::uint32_t* words, std::size_t count) {
+    pre_transaction();
     account_tx(9);
     account_rx(count * 4);
     for (std::size_t i = 0; i < count; ++i)
@@ -61,7 +72,20 @@ class SerialLink {
   void reset_stats() noexcept { stats_ = {}; }
   [[nodiscard]] double bytes_per_second() const noexcept { return bps_; }
 
+  /// Attach (or detach, with nullptr) a fault injector; every transaction
+  /// consults it before moving bytes.  Not owned; the caller keeps it alive
+  /// for the link's lifetime (ChipFarm owns both).
+  void set_fault_injector(FaultInjector* f) noexcept { fault_ = f; }
+
  protected:
+  /// Fault hook: throws the typed fault (frame rejected, nothing moved) or
+  /// charges injected stall time to the line clock.
+  void pre_transaction() {
+    if (fault_ == nullptr) return;
+    const double stall = fault_->on_transaction();
+    if (stall > 0) stats_.seconds += stall;
+  }
+
   void account_tx(std::size_t bytes) {
     stats_.bytes_tx += bytes;
     stats_.seconds += static_cast<double>(bytes) / bps_;
@@ -76,6 +100,7 @@ class SerialLink {
   BusMaster master_;
   double bps_;
   LinkStats stats_;
+  FaultInjector* fault_ = nullptr;
 };
 
 /// UART 8N1: 10 line bits per byte.

@@ -82,6 +82,21 @@ double HostDriver::configure_ring(u128 q, std::size_t n, u128 psi, bool timed) {
   return lk.stats().seconds - before;
 }
 
+void HostDriver::probe() {
+  // One write + one readback of an SP3 scratch word: the cheapest
+  // round-trip that exercises the link, the bus and the SRAM macro.  The
+  // pattern flips per probe so a stuck-at answer cannot pass twice.
+  auto& lk = link_of(chip_, link_);
+  const std::uint32_t addr = bank_base(Bank::kSp3);
+  const std::uint32_t pattern = 0xC0F4EE00u | (probe_nonce_++ & 0xFFu);
+  lk.host_write32(addr, pattern);
+  const std::uint32_t got = lk.host_read32(addr);
+  if (got != pattern)
+    throw chip::ChipFaultError("probe readback mismatch: wrote " +
+                               std::to_string(pattern) + ", read " +
+                               std::to_string(got));
+}
+
 double HostDriver::load_polynomial(Bank bank, std::size_t offset,
                                    std::span<const u128> coeffs) {
   auto& lk = link_of(chip_, link_);

@@ -96,6 +96,15 @@ class HostDriver {
   /// Configured modulus (0 before configure_ring).
   [[nodiscard]] u128 q() const noexcept { return q_; }
 
+  /// Health probe: write a known pattern to a scratch SRAM word over the
+  /// serial link and read it back.  A healthy chip echoes the pattern; a
+  /// dead or faulting chip throws chip::ChipFaultError /
+  /// chip::LinkTimeoutError (from the link's fault injector), and a chip
+  /// that answers with the wrong word throws chip::ChipFaultError.  The
+  /// service uses this to decide quarantine re-admission; it clobbers one
+  /// word of SP3, so only probe a chip with no session in flight.
+  void probe();
+
   /// Timed polynomial upload over the serial link; returns transfer seconds.
   double load_polynomial(Bank bank, std::size_t offset, std::span<const u128> coeffs);
 
@@ -146,6 +155,7 @@ class HostDriver {
   poly::MergedNtt128 engine_;
   std::size_t n_ = 0;
   u128 q_ = 0;
+  std::uint32_t probe_nonce_ = 0;
 };
 
 }  // namespace cofhee::driver

@@ -73,9 +73,25 @@ std::vector<bfv::Ciphertext> GraphExecutor::run(const CompiledGraph& cg,
       reqs.push_back(std::move(r));
     }
     auto futs = service_.submit_batch(std::move(reqs), so);
+    // Fail fast, but deterministically: wait for EVERY future of the round
+    // before deciding the round's fate, so no chip work is still in flight
+    // when we unwind.  The first faulted op (in round order) supplies the
+    // exception the caller sees -- the originating typed error, never a
+    // follow-on artifact of a later op.
+    std::exception_ptr first_err;
     for (std::size_t i = 0; i < futs.size(); ++i) {
       const ChipOp& op = round.chip_ops[i];
-      vals[op.node] = futs[i].get();
+      try {
+        vals[op.node] = futs[i].get();
+      } catch (...) {
+        if (first_err == nullptr) first_err = std::current_exception();
+      }
+    }
+    if (first_err != nullptr) {
+      // Free every intermediate (inputs, partial round results) before
+      // rethrowing; later rounds are never submitted.
+      vals.assign(n, bfv::Ciphertext{});
+      std::rethrow_exception(first_err);
     }
     for (const ChipOp& op : round.chip_ops) {
       // A squaring counts two uses of its operand, so release both slots.

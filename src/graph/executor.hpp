@@ -51,7 +51,11 @@ class GraphExecutor {
   /// count must match or GraphInputError).  Every chip round is submitted
   /// under `so`.  Returns the marked outputs in marking order.  Service
   /// errors (e.g. kRelinearize without relin keys) propagate out of the
-  /// round's futures.
+  /// round's futures.  A faulted round fails the run fast and cleanly: the
+  /// executor waits out every future of the round (nothing left in flight),
+  /// frees all intermediates deterministically, submits no later round, and
+  /// rethrows the round's first error -- the originating typed exception
+  /// (e.g. chip::ChipFaultError once the service's retries are exhausted).
   std::vector<bfv::Ciphertext> run(const CompiledGraph& cg,
                                    const std::vector<bfv::Ciphertext>& inputs,
                                    const service::SubmitOptions& so = {},

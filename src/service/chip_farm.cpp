@@ -17,7 +17,21 @@ ChipFarm::ChipFarm(const std::vector<ChipSpec>& specs) {
     s.soc = std::make_unique<chip::CofheeChip>(spec.cfg);
     s.drv = std::make_unique<driver::HostDriver>(*s.soc, spec.mode, spec.link);
     slots_.push_back(std::move(s));
+    if (!spec.faults.empty()) inject_faults(slots_.size() - 1, spec.faults);
   }
+}
+
+void ChipFarm::inject_faults(std::size_t i, const chip::FaultSchedule& schedule) {
+  Slot& s = slots_.at(i);
+  s.fault = std::make_unique<chip::FaultInjector>(schedule);
+  // Tap both links: the injector models the chip's host interface as a
+  // whole, so faults hit whichever transport the slot's driver uses.
+  s.soc->uart().set_fault_injector(s.fault.get());
+  s.soc->spi().set_fault_injector(s.fault.get());
+}
+
+const chip::FaultInjector* ChipFarm::fault_injector(std::size_t i) const {
+  return slots_.at(i).fault.get();
 }
 
 }  // namespace cofhee::service

@@ -16,13 +16,14 @@
 #include <vector>
 
 #include "chip/chip.hpp"
+#include "chip/fault.hpp"
 #include "driver/host_driver.hpp"
 
 namespace cofhee::service {
 
 /// One farm slot's build recipe: the chip's structural config plus how its
 /// host link drives it.  Defaults reproduce the homogeneous v1 farm slot
-/// (fabricated-chip config, FIFO mode, SPI link).
+/// (fabricated-chip config, FIFO mode, SPI link, no faults).
 struct ChipSpec {
   /// Structural + cycle-model parameters of this chip instance.
   chip::ChipConfig cfg{};
@@ -30,6 +31,9 @@ struct ChipSpec {
   driver::ExecMode mode = driver::ExecMode::kFifo;
   /// Serial link the slot's driver moves polynomials over (Section III-H).
   driver::Link link = driver::Link::kSpi;
+  /// Deterministic fault plan for this slot (chip/fault.hpp); empty means a
+  /// perfectly healthy chip (no injector is even attached).
+  chip::FaultSchedule faults{};
 };
 
 /// Owns N chip models (identical or mixed), each paired with its own
@@ -61,12 +65,21 @@ class ChipFarm {
     return chip(i).config();
   }
 
+  /// Attach a fault injector built from `schedule` to chip `i`'s host links
+  /// (both UART and SPI), replacing any previous injector.  Chips built from
+  /// a ChipSpec with a non-empty `faults` schedule get this automatically.
+  void inject_faults(std::size_t i, const chip::FaultSchedule& schedule);
+  /// Chip `i`'s fault injector, or nullptr for a healthy (untapped) chip.
+  [[nodiscard]] const chip::FaultInjector* fault_injector(std::size_t i) const;
+
  private:
   // Heap slots: HostDriver keeps a reference to its chip, so both need
-  // stable addresses across vector growth.
+  // stable addresses across vector growth.  The fault injector (optional) is
+  // referenced by the chip's links, so it too needs a stable address.
   struct Slot {
     std::unique_ptr<chip::CofheeChip> soc;
     std::unique_ptr<driver::HostDriver> drv;
+    std::unique_ptr<chip::FaultInjector> fault;
   };
   std::vector<Slot> slots_;
 };

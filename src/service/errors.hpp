@@ -1,0 +1,41 @@
+// Typed service-layer errors (admission control and lifecycle).
+//
+// Callers of EvalService::submit previously got a bare std::runtime_error
+// for both "queue full" and "service stopping"; retry logic upstream had to
+// string-match to tell them apart.  These types keep std::runtime_error as
+// the base so existing catch sites still work, while new code can
+// distinguish back-pressure (QueueFullError: wait and resubmit) from
+// shutdown (ServiceStoppedError: give up).  Chip/link-layer faults are a
+// different family -- see chip/fault.hpp.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cofhee::service {
+
+/// Base of all service-layer admission/lifecycle errors.  Derives from
+/// std::runtime_error so pre-existing catch (std::runtime_error&) sites keep
+/// working.
+class ServiceError : public std::runtime_error {
+ public:
+  /// Construct with a human-readable description.
+  explicit ServiceError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by submit when the bounded request queue is at capacity
+/// (back-pressure).  Retryable: wait for in-flight work to drain, resubmit.
+class QueueFullError : public ServiceError {
+ public:
+  /// Construct with a human-readable description.
+  explicit QueueFullError(const std::string& what) : ServiceError(what) {}
+};
+
+/// Thrown by submit once stop() has begun.  Not retryable on this instance.
+class ServiceStoppedError : public ServiceError {
+ public:
+  /// Construct with a human-readable description.
+  explicit ServiceStoppedError(const std::string& what) : ServiceError(what) {}
+};
+
+}  // namespace cofhee::service

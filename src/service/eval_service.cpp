@@ -4,7 +4,11 @@
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "chip/fault.hpp"
+#include "service/errors.hpp"
 
 namespace cofhee::service {
 
@@ -16,6 +20,20 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 double sim_seconds(const driver::ChipMulReport& rep) {
   return rep.io_seconds + rep.chip_ms * 1e-3;
+}
+
+// Retryable failures are exactly the chip/link fault family: a session is a
+// pure function of host-resident operands, so a faulted one can be re-run
+// elsewhere.  Anything else (bad operands, logic bugs) must surface as-is.
+bool is_fault(const std::exception_ptr& e) {
+  if (e == nullptr) return false;
+  try {
+    std::rethrow_exception(e);
+  } catch (const chip::FaultError&) {
+    return true;
+  } catch (...) {
+    return false;
+  }
 }
 
 }  // namespace
@@ -67,6 +85,9 @@ EvalService::EvalService(const bfv::Bfv& scheme, ChipFarm& farm, ServiceOptions 
   if (opts_.pipeline_depth == 0) opts_.pipeline_depth = 1;
   if (opts_.max_tracked_tenants == 0) opts_.max_tracked_tenants = 1;
   if (opts_.host_coeff_ops_per_sec <= 0) opts_.host_coeff_ops_per_sec = 250e6;
+  if (opts_.probe_interval_rounds == 0) opts_.probe_interval_rounds = 1;
+  opts_.cost_ewma_alpha = std::clamp(opts_.cost_ewma_alpha, 0.0, 1.0);
+  health_.resize(farm_.size());
   depth_ = opts_.overlap_rounds ? opts_.pipeline_depth : 1;
   stats_.per_chip.resize(farm_.size());
   stats_.per_class.resize(kNumPriorities);
@@ -119,9 +140,9 @@ std::vector<std::future<bfv::Ciphertext>> EvalService::submit_batch(
   futures.reserve(reqs.size());
   {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stopping_) throw std::runtime_error("EvalService: submit after shutdown");
+    if (stopping_) throw ServiceStoppedError("EvalService: submit after shutdown");
     if (opts_.max_queue != 0 && queue_.size() + reqs.size() > opts_.max_queue)
-      throw std::runtime_error("EvalService: queue full");
+      throw QueueFullError("EvalService: queue full");
     const double now = seconds_since(start_);
     for (auto& r : reqs) {
       Pending p;
@@ -172,6 +193,10 @@ ServiceStats EvalService::stats() const {
     // released -- a monitoring poll must not stall submit/dispatch.
     std::lock_guard<std::mutex> lk(mu_);
     s = stats_;
+    for (std::size_t c = 0; c < farm_.size(); ++c) {
+      s.per_chip[c].ewma_unit_cost = chip_unit_cost_[c];
+      s.per_chip[c].quarantined = health_[c].quarantined;
+    }
     s.max_class_skip = std::max(s.max_class_skip, queue_.max_skip_observed());
     cls_windows = class_latency_;
     s.per_tenant.reserve(tenants_.size());
@@ -189,6 +214,11 @@ ServiceStats EvalService::stats() const {
           std::max(0.0, std::chrono::duration<double>(end - first_accept_).count());
     }
   }
+  // Injector counters are atomics (the chips' stage threads bump them);
+  // no lock needed, and farms without injectors contribute nothing.
+  for (std::size_t c = 0; c < farm_.size(); ++c)
+    if (const chip::FaultInjector* inj = farm_.fault_injector(c))
+      s.faults_injected += inj->faults_fired();
   for (std::size_t c = 0; c < cls_windows.size(); ++c)
     s.per_class[c].latency = cls_windows[c].snapshot();
   for (std::size_t t = 0; t < s.per_tenant.size(); ++t)
@@ -382,6 +412,10 @@ void EvalService::host_prepare(Session& s) {
 
 void EvalService::run_chip_stage(Session& s) {
   using driver::ChipBfvEvaluator;
+  // Chip stages are chained (the chips are an exclusive resource), so this
+  // is the one spot where probing a quarantined chip cannot race a session:
+  // quarantined chips receive no placements, and no other stage is running.
+  probe_quarantined(/*force=*/false);
   const std::size_t count = s.round.size();
   const auto& ctx = scheme_.context();
   const double n = static_cast<double>(ctx.n());
@@ -473,65 +507,123 @@ void EvalService::host_finish(Session& s) {
                  ? 3.0 * n * (et + qt)  // tensor reassembly + t/q rounding
                  : 2.0 * n * qt;        // stacking the relinearized towers
 
+  // Poison faulted slots: a faulted request's intermediates (partial
+  // tensors, relin accumulators) are dropped wholesale and deterministically
+  // here, so nothing downstream can observe a half-written artifact -- the
+  // dependent promise gets the originating exception (first error wins, set
+  // in retire()) or a fresh round via requeue, never follow-on garbage.
+  for (std::size_t r = 0; r < count; ++r)
+    if (s.errs[r] != nullptr) s.slots[r] = RoundSlot{};
+
   exec_.for_each(count, [&](std::size_t r) {
-    if (s.errs[r] == nullptr) {
-      try {
-        auto& slot = s.slots[r];
-        if (s.round[r].req.kind == RequestKind::kEvalMult) {
-          s.round[r].promise.set_value(ChipBfvEvaluator::assemble(scheme_, slot.tensors));
-        } else {
-          s.round[r].promise.set_value(ChipBfvEvaluator::assemble_relin(slot.relin_accs));
-        }
-        return;
-      } catch (...) {
-        s.errs[r] = std::current_exception();
+    if (s.errs[r] != nullptr) return;  // promise settled (or requeued) in retire()
+    try {
+      auto& slot = s.slots[r];
+      if (s.round[r].req.kind == RequestKind::kEvalMult) {
+        s.round[r].promise.set_value(ChipBfvEvaluator::assemble(scheme_, slot.tensors));
+      } else {
+        s.round[r].promise.set_value(ChipBfvEvaluator::assemble_relin(slot.relin_accs));
       }
+    } catch (...) {
+      s.errs[r] = std::current_exception();
     }
-    s.round[r].promise.set_exception(s.errs[r]);
   });
   s.sim_finish = host_seconds(ops);
 }
 
 void EvalService::retire(Session& s) {
   const double now = seconds_since(start_);
-  std::lock_guard<std::mutex> lk(mu_);
-  for (std::size_t i = 0; i < s.round.size(); ++i) {
-    const Pending& p = s.round[i];
-    const std::size_t cls_idx = static_cast<std::size_t>(p.so.priority);
-    auto& cls = stats_.per_class[cls_idx];
-    TenantAgg& ten = tenant_agg(p.so.tenant);
-    if (s.errs[i] != nullptr) {
-      ++stats_.failed;
-      ++cls.failed;
-      ++ten.counts.failed;
-    } else {
-      ++stats_.completed;
-      ++cls.completed;
-      ++ten.counts.completed;
+  bool requeued = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t i = 0; i < s.round.size(); ++i) {
+      Pending& p = s.round[i];
+      if (s.errs[i] != nullptr && is_fault(s.errs[i]) &&
+          p.attempts < opts_.request_retries) {
+        // Healing layer 2: the round lost this request to a chip/link fault
+        // even after intra-stage retries -- give it a fresh round (fresh
+        // placement, quarantine may have kicked in by then) instead of its
+        // future the error.  Bounded by request_retries, so a drain
+        // terminates even on an all-dead farm.  Requeues run during
+        // shutdown too: stop() promises to drain accepted work, and a
+        // retryable fault is not yet an answer.
+        ++p.attempts;
+        ++stats_.requeues;
+        queue_.push(std::move(p));
+        requeued = true;
+        continue;
+      }
+      const std::size_t cls_idx = static_cast<std::size_t>(p.so.priority);
+      auto& cls = stats_.per_class[cls_idx];
+      TenantAgg& ten = tenant_agg(p.so.tenant);
+      if (s.errs[i] != nullptr) {
+        // Promise settlement was deferred past host_finish precisely so the
+        // requeue branch above could reclaim it; settle it now.
+        p.promise.set_exception(s.errs[i]);
+        ++stats_.failed;
+        ++cls.failed;
+        ++ten.counts.failed;
+      } else {
+        ++stats_.completed;
+        ++cls.completed;
+        ++ten.counts.completed;
+      }
+      const double lat = std::max(0.0, now - p.enqueued);
+      class_latency_[cls_idx].record(lat);
+      ten.latency.record(lat);
     }
-    const double lat = std::max(0.0, now - p.enqueued);
-    class_latency_[cls_idx].record(lat);
-    ten.latency.record(lat);
+    in_flight_ -= s.round.size();
+    last_done_ = Clock::now();
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
   }
-  in_flight_ -= s.round.size();
-  last_done_ = Clock::now();
-  if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  if (requeued) work_cv_.notify_one();
 }
 
-std::vector<ChipScore> EvalService::chip_scores() const {
-  // Chip stages are barrier-synchronized, so every placement starts from
-  // idle chips; heterogeneity enters through the per-chip unit costs.
+std::vector<ChipScore> EvalService::chip_scores(
+    const std::vector<bool>* exclude) const {
+  // Caller holds mu_: the unit costs are a live EWMA and the quarantine
+  // flags flip under the same lock.  Chip stages are barrier-synchronized,
+  // so every placement starts from idle chips; heterogeneity and measured
+  // degradation both enter through the per-chip unit costs.
   std::vector<ChipScore> scores(chip_eligible_.size());
   for (std::size_t c = 0; c < scores.size(); ++c) {
-    scores[c].eligible = chip_eligible_[c];
+    scores[c].eligible = chip_eligible_[c] && !health_[c].quarantined &&
+                         (exclude == nullptr || !(*exclude)[c]);
     scores[c].load = 0;
     scores[c].unit_cost = chip_unit_cost_[c];
   }
   return scores;
 }
 
-std::vector<std::vector<std::size_t>> EvalService::place_items(std::size_t items) {
-  const auto assign = Placer::assign(chip_scores(), items, opts_.placement);
+std::vector<std::vector<std::size_t>> EvalService::place_items(
+    std::size_t items, const std::vector<bool>* exclude) {
+  const auto any_eligible = [](const std::vector<ChipScore>& sc) {
+    for (const ChipScore& x : sc)
+      if (x.eligible) return true;
+    return false;
+  };
+  std::vector<ChipScore> scores;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    scores = chip_scores(exclude);
+    // A same-stage blacklist that would empty the farm is dropped: a lone
+    // eligible chip's transient fault must stay retryable on that chip.
+    if (exclude != nullptr && !any_eligible(scores)) scores = chip_scores(nullptr);
+  }
+  if (!any_eligible(scores)) {
+    // Quarantine emptied the farm.  Force-probe every quarantined chip
+    // right now (we are serialized with all chip activity -- see
+    // run_chip_stage) and re-score; only a farm that still answers nothing
+    // is a hard capacity error.
+    probe_quarantined(/*force=*/true);
+    std::lock_guard<std::mutex> lk(mu_);
+    scores = chip_scores(exclude);
+    if (exclude != nullptr && !any_eligible(scores)) scores = chip_scores(nullptr);
+    if (!any_eligible(scores))
+      throw FarmCapacityError(
+          "EvalService: every eligible chip is quarantined and failing probes");
+  }
+  const auto assign = Placer::assign(scores, items, opts_.placement);
   std::vector<std::vector<std::size_t>> mine(farm_.size());
   for (std::size_t i = 0; i < items; ++i) mine[assign[i]].push_back(i);
   std::lock_guard<std::mutex> lk(mu_);
@@ -544,36 +636,99 @@ template <typename Work>
 void EvalService::run_stage(Session& s, const std::vector<std::size_t>& live,
                             std::vector<double>& chip_sim, std::size_t items,
                             bool per_item_errors, Work&& work) {
-  const auto mine = place_items(items);
-  std::vector<std::size_t> active;
-  for (std::size_t c = 0; c < mine.size(); ++c)
-    if (!mine[c].empty()) active.push_back(c);
-  std::vector<std::exception_ptr> chip_errs(farm_.size());
-  exec_.for_each(active.size(), [&](std::size_t k) {
-    const std::size_t c = active[k];
-    const auto t0 = Clock::now();
-    driver::ChipMulReport rep;
-    StageCounters n;
-    try {
-      work(c, mine[c], rep, n);
-    } catch (...) {
-      chip_errs[c] = std::current_exception();
+  // Stage-local item ids (requests under the batch strategies, towers under
+  // the shard strategies) still waiting for a successful chip share.
+  std::vector<std::size_t> todo(items);
+  for (std::size_t i = 0; i < items; ++i) todo[i] = i;
+  // Chips that faulted during this stage: blacklisted from re-placement so
+  // a retry lands elsewhere (place_items drops the blacklist when it would
+  // empty the farm -- a lone chip must get to retry its own transient).
+  std::vector<bool> stage_faulted(farm_.size(), false);
+  bool any_faulted = false;
+  std::size_t retries_left = opts_.max_stage_retries;
+
+  while (!todo.empty()) {
+    const auto assign =
+        place_items(todo.size(), any_faulted ? &stage_faulted : nullptr);
+    std::vector<std::size_t> active;
+    for (std::size_t c = 0; c < assign.size(); ++c)
+      if (!assign[c].empty()) active.push_back(c);
+    std::vector<std::exception_ptr> chip_errs(farm_.size());
+    exec_.for_each(active.size(), [&](std::size_t k) {
+      const std::size_t c = active[k];
+      // Translate placement-local indices back to stage-local item ids.
+      std::vector<std::size_t> placed;
+      placed.reserve(assign[c].size());
+      for (std::size_t j : assign[c]) placed.push_back(todo[j]);
+      const auto t0 = Clock::now();
+      driver::ChipMulReport rep;
+      StageCounters n;
+      try {
+        work(c, placed, rep, n);
+        if (opts_.stage_timeout_seconds > 0 &&
+            sim_seconds(rep) > opts_.stage_timeout_seconds) {
+          // Modeled stage budget blown (injected stalls inflating the
+          // link): handled exactly like a link fault, results discarded.
+          {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.stage_timeouts;
+          }
+          throw chip::LinkTimeoutError(
+              "chip " + std::to_string(c) + " stage took " +
+              std::to_string(sim_seconds(rep)) + "s (budget " +
+              std::to_string(opts_.stage_timeout_seconds) + "s)");
+        }
+      } catch (...) {
+        chip_errs[c] = std::current_exception();
+      }
+      chip_sim[c] += sim_seconds(rep);
+      note_chip_session(c, rep, n.requests, n.tower_runs, n.relin_tower_runs,
+                        seconds_since(t0));
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (chip_errs[c] == nullptr) {
+          note_chip_ok_locked(
+              c, sim_seconds(rep) / static_cast<double>(placed.size()));
+        } else if (is_fault(chip_errs[c])) {
+          note_chip_fault_locked(c);
+        }
+      }
+    });
+
+    std::vector<std::size_t> next_todo;
+    bool round_poisoned = false;
+    for (std::size_t c : active) {
+      if (chip_errs[c] == nullptr) continue;
+      if (is_fault(chip_errs[c]) && retries_left > 0) {
+        // Healing layer 1: re-place this chip's share within the stage.
+        // The work bodies are pure functions of host-resident operands, so
+        // re-running them (usually on another chip) is idempotent.
+        stage_faulted[c] = true;
+        any_faulted = true;
+        for (std::size_t j : assign[c]) next_todo.push_back(todo[j]);
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.retries;
+        continue;
+      }
+      // Out of retries, or not a fault at all: surface the originating
+      // error.  First error wins -- nothing may overwrite it later.
+      if (per_item_errors) {
+        // Batch strategies: only the chip's own placed requests are lost.
+        for (std::size_t j : assign[c]) {
+          const std::size_t r = live[todo[j]];
+          if (s.errs[r] == nullptr) s.errs[r] = chip_errs[c];
+        }
+      } else {
+        // Tower shards: a lost shard starves every request in the round.
+        for (std::size_t r : live)
+          if (s.errs[r] == nullptr) s.errs[r] = chip_errs[c];
+        round_poisoned = true;
+      }
     }
-    chip_sim[c] += sim_seconds(rep);
-    note_chip_session(c, rep, n.requests, n.tower_runs, n.relin_tower_runs,
-                      seconds_since(t0));
-  });
-  for (std::size_t c : active) {
-    if (chip_errs[c] == nullptr) continue;
-    if (per_item_errors) {
-      // Batch strategies: only the chip's own placed requests are lost.
-      for (std::size_t i : mine[c])
-        if (s.errs[live[i]] == nullptr) s.errs[live[i]] = chip_errs[c];
-    } else {
-      // Tower shards: a lost shard starves every request in the round.
-      for (std::size_t r : live)
-        if (s.errs[r] == nullptr) s.errs[r] = chip_errs[c];
-    }
+    if (round_poisoned || next_todo.empty()) break;
+    --retries_left;
+    std::sort(next_todo.begin(), next_todo.end());
+    todo = std::move(next_todo);
   }
 }
 
@@ -681,6 +836,64 @@ void EvalService::run_relin_shard_towers(Session& s,
                 n.relin_tower_runs += live.size();
               }
             });
+}
+
+void EvalService::note_chip_fault_locked(std::size_t chip) {
+  auto& h = health_[chip];
+  ++stats_.per_chip[chip].faults;
+  ++h.consecutive_faults;
+  if (!h.quarantined && opts_.quarantine_after > 0 &&
+      h.consecutive_faults >= opts_.quarantine_after) {
+    h.quarantined = true;
+    h.last_probe_round = stats_.rounds;
+    ++stats_.quarantines;
+    ++stats_.per_chip[chip].quarantines;
+  }
+}
+
+void EvalService::note_chip_ok_locked(std::size_t chip, double unit_cost_sample) {
+  health_[chip].consecutive_faults = 0;
+  const double a = opts_.cost_ewma_alpha;
+  if (a > 0 && unit_cost_sample > 0)
+    chip_unit_cost_[chip] = (1.0 - a) * chip_unit_cost_[chip] + a * unit_cost_sample;
+}
+
+void EvalService::probe_quarantined(bool force) {
+  // Snapshot the due probes under the lock, run them outside it (a probe is
+  // real link traffic and can throw).  Serialization with sessions comes
+  // from the call sites: the chained chip stage, which never places work on
+  // a quarantined chip.
+  std::vector<std::size_t> due;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (std::size_t c = 0; c < health_.size(); ++c) {
+      auto& h = health_[c];
+      if (!h.quarantined || !chip_eligible_[c]) continue;
+      if (!force && stats_.rounds - h.last_probe_round < opts_.probe_interval_rounds)
+        continue;
+      h.last_probe_round = stats_.rounds;
+      due.push_back(c);
+    }
+  }
+  for (std::size_t c : due) {
+    bool ok = true;
+    try {
+      farm_.driver(c).probe();
+    } catch (...) {
+      ok = false;  // still sick: keep quarantined, try again next interval
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.probes;
+    ++stats_.per_chip[c].probes;
+    if (ok) {
+      health_[c].quarantined = false;
+      health_[c].consecutive_faults = 0;
+      ++stats_.readmissions;
+      ++stats_.per_chip[c].readmissions;
+    } else {
+      ++stats_.probe_failures;
+    }
+  }
 }
 
 void EvalService::note_chip_session(std::size_t chip, const driver::ChipMulReport& rep,

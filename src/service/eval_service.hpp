@@ -41,6 +41,18 @@
 //    products in a session (counted in ServiceStats::key_cache_hits,
 //    invalidated whenever tensor traffic clobbers SP1 or keys change).
 //
+// The healing layer (this PR's generation) makes the farm survivable: chip
+// and link faults (chip/fault.hpp -- corrupt frames, stalled links, dead
+// chips) surface as typed errors, a faulted chip's share of a stage is
+// retried on the remaining chips (sessions are pure functions of
+// host-resident operands, so re-running is idempotent), whole requests that
+// still fault are requeued for a fresh round, chips faulting repeatedly are
+// quarantined behind health probes and re-admitted when they answer again,
+// and a per-chip EWMA of measured unit costs feeds placement so a degraded
+// (stalling) chip sheds load before it ever trips quarantine.  See the
+// ServiceOptions healing knobs and ServiceStats::{faults_injected, retries,
+// requeues, quarantines, readmissions}.
+//
 // All paths produce ciphertexts byte-identical to the serial single-chip
 // software path (tests/service/: test_eval_service.cpp, test_scheduler.cpp,
 // test_heterogeneous_farm.cpp, test_service_pipeline_fuzz.cpp).
@@ -65,6 +77,7 @@
 #include "bfv/bfv.hpp"
 #include "driver/chip_bfv.hpp"
 #include "service/chip_farm.hpp"
+#include "service/errors.hpp"
 #include "service/placer.hpp"
 #include "service/request_queue.hpp"
 #include "service/service_stats.hpp"
@@ -135,6 +148,33 @@ struct ServiceOptions {
   /// fronting open-ended id spaces.  Normalized to >= 1.  Scheduling
   /// fairness is unaffected -- only the stats breakdown is capped.
   std::size_t max_tracked_tenants = 256;
+  /// Healing, layer 1 -- intra-stage retries: when a chip's share of a
+  /// stage faults (chip::FaultError), its items are re-placed onto the
+  /// remaining eligible chips and the stage re-run, up to this many times
+  /// per stage before the fault is surfaced to the round.  Sessions are
+  /// pure functions of host-resident operands, so re-running is safe.
+  std::size_t max_stage_retries = 2;
+  /// Healing, layer 2 -- round requeues: a request whose round still
+  /// faulted after stage retries goes back into the queue for a fresh
+  /// round, at most this many times, before its future gets the
+  /// originating fault.
+  std::size_t request_retries = 2;
+  /// Consecutive faults (without an intervening success) after which a chip
+  /// is quarantined: it receives health probes instead of sessions until a
+  /// probe passes.  0 disables quarantine.
+  std::size_t quarantine_after = 2;
+  /// Dispatcher rounds between health probes of a quarantined chip.
+  /// Normalized to >= 1.
+  std::size_t probe_interval_rounds = 1;
+  /// Modeled per-chip stage budget: a chip whose share of a stage takes
+  /// longer than this in simulated seconds is treated as faulted (counted
+  /// in ServiceStats::stage_timeouts) and its items retried elsewhere.
+  /// 0 disables the check.  Seconds (simulated).
+  double stage_timeout_seconds = 0;
+  /// Smoothing factor for the measured per-chip unit-cost EWMA that feeds
+  /// placement (cost := (1-a)*cost + a*sample).  0 freezes costs at the
+  /// modeled seed (the v2 reference behavior); clamped to [0, 1].
+  double cost_ewma_alpha = 0.3;
 };
 
 /// Async multi-chip evaluation front end over a ChipFarm.
@@ -152,11 +192,13 @@ class EvalService {
   EvalService& operator=(const EvalService&) = delete;
 
   /// Enqueue one request; the future carries the result ciphertext or the
-  /// exception that defeated it.  `so` tags the request with its priority
-  /// class, tenant and fairness weight.  Throws std::invalid_argument on
-  /// malformed operands (wrong element count for the kind, relin kinds
-  /// without keys) and std::runtime_error after shutdown() or when the
-  /// queue is full.
+  /// exception that defeated it (for chip/link faults, the originating
+  /// chip::FaultError once every retry and requeue is exhausted).  `so`
+  /// tags the request with its priority class, tenant and fairness weight.
+  /// Throws std::invalid_argument on malformed operands (wrong element
+  /// count for the kind, relin kinds without keys), ServiceStoppedError
+  /// after shutdown() and QueueFullError when the queue is full (both
+  /// derive from ServiceError, itself a std::runtime_error).
   std::future<bfv::Ciphertext> submit(EvalRequest req, SubmitOptions so = {});
 
   /// Enqueue a group atomically, so one dispatcher round can coalesce it
@@ -229,14 +271,21 @@ class EvalService {
   /// (in ring order), then host_finish + retire.
   void finish_session(Session& s, bool overlapped_finish);
 
-  /// Placement inputs for one stage: per-chip eligibility and the modeled
-  /// unit cost, starting from idle chips (stages are barrier-synchronized).
-  [[nodiscard]] std::vector<ChipScore> chip_scores() const;
+  /// Placement inputs for one stage: per-chip eligibility (config fit AND
+  /// not quarantined AND not in `exclude`) and the measured (EWMA) unit
+  /// cost, starting from idle chips (stages are barrier-synchronized).
+  [[nodiscard]] std::vector<ChipScore> chip_scores(
+      const std::vector<bool>* exclude) const;
   /// Place `items` uniform work items onto chips; returns the item indices
   /// grouped per chip (empty for chips that sat the stage out) and counts
-  /// the placements into ServiceStats.  Throws FarmCapacityError when no
-  /// chip is eligible.
-  std::vector<std::vector<std::size_t>> place_items(std::size_t items);
+  /// the placements into ServiceStats.  `exclude` (optional) blacklists
+  /// chips that already faulted this stage; if the blacklist would leave no
+  /// chip, it is ignored (a lone chip's transient fault must stay
+  /// retryable).  If quarantine alone leaves no chip, every quarantined
+  /// chip is force-probed once and passing chips re-admitted; only if the
+  /// farm is still empty does this throw FarmCapacityError.
+  std::vector<std::vector<std::size_t>> place_items(
+      std::size_t items, const std::vector<bool>* exclude = nullptr);
 
   /// Work counters one chip's stage body reports into note_chip_session.
   struct StageCounters {
@@ -247,8 +296,13 @@ class EvalService {
 
   /// Shared stage scaffold: place `items` onto chips, fan the per-chip
   /// `work(chip, placed_items, report, counters)` body out over the
-  /// Executor, record per-chip stats/sim time, and fold a chip's failure
-  /// into s.errs -- onto the chip's own placed slots when
+  /// Executor, and record per-chip stats/sim time.  A chip whose share
+  /// faults (chip::FaultError, or a modeled stage timeout) has its items
+  /// re-placed onto the other eligible chips and re-run, up to
+  /// ServiceOptions::max_stage_retries times -- the work bodies are pure
+  /// functions of host-resident operands, so re-running is idempotent.
+  /// Only when retries are exhausted (or the failure is not a fault) is
+  /// the error folded into s.errs: onto the chip's own placed slots when
   /// `per_item_errors` (batch strategies, items index `live`), onto every
   /// live slot otherwise (tower shards: any lost shard starves the whole
   /// round).  Defined in eval_service.cpp (only used there).
@@ -275,13 +329,36 @@ class EvalService {
   /// Modeled host seconds for `ops` coefficient operations.
   [[nodiscard]] double host_seconds(double ops) const noexcept;
 
+  /// Healing bookkeeping for one chip fault: bump the fault counters and
+  /// quarantine the chip once ServiceOptions::quarantine_after consecutive
+  /// faults accumulate.  Caller holds mu_.
+  void note_chip_fault_locked(std::size_t chip);
+  /// Healing bookkeeping for a successful session: reset the chip's
+  /// consecutive-fault count and fold `unit_cost_sample` (modeled seconds
+  /// per placed item; <= 0 skips the update) into its placement EWMA.
+  /// Caller holds mu_.
+  void note_chip_ok_locked(std::size_t chip, double unit_cost_sample);
+  /// Probe quarantined chips (HostDriver::probe) and re-admit the ones that
+  /// answer.  Respects ServiceOptions::probe_interval_rounds unless
+  /// `force`.  Called from the dispatcher with no session holding the
+  /// probed chips (quarantined chips receive no placements).  Takes mu_.
+  void probe_quarantined(bool force);
+
+  /// Per-chip healing state (guarded by mu_).
+  struct ChipHealth {
+    std::size_t consecutive_faults = 0;  ///< Faults since the last success.
+    bool quarantined = false;            ///< Receiving probes, not sessions.
+    std::uint64_t last_probe_round = 0;  ///< stats_.rounds at the last probe.
+  };
+
   const bfv::Bfv& scheme_;
   ChipFarm& farm_;
   ServiceOptions opts_;
   std::size_t depth_;  // effective session-ring depth (>= 1)
   backend::Executor exec_;
   std::vector<bool> chip_eligible_;     // can chip c serve the ring at all?
-  std::vector<double> chip_unit_cost_;  // modeled seconds per work item
+  std::vector<double> chip_unit_cost_;  // measured EWMA seconds per work item
+  std::vector<ChipHealth> health_;      // quarantine state (guarded by mu_)
   std::vector<driver::RelinKeyCache> key_caches_;  // one per chip
 
   mutable std::mutex mu_;

@@ -112,6 +112,11 @@ struct Pending {
   double dequeued = 0;
   /// True when the starvation bound forced this pick out of priority order.
   bool forced = false;
+  /// Rounds this request has already faulted out of (the healing layer's
+  /// requeue counter); the dispatcher gives up once it exceeds
+  /// ServiceOptions::request_retries and fulfills the promise with the
+  /// originating fault instead.
+  std::uint32_t attempts = 0;
 };
 
 /// Priority + fairness request queue (see file comment).  Not thread-safe.

@@ -56,6 +56,25 @@ struct ChipStats {
   /// polynomial was already resident in an SP bank (squaring scratch-reuse
   /// hint; 2 per tower run of a squared request).  Count.
   std::uint64_t sram_reuses = 0;
+  /// Typed faults (ChipFaultError / LinkTimeoutError) sessions or probes on
+  /// this chip surfaced to the service.  Count.
+  std::uint64_t faults = 0;
+  /// Times the service quarantined this chip (after
+  /// ServiceOptions::quarantine_after consecutive faults).  Count.
+  std::uint64_t quarantines = 0;
+  /// Times a health probe passed and the chip was re-admitted from
+  /// quarantine.  Count.
+  std::uint64_t readmissions = 0;
+  /// Health probes sent to this chip (while quarantined).  Count.
+  std::uint64_t probes = 0;
+  /// Whether the chip is quarantined (receiving probes, not sessions) at
+  /// sampling time.
+  bool quarantined = false;
+  /// Measured seconds per work item: EWMA over this chip's completed
+  /// sessions, seeded from the modeled unit cost.  Feeds placement, so a
+  /// degraded chip (injected stalls inflating its link time) sheds load.
+  /// Seconds (simulated) per item.
+  double ewma_unit_cost = 0;
   /// PE cycles at the configured clock.  Cycles.
   std::uint64_t chip_cycles = 0;
   /// Simulated serial-link transport.  Seconds (simulated).
@@ -211,6 +230,32 @@ struct ServiceStats {
   /// Operand uploads the squaring scratch-reuse hint turned into on-chip
   /// DMA copies, summed over chips (see ChipStats::sram_reuses).  Count.
   std::uint64_t sram_reuses = 0;
+  /// Injected faults the chips' link injectors actually fired (corrupt
+  /// frames, timed-out stalls, kill events -- sub-timeout stalls that merely
+  /// slowed a transaction count too), summed over attached injectors.  Count.
+  std::uint64_t faults_injected = 0;
+  /// Intra-stage retries: a chip's share of a stage faulted and its items
+  /// were re-placed (usually onto other chips) within the same round.  Count.
+  std::uint64_t retries = 0;
+  /// Round-level requeues: a request's round faulted after stage retries
+  /// were exhausted and the request went back into the queue for a fresh
+  /// round (bounded by ServiceOptions::request_retries).  Count.
+  std::uint64_t requeues = 0;
+  /// Chips quarantined after ServiceOptions::quarantine_after consecutive
+  /// faults, summed over chips (a chip re-quarantined later counts again).
+  /// Count.
+  std::uint64_t quarantines = 0;
+  /// Quarantined chips re-admitted after a passing health probe, summed
+  /// over chips.  Count.
+  std::uint64_t readmissions = 0;
+  /// Health probes sent to quarantined chips, summed over chips.  Count.
+  std::uint64_t probes = 0;
+  /// Probes that faulted or read back the wrong word (chip stays
+  /// quarantined).  Count.
+  std::uint64_t probe_failures = 0;
+  /// Stage attempts abandoned because a chip's share exceeded the modeled
+  /// stage timeout (ServiceOptions::stage_timeout_seconds).  Count.
+  std::uint64_t stage_timeouts = 0;
   /// Picks the starvation bound forced out of priority order, summed over
   /// classes.  Count.
   std::uint64_t forced_picks = 0;
