@@ -18,6 +18,7 @@
 #include "backend/cpu_backend.hpp"
 #include "chip/chip.hpp"
 #include "driver/host_driver.hpp"
+#include "bench_util.hpp"
 #include "eval/report.hpp"
 #include "nt/primes.hpp"
 #include "poly/sampler.hpp"
@@ -107,8 +108,8 @@ double measure_cpu_ms(const Config& cfg, unsigned threads) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = eval::MetricsJson::path_from_args(argc, argv);
-  eval::MetricsJson metrics;
+  cofhee::bench::BenchIo io(argc, argv);
+  eval::MetricsJson& metrics = io.metrics();
 
   const unsigned hw = std::thread::hardware_concurrency();
   std::printf("host hardware threads: %u (paper baseline: Ryzen 7 5800H, 16T)\n", hw);
@@ -180,16 +181,11 @@ int main(int argc, char** argv) {
     metrics.set(key + "pdp_advantage_1t", adv);
   }
 
-  if (!json_path.empty() && !metrics.write(json_path)) {
-    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
-    return 1;
-  }
-
   std::puts("\nNotes:\n"
             " * 'measured ms' is this machine's wall clock on the from-scratch\n"
             "   RNS kernel (no AVX, possibly fewer cores than the paper's CPU);\n"
             " * 'modelled ms' is the paper-calibrated Amdahl model that carries\n"
             "   the published Ryzen numbers and thread-scaling shape;\n"
             " * CPU watts come from the powertop-calibrated model (DESIGN.md).");
-  return 0;
+  return io.finish() ? 0 : 1;
 }

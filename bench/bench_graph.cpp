@@ -24,14 +24,17 @@
 // Acceptance bars: the multi-chip rates must be >= the single-chip
 // baseline for both applications (farm scaling never loses throughput),
 // checked here and regression-tracked via tools/bench_diff.py.
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "apps/cryptonets.hpp"
 #include "apps/logreg.hpp"
+#include "bench_util.hpp"
 #include "eval/report.hpp"
 #include "graph/executor.hpp"
+#include "obs/service_export.hpp"
 #include "service/eval_service.hpp"
 
 namespace {
@@ -46,11 +49,12 @@ struct Run {
 
 Run run_graph(const bfv::Bfv& scheme, const bfv::RelinKeys& rk, const graph::Graph& g,
               const std::vector<bfv::Ciphertext>& inputs, std::size_t chips,
-              std::size_t items) {
+              std::size_t items, obs::TraceRecorder* trace) {
   const auto cg = graph::compile(g);
   service::ChipFarm farm(chips);
   service::ServiceOptions opts;
   opts.relin_keys = &rk;
+  opts.trace = trace;
   service::EvalService svc(scheme, farm, opts);
   graph::GraphExecutor ex(scheme, svc);
   Run r;
@@ -64,8 +68,8 @@ Run run_graph(const bfv::Bfv& scheme, const bfv::RelinKeys& rk, const graph::Gra
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = eval::MetricsJson::path_from_args(argc, argv);
-  eval::MetricsJson metrics;
+  cofhee::bench::BenchIo io(argc, argv);
+  eval::MetricsJson& metrics = io.metrics();
 
   bfv::Bfv scheme(bfv::BfvParams::paper_small(), /*seed=*/42);
   const auto sk = scheme.keygen_secret();
@@ -125,12 +129,20 @@ int main(int argc, char** argv) {
       {"logreg", &lr_graph, &lr_inputs, kPatients, "predictions_per_sec"},
   };
 
+  // Trace reconciliation accumulator: the recorder's "phase" track totals
+  // must match the io + compute seconds every traced service recorded.
+  double sim_total = 0;
   bool scaling_ok = true;
   for (const auto& prog : programs) {
     double base = 0;
     for (std::size_t chips : {1u, 2u, 4u}) {
-      const Run r = run_graph(scheme, rk, *prog.g, *prog.inputs, chips, prog.items);
-      if (chips == 1) base = r.per_sec;
+      // --chips restricts the sweep (CI traces a single 2-chip run).
+      if (io.chips(0) != 0 && chips != io.chips(0)) continue;
+      const Run r =
+          run_graph(scheme, rk, *prog.g, *prog.inputs, chips, prog.items, io.trace());
+      sim_total += r.stats.io_seconds + r.stats.compute_seconds;
+      obs::export_service_stats(r.stats, io.registry());
+      if (base == 0) base = r.per_sec;
       const double speedup = r.per_sec / base;
       if (r.per_sec + 1e-12 < base) scaling_ok = false;
       const std::string name = std::string(prog.app) + "_" + std::to_string(chips) + "chip";
@@ -163,9 +175,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "FAIL: multi-chip throughput fell below the 1-chip baseline\n");
     return 1;
   }
-  if (!json_path.empty() && !metrics.write(json_path)) {
-    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
-    return 1;
+  // Reconcile the trace against the stats: every driver phase span carries
+  // exactly the io + compute it added to its ChipMulReport, so the "phase"
+  // track total must match the summed ServiceStats to within 1% (it is
+  // exact by construction; the margin absorbs float accumulation order).
+  if (io.trace() != nullptr && obs::TraceRecorder::enabled()) {
+    const double traced = io.trace()->sim_category_seconds("phase");
+    if (std::abs(traced - sim_total) > 0.01 * sim_total) {
+      std::fprintf(stderr,
+                   "FAIL: trace phase total %.6fs vs stats io+compute %.6fs "
+                   "(> 1%% apart)\n",
+                   traced, sim_total);
+      return 1;
+    }
+    std::printf("\ntrace reconciliation: phase spans %.6fs vs stats %.6fs OK\n",
+                traced, sim_total);
   }
-  return 0;
+  return io.finish() ? 0 : 1;
 }

@@ -42,8 +42,10 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "bfv/encoder.hpp"
 #include "eval/report.hpp"
+#include "obs/service_export.hpp"
 #include "service/eval_service.hpp"
 
 namespace {
@@ -81,7 +83,8 @@ struct Run {
 };
 
 Run run_scenario(const bfv::Bfv& scheme, const bfv::RelinKeys& rk, const Scenario& sc,
-                 const std::vector<service::EvalRequest>& requests) {
+                 const std::vector<service::EvalRequest>& requests,
+                 obs::TraceRecorder* trace) {
   service::ChipFarm farm = make_farm(sc);
   service::ServiceOptions opts;
   opts.strategy = sc.strategy;
@@ -90,6 +93,7 @@ Run run_scenario(const bfv::Bfv& scheme, const bfv::RelinKeys& rk, const Scenari
   opts.overlap_rounds = sc.overlap;
   opts.pipeline_depth = sc.depth;
   opts.placement = sc.placement;
+  opts.trace = trace;
   service::EvalService svc(scheme, farm, opts);
   std::vector<service::EvalRequest> reqs = requests;
   for (auto& r : reqs) r.kind = sc.kind;
@@ -111,8 +115,8 @@ Run run_scenario(const bfv::Bfv& scheme, const bfv::RelinKeys& rk, const Scenari
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = eval::MetricsJson::path_from_args(argc, argv);
-  eval::MetricsJson metrics;
+  cofhee::bench::BenchIo io(argc, argv);
+  eval::MetricsJson& metrics = io.metrics();
 
   // The Fig. 6 small configuration: n = 2^12, log q = 109 -> 5 extended
   // towers, squarely in the IO-dominated regime.
@@ -165,7 +169,8 @@ int main(int argc, char** argv) {
   double baseline = 0;
   double overlap_ref_e2e = 0;  // multrelin_noverlap_1chip
   for (const auto& sc : scenarios) {
-    const Run r = run_scenario(scheme, rk, sc, requests);
+    const Run r = run_scenario(scheme, rk, sc, requests, io.trace());
+    obs::export_service_stats(r.stats, io.registry());
     if (baseline == 0) baseline = r.evalmult_per_sec;
     if (std::string(sc.name) == "multrelin_noverlap_1chip") overlap_ref_e2e = r.e2e_per_sec;
     std::uint64_t ring_configs = 0;
@@ -212,9 +217,5 @@ int main(int argc, char** argv) {
       "stages (req/s e2e up, req/s chip unchanged); on the heterogeneous\n"
       "farm the load-aware Placer keeps tower work off the 10x-slower UART\n"
       "links, which blind round-robin cannot.");
-  if (!json_path.empty() && !metrics.write(json_path)) {
-    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
-    return 1;
-  }
-  return 0;
+  return io.finish() ? 0 : 1;
 }

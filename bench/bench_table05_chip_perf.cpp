@@ -9,6 +9,7 @@
 
 #include "chip/chip.hpp"
 #include "driver/host_driver.hpp"
+#include "bench_util.hpp"
 #include "eval/report.hpp"
 #include "nt/primes.hpp"
 #include "poly/sampler.hpp"
@@ -78,8 +79,8 @@ Measured run_op(const char* algo, std::size_t n) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string json_path = eval::MetricsJson::path_from_args(argc, argv);
-  eval::MetricsJson metrics;
+  cofhee::bench::BenchIo io(argc, argv);
+  eval::MetricsJson& metrics = io.metrics();
 
   eval::section("Table V -- CoFHEE performance & power, n = {2^12, 2^13}");
   eval::Table t({"algo", "n", "cycles", "paper cc", "err", "us", "paper us",
@@ -103,9 +104,5 @@ int main(int argc, char** argv) {
   std::puts("Latency: structural cycle model (calibrated constants asserted by "
             "tests/chip/test_mdmc.cpp).\nPower: event-energy model fit; see "
             "DESIGN.md substitution register.");
-  if (!json_path.empty() && !metrics.write(json_path)) {
-    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
-    return 1;
-  }
-  return 0;
+  return io.finish() ? 0 : 1;
 }

@@ -10,12 +10,13 @@
 #include <cstdio>
 
 #include "apps/cost_model.hpp"
+#include "bench_util.hpp"
 #include "eval/report.hpp"
 
 int main(int argc, char** argv) {
   using namespace cofhee;
-  const std::string json_path = eval::MetricsJson::path_from_args(argc, argv);
-  eval::MetricsJson metrics;
+  cofhee::bench::BenchIo io(argc, argv);
+  eval::MetricsJson& metrics = io.metrics();
   const apps::Workload workloads[] = {apps::cryptonets_workload(),
                                       apps::logreg_workload()};
 
@@ -44,11 +45,6 @@ int main(int argc, char** argv) {
     t.print();
   }
 
-  if (!json_path.empty() && !metrics.write(json_path)) {
-    std::fprintf(stderr, "failed to write %s\n", json_path.c_str());
-    return 1;
-  }
-
   std::puts(
       "\nShape check: the published totals (88.35 s / 377.6 s) sit inside the\n"
       "model's w = 4..16 envelope -- CryptoNets matches at w ~ 4 (2.24x vs the\n"
@@ -57,5 +53,5 @@ int main(int argc, char** argv) {
       "direction.  Per-op costs: ct+ct and NTT-resident ct*pt are pointwise\n"
       "passes; ct*ct is Algorithm 3 (the Fig. 6 kernel); relin is digit-wise\n"
       "key switching.");
-  return 0;
+  return io.finish() ? 0 : 1;
 }

@@ -1,0 +1,19 @@
+# CTest driver for bench_graph_trace_lint: run bench_graph restricted to
+# the 2-chip scenarios with trace + metrics export, then lint both
+# artifacts with tools/trace_lint.py.  Split into a -P script because the
+# two steps must share the artifact paths and fail the test as one unit.
+execute_process(
+  COMMAND ${BENCH} --chips 2
+          --trace ${OUT_DIR}/bench_graph_2chip.trace.json
+          --metrics-out ${OUT_DIR}/bench_graph_2chip.prom
+  RESULT_VARIABLE bench_rc)
+if(NOT bench_rc EQUAL 0)
+  message(FATAL_ERROR "bench_graph --trace run failed (rc=${bench_rc})")
+endif()
+execute_process(
+  COMMAND ${PYTHON} ${LINT} ${OUT_DIR}/bench_graph_2chip.trace.json
+          --metrics ${OUT_DIR}/bench_graph_2chip.prom
+  RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "trace_lint failed (rc=${lint_rc})")
+endif()

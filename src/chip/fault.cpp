@@ -53,6 +53,15 @@ FaultInjector::FaultInjector(FaultSchedule schedule)
 
 double FaultInjector::on_transaction() {
   const std::uint64_t op = ops_.fetch_add(1, std::memory_order_relaxed);
+  // One instant per faults_fired_ increment, so a trace's "fault" events
+  // always count up to ServiceStats::faults_injected.
+  const auto mark = [this, op](const char* name) {
+    if (trace_ != nullptr)
+      trace_->instant_sim(obs::TraceRecorder::sim_track_chip_link(trace_chip_),
+                          name, "fault",
+                          {{"chip", static_cast<double>(trace_chip_)},
+                           {"op", static_cast<double>(op)}});
+  };
   if (dead_.load(std::memory_order_relaxed))
     throw ChipFaultError("chip dead: link transaction " + std::to_string(op) +
                          " rejected");
@@ -62,6 +71,7 @@ double FaultInjector::on_transaction() {
       if (op < e.at_op) continue;
       dead_.store(true, std::memory_order_relaxed);
       faults_fired_.fetch_add(1, std::memory_order_relaxed);
+      mark("fault.kill");
       throw ChipFaultError("chip killed at link transaction " +
                            std::to_string(e.at_op));
     }
@@ -69,12 +79,15 @@ double FaultInjector::on_transaction() {
     if (e.kind == FaultKind::kCorruptFrame) {
       // The frame's integrity check fails before any byte lands in SRAM.
       faults_fired_.fetch_add(1, std::memory_order_relaxed);
+      mark("fault.corrupt");
       throw ChipFaultError("corrupt serial frame at link transaction " +
                            std::to_string(op));
     }
     // kStallLink: the host waits out short stalls (the transaction merely
     // completes late) and abandons long ones.
     faults_fired_.fetch_add(1, std::memory_order_relaxed);
+    mark(e.stall_seconds > schedule_.link_timeout_seconds ? "fault.timeout"
+                                                          : "fault.stall");
     if (e.stall_seconds > schedule_.link_timeout_seconds)
       throw LinkTimeoutError("link stalled " + std::to_string(e.stall_seconds) +
                              "s at transaction " + std::to_string(op) +

@@ -42,6 +42,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace cofhee::chip {
 
 /// Base of every injected/detected hardware fault.  Deriving from
@@ -159,11 +161,22 @@ class FaultInjector {
   /// The schedule this injector was armed with.
   [[nodiscard]] const FaultSchedule& schedule() const noexcept { return schedule_; }
 
+  /// Attach a trace recorder: every fault fired lands as an instant event
+  /// (cat "fault") on chip `chip`'s link track, one per faults_fired()
+  /// increment, so traces and stats reconcile exactly.  Pass nullptr to
+  /// detach.  Call only while no session owns the chip.
+  void set_tracer(obs::TraceRecorder* trace, std::uint32_t chip) noexcept {
+    trace_ = trace;
+    trace_chip_ = chip;
+  }
+
  private:
   FaultSchedule schedule_;
   std::atomic<std::uint64_t> ops_{0};
   std::atomic<std::uint64_t> faults_fired_{0};
   std::atomic<bool> dead_{false};
+  obs::TraceRecorder* trace_ = nullptr;
+  std::uint32_t trace_chip_ = 0;
 };
 
 }  // namespace cofhee::chip

@@ -20,6 +20,37 @@ poly::Coeffs<nt::u64> narrow(const std::vector<u128>& w) {
   return t;
 }
 
+/// RAII span over one chip phase: the destructor emits a simulated-axis
+/// "phase" span covering exactly the io + compute seconds the phase added
+/// to the report -- unconditionally, including during exception unwinding,
+/// because a faulted phase's partial counters also reach ServiceStats (the
+/// service feeds the partial report to note_chip_session).  That is what
+/// keeps trace phase-track totals equal to stats io + compute.
+class PhaseTrace {
+ public:
+  PhaseTrace(ChipMulReport* r, const char* name)
+      : r_(r),
+        name_(name),
+        io0_(r != nullptr ? r->io_seconds : 0),
+        ms0_(r != nullptr ? r->chip_ms : 0) {}
+  PhaseTrace(const PhaseTrace&) = delete;
+  PhaseTrace& operator=(const PhaseTrace&) = delete;
+  ~PhaseTrace() {
+    if (r_ == nullptr || r_->trace == nullptr) return;
+    const double io = r_->io_seconds - io0_;
+    const double compute = (r_->chip_ms - ms0_) * 1e-3;
+    if (io + compute <= 0) return;  // phase faulted before any accounting
+    r_->trace->span_sim(obs::TraceRecorder::sim_track_chip_phase(r_->trace_chip),
+                        name_, "phase", io + compute,
+                        {{"io_s", io}, {"compute_s", compute}});
+  }
+
+ private:
+  ChipMulReport* r_;
+  const char* name_;
+  double io0_, ms0_;
+};
+
 }  // namespace
 
 EvalMultOperands ChipBfvEvaluator::prepare(const bfv::Bfv& bfv, const bfv::Ciphertext& a,
@@ -51,6 +82,7 @@ EvalMultOperands ChipBfvEvaluator::prepare_square(const bfv::Bfv& bfv,
 
 void ChipBfvEvaluator::configure_tower(HostDriver& drv, const bfv::Bfv& bfv,
                                        std::size_t tower, ChipMulReport* report) {
+  const PhaseTrace pt(report, "configure_tower");
   const auto& ctx = bfv.context();
   const std::size_t n = ctx.n();
   if (2 * n > drv.chip().config().bank_words)
@@ -66,6 +98,7 @@ void ChipBfvEvaluator::configure_tower(HostDriver& drv, const bfv::Bfv& bfv,
 
 void ChipBfvEvaluator::load_tower(HostDriver& drv, const EvalMultOperands& ops,
                                   std::size_t tower, ChipMulReport* report) {
+  const PhaseTrace pt(report, "load_tower");
   double io = 0;
   io += drv.load_polynomial(Bank::kSp0, 0, widen(ops.a0.towers[tower]));
   io += drv.load_polynomial(Bank::kSp1, 0, widen(ops.a1.towers[tower]));
@@ -90,6 +123,7 @@ void ChipBfvEvaluator::load_tower(HostDriver& drv, const EvalMultOperands& ops,
 }
 
 void ChipBfvEvaluator::execute_tower(HostDriver& drv, ChipMulReport* report) {
+  const PhaseTrace pt(report, "execute_tower");
   const auto r = drv.ciphertext_mul();
   if (report != nullptr) {
     report->chip_cycles += r.compute_cycles;
@@ -98,6 +132,7 @@ void ChipBfvEvaluator::execute_tower(HostDriver& drv, ChipMulReport* report) {
 }
 
 TowerTensor ChipBfvEvaluator::read_tower(HostDriver& drv, ChipMulReport* report) {
+  const PhaseTrace pt(report, "read_tower");
   const std::size_t n = drv.n();
   TowerTensor t;
   double io = 0;
@@ -161,6 +196,7 @@ std::vector<RelinTowerAcc> ChipBfvEvaluator::relin_tower_batch(
     HostDriver& drv, const bfv::Bfv& bfv, const std::vector<const RelinOperands*>& group,
     const bfv::RelinKeys& rk, std::size_t tower, RelinKeyCache* cache,
     ChipMulReport* report) {
+  const PhaseTrace pt(report, "relin_tower");
   const auto& ring = bfv.context().q_basis().tower(tower);
   std::vector<RelinTowerAcc> accs;
   accs.reserve(group.size());

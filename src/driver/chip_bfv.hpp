@@ -36,6 +36,7 @@
 #include "bfv/bfv.hpp"
 #include "chip/chip.hpp"
 #include "driver/host_driver.hpp"
+#include "obs/trace.hpp"
 
 namespace cofhee::driver {
 
@@ -65,6 +66,15 @@ struct ChipMulReport {
   /// the serial link (the squaring scratch-reuse hint: B == A, so B0/B1 are
   /// synthesized from SP0/SP1 rather than uploaded into SP2/SP3).
   std::uint64_t sram_reuses = 0;
+  /// Optional trace sink: when set, every phase emits a simulated-axis span
+  /// (cat "phase") on chip `trace_chip`'s phase track covering exactly the
+  /// io + compute seconds the phase added to this report -- including
+  /// partial time of a phase that faulted mid-way, which is also how
+  /// ServiceStats accounts it, so trace and stats reconcile.  Not
+  /// accumulated by operator+=.
+  obs::TraceRecorder* trace = nullptr;
+  /// Chip index the trace spans are attributed to (with `trace`).
+  std::uint32_t trace_chip = 0;
 
   /// Accumulate another session's counters into this one.
   ChipMulReport& operator+=(const ChipMulReport& o) {

@@ -79,7 +79,9 @@ double HostDriver::configure_ring(u128 q, std::size_t n, u128 psi, bool timed) {
     }
   }
   lk.host_write_burst(bank_base(Bank::kTw), words.data(), words.size());
-  return lk.stats().seconds - before;
+  const double spent = lk.stats().seconds - before;
+  trace_link("link.configure", spent, static_cast<double>(words.size()));
+  return spent;
 }
 
 void HostDriver::probe() {
@@ -89,8 +91,10 @@ void HostDriver::probe() {
   auto& lk = link_of(chip_, link_);
   const std::uint32_t addr = bank_base(Bank::kSp3);
   const std::uint32_t pattern = 0xC0F4EE00u | (probe_nonce_++ & 0xFFu);
+  const double before = lk.stats().seconds;
   lk.host_write32(addr, pattern);
   const std::uint32_t got = lk.host_read32(addr);
+  trace_link("link.probe", lk.stats().seconds - before, 2);
   if (got != pattern)
     throw chip::ChipFaultError("probe readback mismatch: wrote " +
                                std::to_string(pattern) + ", read " +
@@ -111,7 +115,9 @@ double HostDriver::load_polynomial(Bank bank, std::size_t offset,
   }
   lk.host_write_burst(bank_base(bank) + static_cast<std::uint32_t>(offset) * 16,
                       words.data(), words.size());
-  return lk.stats().seconds - before;
+  const double spent = lk.stats().seconds - before;
+  trace_link("link.write", spent, static_cast<double>(words.size()));
+  return spent;
 }
 
 std::uint64_t HostDriver::copy_polynomial(Bank src, std::size_t src_offset, Bank dst,
@@ -139,6 +145,8 @@ std::vector<u128> HostDriver::read_polynomial(Bank bank, std::size_t offset,
     for (int w = 3; w >= 0; --w) v = (v << 32) | words[i * 4 + static_cast<unsigned>(w)];
     out[i] = v;
   }
+  trace_link("link.read", lk.stats().seconds - before,
+             static_cast<double>(words.size()));
   if (io_seconds != nullptr) *io_seconds = lk.stats().seconds - before;
   return out;
 }

@@ -15,6 +15,7 @@
 
 #include "chip/chip.hpp"
 #include "chip/cm0.hpp"
+#include "obs/trace.hpp"
 #include "poly/merged_ntt.hpp"
 
 namespace cofhee::driver {
@@ -141,6 +142,15 @@ class HostDriver {
   /// DMA staging overlapped per Section III-F.
   ExecReport ciphertext_mul();
 
+  /// Attach a trace recorder: timed serial transactions (polynomial
+  /// uploads/downloads, ring reconfiguration, probes) land as spans (cat
+  /// "link") on chip `chip`'s link track, durations on the simulated axis.
+  /// Pass nullptr to detach.  Call only while no session owns the chip.
+  void set_tracer(obs::TraceRecorder* trace, std::uint32_t chip) noexcept {
+    trace_ = trace;
+    trace_chip_ = chip;
+  }
+
  private:
   ExecReport run_direct(std::span<const Instr> program);
   ExecReport run_fifo(std::span<const Instr> program);
@@ -149,6 +159,14 @@ class HostDriver {
   std::uint64_t stage(const MemRef& src, const MemRef& dst, std::size_t len,
                       std::uint64_t window);
 
+  /// Emit one "link" span of `seconds` on this chip's link track (no-op
+  /// without a tracer or for zero-length transfers).
+  void trace_link(const char* name, double seconds, double words) const {
+    if (trace_ != nullptr && seconds > 0)
+      trace_->span_sim(obs::TraceRecorder::sim_track_chip_link(trace_chip_), name,
+                       "link", seconds, {{"words", words}});
+  }
+
   CofheeChip& chip_;
   ExecMode mode_;
   Link link_;
@@ -156,6 +174,8 @@ class HostDriver {
   std::size_t n_ = 0;
   u128 q_ = 0;
   std::uint32_t probe_nonce_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  std::uint32_t trace_chip_ = 0;
 };
 
 }  // namespace cofhee::driver

@@ -3,6 +3,8 @@
 #include <future>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace cofhee::graph {
 
 namespace {
@@ -52,7 +54,33 @@ std::vector<bfv::Ciphertext> GraphExecutor::run(const CompiledGraph& cg,
     if (left[id] > 0 && --left[id] == 0) vals[id] = bfv::Ciphertext{};
   };
 
-  for (const Round& round : cg.rounds) {
+  // Per-round attribution reads simulated-time counter deltas off the
+  // service, which is only consistent at quiescence: drain before the first
+  // snapshot and after each round.  The executor already waits out every
+  // future of the round, so the extra drain is timing-neutral -- it only
+  // flushes the dispatcher's bookkeeping (retire/finish), no chip work.
+  obs::TraceRecorder* const trace = service_.options().trace;
+  const bool attribute = stats != nullptr;
+  service::ServiceStats prev;
+  if (attribute) {
+    stats->per_round.clear();
+    stats->critical_path_seconds = 0;
+    stats->io_seconds = 0;
+    stats->compute_seconds = 0;
+    service_.drain();
+    prev = service_.stats();
+  }
+
+  for (std::size_t round_idx = 0; round_idx < cg.rounds.size(); ++round_idx) {
+    const Round& round = cg.rounds[round_idx];
+    const auto round_span =
+        trace != nullptr
+            ? trace->span_wall(
+                  "graph.round", "graph",
+                  {{"round", static_cast<double>(round_idx)},
+                   {"chip_ops", static_cast<double>(round.chip_ops.size())},
+                   {"host_ops", static_cast<double>(round.host_ops.size())}})
+            : obs::TraceRecorder::WallSpan();
     for (NodeId id : round.host_ops) {
       const Node& nd = cg.nodes[id];
       vals[id] = host_op(scheme_, nd, vals);
@@ -98,6 +126,27 @@ std::vector<bfv::Ciphertext> GraphExecutor::run(const CompiledGraph& cg,
       const Node& nd = cg.nodes[op.node];
       release(nd.a);
       if (op.kind != service::RequestKind::kRelinearize) release(nd.b);
+    }
+
+    if (attribute) {
+      service_.drain();
+      const service::ServiceStats cur = service_.stats();
+      RoundAttribution ra;
+      ra.round = round_idx;
+      ra.chip_ops = round.chip_ops.size();
+      ra.host_ops = round.host_ops.size();
+      ra.io_seconds = cur.io_seconds - prev.io_seconds;
+      ra.compute_seconds = cur.compute_seconds - prev.compute_seconds;
+      ra.host_prep_seconds =
+          cur.sim_host_prep_seconds - prev.sim_host_prep_seconds;
+      ra.host_finish_seconds =
+          cur.sim_host_finish_seconds - prev.sim_host_finish_seconds;
+      ra.span_seconds = cur.pipeline_span_seconds - prev.pipeline_span_seconds;
+      stats->per_round.push_back(ra);
+      stats->critical_path_seconds += ra.span_seconds;
+      stats->io_seconds += ra.io_seconds;
+      stats->compute_seconds += ra.compute_seconds;
+      prev = cur;
     }
   }
 

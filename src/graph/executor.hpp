@@ -25,6 +25,30 @@
 
 namespace cofhee::graph {
 
+/// Per-round cost attribution from one GraphExecutor::run().  Seconds are
+/// deltas of the service's simulated-time counters across the round, so they
+/// sum exactly to the ServiceStats the run added -- the same invariant the
+/// trace phase tracks satisfy.
+struct RoundAttribution {
+  /// Round index in CompiledGraph::rounds order.
+  std::size_t round = 0;
+  /// Chip requests this round submitted.
+  std::size_t chip_ops = 0;
+  /// Host ops this round evaluated inline.
+  std::size_t host_ops = 0;
+  /// Serial transport the round added.  Simulated seconds.
+  double io_seconds = 0;
+  /// Chip compute the round added.  Simulated seconds.
+  double compute_seconds = 0;
+  /// Modeled host prepare work the round added.  Simulated seconds.
+  double host_prep_seconds = 0;
+  /// Modeled host finish work the round added.  Simulated seconds.
+  double host_finish_seconds = 0;
+  /// Pipeline-model span the round added: the round's contribution to the
+  /// service's modeled makespan, i.e. its share of the critical path.
+  double span_seconds = 0;
+};
+
 /// Counters from one GraphExecutor::run(), for tests and benches.
 struct GraphRunStats {
   /// Rounds executed (== CompiledGraph::rounds.size()).
@@ -35,6 +59,20 @@ struct GraphRunStats {
   std::size_t squares = 0;
   /// Host-side ops evaluated inline.
   std::size_t host_ops = 0;
+  /// Per-round attribution (one entry per round with chip work, in round
+  /// order).  Filled only when a GraphRunStats* is passed to run(); the
+  /// executor then drains the service after each round to read consistent
+  /// counter deltas, so attribution assumes this run has the service to
+  /// itself (concurrent tenants would fold into the deltas).
+  std::vector<RoundAttribution> per_round;
+  /// Sum of per-round pipeline-model span deltas: the graph's modeled
+  /// critical path through the farm (host prep, chip rounds and host finish
+  /// overlapped as the service pipelines them).
+  double critical_path_seconds = 0;
+  /// Total serial transport across all rounds.  Simulated seconds.
+  double io_seconds = 0;
+  /// Total chip compute across all rounds.  Simulated seconds.
+  double compute_seconds = 0;
 };
 
 /// Runs compiled graphs through an EvalService (see file comment).

@@ -1,0 +1,173 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace cofhee::obs {
+
+namespace {
+
+/// Prometheus value/le formatting: compact, round-trippable doubles.
+std::string num(double v) {
+  std::ostringstream ss;
+  ss << std::setprecision(15) << v;
+  return ss.str();
+}
+
+/// Escape a label value (quotes, backslashes, newlines per the text format).
+std::string escape_label(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}` or "" for an unlabeled instance; `extra` appends one
+/// more pair (the histogram `le`).
+std::string label_str(const Labels& labels, const std::string& extra_key = "",
+                      const std::string& extra_val = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  const char* sep = "";
+  for (const auto& [k, v] : labels) {
+    out += sep;
+    out += k + "=\"" + escape_label(v) + "\"";
+    sep = ",";
+  }
+  if (!extra_key.empty()) {
+    out += sep;
+    out += extra_key + "=\"" + extra_val + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty())
+    throw std::invalid_argument("Histogram: at least one bucket bound required");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    if (!(bounds_[i - 1] < bounds_[i]))
+      throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+  // First bound >= v; everything past the last bound lands in +Inf.
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto i = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sum_, v);
+}
+
+MetricsRegistry::Instance& MetricsRegistry::instance(const std::string& name,
+                                                     const std::string& help,
+                                                     Kind kind, Labels labels) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto [it, inserted] = families_.try_emplace(name);
+  Family& fam = it->second;
+  if (inserted) {
+    fam.kind = kind;
+    fam.help = help;
+  } else if (fam.kind != kind) {
+    throw std::logic_error("MetricsRegistry: '" + name +
+                           "' already registered with a different kind");
+  }
+  for (auto& inst : fam.instances)
+    if (inst->labels == labels) return *inst;
+  fam.instances.push_back(std::make_unique<Instance>());
+  Instance& inst = *fam.instances.back();
+  inst.labels = std::move(labels);
+  return inst;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const std::string& help,
+                                  Labels labels) {
+  Instance& inst = instance(name, help, Kind::kCounter, std::move(labels));
+  std::lock_guard<std::mutex> lk(mu_);
+  if (inst.counter == nullptr) inst.counter = std::make_unique<Counter>();
+  return *inst.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              Labels labels) {
+  Instance& inst = instance(name, help, Kind::kGauge, std::move(labels));
+  std::lock_guard<std::mutex> lk(mu_);
+  if (inst.gauge == nullptr) inst.gauge = std::make_unique<Gauge>();
+  return *inst.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds, Labels labels) {
+  Instance& inst = instance(name, help, Kind::kHistogram, std::move(labels));
+  std::lock_guard<std::mutex> lk(mu_);
+  if (inst.histogram == nullptr)
+    inst.histogram = std::make_unique<Histogram>(std::move(bounds));
+  return *inst.histogram;
+}
+
+void MetricsRegistry::render(std::ostream& os) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, fam] : families_) {
+    os << "# HELP " << name << ' ' << fam.help << '\n';
+    os << "# TYPE " << name << ' '
+       << (fam.kind == Kind::kCounter   ? "counter"
+           : fam.kind == Kind::kGauge   ? "gauge"
+                                        : "histogram")
+       << '\n';
+    // Instances sorted by label string for a deterministic exposition.
+    std::vector<const Instance*> insts;
+    insts.reserve(fam.instances.size());
+    for (const auto& i : fam.instances) insts.push_back(i.get());
+    std::sort(insts.begin(), insts.end(), [](const Instance* a, const Instance* b) {
+      return label_str(a->labels) < label_str(b->labels);
+    });
+    for (const Instance* inst : insts) {
+      if (fam.kind == Kind::kCounter && inst->counter != nullptr) {
+        os << name << label_str(inst->labels) << ' ' << num(inst->counter->value())
+           << '\n';
+      } else if (fam.kind == Kind::kGauge && inst->gauge != nullptr) {
+        os << name << label_str(inst->labels) << ' ' << num(inst->gauge->value())
+           << '\n';
+      } else if (fam.kind == Kind::kHistogram && inst->histogram != nullptr) {
+        const Histogram& h = *inst->histogram;
+        std::uint64_t cum = 0;
+        for (std::size_t b = 0; b < h.bounds().size(); ++b) {
+          cum += h.bucket_count(b);
+          os << name << "_bucket"
+             << label_str(inst->labels, "le", num(h.bounds()[b])) << ' ' << cum
+             << '\n';
+        }
+        cum += h.bucket_count(h.bounds().size());
+        os << name << "_bucket" << label_str(inst->labels, "le", "+Inf") << ' '
+           << cum << '\n';
+        os << name << "_sum" << label_str(inst->labels) << ' ' << num(h.sum())
+           << '\n';
+        os << name << "_count" << label_str(inst->labels) << ' ' << h.count()
+           << '\n';
+      }
+    }
+  }
+}
+
+std::string MetricsRegistry::render_text() const {
+  std::ostringstream ss;
+  render(ss);
+  return ss.str();
+}
+
+}  // namespace cofhee::obs

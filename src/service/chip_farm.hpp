@@ -71,6 +71,11 @@ class ChipFarm {
   void inject_faults(std::size_t i, const chip::FaultSchedule& schedule);
   /// Chip `i`'s fault injector, or nullptr for a healthy (untapped) chip.
   [[nodiscard]] const chip::FaultInjector* fault_injector(std::size_t i) const;
+  /// Mutable view of chip `i`'s injector (the service attaches its trace
+  /// recorder through this); nullptr for a healthy chip.
+  [[nodiscard]] chip::FaultInjector* fault_injector(std::size_t i) {
+    return slots_.at(i).fault.get();
+  }
 
  private:
   // Heap slots: HostDriver keeps a reference to its chip, so both need

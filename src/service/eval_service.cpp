@@ -8,6 +8,8 @@
 #include <utility>
 
 #include "chip/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/errors.hpp"
 
 namespace cofhee::service {
@@ -92,6 +94,30 @@ EvalService::EvalService(const bfv::Bfv& scheme, ChipFarm& farm, ServiceOptions 
   stats_.per_chip.resize(farm_.size());
   stats_.per_class.resize(kNumPriorities);
   class_latency_.resize(kNumPriorities);
+  // Observability wiring, before any traffic: hand the recorder to every
+  // chip's driver and fault injector (they emit link/phase/fault events on
+  // their chip's sim tracks), and resolve the latency histograms once so
+  // the retire path only observe()s.
+  if (opts_.trace != nullptr) {
+    for (std::size_t c = 0; c < farm_.size(); ++c) {
+      farm_.driver(c).set_tracer(opts_.trace, static_cast<std::uint32_t>(c));
+      if (chip::FaultInjector* inj = farm_.fault_injector(c))
+        inj->set_tracer(opts_.trace, static_cast<std::uint32_t>(c));
+    }
+  }
+  if (opts_.metrics != nullptr) {
+    const std::vector<double> bounds = {0.0001, 0.00025, 0.0005, 0.001, 0.0025,
+                                        0.005,  0.01,    0.025,  0.05,  0.1,
+                                        0.25,   0.5,     1,      2.5,   5,
+                                        10};
+    static constexpr const char* kClassNames[kNumPriorities] = {"high", "normal",
+                                                                "low"};
+    for (std::size_t i = 0; i < kNumPriorities; ++i)
+      latency_hist_[i] = &opts_.metrics->histogram(
+          "cofhee_request_latency_seconds",
+          "Submit-to-completion request latency (wall seconds).", bounds,
+          {{"class", kClassNames[i]}});
+  }
   dispatcher_ = std::thread([this] { dispatcher_loop(); });
 }
 
@@ -149,6 +175,12 @@ std::vector<std::future<bfv::Ciphertext>> EvalService::submit_batch(
       p.req = std::move(r);
       p.so = so;
       p.enqueued = now;
+      p.id = ++next_req_id_;
+      if (opts_.trace != nullptr)
+        opts_.trace->async_begin(p.id, "request", "request",
+                                 {{"kind", static_cast<double>(p.req.kind)},
+                                  {"priority", static_cast<double>(so.priority)},
+                                  {"tenant", static_cast<double>(so.tenant)}});
       futures.push_back(p.promise.get_future());
       queue_.push(std::move(p));
     }
@@ -198,6 +230,8 @@ ServiceStats EvalService::stats() const {
       s.per_chip[c].quarantined = health_[c].quarantined;
     }
     s.max_class_skip = std::max(s.max_class_skip, queue_.max_skip_observed());
+    for (std::size_t c = 0; c < kNumPriorities; ++c)
+      s.per_class[c].queued = queue_.class_depth(c);
     cls_windows = class_latency_;
     s.per_tenant.reserve(tenants_.size());
     ten_windows.reserve(tenants_.size());
@@ -275,6 +309,9 @@ void EvalService::dispatcher_loop() {
     {
       std::lock_guard<std::mutex> lk(mu_);
       const double start = std::max(s->model_ready, model_chip_);
+      if (opts_.trace != nullptr && s->sim_chip > 0)
+        opts_.trace->span_sim_at(obs::TraceRecorder::kSimTrackChipModel,
+                                 "model.chip", "model", start, s->sim_chip);
       s->model_chip_end = start + s->sim_chip;
       model_chip_ = s->model_chip_end;
       stats_.sim_chip_round_seconds += s->sim_chip;
@@ -317,6 +354,10 @@ void EvalService::dispatcher_loop() {
       {
         std::lock_guard<std::mutex> lk(mu_);
         stats_.sim_host_prep_seconds += cur->sim_prep;
+        if (opts_.trace != nullptr && cur->sim_prep > 0)
+          opts_.trace->span_sim_at(obs::TraceRecorder::kSimTrackHostModel,
+                                   "model.prep", "model", model_host_,
+                                   cur->sim_prep);
         model_host_ += cur->sim_prep;
         cur->model_ready = model_host_;
         if (overlapped) {
@@ -343,6 +384,9 @@ void EvalService::dispatcher_loop() {
         {
           std::lock_guard<std::mutex> lk(mu_);
           const double start = std::max(cur->model_ready, model_chip_);
+          if (opts_.trace != nullptr && cur->sim_chip > 0)
+            opts_.trace->span_sim_at(obs::TraceRecorder::kSimTrackChipModel,
+                                     "model.chip", "model", start, cur->sim_chip);
           cur->model_chip_end = start + cur->sim_chip;
           model_chip_ = cur->model_chip_end;
           stats_.sim_chip_round_seconds += cur->sim_chip;
@@ -365,7 +409,11 @@ void EvalService::finish_session(Session& s, bool overlapped_finish) {
   const double fin_wall = seconds_since(t0);
   {
     std::lock_guard<std::mutex> lk(mu_);
-    model_host_ = std::max(model_host_, s.model_chip_end) + s.sim_finish;
+    const double fstart = std::max(model_host_, s.model_chip_end);
+    if (opts_.trace != nullptr && s.sim_finish > 0)
+      opts_.trace->span_sim_at(obs::TraceRecorder::kSimTrackHostModel,
+                               "model.finish", "model", fstart, s.sim_finish);
+    model_host_ = fstart + s.sim_finish;
     stats_.sim_host_finish_seconds += s.sim_finish;
     stats_.serial_span_seconds += s.sim_prep + s.sim_chip + s.sim_finish;
     stats_.pipeline_span_seconds = std::max(model_host_, model_chip_);
@@ -376,6 +424,12 @@ void EvalService::finish_session(Session& s, bool overlapped_finish) {
 
 void EvalService::host_prepare(Session& s) {
   using driver::ChipBfvEvaluator;
+  const auto span =
+      opts_.trace != nullptr
+          ? opts_.trace->span_wall(
+                "round.prepare", "round",
+                {{"requests", static_cast<double>(s.round.size())}})
+          : obs::TraceRecorder::WallSpan();
   const std::size_t count = s.round.size();
   const auto& ctx = scheme_.context();
   const double n = static_cast<double>(ctx.n());
@@ -412,6 +466,12 @@ void EvalService::host_prepare(Session& s) {
 
 void EvalService::run_chip_stage(Session& s) {
   using driver::ChipBfvEvaluator;
+  const auto span =
+      opts_.trace != nullptr
+          ? opts_.trace->span_wall(
+                "round.chip_stage", "round",
+                {{"requests", static_cast<double>(s.round.size())}})
+          : obs::TraceRecorder::WallSpan();
   // Chip stages are chained (the chips are an exclusive resource), so this
   // is the one spot where probing a quarantined chip cannot race a session:
   // quarantined chips receive no placements, and no other stage is running.
@@ -494,6 +554,12 @@ void EvalService::run_chip_stage(Session& s) {
 
 void EvalService::host_finish(Session& s) {
   using driver::ChipBfvEvaluator;
+  const auto span =
+      opts_.trace != nullptr
+          ? opts_.trace->span_wall(
+                "round.finish", "round",
+                {{"requests", static_cast<double>(s.round.size())}})
+          : obs::TraceRecorder::WallSpan();
   const std::size_t count = s.round.size();
   const auto& ctx = scheme_.context();
   const double n = static_cast<double>(ctx.n());
@@ -549,6 +615,11 @@ void EvalService::retire(Session& s) {
         // retryable fault is not yet an answer.
         ++p.attempts;
         ++stats_.requeues;
+        if (opts_.trace != nullptr)
+          opts_.trace->instant_wall(
+              "requeue", "heal",
+              {{"request", static_cast<double>(p.id)},
+               {"attempts", static_cast<double>(p.attempts)}});
         queue_.push(std::move(p));
         requeued = true;
         continue;
@@ -568,9 +639,15 @@ void EvalService::retire(Session& s) {
         ++cls.completed;
         ++ten.counts.completed;
       }
+      if (opts_.trace != nullptr)
+        opts_.trace->async_end(
+            p.id, "request", "request",
+            {{"ok", s.errs[i] == nullptr ? 1.0 : 0.0},
+             {"attempts", static_cast<double>(p.attempts)}});
       const double lat = std::max(0.0, now - p.enqueued);
       class_latency_[cls_idx].record(lat);
       ten.latency.record(lat);
+      if (latency_hist_[cls_idx] != nullptr) latency_hist_[cls_idx]->observe(lat);
     }
     in_flight_ -= s.round.size();
     last_done_ = Clock::now();
@@ -597,6 +674,11 @@ std::vector<ChipScore> EvalService::chip_scores(
 
 std::vector<std::vector<std::size_t>> EvalService::place_items(
     std::size_t items, const std::vector<bool>* exclude) {
+  const auto span =
+      opts_.trace != nullptr
+          ? opts_.trace->span_wall("placement", "round",
+                                   {{"items", static_cast<double>(items)}})
+          : obs::TraceRecorder::WallSpan();
   const auto any_eligible = [](const std::vector<ChipScore>& sc) {
     for (const ChipScore& x : sc)
       if (x.eligible) return true;
@@ -661,7 +743,16 @@ void EvalService::run_stage(Session& s, const std::vector<std::size_t>& live,
       placed.reserve(assign[c].size());
       for (std::size_t j : assign[c]) placed.push_back(todo[j]);
       const auto t0 = Clock::now();
+      const auto stage_span =
+          opts_.trace != nullptr
+              ? opts_.trace->span_wall(
+                    "stage", "round",
+                    {{"chip", static_cast<double>(c)},
+                     {"items", static_cast<double>(placed.size())}})
+              : obs::TraceRecorder::WallSpan();
       driver::ChipMulReport rep;
+      rep.trace = opts_.trace;
+      rep.trace_chip = static_cast<std::uint32_t>(c);
       StageCounters n;
       try {
         work(c, placed, rep, n);
@@ -673,6 +764,9 @@ void EvalService::run_stage(Session& s, const std::vector<std::size_t>& live,
             std::lock_guard<std::mutex> lk(mu_);
             ++stats_.stage_timeouts;
           }
+          if (opts_.trace != nullptr)
+            opts_.trace->instant_wall("stage_timeout", "heal",
+                                      {{"chip", static_cast<double>(c)}});
           throw chip::LinkTimeoutError(
               "chip " + std::to_string(c) + " stage took " +
               std::to_string(sim_seconds(rep)) + "s (budget " +
@@ -706,6 +800,9 @@ void EvalService::run_stage(Session& s, const std::vector<std::size_t>& live,
         stage_faulted[c] = true;
         any_faulted = true;
         for (std::size_t j : assign[c]) next_todo.push_back(todo[j]);
+        if (opts_.trace != nullptr)
+          opts_.trace->instant_wall("retry", "heal",
+                                    {{"chip", static_cast<double>(c)}});
         std::lock_guard<std::mutex> lk(mu_);
         ++stats_.retries;
         continue;
@@ -848,6 +945,9 @@ void EvalService::note_chip_fault_locked(std::size_t chip) {
     h.last_probe_round = stats_.rounds;
     ++stats_.quarantines;
     ++stats_.per_chip[chip].quarantines;
+    if (opts_.trace != nullptr)
+      opts_.trace->instant_wall("quarantine", "heal",
+                                {{"chip", static_cast<double>(chip)}});
   }
 }
 
@@ -882,6 +982,9 @@ void EvalService::probe_quarantined(bool force) {
     } catch (...) {
       ok = false;  // still sick: keep quarantined, try again next interval
     }
+    if (opts_.trace != nullptr)
+      opts_.trace->instant_wall(ok ? "probe.ok" : "probe.fail", "heal",
+                                {{"chip", static_cast<double>(c)}});
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.probes;
     ++stats_.per_chip[c].probes;
@@ -890,6 +993,9 @@ void EvalService::probe_quarantined(bool force) {
       health_[c].consecutive_faults = 0;
       ++stats_.readmissions;
       ++stats_.per_chip[c].readmissions;
+      if (opts_.trace != nullptr)
+        opts_.trace->instant_wall("readmit", "heal",
+                                  {{"chip", static_cast<double>(c)}});
     } else {
       ++stats_.probe_failures;
     }

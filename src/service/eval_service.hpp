@@ -62,6 +62,7 @@
 // dispatcher.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
@@ -81,6 +82,12 @@
 #include "service/placer.hpp"
 #include "service/request_queue.hpp"
 #include "service/service_stats.hpp"
+
+namespace cofhee::obs {
+class Histogram;
+class MetricsRegistry;
+class TraceRecorder;
+}  // namespace cofhee::obs
 
 namespace cofhee::service {
 
@@ -175,6 +182,22 @@ struct ServiceOptions {
   /// placement (cost := (1-a)*cost + a*sample).  0 freezes costs at the
   /// modeled seed (the v2 reference behavior); clamped to [0, 1].
   double cost_ewma_alpha = 0.3;
+  /// Optional trace recorder (obs/trace.hpp, caller-owned, must outlive the
+  /// service): the service then emits hierarchical spans -- async "request"
+  /// spans from submit to settle, wall spans for every round phase and
+  /// per-chip stage, simulated-axis spans for driver phases / link
+  /// transactions / the pipeline model, and "heal" instants for retries,
+  /// requeues, quarantines and probes.  Tracing never changes results or
+  /// scheduling; when the recorder is null (or COFHEE_TRACING=0) every call
+  /// site reduces to a pointer check (or nothing at all).  Export the trace
+  /// only after drain() or shutdown() -- the recorder requires quiescence.
+  obs::TraceRecorder* trace = nullptr;
+  /// Optional metrics registry (obs/metrics.hpp, caller-owned): the service
+  /// records per-class request-latency histograms
+  /// (cofhee_request_latency_seconds{class=...}) as requests settle.  For
+  /// the counter exposition, render obs::export_service_stats(stats(), reg)
+  /// into the same registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Async multi-chip evaluation front end over a ChipFarm.
@@ -366,9 +389,14 @@ class EvalService {
   std::condition_variable idle_cv_;  // drain(): queue empty and nothing in flight
   RequestQueue queue_;
   std::size_t in_flight_ = 0;
+  std::uint64_t next_req_id_ = 0;  // async-trace request ids (guarded by mu_)
   bool stopping_ = false;
   ServiceStats stats_;  // per_chip sized to the farm; queue_depth/wall filled on read
   std::vector<LatencyWindow> class_latency_;           // kNumPriorities windows
+  // Per-class request-latency histograms, resolved once at construction
+  // (instrument lookup locks the registry; observe() is lock-free).  Null
+  // without ServiceOptions::metrics.
+  std::array<obs::Histogram*, kNumPriorities> latency_hist_{};
   std::unordered_map<std::uint64_t, TenantAgg> tenants_;
   double model_host_ = 0;  // pipeline model: virtual host resource clock
   double model_chip_ = 0;  // pipeline model: virtual chip-farm resource clock

@@ -15,6 +15,7 @@ void RequestQueue::push(Pending p) {
   if (static_cast<std::size_t>(p.so.priority) >= kNumPriorities)
     throw std::invalid_argument("RequestQueue: unknown priority class");
   ++size_;
+  ++class_size_[static_cast<std::size_t>(p.so.priority)];
   if (policy_ == SchedPolicy::kFifo) {
     fifo_.push_back(std::move(p));
     return;
@@ -83,6 +84,7 @@ Pending RequestQueue::pop_one(double now) {
   tq.q.pop_front();
   --tq.deficit;
   --cls.size;
+  --class_size_[picked];
   --size_;
   if (tq.q.empty()) {
     // Drained: the tenant leaves the rotation and forfeits its leftover
@@ -106,6 +108,7 @@ std::vector<Pending> RequestQueue::pop_round(std::size_t max_batch, double now) 
     while (!fifo_.empty() && round.size() < max_batch) {
       Pending p = std::move(fifo_.front());
       fifo_.pop_front();
+      --class_size_[static_cast<std::size_t>(p.so.priority)];
       --size_;
       p.dequeued = now;
       round.push_back(std::move(p));

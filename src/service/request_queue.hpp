@@ -117,6 +117,9 @@ struct Pending {
   /// ServiceOptions::request_retries and fulfills the promise with the
   /// originating fault instead.
   std::uint32_t attempts = 0;
+  /// Service-assigned id (1-based, submit order), carried through requeues.
+  /// Correlates the trace's async "request" span with its rounds/stages.
+  std::uint64_t id = 0;
 };
 
 /// Priority + fairness request queue (see file comment).  Not thread-safe.
@@ -135,6 +138,11 @@ class RequestQueue {
   [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
   /// Requests currently queued.
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Requests currently queued in priority class `cls` (tracked under both
+  /// policies; under kFifo the class tags still arrive with each push).
+  [[nodiscard]] std::size_t class_depth(std::size_t cls) const noexcept {
+    return cls < kNumPriorities ? class_size_[cls] : 0;
+  }
 
   /// Dequeue up to `max_batch` requests in scheduling order, stamping each
   /// Pending::dequeued with `now` and Pending::forced where the starvation
@@ -175,6 +183,7 @@ class RequestQueue {
   std::size_t bound_;
   std::deque<Pending> fifo_;  // SchedPolicy::kFifo storage
   ClassState classes_[kNumPriorities];
+  std::size_t class_size_[kNumPriorities] = {};  // queued per class, any policy
   std::size_t size_ = 0;
   std::uint64_t forced_picks_ = 0;
   std::uint64_t max_skip_observed_ = 0;

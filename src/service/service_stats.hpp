@@ -177,6 +177,9 @@ struct ClassStats {
   /// order (i.e. this class was force-served past waiting higher-priority
   /// work).  Count.
   std::uint64_t forced_picks = 0;
+  /// Requests waiting in the queue for this class at sampling time (not
+  /// counting in-flight rounds).  Count.
+  std::uint64_t queued = 0;
   /// Submit-to-completion latency percentiles.  Seconds (wall).
   LatencyStats latency;
 };

@@ -1,0 +1,185 @@
+#!/usr/bin/env python3
+"""Validate a --trace artifact (Chrome trace-event JSON) and, optionally, a
+--metrics-out artifact (Prometheus text exposition), with no third-party
+dependencies.  Wired into CTest under the `bench` label: CI produces a
+2-chip bench_graph trace and lints it here, so a malformed exporter fails
+the build rather than a Perfetto load three weeks later.
+
+    tools/trace_lint.py trace.json [--metrics metrics.prom]
+
+Checks on the trace:
+  * top level is {"traceEvents": [...]} and nothing else is required;
+  * every event has name/ph/pid/tid/ts of the right JSON types;
+  * ph is one of X (needs numeric dur >= 0), i, b, e (need an id), M;
+  * async b/e events balance per (name, id);
+  * per (pid, tid) track, events are sorted by ts (the exporter promises
+    deterministic (pid, tid, ts) order);
+  * pids are the known wall (1) / simulated (2) tracks.
+
+Checks on the metrics text:
+  * every non-comment line matches  name{labels} value  with a float value;
+  * every sample is preceded by # HELP and # TYPE lines for its family;
+  * histogram families expose _bucket/_sum/_count with a closing le="+Inf".
+
+Exits 0 when clean, 1 with a per-problem report otherwise.
+"""
+
+import argparse
+import json
+import math
+import re
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+KNOWN_PIDS = {1, 2}  # wall, simulated
+VALID_PH = {"X", "i", "b", "e", "M"}
+
+METRIC_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r" (?P<value>[-+0-9.eE]+|NaN|[+-]Inf)$"
+)
+LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def lint_trace(path: Path) -> list[str]:
+    errors = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: not readable JSON: {e}"]
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return [f"{path}: top level must be an object with a traceEvents array"]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents is not an array"]
+
+    async_depth = defaultdict(int)  # (name, id) -> open count
+    last_ts = {}  # (pid, tid) -> last seen ts
+    for i, ev in enumerate(events):
+        where = f"{path}: event {i}"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for field, types in (("name", str), ("ph", str), ("pid", int)):
+            if not isinstance(ev.get(field), types):
+                errors.append(f"{where}: missing or mistyped {field!r}")
+        ph = ev.get("ph")
+        if ph not in VALID_PH:
+            errors.append(f"{where}: unknown ph {ph!r}")
+            continue
+        # tid is required everywhere except process-scoped metadata
+        # (process_name events carry only a pid).
+        if not isinstance(ev.get("tid"), int) and not (
+            ph == "M" and ev.get("name") == "process_name"
+        ):
+            errors.append(f"{where}: missing or mistyped 'tid'")
+        if isinstance(ev.get("pid"), int) and ev["pid"] not in KNOWN_PIDS:
+            errors.append(f"{where}: unknown pid {ev['pid']} (wall=1, simulated=2)")
+        if ph == "M":
+            continue  # metadata events carry no ts
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or not math.isfinite(ts):
+            errors.append(f"{where}: missing or non-finite ts")
+            continue
+        key = (ev.get("pid"), ev.get("tid"))
+        if key in last_ts and ts < last_ts[key]:
+            errors.append(
+                f"{where}: ts {ts} goes backwards on track pid={key[0]} tid={key[1]}"
+            )
+        last_ts[key] = ts
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or not math.isfinite(dur) or dur < 0:
+                errors.append(f"{where}: 'X' span needs a finite dur >= 0")
+        elif ph in ("b", "e"):
+            if "id" not in ev:
+                errors.append(f"{where}: async {ph!r} event needs an id")
+                continue
+            k = (ev.get("name"), ev["id"])
+            if ph == "b":
+                async_depth[k] += 1
+            else:
+                async_depth[k] -= 1
+                if async_depth[k] < 0:
+                    errors.append(f"{where}: async end without begin for {k}")
+    for k, depth in sorted(async_depth.items(), key=str):
+        if depth > 0:
+            errors.append(f"{path}: async begin without end for {k} (depth {depth})")
+    return errors
+
+
+def lint_metrics(path: Path) -> list[str]:
+    errors = []
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as e:
+        return [f"{path}: unreadable: {e}"]
+    helped, typed = set(), {}
+    families = defaultdict(list)  # family name -> [(labels dict, value str)]
+    for n, line in enumerate(lines, 1):
+        where = f"{path}:{n}"
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4:
+                errors.append(f"{where}: malformed HELP line")
+            else:
+                helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or parts[3] not in ("counter", "gauge", "histogram"):
+                errors.append(f"{where}: malformed TYPE line")
+            else:
+                typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue
+        m = METRIC_LINE.match(line)
+        if m is None:
+            errors.append(f"{where}: unparseable sample line: {line!r}")
+            continue
+        name = m.group("name")
+        labels = dict(LABEL.findall(m.group("labels") or ""))
+        family = re.sub(r"_(bucket|sum|count)$", "", name)
+        if family not in typed and name not in typed:
+            errors.append(f"{where}: sample {name} has no preceding # TYPE")
+        if family not in helped and name not in helped:
+            errors.append(f"{where}: sample {name} has no preceding # HELP")
+        families[family if family in typed else name].append((labels, m.group("value")))
+    for family, kind in sorted(typed.items()):
+        if kind != "histogram":
+            continue
+        bucket_les = [
+            labels.get("le")
+            for labels, _ in families.get(family, [])
+            if labels.get("le") is not None
+        ]
+        if "+Inf" not in bucket_les:
+            errors.append(f"{path}: histogram {family} has no le=\"+Inf\" bucket")
+    return errors
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", type=Path, help="Chrome trace-event JSON to lint")
+    ap.add_argument(
+        "--metrics", type=Path, help="Prometheus text exposition to lint too"
+    )
+    args = ap.parse_args()
+    errors = lint_trace(args.trace)
+    if args.metrics is not None:
+        errors += lint_metrics(args.metrics)
+    for e in errors:
+        print(e, file=sys.stderr)
+    if not errors:
+        print(f"trace_lint: OK ({args.trace}" +
+              (f", {args.metrics}" if args.metrics else "") + ")")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Summarize a --trace artifact: per-phase breakdown of the simulated axis
+plus healing/fault event counts.  Pure stdlib; the terminal complement to
+loading the trace in Perfetto.
+
+    tools/trace_report.py trace.json [--category phase]
+
+Prints, for the chosen category (default "phase", the per-tower driver
+phases), total simulated seconds per span name with share-of-total and
+span counts, then the same per sim track (per chip), then instant-event
+tallies (fault injections, retries, requeues, quarantines, probes).
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+SIM_PID = 2
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("trace", type=Path)
+    ap.add_argument(
+        "--category",
+        default="phase",
+        help="span category to break down (default: phase; try link, model)",
+    )
+    args = ap.parse_args()
+    try:
+        events = json.loads(args.trace.read_text())["traceEvents"]
+    except (OSError, KeyError, json.JSONDecodeError) as e:
+        print(f"{args.trace}: cannot load: {e}", file=sys.stderr)
+        return 1
+
+    track_names = {}
+    by_name = defaultdict(lambda: [0.0, 0])  # name -> [us, count]
+    by_track = defaultdict(lambda: [0.0, 0])  # tid -> [us, count]
+    instants = defaultdict(int)  # (cat, name) -> count
+    for ev in events:
+        if ev.get("ph") == "M" and ev.get("name") == "thread_name":
+            track_names[(ev.get("pid"), ev.get("tid"))] = ev["args"]["name"]
+            continue
+        cat = ev.get("cat", "")
+        if ev.get("ph") == "i":
+            instants[(cat, ev.get("name", ""))] += 1
+        if (
+            ev.get("ph") == "X"
+            and ev.get("pid") == SIM_PID
+            and cat == args.category
+        ):
+            agg = by_name[ev.get("name", "")]
+            agg[0] += ev.get("dur", 0.0)
+            agg[1] += 1
+            tr = by_track[ev.get("tid", -1)]
+            tr[0] += ev.get("dur", 0.0)
+            tr[1] += 1
+
+    total_us = sum(us for us, _ in by_name.values())
+    print(f"category {args.category!r}: {total_us / 1e6:.6f} simulated seconds "
+          f"across {sum(n for _, n in by_name.values())} spans\n")
+    if by_name:
+        width = max(len(n) for n in by_name)
+        print(f"{'span':<{width}}  {'seconds':>12}  {'share':>7}  {'count':>7}")
+        for name, (us, count) in sorted(by_name.items(), key=lambda kv: -kv[1][0]):
+            share = 100.0 * us / total_us if total_us else 0.0
+            print(f"{name:<{width}}  {us / 1e6:>12.6f}  {share:>6.1f}%  {count:>7}")
+        print()
+        print(f"{'track':<{width}}  {'seconds':>12}  {'share':>7}  {'count':>7}")
+        for tid, (us, count) in sorted(by_track.items(), key=lambda kv: -kv[1][0]):
+            name = track_names.get((SIM_PID, tid), f"track{tid}")
+            share = 100.0 * us / total_us if total_us else 0.0
+            print(f"{name:<{width}}  {us / 1e6:>12.6f}  {share:>6.1f}%  {count:>7}")
+    if instants:
+        print("\ninstant events:")
+        for (cat, name), count in sorted(instants.items()):
+            print(f"  {cat}/{name}: {count}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
