@@ -15,8 +15,8 @@ CpuTensorKernel::CpuTensorKernel(std::size_t n, const std::vector<u64>& moduli,
   // O(n) table fills) -- the last serial loop in this kernel's setup.
   ntts_.resize(moduli.size());
   exec_.for_each(moduli.size(), [&](std::size_t i) {
-    ntts_[i] = poly::NegacyclicNtt64(rings_[i], n,
-                                     nt::primitive_2nth_root(moduli[i], n));
+    ntts_[i] = poly::MergedNtt64(rings_[i], n,
+                                 nt::primitive_2nth_root(moduli[i], n));
   });
 }
 
@@ -47,60 +47,14 @@ CpuTensorKernel::Output CpuTensorKernel::multiply_on(const RnsPoly& a0,
   out.y1.towers.resize(towers());
   out.y2.towers.resize(towers());
 
-  // Work decomposition: one task per (tower, transform) so thread counts
-  // beyond the tower count still scale (SEAL behaves the same way).  The
-  // 4 forward NTTs of a tower are independent; the tensor + 3 inverse NTTs
-  // run as a second task wave.
-  std::vector<Coeffs<u64>> fa0(towers()), fa1(towers()), fb0(towers()), fb1(towers());
-  exec.for_each(towers() * 4, [&](std::size_t idx) {
-    const std::size_t tw = idx / 4;
-    const auto& ntt = ntts_[tw];
-    switch (idx % 4) {
-      case 0:
-        fa0[tw] = a0.towers[tw];
-        ntt.forward(fa0[tw]);
-        break;
-      case 1:
-        fa1[tw] = a1.towers[tw];
-        ntt.forward(fa1[tw]);
-        break;
-      case 2:
-        fb0[tw] = b0.towers[tw];
-        ntt.forward(fb0[tw]);
-        break;
-      default:
-        fb1[tw] = b1.towers[tw];
-        ntt.forward(fb1[tw]);
-        break;
-    }
-  });
-
-  exec.for_each(towers() * 3, [&](std::size_t idx) {
-    const std::size_t tw = idx / 3;
-    const auto& ntt = ntts_[tw];
-    const auto& ring = rings_[tw];
-    switch (idx % 3) {
-      case 0: {
-        auto y = poly::pointwise_mul(ring, fa0[tw], fb0[tw]);
-        ntt.inverse(y);
-        out.y0.towers[tw] = std::move(y);
-        break;
-      }
-      case 1: {
-        auto y01 = poly::pointwise_mul(ring, fa0[tw], fb1[tw]);
-        const auto y10 = poly::pointwise_mul(ring, fa1[tw], fb0[tw]);
-        y01 = poly::pointwise_add(ring, y01, y10);
-        ntt.inverse(y01);
-        out.y1.towers[tw] = std::move(y01);
-        break;
-      }
-      default: {
-        auto y = poly::pointwise_mul(ring, fa1[tw], fb1[tw]);
-        ntt.inverse(y);
-        out.y2.towers[tw] = std::move(y);
-        break;
-      }
-    }
+  // Work decomposition: one fused MergedNtt64::tensor task per tower (4
+  // forward transforms, 4 pointwise kernels, 3 inverse transforms with lazy
+  // reduction and SIMD dispatch inside) -- no intermediate NTT-form wave is
+  // materialized between a forward and a tensor stage anymore.
+  exec.for_each(towers(), [&](std::size_t tw) {
+    ntts_[tw].tensor(a0.towers[tw], a1.towers[tw], b0.towers[tw],
+                     b1.towers[tw], out.y0.towers[tw], out.y1.towers[tw],
+                     out.y2.towers[tw]);
   });
   return out;
 }

@@ -17,7 +17,7 @@
 
 #include "backend/exec_policy.hpp"
 #include "backend/thread_pool.hpp"
-#include "poly/ntt.hpp"
+#include "poly/merged_ntt.hpp"
 #include "poly/rns.hpp"
 
 namespace cofhee::backend {
@@ -59,7 +59,9 @@ class CpuTensorKernel {
                      const RnsPoly& b1, const Executor& exec) const;
 
   std::size_t n_;
-  std::vector<poly::NegacyclicNtt64> ntts_;
+  // Fused/SIMD tower engines (MergedNtt64); NegacyclicNtt64 in poly/ntt.hpp
+  // is the unfused scalar reference the differential tests pin this to.
+  std::vector<poly::MergedNtt64> ntts_;
   std::vector<nt::Barrett64> rings_;
   Executor exec_;
 };

@@ -48,11 +48,16 @@ RelinKeys Bfv::keygen_relin(const SecretKey& sk, unsigned digit_bits) {
   const unsigned digits =
       (ctx_.big_q().bit_len() + digit_bits - 1) / digit_bits;
   for (unsigned d = 0; d < digits; ++d) {
+    // a_i is uniform, so it needs no wire bytes beyond a seed: draw one
+    // 64-bit digit seed and expand each tower from it with the shared
+    // definition the driver's compressed key upload re-runs chip-side.
+    const std::uint64_t dseed = rng_.next_u64();
+    rk.a_seeds.push_back(dseed);
     RnsPoly a;
     a.towers.reserve(ctx_.q_basis().size());
     for (std::size_t i = 0; i < ctx_.q_basis().size(); ++i)
-      a.towers.push_back(
-          poly::sample_uniform(rng_, ctx_.n(), ctx_.q_basis().modulus(i)));
+      a.towers.push_back(poly::expand_uniform(dseed, i, ctx_.n(),
+                                              ctx_.q_basis().modulus(i)));
     const RnsPoly e = sample_small_rns(false);
     // b = -(a s + e) + 2^(w d) s^2  (mod Q), per tower.
     RnsPoly b = ctx_.neg(ctx_.add(ctx_.mul(a, sk.s), e));
@@ -209,66 +214,21 @@ Ciphertext Bfv::multiply(const Ciphertext& a, const Ciphertext& b) const {
   const RnsPoly b0 = extend_centered(b.c[0]);
   const RnsPoly b1 = extend_centered(b.c[1]);
 
-  // Tensor per extended tower (Eq. 4 numerators): 4 forward NTTs per tower
-  // held in NTT form, 4 Hadamard products, 1 add, 3 inverse NTTs -- the
-  // exact command mix CoFHEE runs on chip (Algorithm 3).  Tower-major
-  // decomposition into (tower, transform) tasks, mirroring CpuTensorKernel:
-  // each task owns one tower's contiguous coefficient vector, and thread
-  // counts beyond the tower count still scale.
+  // Tensor per extended tower (Eq. 4 numerators): 4 forward NTTs, 4
+  // Hadamard products, 1 add, 3 inverse NTTs -- the exact command mix
+  // CoFHEE runs on chip (Algorithm 3), executed host-side as one fused
+  // MergedNtt64::tensor call per tower (lazy-reduction butterflies, SIMD
+  // pointwise kernels, no intermediate NTT-form wave materialized).  One
+  // task per tower: each owns its contiguous coefficient vectors.
   const std::size_t k = ctx_.ext_basis().size();
   RnsPoly y0, y1, y2;
   y0.towers.resize(k);
   y1.towers.resize(k);
   y2.towers.resize(k);
-  std::vector<Coeffs<u64>> fa0(k), fa1(k), fb0(k), fb1(k);
-  ctx_.exec().for_each(k * 4, [&](std::size_t idx) {
-    const std::size_t i = idx / 4;
-    const auto& ntt = ctx_.ext_ntt(i);
-    switch (idx % 4) {
-      case 0:
-        fa0[i] = a0.towers[i];
-        ntt.forward(fa0[i]);
-        break;
-      case 1:
-        fa1[i] = a1.towers[i];
-        ntt.forward(fa1[i]);
-        break;
-      case 2:
-        fb0[i] = b0.towers[i];
-        ntt.forward(fb0[i]);
-        break;
-      default:
-        fb1[i] = b1.towers[i];
-        ntt.forward(fb1[i]);
-        break;
-    }
-  });
-  ctx_.exec().for_each(k * 3, [&](std::size_t idx) {
-    const std::size_t i = idx / 3;
-    const auto& ntt = ctx_.ext_ntt(i);
-    const auto& ring = ctx_.ext_basis().tower(i);
-    switch (idx % 3) {
-      case 0: {
-        auto t0 = poly::pointwise_mul(ring, fa0[i], fb0[i]);
-        ntt.inverse(t0);
-        y0.towers[i] = std::move(t0);
-        break;
-      }
-      case 1: {
-        auto t01 = poly::pointwise_mul(ring, fa0[i], fb1[i]);
-        const auto t10 = poly::pointwise_mul(ring, fa1[i], fb0[i]);
-        auto t1 = poly::pointwise_add(ring, t01, t10);
-        ntt.inverse(t1);
-        y1.towers[i] = std::move(t1);
-        break;
-      }
-      default: {
-        auto t2 = poly::pointwise_mul(ring, fa1[i], fb1[i]);
-        ntt.inverse(t2);
-        y2.towers[i] = std::move(t2);
-        break;
-      }
-    }
+  ctx_.exec().for_each(k, [&](std::size_t i) {
+    ctx_.ext_ntt(i).tensor(a0.towers[i], a1.towers[i], b0.towers[i],
+                           b1.towers[i], y0.towers[i], y1.towers[i],
+                           y2.towers[i]);
   });
 
   Ciphertext r;

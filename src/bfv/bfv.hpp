@@ -32,6 +32,17 @@ struct RelinKeys {
   unsigned digit_bits = 16;
   // One pair per digit: (b_i = -(a_i s + e_i) + 2^(w i) s^2, a_i).
   std::vector<std::pair<poly::RnsPoly, poly::RnsPoly>> keys;
+  // One 64-bit seed per digit: a_i's towers are poly::expand_uniform(seed,
+  // tower, n, q_tower), so the `a` half of every key pair compresses to 8
+  // bytes on the wire (the driver's seed-frame upload re-expands it
+  // chip-side, bit-identically).
+  std::vector<std::uint64_t> a_seeds;
+
+  /// Whether the `a` components are seed-expandable (seeds recorded and
+  /// consistent with the digit count).
+  [[nodiscard]] bool seeded() const noexcept {
+    return !keys.empty() && a_seeds.size() == keys.size();
+  }
 };
 
 /// Plaintext polynomial over Z_t (coefficient embedding).

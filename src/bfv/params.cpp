@@ -63,14 +63,14 @@ BfvContext::BfvContext(BfvParams params, backend::ExecPolicy policy)
   q_ntt_.resize(q_basis_.size());
   exec_.for_each(q_basis_.size(), [&](std::size_t i) {
     const u64 q = q_basis_.modulus(i);
-    q_ntt_[i] = poly::NegacyclicNtt64(q_basis_.tower(i), params_.n,
-                                      nt::primitive_2nth_root(q, params_.n));
+    q_ntt_[i] = poly::MergedNtt64(q_basis_.tower(i), params_.n,
+                                  nt::primitive_2nth_root(q, params_.n));
   });
   ext_ntt_.resize(ext_basis_.size());
   exec_.for_each(ext_basis_.size(), [&](std::size_t i) {
     const u64 q = ext_basis_.modulus(i);
-    ext_ntt_[i] = poly::NegacyclicNtt64(ext_basis_.tower(i), params_.n,
-                                        nt::primitive_2nth_root(q, params_.n));
+    ext_ntt_[i] = poly::MergedNtt64(ext_basis_.tower(i), params_.n,
+                                    nt::primitive_2nth_root(q, params_.n));
   });
   delta_ = (q_basis_.product() / nt::WideInt<1>(params_.t)).resize_trunc<8>();
   delta_mod_q_.resize(q_basis_.size());

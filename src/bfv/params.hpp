@@ -14,7 +14,7 @@
 
 #include "backend/exec_policy.hpp"
 #include "nt/primes.hpp"
-#include "poly/ntt.hpp"
+#include "poly/merged_ntt.hpp"
 #include "poly/rns.hpp"
 
 namespace cofhee::bfv {
@@ -65,10 +65,14 @@ class BfvContext {
   [[nodiscard]] const BigInt& delta() const noexcept { return delta_; }
   [[nodiscard]] u64 delta_mod(std::size_t tower) const { return delta_mod_q_.at(tower); }
 
-  [[nodiscard]] const poly::NegacyclicNtt64& ntt(std::size_t tower) const {
+  // Tower engines are the fused/SIMD MergedNtt64 path (lazy-reduction
+  // butterflies, Shoup twiddles, nt::simd dispatch); NegacyclicNtt64 stays
+  // available in poly/ntt.hpp as the unfused scalar reference the
+  // differential suites compare against.
+  [[nodiscard]] const poly::MergedNtt64& ntt(std::size_t tower) const {
     return q_ntt_.at(tower);
   }
-  [[nodiscard]] const poly::NegacyclicNtt64& ext_ntt(std::size_t tower) const {
+  [[nodiscard]] const poly::MergedNtt64& ext_ntt(std::size_t tower) const {
     return ext_ntt_.at(tower);
   }
 
@@ -97,8 +101,8 @@ class BfvContext {
   BfvParams params_;
   poly::RnsBasis q_basis_;
   poly::RnsBasis ext_basis_;  // Q followed by B
-  std::vector<poly::NegacyclicNtt64> q_ntt_;
-  std::vector<poly::NegacyclicNtt64> ext_ntt_;
+  std::vector<poly::MergedNtt64> q_ntt_;
+  std::vector<poly::MergedNtt64> ext_ntt_;
   BigInt delta_{};
   std::vector<u64> delta_mod_q_;
   backend::Executor exec_;

@@ -29,6 +29,24 @@
 
 namespace cofhee::chip {
 
+/// What ring configuration the chip's twiddle ROM (and the derived GPCFG
+/// ring registers) currently hold, plus hit/miss/invalidation counters.
+/// Drivers consult this before a timed configure_ring(): when the chip
+/// already holds the requested (q, n, psi) the register writes and the ROM
+/// preload are skipped entirely (the cross-session twiddle-ROM cache --
+/// sessions come and go, the SRAM contents do not).  The tag lives on the
+/// chip, not the driver, because the evaluator constructs short-lived
+/// drivers per call while the chip state persists.
+struct TwiddleRomTag {
+  bool valid = false;   ///< chip holds a known ring configuration
+  u128 q = 0;           ///< modulus of the resident configuration
+  std::size_t n = 0;    ///< polynomial degree of the resident configuration
+  u128 psi = 0;         ///< 2n-th root whose powers fill the TW bank
+  std::uint64_t hits = 0;           ///< timed configures skipped by the cache
+  std::uint64_t misses = 0;         ///< timed configures that had to program
+  std::uint64_t invalidations = 0;  ///< valid tags dropped (reconfig/fault)
+};
+
 class CofheeChip {
  public:
   explicit CofheeChip(ChipConfig cfg = {}, EnergyTable energy = {});
@@ -72,6 +90,13 @@ class CofheeChip {
   /// CM0 sequencer running between commands).
   void charge_cycles(std::uint64_t c) { cycles_ += c; }
 
+  /// Twiddle-ROM cache tag (see TwiddleRomTag).  Mutated by drivers during
+  /// ring configuration; sessions own the chip exclusively, so no locking.
+  [[nodiscard]] TwiddleRomTag& twiddle_tag() noexcept { return twiddle_tag_; }
+  [[nodiscard]] const TwiddleRomTag& twiddle_tag() const noexcept {
+    return twiddle_tag_;
+  }
+
  private:
   void attach_slaves();
 
@@ -88,6 +113,7 @@ class CofheeChip {
   Spi spi_;
   std::uint64_t cycles_ = 0;
   std::vector<std::uint32_t> cm0_sram_;
+  TwiddleRomTag twiddle_tag_;
 };
 
 }  // namespace cofhee::chip

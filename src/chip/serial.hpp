@@ -24,8 +24,9 @@
 namespace cofhee::chip {
 
 struct LinkStats {
-  std::uint64_t bytes_tx = 0;  // host -> chip
-  std::uint64_t bytes_rx = 0;  // chip -> host
+  std::uint64_t bytes_tx = 0;      // host -> chip
+  std::uint64_t bytes_rx = 0;      // chip -> host
+  std::uint64_t transactions = 0;  // framed transactions (any kind)
   double seconds = 0.0;
 };
 
@@ -39,6 +40,7 @@ class SerialLink {
   /// Host-side 32-bit register/memory write: 9 bytes on the wire.
   void host_write32(std::uint32_t addr, std::uint32_t value) {
     pre_transaction();
+    ++stats_.transactions;
     account_tx(9);
     bus_.write32(master_, addr, value);
   }
@@ -46,15 +48,22 @@ class SerialLink {
   /// Host-side 32-bit read: 5 bytes out, 4 bytes back.
   [[nodiscard]] std::uint32_t host_read32(std::uint32_t addr) {
     pre_transaction();
+    ++stats_.transactions;
     account_tx(5);
     account_rx(4);
     return bus_.read32(master_, addr);
   }
 
   /// Bulk payload write (burst framing: 1 cmd + 4 addr + 4 len + payload).
+  /// Words land at consecutive word addresses in bus order, so a burst over
+  /// a register window is byte-identical in effect to the equivalent
+  /// sequence of host_write32 calls -- just one framed transaction instead
+  /// of `count`, and 9 + 4*count wire bytes instead of 9*count.  This is
+  /// the frame the driver's batched register writes coalesce into.
   void host_write_burst(std::uint32_t addr, const std::uint32_t* words,
                         std::size_t count) {
     pre_transaction();
+    ++stats_.transactions;
     account_tx(9 + count * 4);
     for (std::size_t i = 0; i < count; ++i)
       bus_.write32(master_, addr + static_cast<std::uint32_t>(i) * 4, words[i]);
@@ -62,10 +71,25 @@ class SerialLink {
 
   void host_read_burst(std::uint32_t addr, std::uint32_t* words, std::size_t count) {
     pre_transaction();
+    ++stats_.transactions;
     account_tx(9);
     account_rx(count * 4);
     for (std::size_t i = 0; i < count; ++i)
       words[i] = bus_.read32(master_, addr + static_cast<std::uint32_t>(i) * 4);
+  }
+
+  /// Compressed-upload frame (seed/delta key compression): the host ships a
+  /// compact descriptor -- 1 cmd + 4 addr + 8 seed + 4 len = 17 bytes --
+  /// and the chip's sequencer expands it into SRAM locally.  Only the
+  /// accounting half lives here (the frame consults the fault injector and
+  /// pays line time like any transaction); the caller performs the chip-side
+  /// expansion and charges its cycles.
+  void host_write_seed_frame(std::uint32_t addr, std::uint64_t seed) {
+    (void)addr;
+    (void)seed;
+    pre_transaction();
+    ++stats_.transactions;
+    account_tx(17);
   }
 
   [[nodiscard]] const LinkStats& stats() const noexcept { return stats_; }

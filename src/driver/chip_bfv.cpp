@@ -51,6 +51,31 @@ class PhaseTrace {
   double io0_, ms0_;
 };
 
+/// RAII delta of the driver's transport-optimization counters over one
+/// phase: whatever the driver accumulated (batched register writes,
+/// twiddle-cache hits, compressed-key wire savings) lands in the report --
+/// including the partial counters of a phase that faulted mid-way, matching
+/// how PhaseTrace and ServiceStats account partial phases.
+class TransportDelta {
+ public:
+  TransportDelta(ChipMulReport* r, const HostDriver& drv)
+      : r_(r), drv_(drv), t0_(drv.transport()) {}
+  TransportDelta(const TransportDelta&) = delete;
+  TransportDelta& operator=(const TransportDelta&) = delete;
+  ~TransportDelta() {
+    if (r_ == nullptr) return;
+    const TransportCounters& t = drv_.transport();
+    r_->batched_writes += t.batched_writes - t0_.batched_writes;
+    r_->twiddle_cache_hits += t.twiddle_cache_hits - t0_.twiddle_cache_hits;
+    r_->key_bytes_saved += t.key_bytes_saved - t0_.key_bytes_saved;
+  }
+
+ private:
+  ChipMulReport* r_;
+  const HostDriver& drv_;
+  TransportCounters t0_;
+};
+
 }  // namespace
 
 EvalMultOperands ChipBfvEvaluator::prepare(const bfv::Bfv& bfv, const bfv::Ciphertext& a,
@@ -83,6 +108,7 @@ EvalMultOperands ChipBfvEvaluator::prepare_square(const bfv::Bfv& bfv,
 void ChipBfvEvaluator::configure_tower(HostDriver& drv, const bfv::Bfv& bfv,
                                        std::size_t tower, ChipMulReport* report) {
   const PhaseTrace pt(report, "configure_tower");
+  const TransportDelta td(report, drv);
   const auto& ctx = bfv.context();
   const std::size_t n = ctx.n();
   if (2 * n > drv.chip().config().bank_words)
@@ -99,6 +125,7 @@ void ChipBfvEvaluator::configure_tower(HostDriver& drv, const bfv::Bfv& bfv,
 void ChipBfvEvaluator::load_tower(HostDriver& drv, const EvalMultOperands& ops,
                                   std::size_t tower, ChipMulReport* report) {
   const PhaseTrace pt(report, "load_tower");
+  const TransportDelta td(report, drv);
   double io = 0;
   io += drv.load_polynomial(Bank::kSp0, 0, widen(ops.a0.towers[tower]));
   io += drv.load_polynomial(Bank::kSp1, 0, widen(ops.a1.towers[tower]));
@@ -124,6 +151,7 @@ void ChipBfvEvaluator::load_tower(HostDriver& drv, const EvalMultOperands& ops,
 
 void ChipBfvEvaluator::execute_tower(HostDriver& drv, ChipMulReport* report) {
   const PhaseTrace pt(report, "execute_tower");
+  const TransportDelta td(report, drv);
   const auto r = drv.ciphertext_mul();
   if (report != nullptr) {
     report->chip_cycles += r.compute_cycles;
@@ -197,6 +225,7 @@ std::vector<RelinTowerAcc> ChipBfvEvaluator::relin_tower_batch(
     const bfv::RelinKeys& rk, std::size_t tower, RelinKeyCache* cache,
     ChipMulReport* report) {
   const PhaseTrace pt(report, "relin_tower");
+  const TransportDelta td(report, drv);
   const auto& ring = bfv.context().q_basis().tower(tower);
   std::vector<RelinTowerAcc> accs;
   accs.reserve(group.size());
@@ -222,7 +251,21 @@ std::vector<RelinTowerAcc> ChipBfvEvaluator::relin_tower_batch(
           if (report != nullptr) ++report->key_cache_hits;
         } else {
           const auto& key = comp == 0 ? rk.keys[d].first : rk.keys[d].second;
-          io += drv.load_polynomial(Bank::kSp1, 0, widen(key.towers[tower]));
+          if (comp == 1 && rk.seeded() && drv.key_compression()) {
+            // The `a` half of the key pair is uniform-from-seed: ship the
+            // 17-byte seed frame and let the chip expand it locally -- SRAM
+            // ends bit-identical to the full burst of key.towers[tower].
+            std::uint64_t expand_cycles = 0;
+            io += drv.load_polynomial_seeded(Bank::kSp1, 0, key.towers[tower].size(),
+                                             rk.a_seeds[d], tower, &expand_cycles);
+            if (report != nullptr) {
+              report->chip_cycles += expand_cycles;
+              report->chip_ms += static_cast<double>(expand_cycles) *
+                                 drv.chip().config().cycle_ns() * 1e-6;
+            }
+          } else {
+            io += drv.load_polynomial(Bank::kSp1, 0, widen(key.towers[tower]));
+          }
           if (cache != nullptr) cache->loaded(&rk, tower, d, comp);
           if (report != nullptr) ++report->key_uploads;
         }

@@ -66,6 +66,16 @@ struct ChipMulReport {
   /// the serial link (the squaring scratch-reuse hint: B == A, so B0/B1 are
   /// synthesized from SP0/SP1 rather than uploaded into SP2/SP3).
   std::uint64_t sram_reuses = 0;
+  /// Register writes that traveled inside coalesced burst frames instead of
+  /// standalone write transactions (link batching; delta of the driver's
+  /// TransportCounters over this session's phases).
+  std::uint64_t batched_writes = 0;
+  /// Timed ring configurations skipped because the chip's twiddle ROM
+  /// already held the requested ring (cross-session twiddle-ROM cache).
+  std::uint64_t twiddle_cache_hits = 0;
+  /// Wire bytes avoided by shipping relin-key `a` towers as 17-byte seed
+  /// frames instead of full coefficient bursts.
+  std::uint64_t key_bytes_saved = 0;
   /// Optional trace sink: when set, every phase emits a simulated-axis span
   /// (cat "phase") on chip `trace_chip`'s phase track covering exactly the
   /// io + compute seconds the phase added to this report -- including
@@ -86,6 +96,9 @@ struct ChipMulReport {
     key_uploads += o.key_uploads;
     key_cache_hits += o.key_cache_hits;
     sram_reuses += o.sram_reuses;
+    batched_writes += o.batched_writes;
+    twiddle_cache_hits += o.twiddle_cache_hits;
+    key_bytes_saved += o.key_bytes_saved;
     return *this;
   }
 };

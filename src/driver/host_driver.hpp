@@ -66,11 +66,31 @@ struct ExecReport {
   }
 };
 
+/// Cumulative link-transport optimization counters for one driver.  The
+/// evaluator snapshots these around each phase and reports the deltas in
+/// ChipMulReport, from where they roll up into ServiceStats and the
+/// Prometheus exposition.
+struct TransportCounters {
+  /// Individual register writes that traveled inside a coalesced burst
+  /// frame instead of as standalone 9-byte write transactions.
+  std::uint64_t batched_writes = 0;
+  /// Timed ring configurations skipped because the chip's twiddle ROM (and
+  /// ring registers) already held the requested (q, n, psi).
+  std::uint64_t twiddle_cache_hits = 0;
+  /// Wire bytes avoided by shipping seed-expandable key towers as compact
+  /// seed frames instead of full coefficient bursts.
+  std::uint64_t key_bytes_saved = 0;
+};
+
 /// The bring-up PC's side of the protocol: register programming, twiddle
 /// preload, timed polynomial transport and command sequencing in all three
 /// execution modes.
 class HostDriver {
  public:
+  /// Modeled chip-side cycles to expand one 32-bit SRAM word from a key
+  /// seed (sequencer PRNG + bank write); charged by load_polynomial_seeded.
+  static constexpr std::uint64_t kSeedExpandCyclesPerWord = 2;
+
   /// Drive `chip` (kept by reference, caller-owned) in `mode` over `link`.
   explicit HostDriver(CofheeChip& chip, ExecMode mode = ExecMode::kFifo,
                       Link link = Link::kSpi);
@@ -108,6 +128,22 @@ class HostDriver {
 
   /// Timed polynomial upload over the serial link; returns transfer seconds.
   double load_polynomial(Bank bank, std::size_t offset, std::span<const u128> coeffs);
+
+  /// Seed-compressed upload of a seed-expandable polynomial (relin-key `a`
+  /// towers, which are uniform by construction): ships a 17-byte seed frame
+  /// instead of the 9 + 16·count-byte coefficient burst, then runs the
+  /// chip-side expansion -- poly::expand_uniform(seed, tower, count, q) for
+  /// the configured ring modulus, the same definition key generation used,
+  /// so SRAM ends bit-identical to a full burst of the key tower -- and
+  /// charges kSeedExpandCyclesPerWord per 32-bit word to the chip.
+  /// `expand_cycles` (when non-null) receives those cycles so callers can
+  /// fold them into their ExecReport/ChipMulReport compute totals.  When
+  /// key compression is disabled the same coefficients travel as a plain
+  /// full burst instead (the differential baseline).  Returns transfer
+  /// seconds.  Requires configure_ring first (q must be the tower modulus).
+  double load_polynomial_seeded(Bank bank, std::size_t offset, std::size_t count,
+                                std::uint64_t seed, std::size_t tower,
+                                std::uint64_t* expand_cycles = nullptr);
 
   /// Foreground on-chip DMA copy of `count` coefficient words from one bank
   /// slot to another -- no serial transport at all, which is the point: a
@@ -151,6 +187,32 @@ class HostDriver {
     trace_chip_ = chip;
   }
 
+  /// Cumulative transport-optimization counters (see TransportCounters).
+  [[nodiscard]] const TransportCounters& transport() const noexcept {
+    return transport_;
+  }
+
+  /// Coalesce consecutive-address register writes into burst frames
+  /// (configure_ring, mode-1 command pushes).  Default on; the differential
+  /// link tests turn it off to prove byte-identical SRAM/register state.
+  void set_link_batching(bool on) noexcept { batching_ = on; }
+  [[nodiscard]] bool link_batching() const noexcept { return batching_; }
+
+  /// Skip timed ring configuration when the chip already holds the
+  /// requested (q, n, psi) -- the cross-session twiddle-ROM cache.  Default
+  /// on.
+  void set_twiddle_cache(bool on) noexcept { twiddle_cache_ = on; }
+  [[nodiscard]] bool twiddle_cache() const noexcept { return twiddle_cache_; }
+
+  /// Drop the chip's twiddle-ROM tag (counted as an invalidation): the next
+  /// timed configure reprograms everything.
+  void invalidate_twiddle_cache() noexcept;
+
+  /// Ship seed-expandable key towers as compact seed frames
+  /// (load_polynomial_seeded).  Default on.
+  void set_key_compression(bool on) noexcept { key_compression_ = on; }
+  [[nodiscard]] bool key_compression() const noexcept { return key_compression_; }
+
  private:
   ExecReport run_direct(std::span<const Instr> program);
   ExecReport run_fifo(std::span<const Instr> program);
@@ -176,6 +238,10 @@ class HostDriver {
   std::uint32_t probe_nonce_ = 0;
   obs::TraceRecorder* trace_ = nullptr;
   std::uint32_t trace_chip_ = 0;
+  TransportCounters transport_;
+  bool batching_ = true;
+  bool twiddle_cache_ = true;
+  bool key_compression_ = true;
 };
 
 }  // namespace cofhee::driver

@@ -81,6 +81,15 @@ void export_service_stats(const service::ServiceStats& st, MetricsRegistry& reg)
   c("cofhee_service_sram_reuses_total",
     "Operand uploads replaced by on-chip DMA duplication.",
     static_cast<double>(st.sram_reuses));
+  c("cofhee_service_batched_writes_total",
+    "Register writes coalesced into burst frames by link batching.",
+    static_cast<double>(st.batched_writes));
+  c("cofhee_service_twiddle_cache_hits_total",
+    "Ring configurations skipped by the twiddle-ROM cache.",
+    static_cast<double>(st.twiddle_cache_hits));
+  c("cofhee_service_key_bytes_saved_total",
+    "Wire bytes saved by seed-compressed relin-key uploads.",
+    static_cast<double>(st.key_bytes_saved));
   c("cofhee_service_faults_injected_total", "Injected faults the links fired.",
     static_cast<double>(st.faults_injected));
   c("cofhee_service_retries_total", "Intra-stage retries (items re-placed).",
@@ -163,6 +172,15 @@ void export_service_stats(const service::ServiceStats& st, MetricsRegistry& reg)
        static_cast<double>(cs.ring_configs));
     cc("cofhee_chip_sram_reuses_total", "Uploads turned into on-chip DMA copies.",
        static_cast<double>(cs.sram_reuses));
+    cc("cofhee_chip_batched_writes_total",
+       "Register writes coalesced into burst frames.",
+       static_cast<double>(cs.batched_writes));
+    cc("cofhee_chip_twiddle_cache_hits_total",
+       "Ring configurations skipped by the twiddle-ROM cache.",
+       static_cast<double>(cs.twiddle_cache_hits));
+    cc("cofhee_chip_key_bytes_saved_total",
+       "Wire bytes saved by seed-compressed key uploads.",
+       static_cast<double>(cs.key_bytes_saved));
     cc("cofhee_chip_faults_total", "Typed faults this chip surfaced.",
        static_cast<double>(cs.faults));
     cc("cofhee_chip_quarantines_total", "Times this chip was quarantined.",

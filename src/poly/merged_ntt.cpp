@@ -1,0 +1,124 @@
+#include "poly/merged_ntt.hpp"
+
+#include "nt/simd.hpp"
+
+namespace cofhee::poly {
+
+namespace {
+inline u64 shoup_of(u64 w, u64 q) noexcept {
+  return static_cast<u64>((static_cast<u128>(w) << 64) / q);
+}
+}  // namespace
+
+MergedNtt64::MergedNtt64(const nt::Barrett64& red, std::size_t n, u64 psi)
+    : red_(red), n_(n) {
+  if (!nt::is_power_of_two(n) || n < 2)
+    throw std::invalid_argument("MergedNtt64: n must be 2^k, k >= 1");
+  if (red.pow(psi, static_cast<u64>(n)) != red.modulus() - 1)
+    throw std::invalid_argument("MergedNtt64: psi is not a primitive 2n-th root");
+  const unsigned logn = nt::log2_exact(n);
+  const u64 q = red.modulus();
+  const u64 psi_inv = red.inv(psi);
+  std::vector<u64> pow(n), pow_inv(n);
+  u64 p = 1, pi = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    pow[i] = p;
+    pow_inv[i] = pi;
+    p = red.mul(p, psi);
+    pi = red.mul(pi, psi_inv);
+  }
+  tw_.resize(n);
+  tw_shoup_.resize(n);
+  tw_inv_.resize(n);
+  tw_inv_shoup_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tw_[i] = pow[nt::bit_reverse(i, logn)];
+    tw_shoup_[i] = shoup_of(tw_[i], q);
+    tw_inv_[i] = pow_inv[nt::bit_reverse(i, logn)];
+    tw_inv_shoup_[i] = shoup_of(tw_inv_[i], q);
+  }
+  n_inv_ = red.inv(static_cast<u64>(n));
+  n_inv_shoup_ = shoup_of(n_inv_, q);
+}
+
+void MergedNtt64::forward(Coeffs<u64>& x) const {
+  check(x);
+  const auto& K = nt::simd::kernels();
+  const u64 q = red_.modulus();
+  u64* d = x.data();
+  std::size_t t = n_;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t j1 = 2 * i * t;
+      K.ct_butterfly(d + j1, d + j1 + t, t, tw_[m + i], tw_shoup_[m + i], q);
+    }
+  }
+  K.canonicalize(d, n_, q);
+}
+
+void MergedNtt64::inverse(Coeffs<u64>& x) const {
+  check(x);
+  const auto& K = nt::simd::kernels();
+  const u64 q = red_.modulus();
+  u64* d = x.data();
+  std::size_t t = 1;
+  for (std::size_t m = n_; m > 1; m >>= 1) {
+    const std::size_t h = m >> 1;
+    std::size_t j1 = 0;
+    for (std::size_t i = 0; i < h; ++i) {
+      K.gs_butterfly(d + j1, d + j1 + t, t, tw_inv_[h + i], tw_inv_shoup_[h + i],
+                     q);
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  // Shoup scalar multiply accepts the lazy [0, 2q) stage output directly and
+  // emits canonical residues: n^-1 scaling and canonicalization in one pass.
+  K.scalar_mul_shoup(d, n_, n_inv_, n_inv_shoup_, q);
+}
+
+Coeffs<u64> MergedNtt64::negacyclic_mul(const Coeffs<u64>& a,
+                                        const Coeffs<u64>& b) const {
+  check(a);
+  check(b);
+  const auto& K = nt::simd::kernels();
+  Coeffs<u64> ap(a), bp(b);
+  forward(ap);
+  forward(bp);
+  K.pointwise_mul(ap.data(), ap.data(), bp.data(), n_, red_.modulus(),
+                  red_.mu(), red_.k());
+  inverse(ap);
+  return ap;
+}
+
+void MergedNtt64::tensor(const Coeffs<u64>& a0, const Coeffs<u64>& a1,
+                         const Coeffs<u64>& b0, const Coeffs<u64>& b1,
+                         Coeffs<u64>& y0, Coeffs<u64>& y1,
+                         Coeffs<u64>& y2) const {
+  check(a0);
+  check(a1);
+  check(b0);
+  check(b1);
+  const auto& K = nt::simd::kernels();
+  const u64 q = red_.modulus();
+  const u64 mu = red_.mu();
+  const unsigned k = red_.k();
+  Coeffs<u64> fa0(a0), fa1(a1), fb0(b0), fb1(b1);
+  forward(fa0);
+  forward(fa1);
+  forward(fb0);
+  forward(fb1);
+  y0.resize(n_);
+  y1.resize(n_);
+  y2.resize(n_);
+  K.pointwise_mul(y0.data(), fa0.data(), fb0.data(), n_, q, mu, k);
+  K.pointwise_mul(y1.data(), fa0.data(), fb1.data(), n_, q, mu, k);
+  K.pointwise_mul_acc(y1.data(), fa1.data(), fb0.data(), n_, q, mu, k);
+  K.pointwise_mul(y2.data(), fa1.data(), fb1.data(), n_, q, mu, k);
+  inverse(y0);
+  inverse(y1);
+  inverse(y2);
+}
+
+}  // namespace cofhee::poly

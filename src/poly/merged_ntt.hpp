@@ -124,4 +124,60 @@ class MergedNtt {
 
 using MergedNtt128 = MergedNtt<nt::Barrett128, u128>;
 
+/// The default host-side u64 tower engine: the merged transform above,
+/// specialized for the 64-bit RNS towers with Shoup-precomputed twiddles,
+/// Harvey lazy reduction through the butterfly stages (values ride in
+/// [0, 4q) forward / [0, 2q) inverse; one canonicalization pass per
+/// transform) and SIMD butterfly/pointwise kernels dispatched through
+/// nt::simd.  The inverse transform's n^-1 scaling is fused into its
+/// canonicalization pass, so each transform is exactly log2(n) butterfly
+/// passes plus one reduction pass over the coefficients.
+///
+/// tensor() is the fused NTT -> pointwise -> INTT tower kernel behind
+/// Bfv::multiply and CpuTensorKernel: one call transforms all four operand
+/// towers and emits the three tensor components without materializing
+/// intermediate RnsPoly waves.  NegacyclicNtt64 (poly/ntt.hpp) remains the
+/// unfused scalar reference this engine is differentially tested against.
+class MergedNtt64 {
+ public:
+  MergedNtt64() = default;
+  MergedNtt64(const nt::Barrett64& red, std::size_t n, u64 psi);
+
+  [[nodiscard]] std::size_t n() const noexcept { return n_; }
+  [[nodiscard]] const nt::Barrett64& ring() const noexcept { return red_; }
+  [[nodiscard]] u64 modulus() const noexcept { return red_.modulus(); }
+  /// The twiddle ROM image (psi^rev(i)), identical to MergedNtt128's for
+  /// the same ring -- what the host preloads into the chip's TW bank.
+  [[nodiscard]] const std::vector<u64>& twiddle_rom() const noexcept { return tw_; }
+
+  /// Forward negacyclic NTT (CT/DIT, natural in, bit-reversed out).
+  /// Canonical residues in, canonical residues out.
+  void forward(Coeffs<u64>& x) const;
+  /// Inverse negacyclic NTT (GS/DIF, bit-reversed in, natural out) with the
+  /// n^-1 scaling fused into the final canonicalization pass.
+  void inverse(Coeffs<u64>& x) const;
+
+  /// Fused negacyclic product of two towers.
+  [[nodiscard]] Coeffs<u64> negacyclic_mul(const Coeffs<u64>& a,
+                                           const Coeffs<u64>& b) const;
+
+  /// Fused BFV tensor for one tower: y0 = a0*b0, y1 = a0*b1 + a1*b0,
+  /// y2 = a1*b1 (negacyclic products), computed with 4 forward transforms,
+  /// 4 pointwise kernels and 3 inverse transforms in one pass structure.
+  void tensor(const Coeffs<u64>& a0, const Coeffs<u64>& a1,
+              const Coeffs<u64>& b0, const Coeffs<u64>& b1, Coeffs<u64>& y0,
+              Coeffs<u64>& y1, Coeffs<u64>& y2) const;
+
+ private:
+  void check(const Coeffs<u64>& x) const {
+    if (x.size() != n_) throw std::invalid_argument("MergedNtt64: wrong length");
+  }
+
+  nt::Barrett64 red_{};
+  std::size_t n_ = 0;
+  u64 n_inv_ = 0, n_inv_shoup_ = 0;
+  std::vector<u64> tw_, tw_shoup_;          // psi^rev(i) + Shoup companions
+  std::vector<u64> tw_inv_, tw_inv_shoup_;  // psi^-rev(i) + Shoup companions
+};
+
 }  // namespace cofhee::poly

@@ -65,6 +65,18 @@ Coeffs<u128> sample_uniform128(Rng& rng, std::size_t n, u128 q) {
   return p;
 }
 
+u64 tower_seed(u64 seed, std::size_t tower) {
+  // One splitmix64 step from a per-tower offset of the digit seed; distinct
+  // towers land in distinct streams even for adjacent seeds.
+  u64 state = seed + 0x9E3779B97F4A7C15ull * static_cast<u64>(tower);
+  return splitmix64(state);
+}
+
+Coeffs<u64> expand_uniform(u64 seed, std::size_t tower, std::size_t n, u64 q) {
+  Rng rng(tower_seed(seed, tower));
+  return sample_uniform(rng, n, q);
+}
+
 SignedCoeffs sample_ternary(Rng& rng, std::size_t n) {
   SignedCoeffs s(n);
   for (auto& c : s) c = static_cast<int32_t>(rng.uniform_below(3)) - 1;

@@ -38,6 +38,19 @@ using SignedCoeffs = std::vector<int32_t>;
 Coeffs<u64> sample_uniform(Rng& rng, std::size_t n, u64 q);
 Coeffs<u128> sample_uniform128(Rng& rng, std::size_t n, u128 q);
 
+/// Per-(seed, tower) stream seed for seed-expandable polynomials (relin-key
+/// `a` components): the host records one 64-bit seed per digit, and both
+/// ends re-derive any tower's stream independently -- random access per
+/// tower, no ordering constraint between towers.  Splitmix-style mix.
+u64 tower_seed(u64 seed, std::size_t tower);
+
+/// Expand one tower of a seed-expandable uniform polynomial.  This is THE
+/// shared definition both sides use: key generation calls it on the host,
+/// and the driver's seed-frame upload calls it as the chip-side expansion
+/// -- so the SRAM contents after a compressed upload are bit-identical to a
+/// full coefficient burst of the same key.
+Coeffs<u64> expand_uniform(u64 seed, std::size_t tower, std::size_t n, u64 q);
+
 /// Ternary polynomial in {-1, 0, 1}.
 SignedCoeffs sample_ternary(Rng& rng, std::size_t n);
 

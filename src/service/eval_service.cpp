@@ -1019,6 +1019,9 @@ void EvalService::note_chip_session(std::size_t chip, const driver::ChipMulRepor
   c.key_uploads += rep.key_uploads;
   c.key_cache_hits += rep.key_cache_hits;
   c.sram_reuses += rep.sram_reuses;
+  c.batched_writes += rep.batched_writes;
+  c.twiddle_cache_hits += rep.twiddle_cache_hits;
+  c.key_bytes_saved += rep.key_bytes_saved;
   c.ring_configs += rep.towers;
   c.chip_cycles += rep.chip_cycles;
   c.io_seconds += rep.io_seconds;
@@ -1029,6 +1032,9 @@ void EvalService::note_chip_session(std::size_t chip, const driver::ChipMulRepor
   stats_.key_uploads += rep.key_uploads;
   stats_.key_cache_hits += rep.key_cache_hits;
   stats_.sram_reuses += rep.sram_reuses;
+  stats_.batched_writes += rep.batched_writes;
+  stats_.twiddle_cache_hits += rep.twiddle_cache_hits;
+  stats_.key_bytes_saved += rep.key_bytes_saved;
   stats_.io_seconds += rep.io_seconds;
   stats_.compute_seconds += compute_seconds;
 }

@@ -56,6 +56,16 @@ struct ChipStats {
   /// polynomial was already resident in an SP bank (squaring scratch-reuse
   /// hint; 2 per tower run of a squared request).  Count.
   std::uint64_t sram_reuses = 0;
+  /// Register writes that traveled inside coalesced burst frames instead of
+  /// standalone write transactions (link batching).  Count.
+  std::uint64_t batched_writes = 0;
+  /// Timed ring configurations skipped because this chip's twiddle ROM
+  /// already held the requested ring (cross-session twiddle-ROM cache).
+  /// Count.
+  std::uint64_t twiddle_cache_hits = 0;
+  /// Wire bytes avoided by shipping relin-key `a` towers as seed frames
+  /// instead of full coefficient bursts.  Bytes.
+  std::uint64_t key_bytes_saved = 0;
   /// Typed faults (ChipFaultError / LinkTimeoutError) sessions or probes on
   /// this chip surfaced to the service.  Count.
   std::uint64_t faults = 0;
@@ -233,6 +243,15 @@ struct ServiceStats {
   /// Operand uploads the squaring scratch-reuse hint turned into on-chip
   /// DMA copies, summed over chips (see ChipStats::sram_reuses).  Count.
   std::uint64_t sram_reuses = 0;
+  /// Register writes coalesced into burst frames, summed over chips (see
+  /// ChipStats::batched_writes).  Count.
+  std::uint64_t batched_writes = 0;
+  /// Ring configurations skipped by the twiddle-ROM cache, summed over
+  /// chips (see ChipStats::twiddle_cache_hits).  Count.
+  std::uint64_t twiddle_cache_hits = 0;
+  /// Wire bytes saved by seed-compressed relin-key uploads, summed over
+  /// chips (see ChipStats::key_bytes_saved).  Bytes.
+  std::uint64_t key_bytes_saved = 0;
   /// Injected faults the chips' link injectors actually fired (corrupt
   /// frames, timed-out stalls, kill events -- sub-timeout stalls that merely
   /// slowed a transaction count too), summed over attached injectors.  Count.

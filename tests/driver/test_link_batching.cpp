@@ -1,0 +1,345 @@
+// Link-transport optimization battery (burst framing, twiddle-ROM cache,
+// seed-compressed key uploads).
+//
+// The optimizations are only admissible if they are *invisible* to the
+// chip: every test here is a differential against the unoptimized path --
+// byte-identical register/SRAM state, strictly fewer link transactions,
+// exact counter accounting -- plus a chaos case proving a corrupt burst
+// frame still faults before any byte lands (the link's CRC-style
+// pre-transaction rejection survives coalescing).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bfv/bfv.hpp"
+#include "chip/chip.hpp"
+#include "chip/fault.hpp"
+#include "chip/gpcfg.hpp"
+#include "driver/host_driver.hpp"
+#include "nt/primes.hpp"
+#include "poly/sampler.hpp"
+
+namespace cofhee {
+namespace {
+
+using driver::ExecMode;
+using driver::HostDriver;
+using driver::Link;
+using driver::u128;
+
+/// Every GPCFG register the timed configure path programs, read back through
+/// the register file (the bus-visible architectural state).
+std::vector<std::uint32_t> ring_register_image(chip::CofheeChip& chip) {
+  using chip::Reg;
+  static constexpr Reg kRingRegs[] = {
+      Reg::kQ0,          Reg::kQ1,          Reg::kQ2,          Reg::kQ3,
+      Reg::kFheCtl1,     Reg::kInvPolyDeg0, Reg::kInvPolyDeg1, Reg::kInvPolyDeg2,
+      Reg::kInvPolyDeg3, Reg::kBarrettCtl1, Reg::kBarrettCtl2_0,
+      Reg::kBarrettCtl2_1, Reg::kBarrettCtl2_2, Reg::kBarrettCtl2_3,
+      Reg::kBarrettCtl2_4};
+  std::vector<std::uint32_t> image;
+  for (const Reg r : kRingRegs) image.push_back(chip.gpcfg().read(r));
+  return image;
+}
+
+std::vector<u128> random_poly(std::size_t n, u128 q, std::uint64_t seed) {
+  poly::Rng rng(seed);
+  const auto c = poly::sample_uniform128(rng, n, q);
+  return {c.begin(), c.end()};
+}
+
+/// Two chips, one ring: the batched driver and the write32-per-register
+/// driver must leave byte-identical ring registers and twiddle ROM, and the
+/// batched one must spend strictly fewer link transactions doing it.
+TEST(LinkBatching, ConfigureRingByteIdenticalAndFewerTransactions) {
+  const std::size_t n = 64;
+  const u128 q = nt::find_ntt_prime_u128(59, n);
+  const u128 psi = nt::primitive_2nth_root(q, n);
+
+  chip::CofheeChip batched_chip;
+  chip::CofheeChip plain_chip;
+  HostDriver batched(batched_chip, ExecMode::kFifo, Link::kSpi);
+  HostDriver plain(plain_chip, ExecMode::kFifo, Link::kSpi);
+  plain.set_link_batching(false);
+
+  const double io_b = batched.configure_ring(q, n, psi, /*timed=*/true);
+  const double io_p = plain.configure_ring(q, n, psi, /*timed=*/true);
+
+  // Architectural state is byte-identical: ring registers and the ROM bank.
+  EXPECT_EQ(ring_register_image(batched_chip), ring_register_image(plain_chip));
+  const auto rom_b = batched_chip.read_coeffs(chip::Bank::kTw, 0, n);
+  const auto rom_p = plain_chip.read_coeffs(chip::Bank::kTw, 0, n);
+  ASSERT_EQ(rom_b.size(), rom_p.size());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(rom_b[i] == rom_p[i]) << i;
+
+  // Strictly fewer transactions, and cheaper in wire time too.
+  const auto tx_b = batched_chip.spi().stats().transactions;
+  const auto tx_p = plain_chip.spi().stats().transactions;
+  EXPECT_LT(tx_b, tx_p);
+  EXPECT_LT(io_b, io_p);
+
+  // 14 register writes (4 Q + 6 Barrett + 4 INV_POLYDEG) rode in bursts;
+  // FHECTL1 stays a standalone write32.
+  EXPECT_EQ(batched.transport().batched_writes, 14u);
+  EXPECT_EQ(plain.transport().batched_writes, 0u);
+
+  // Exact transaction budget: 3 register bursts + FHECTL1 + ROM burst
+  // versus 15 standalone writes + ROM burst.
+  EXPECT_EQ(tx_b, 5u);
+  EXPECT_EQ(tx_p, 16u);
+}
+
+/// Mode-1 (direct) execution pushes each command as a 4-word FIFO-window
+/// burst; results must match the write32-per-word driver exactly, including
+/// the kCommandFifo3 push trigger firing at the same point.
+TEST(LinkBatching, DirectModeByteIdenticalAndFewerTransactions) {
+  const std::size_t n = 64;
+  const u128 q = nt::find_ntt_prime_u128(59, n);
+  const u128 psi = nt::primitive_2nth_root(q, n);
+  const auto a = random_poly(n, q, 7);
+  const auto b = random_poly(n, q, 8);
+
+  auto run = [&](bool batching, std::uint64_t* transactions,
+                 std::uint64_t* batched_writes) {
+    chip::CofheeChip chip;
+    HostDriver drv(chip, ExecMode::kDirect, Link::kSpi);
+    drv.set_link_batching(batching);
+    drv.configure_ring(q, n, psi);  // untimed: focus the counters on run()
+    chip.load_coeffs(chip::Bank::kSp0, 0, a);
+    chip.load_coeffs(chip::Bank::kSp1, 0, b);
+    const auto before = chip.spi().stats().transactions;
+    const auto rep = drv.poly_mul();
+    EXPECT_EQ(rep.commands, 4u);
+    *transactions = chip.spi().stats().transactions - before;
+    *batched_writes = drv.transport().batched_writes;
+    return chip.read_coeffs(chip::Bank::kSp2, 0, n);
+  };
+
+  std::uint64_t tx_b = 0, tx_p = 0, bw_b = 0, bw_p = 0;
+  const auto out_b = run(true, &tx_b, &bw_b);
+  const auto out_p = run(false, &tx_p, &bw_p);
+
+  ASSERT_EQ(out_b.size(), out_p.size());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(out_b[i] == out_p[i]) << i;
+  EXPECT_LT(tx_b, tx_p);
+  // 4 commands x 4 words coalesced; the plain driver batches nothing.
+  EXPECT_EQ(bw_b, 16u);
+  EXPECT_EQ(bw_p, 0u);
+}
+
+/// Twiddle-ROM cache accounting, down to the exact counter values: hits
+/// skip the whole configure (0 wire seconds), reconfigurations invalidate
+/// and miss, explicit invalidation forces the next configure to program.
+TEST(LinkBatching, TwiddleCacheCountersExact) {
+  const std::size_t n = 64;
+  const u128 q1 = nt::find_ntt_prime_u128(59, n);
+  const u128 psi1 = nt::primitive_2nth_root(q1, n);
+  const u128 q2 = nt::find_ntt_prime_u128(58, n);
+  const u128 psi2 = nt::primitive_2nth_root(q2, n);
+
+  chip::CofheeChip chip;
+  const auto& tag = std::as_const(chip).twiddle_tag();
+
+  HostDriver drv(chip, ExecMode::kFifo, Link::kSpi);
+  EXPECT_GT(drv.configure_ring(q1, n, psi1, /*timed=*/true), 0.0);
+  EXPECT_EQ(tag.misses, 1u);
+  EXPECT_EQ(tag.hits, 0u);
+  EXPECT_TRUE(tag.valid);
+
+  // Same ring again: a hit, zero wire time, no new transactions.
+  const auto tx0 = chip.spi().stats().transactions;
+  EXPECT_EQ(drv.configure_ring(q1, n, psi1, /*timed=*/true), 0.0);
+  EXPECT_EQ(chip.spi().stats().transactions, tx0);
+  EXPECT_EQ(tag.hits, 1u);
+  EXPECT_EQ(tag.misses, 1u);
+  EXPECT_EQ(drv.transport().twiddle_cache_hits, 1u);
+
+  // The cache is chip-resident: a *fresh* driver session hits too.
+  {
+    HostDriver later(chip, ExecMode::kFifo, Link::kSpi);
+    EXPECT_EQ(later.configure_ring(q1, n, psi1, /*timed=*/true), 0.0);
+    EXPECT_EQ(tag.hits, 2u);
+    EXPECT_EQ(later.transport().twiddle_cache_hits, 1u);
+  }
+
+  // Different ring: drop the resident tag (one invalidation) and program.
+  EXPECT_GT(drv.configure_ring(q2, n, psi2, /*timed=*/true), 0.0);
+  EXPECT_EQ(tag.invalidations, 1u);
+  EXPECT_EQ(tag.misses, 2u);
+  EXPECT_TRUE(tag.valid);
+  EXPECT_TRUE(tag.q == q2);
+
+  // Explicit invalidation: the next configure of the same ring must pay.
+  drv.invalidate_twiddle_cache();
+  EXPECT_FALSE(tag.valid);
+  EXPECT_EQ(tag.invalidations, 2u);
+  EXPECT_GT(drv.configure_ring(q2, n, psi2, /*timed=*/true), 0.0);
+  EXPECT_EQ(tag.misses, 3u);
+  EXPECT_EQ(tag.hits, 2u);
+
+  // Cache disabled: a resident matching tag is ignored and reprogrammed.
+  drv.set_twiddle_cache(false);
+  EXPECT_GT(drv.configure_ring(q2, n, psi2, /*timed=*/true), 0.0);
+  EXPECT_EQ(tag.hits, 2u);
+  EXPECT_EQ(tag.misses, 4u);
+}
+
+/// The untimed (backdoor) configure records the resident ring without
+/// touching hit/miss accounting, so a following timed configure of the same
+/// ring is a hit -- sessions after a backdoor bring-up skip the preload.
+TEST(LinkBatching, UntimedConfigureSeedsTheCache) {
+  const std::size_t n = 64;
+  const u128 q = nt::find_ntt_prime_u128(59, n);
+  const u128 psi = nt::primitive_2nth_root(q, n);
+
+  chip::CofheeChip chip;
+  HostDriver drv(chip, ExecMode::kFifo, Link::kSpi);
+  drv.configure_ring(q, n, psi);  // untimed
+  const auto& tag = std::as_const(chip).twiddle_tag();
+  EXPECT_TRUE(tag.valid);
+  EXPECT_EQ(tag.hits, 0u);
+  EXPECT_EQ(tag.misses, 0u);
+
+  EXPECT_EQ(drv.configure_ring(q, n, psi, /*timed=*/true), 0.0);
+  EXPECT_EQ(tag.hits, 1u);
+}
+
+/// Seed-compressed key upload: the 17-byte seed frame leaves SRAM
+/// bit-identical to the full coefficient burst of the same tower, saves
+/// exactly (9 + 16 n) - 17 wire bytes, and charges the modeled expansion
+/// cycles to the chip.
+TEST(LinkBatching, SeedUploadDecodesBitIdentically) {
+  const std::size_t n = 64;
+  // expand_uniform samples below a 64-bit modulus; use a u64-range prime.
+  const std::uint64_t q64 = nt::find_ntt_prime_u64(50, n);
+  const u128 q = q64;
+  const u128 psi = nt::primitive_2nth_root(q, n);
+  const std::uint64_t seed = 0xC0F4EE5EEDull;
+  const std::size_t tower = 3;
+
+  chip::CofheeChip seeded_chip;
+  chip::CofheeChip plain_chip;
+  HostDriver seeded(seeded_chip, ExecMode::kFifo, Link::kSpi);
+  HostDriver plain(plain_chip, ExecMode::kFifo, Link::kSpi);
+  plain.set_key_compression(false);
+  seeded.configure_ring(q, n, psi);
+  plain.configure_ring(q, n, psi);
+
+  const auto cycles_before = seeded_chip.cycles();
+  std::uint64_t expand_cycles = 0;
+  const double io_s = seeded.load_polynomial_seeded(chip::Bank::kSp1, 0, n, seed,
+                                                    tower, &expand_cycles);
+  const double io_p =
+      plain.load_polynomial_seeded(chip::Bank::kSp1, 0, n, seed, tower);
+
+  // Bit-identical SRAM, against both the compression-off driver and the
+  // host-side expansion definition itself.
+  const auto mem_s = seeded_chip.read_coeffs(chip::Bank::kSp1, 0, n);
+  const auto mem_p = plain_chip.read_coeffs(chip::Bank::kSp1, 0, n);
+  const auto host = poly::expand_uniform(seed, tower, n, q64);
+  ASSERT_EQ(mem_s.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_TRUE(mem_s[i] == mem_p[i]) << i;
+    EXPECT_TRUE(mem_s[i] == u128{host[i]}) << i;
+  }
+
+  // Exact accounting: one 17-byte frame vs one 9 + 16 n byte burst.
+  EXPECT_LT(io_s, io_p);
+  EXPECT_EQ(seeded.transport().key_bytes_saved, (9 + 16 * n) - 17);
+  EXPECT_EQ(plain.transport().key_bytes_saved, 0u);
+  EXPECT_EQ(seeded_chip.spi().stats().transactions, 1u);
+  EXPECT_EQ(plain_chip.spi().stats().transactions, 1u);
+
+  // Expansion is not free: 2 cycles per 32-bit word, charged to the chip.
+  EXPECT_EQ(expand_cycles, 4 * n * HostDriver::kSeedExpandCyclesPerWord);
+  EXPECT_EQ(seeded_chip.cycles() - cycles_before, expand_cycles);
+}
+
+/// Key generation records one seed per digit and the `a` halves really are
+/// the expansion of those seeds -- the property the driver's seed-frame
+/// upload relies on for bit-identity.
+TEST(LinkBatching, RelinKeygenRecordsExpandableSeeds) {
+  bfv::Bfv scheme(bfv::BfvParams::test_tiny(64), /*seed=*/99);
+  const auto sk = scheme.keygen_secret();
+  const auto rk = scheme.keygen_relin(sk, 16);
+  ASSERT_TRUE(rk.seeded());
+  const auto& basis = scheme.context().q_basis();
+  for (std::size_t d = 0; d < rk.keys.size(); ++d) {
+    const auto& a = rk.keys[d].second;
+    for (std::size_t t = 0; t < a.towers.size(); ++t) {
+      const auto expanded = poly::expand_uniform(
+          rk.a_seeds[d], t, a.towers[t].size(), basis.modulus(t));
+      EXPECT_EQ(a.towers[t], expanded) << "digit " << d << " tower " << t;
+    }
+  }
+}
+
+/// Chaos: a corrupt-frame fault scheduled onto a coalesced burst rejects
+/// the whole frame *before any byte moves* -- registers and SRAM stay
+/// untouched and the twiddle tag stays invalid, so a retry reprograms from
+/// scratch instead of trusting half-written state.
+TEST(LinkBatching, CorruptBurstFrameFaultsPreByte) {
+  const std::size_t n = 64;
+  const u128 q = nt::find_ntt_prime_u128(59, n);
+  const u128 psi = nt::primitive_2nth_root(q, n);
+
+  // Transaction 0 is the Q-register burst of the timed configure: corrupt it.
+  chip::FaultSchedule sch;
+  sch.events.push_back({chip::FaultKind::kCorruptFrame, 0, 1, 0});
+  chip::FaultInjector inj(sch);
+
+  chip::CofheeChip chip;
+  chip.spi().set_fault_injector(&inj);
+  HostDriver drv(chip, ExecMode::kFifo, Link::kSpi);
+  const auto clean = ring_register_image(chip);
+
+  EXPECT_THROW(drv.configure_ring(q, n, psi, /*timed=*/true),
+               chip::ChipFaultError);
+  EXPECT_EQ(inj.faults_fired(), 1u);
+
+  // Pre-byte rejection: nothing landed, and the tag was dropped before the
+  // programming started so no stale hit can follow.
+  EXPECT_EQ(ring_register_image(chip), clean);
+  const auto rom = chip.read_coeffs(chip::Bank::kTw, 0, n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(rom[i] == 0) << i;
+  EXPECT_FALSE(chip.twiddle_tag().valid);
+
+  // The window passed; the retry succeeds and programs the full ring.
+  EXPECT_GT(drv.configure_ring(q, n, psi, /*timed=*/true), 0.0);
+  EXPECT_TRUE(chip.twiddle_tag().valid);
+}
+
+/// Chaos: the 17-byte seed frame is a transaction like any other -- a
+/// corrupt frame rejects it before the chip-side expansion runs, leaving
+/// SRAM untouched and no expansion cycles charged.
+TEST(LinkBatching, CorruptSeedFrameFaultsPreByte) {
+  const std::size_t n = 64;
+  const std::uint64_t q64 = nt::find_ntt_prime_u64(50, n);
+  const u128 q = q64;
+  const u128 psi = nt::primitive_2nth_root(q, n);
+
+  chip::CofheeChip chip;
+  HostDriver drv(chip, ExecMode::kFifo, Link::kSpi);
+  drv.configure_ring(q, n, psi);  // untimed bring-up: no link transactions
+
+  chip::FaultSchedule sch;
+  sch.events.push_back({chip::FaultKind::kCorruptFrame, 0, 1, 0});
+  chip::FaultInjector inj(sch);
+  chip.spi().set_fault_injector(&inj);
+
+  const auto cycles_before = chip.cycles();
+  std::uint64_t expand_cycles = 0;
+  EXPECT_THROW(drv.load_polynomial_seeded(chip::Bank::kSp1, 0, n, 1234, 0,
+                                          &expand_cycles),
+               chip::ChipFaultError);
+  EXPECT_EQ(inj.faults_fired(), 1u);
+  EXPECT_EQ(expand_cycles, 0u);
+  EXPECT_EQ(chip.cycles(), cycles_before);
+  const auto mem = chip.read_coeffs(chip::Bank::kSp1, 0, n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_TRUE(mem[i] == 0) << i;
+}
+
+}  // namespace
+}  // namespace cofhee

@@ -1,0 +1,295 @@
+// Differential battery for the SIMD kernel dispatch layer (src/nt/simd.hpp).
+//
+// Contract under test: every vector lane (AVX2, NEON) is bit-exact against
+// the scalar reference lane on every kernel -- including the *lazy*
+// (redundant-range) outputs of the butterfly kernels, not just canonical
+// residues -- over seeded random inputs, boundary values (0, 1, q-1, q,
+// 2q-1, 4q-1), vector-width tails (odd lengths), and several moduli up to
+// the 62-bit Barrett64 ceiling.  Also pins the runtime dispatch rules:
+// force_isa() on an unavailable lane is a no-op returning false, and the
+// active table always matches the active lane.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "nt/barrett.hpp"
+#include "nt/montgomery.hpp"
+#include "nt/simd.hpp"
+
+namespace {
+
+using cofhee::nt::u128;
+using cofhee::nt::u64;
+namespace simd = cofhee::nt::simd;
+using simd::Isa;
+
+// Every vector lane this binary compiled in AND this CPU can run.  Empty
+// under -DCOFHEE_SIMD=OFF (or on a CPU without AVX2/NEON); the differential
+// loops then vacuously pass and the dispatch tests still run.
+std::vector<Isa> vector_lanes() {
+  std::vector<Isa> lanes;
+  for (Isa isa : {Isa::kAvx2, Isa::kNeon})
+    if (simd::available(isa)) lanes.push_back(isa);
+  return lanes;
+}
+
+// Moduli spanning the supported range: tiny (maximal wraparound pressure in
+// the lazy ranges), mid-size, NTT-friendly, and just under the 62-bit
+// Barrett64 ceiling (4q - 1 brushes 2^64).  Odd, as Montgomery requires.
+const u64 kModuli[] = {
+    17,
+    12289,                       // classic NTT prime
+    (u64{1} << 45) + 39,         // mid-size odd
+    4611686018427387847ull,      // largest prime below 2^62
+};
+
+// Lengths covering the empty case, sub-vector lengths, exact vector
+// multiples, and tails for both 4-wide (AVX2) and 2-wide (NEON) bodies.
+const std::size_t kLens[] = {0, 1, 2, 3, 4, 5, 7, 8, 31, 64, 257};
+
+u64 qinv_neg_of(u64 q) {
+  u64 inv = q;
+  for (int i = 0; i < 5; ++i) inv *= 2 - q * inv;
+  return ~inv + 1;
+}
+
+u64 shoup_of(u64 w, u64 q) {
+  return static_cast<u64>((static_cast<u128>(w) << 64) / q);
+}
+
+// Seeded values below `bound`, with the boundary values of the kernel's
+// admissible range planted at the front (clamped to the vector length).
+std::vector<u64> seeded(std::mt19937_64& rng, std::size_t len, u64 q,
+                        u128 bound) {
+  std::vector<u64> v(len);
+  for (auto& x : v) x = static_cast<u64>(rng() % bound);
+  const u64 edges[] = {0,
+                       1,
+                       q - 1,
+                       q,
+                       q + 1,
+                       static_cast<u64>((bound > q) ? 2 * (u128)q - 1 : 0),
+                       static_cast<u64>(bound - 1)};
+  for (std::size_t i = 0; i < len && i < std::size(edges); ++i)
+    if (edges[i] < bound) v[i] = edges[i];
+  return v;
+}
+
+}  // namespace
+
+TEST(SimdDispatch, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(simd::available(Isa::kScalar));
+  EXPECT_STREQ(simd::isa_name(Isa::kScalar), "scalar");
+  EXPECT_STREQ(simd::isa_name(Isa::kAvx2), "avx2");
+  EXPECT_STREQ(simd::isa_name(Isa::kNeon), "neon");
+}
+
+TEST(SimdDispatch, ForceAndClear) {
+  // Forcing any available lane redirects kernels() to that lane's table.
+  for (Isa isa : vector_lanes()) {
+    ASSERT_TRUE(simd::force_isa(isa));
+    EXPECT_EQ(simd::active_isa(), isa);
+    EXPECT_EQ(&simd::kernels(), &simd::kernels_for(isa));
+    simd::clear_forced_isa();
+  }
+  ASSERT_TRUE(simd::force_isa(Isa::kScalar));
+  EXPECT_EQ(simd::active_isa(), Isa::kScalar);
+  EXPECT_EQ(&simd::kernels(), &simd::kernels_for(Isa::kScalar));
+  simd::clear_forced_isa();
+  // AVX2 and NEON are mutually exclusive compile targets, so at least one
+  // of them is always the unavailable-lane fallback case: force_isa must
+  // refuse and leave the active lane untouched.
+  const Isa before = simd::active_isa();
+  const Isa missing = simd::available(Isa::kAvx2) ? Isa::kNeon : Isa::kAvx2;
+  EXPECT_FALSE(simd::available(missing));
+  EXPECT_FALSE(simd::force_isa(missing));
+  EXPECT_EQ(simd::active_isa(), before);
+  EXPECT_THROW((void)simd::kernels_for(missing), std::invalid_argument);
+}
+
+TEST(SimdDispatch, ActiveIsBestAvailable) {
+  simd::clear_forced_isa();
+  const Isa active = simd::active_isa();
+  EXPECT_TRUE(simd::available(active));
+  // When a vector lane is available, automatic detection must pick it.
+  if (!vector_lanes().empty()) EXPECT_NE(active, Isa::kScalar);
+}
+
+TEST(SimdKernels, CtButterflyBitExact) {
+  const auto& ref = simd::kernels_for(Isa::kScalar);
+  for (Isa isa : vector_lanes()) {
+    const auto& lane = simd::kernels_for(isa);
+    for (u64 q : kModuli) {
+      std::mt19937_64 rng(0xC0F4EE01 ^ q);
+      for (std::size_t len : kLens) {
+        auto x0 = seeded(rng, len, q, 4 * static_cast<u128>(q));
+        auto y0 = seeded(rng, len, q, 4 * static_cast<u128>(q));
+        const u64 w = static_cast<u64>(rng() % q);
+        const u64 ws = shoup_of(w, q);
+        auto x1 = x0, y1 = y0;
+        ref.ct_butterfly(x0.data(), y0.data(), len, w, ws, q);
+        lane.ct_butterfly(x1.data(), y1.data(), len, w, ws, q);
+        ASSERT_EQ(x0, x1) << simd::isa_name(isa) << " q=" << q << " len=" << len;
+        ASSERT_EQ(y0, y1) << simd::isa_name(isa) << " q=" << q << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, GsButterflyBitExact) {
+  const auto& ref = simd::kernels_for(Isa::kScalar);
+  for (Isa isa : vector_lanes()) {
+    const auto& lane = simd::kernels_for(isa);
+    for (u64 q : kModuli) {
+      std::mt19937_64 rng(0xC0F4EE02 ^ q);
+      for (std::size_t len : kLens) {
+        auto x0 = seeded(rng, len, q, 2 * static_cast<u128>(q));
+        auto y0 = seeded(rng, len, q, 2 * static_cast<u128>(q));
+        const u64 w = static_cast<u64>(rng() % q);
+        const u64 ws = shoup_of(w, q);
+        auto x1 = x0, y1 = y0;
+        ref.gs_butterfly(x0.data(), y0.data(), len, w, ws, q);
+        lane.gs_butterfly(x1.data(), y1.data(), len, w, ws, q);
+        ASSERT_EQ(x0, x1) << simd::isa_name(isa) << " q=" << q << " len=" << len;
+        ASSERT_EQ(y0, y1) << simd::isa_name(isa) << " q=" << q << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, CanonicalizeBitExactAndCanonical) {
+  const auto& ref = simd::kernels_for(Isa::kScalar);
+  for (u64 q : kModuli) {
+    std::mt19937_64 rng(0xC0F4EE03 ^ q);
+    for (std::size_t len : kLens) {
+      const auto input = seeded(rng, len, q, 4 * static_cast<u128>(q));
+      auto x0 = input;
+      ref.canonicalize(x0.data(), len, q);
+      for (std::size_t i = 0; i < len; ++i) {
+        ASSERT_LT(x0[i], q);  // scalar lane maps [0, 4q) into [0, q)
+        ASSERT_EQ(x0[i], input[i] % q);
+      }
+      for (Isa isa : vector_lanes()) {
+        auto x1 = input;
+        simd::kernels_for(isa).canonicalize(x1.data(), len, q);
+        ASSERT_EQ(x0, x1) << simd::isa_name(isa) << " q=" << q << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, PointwiseMulBitExact) {
+  const auto& ref = simd::kernels_for(Isa::kScalar);
+  for (u64 q : kModuli) {
+    const cofhee::nt::Barrett64 red(q);
+    std::mt19937_64 rng(0xC0F4EE04 ^ q);
+    for (std::size_t len : kLens) {
+      const auto a = seeded(rng, len, q, q);
+      const auto b = seeded(rng, len, q, q);
+      std::vector<u64> d0(len, 0);
+      ref.pointwise_mul(d0.data(), a.data(), b.data(), len, q, red.mu(), red.k());
+      for (std::size_t i = 0; i < len; ++i)
+        ASSERT_EQ(d0[i], red.mul(a[i], b[i]));  // scalar lane == Barrett64
+      for (Isa isa : vector_lanes()) {
+        std::vector<u64> d1(len, 0);
+        simd::kernels_for(isa).pointwise_mul(d1.data(), a.data(), b.data(), len,
+                                             q, red.mu(), red.k());
+        ASSERT_EQ(d0, d1) << simd::isa_name(isa) << " q=" << q << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, PointwiseMulAccBitExact) {
+  const auto& ref = simd::kernels_for(Isa::kScalar);
+  for (u64 q : kModuli) {
+    const cofhee::nt::Barrett64 red(q);
+    std::mt19937_64 rng(0xC0F4EE05 ^ q);
+    for (std::size_t len : kLens) {
+      const auto a = seeded(rng, len, q, q);
+      const auto b = seeded(rng, len, q, q);
+      const auto acc = seeded(rng, len, q, q);
+      auto d0 = acc;
+      ref.pointwise_mul_acc(d0.data(), a.data(), b.data(), len, q, red.mu(),
+                            red.k());
+      for (std::size_t i = 0; i < len; ++i)
+        ASSERT_EQ(d0[i], red.add(acc[i], red.mul(a[i], b[i])));
+      for (Isa isa : vector_lanes()) {
+        auto d1 = acc;
+        simd::kernels_for(isa).pointwise_mul_acc(d1.data(), a.data(), b.data(),
+                                                 len, q, red.mu(), red.k());
+        ASSERT_EQ(d0, d1) << simd::isa_name(isa) << " q=" << q << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, ScalarMulShoupBitExactOnFullRange) {
+  const auto& ref = simd::kernels_for(Isa::kScalar);
+  for (u64 q : kModuli) {
+    std::mt19937_64 rng(0xC0F4EE06 ^ q);
+    for (std::size_t len : kLens) {
+      // Accepts ANY u64 input (this pass doubles as the inverse transform's
+      // canonicalization), so draw from the full 64-bit range.
+      auto x0 = seeded(rng, len, q, static_cast<u128>(1) << 64);
+      const u64 w = static_cast<u64>(rng() % q);
+      const u64 ws = shoup_of(w, q);
+      auto x1 = x0;
+      ref.scalar_mul_shoup(x0.data(), len, w, ws, q);
+      for (std::size_t i = 0; i < len; ++i) ASSERT_LT(x0[i], q);
+      for (Isa isa : vector_lanes()) {
+        auto xi = x1;
+        simd::kernels_for(isa).scalar_mul_shoup(xi.data(), len, w, ws, q);
+        ASSERT_EQ(x0, xi) << simd::isa_name(isa) << " q=" << q << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, MontMulBitExact) {
+  const auto& ref = simd::kernels_for(Isa::kScalar);
+  for (u64 q : kModuli) {
+    if (q < 3) continue;
+    const cofhee::nt::Montgomery64 mont(q);
+    const u64 qinv_neg = qinv_neg_of(q);
+    std::mt19937_64 rng(0xC0F4EE07 ^ q);
+    for (std::size_t len : kLens) {
+      const auto a = seeded(rng, len, q, q);
+      const auto b = seeded(rng, len, q, q);
+      std::vector<u64> d0(len, 0);
+      ref.mont_mul(d0.data(), a.data(), b.data(), len, q, qinv_neg);
+      for (std::size_t i = 0; i < len; ++i)
+        ASSERT_EQ(d0[i], mont.mul_raw(a[i], b[i]));  // scalar == Montgomery64
+      for (Isa isa : vector_lanes()) {
+        std::vector<u64> d1(len, 0);
+        simd::kernels_for(isa).mont_mul(d1.data(), a.data(), b.data(), len, q,
+                                        qinv_neg);
+        ASSERT_EQ(d0, d1) << simd::isa_name(isa) << " q=" << q << " len=" << len;
+      }
+    }
+  }
+}
+
+// The runtime-dispatch fallback: the kernels() table observed under a scalar
+// pin computes the same answers as the free-running (possibly vector) table.
+TEST(SimdKernels, DispatchFallbackMatchesVector) {
+  const u64 q = 12289;
+  const cofhee::nt::Barrett64 red(q);
+  std::mt19937_64 rng(0xC0F4EE08);
+  const std::size_t len = 100;
+  const auto a = seeded(rng, len, q, q);
+  const auto b = seeded(rng, len, q, q);
+
+  simd::clear_forced_isa();
+  std::vector<u64> fast(len, 0);
+  simd::kernels().pointwise_mul(fast.data(), a.data(), b.data(), len, q,
+                                red.mu(), red.k());
+  ASSERT_TRUE(simd::force_isa(Isa::kScalar));
+  std::vector<u64> slow(len, 0);
+  simd::kernels().pointwise_mul(slow.data(), a.data(), b.data(), len, q,
+                                red.mu(), red.k());
+  simd::clear_forced_isa();
+  EXPECT_EQ(fast, slow);
+}

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bfv/bfv.hpp"
 #include "nt/primes.hpp"
 #include "poly/ntt.hpp"
 #include "poly/sampler.hpp"
@@ -126,6 +127,204 @@ TEST_P(MergedDegreeSweep, MatchesSchoolbook) {
 
 INSTANTIATE_TEST_SUITE_P(Degrees, MergedDegreeSweep,
                          ::testing::Values(2, 4, 8, 16, 32, 64, 128, 256));
+
+// ---------------------------------------------------------------------------
+// MergedNtt64 -- the fused/SIMD host engine that replaced NegacyclicNtt64 as
+// the default Bfv / CpuTensorKernel path.  The unfused scalar engine stays
+// in poly/ntt.hpp purely as the differential reference these tests pin the
+// production path against, across every shipped parameter set.
+// ---------------------------------------------------------------------------
+
+// Negacyclic schoolbook product over Z_t (u64 modulus, u128 intermediate):
+// the plaintext-side ground truth for the end-to-end chain test.
+Coeffs<u64> schoolbook_mod_t(const Coeffs<u64>& a, const Coeffs<u64>& b, u64 t) {
+  const std::size_t n = a.size();
+  Coeffs<u64> y(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const u64 prod = static_cast<u64>(static_cast<u128>(a[i]) * b[j] % t);
+      const std::size_t k = i + j;
+      if (k < n) {
+        y[k] = (y[k] + prod) % t;
+      } else {
+        y[k - n] = (y[k - n] + t - prod) % t;  // x^n = -1
+      }
+    }
+  }
+  return y;
+}
+
+std::vector<bfv::BfvParams> all_param_sets() {
+  return {bfv::BfvParams::test_tiny(64), bfv::BfvParams::paper_small(),
+          bfv::BfvParams::paper_large()};
+}
+
+TEST(MergedNtt64, RoundTripAndScalarReferenceAcrossParamSets) {
+  // Every tower of every shipped parameter set (Q and the aux extension):
+  // forward/inverse round-trips, and the forward image matches the unfused
+  // scalar engine bit for bit (so does the inverse, transitively).
+  for (const auto& params : all_param_sets()) {
+    std::vector<u64> moduli = params.q_moduli;
+    moduli.insert(moduli.end(), params.aux_moduli.begin(),
+                  params.aux_moduli.end());
+    for (u64 q : moduli) {
+      const nt::Barrett64 ring(q);
+      const u64 psi = nt::primitive_2nth_root(q, params.n);
+      const MergedNtt64 fused(ring, params.n, psi);
+      const NegacyclicNtt64 reference(ring, params.n, psi);
+      Rng rng(q ^ params.n);
+      const auto x = sample_uniform(rng, params.n, q);
+      auto fwd_fused = x;
+      fused.forward(fwd_fused);
+      auto fwd_ref = x;
+      reference.forward(fwd_ref);
+      ASSERT_EQ(fwd_fused, fwd_ref) << "n=" << params.n << " q=" << q;
+      fused.inverse(fwd_fused);
+      ASSERT_EQ(fwd_fused, x) << "n=" << params.n << " q=" << q;
+    }
+  }
+}
+
+TEST(MergedNtt64, MulMatchesSchoolbookAcrossModulusSizes) {
+  for (unsigned bits : {30u, 45u, 55u, 61u}) {
+    const std::size_t n = 128;
+    const u64 q = nt::find_ntt_prime_u64(bits, n);
+    const nt::Barrett64 ring(q);
+    const MergedNtt64 eng(ring, n, nt::primitive_2nth_root(q, n));
+    Rng rng(bits);
+    const auto a = sample_uniform(rng, n, q);
+    const auto b = sample_uniform(rng, n, q);
+    EXPECT_EQ(eng.negacyclic_mul(a, b), schoolbook_negacyclic_mul(ring, a, b))
+        << "bits=" << bits;
+  }
+}
+
+TEST(MergedNtt64, TensorMatchesUnfusedReference) {
+  // The fused tensor (4 forward + 4 pointwise + 3 inverse in one call) must
+  // equal the unfused pipeline assembled from the scalar reference engine.
+  const std::size_t n = 256;
+  const u64 q = nt::find_ntt_prime_u64(50, n);
+  const nt::Barrett64 ring(q);
+  const u64 psi = nt::primitive_2nth_root(q, n);
+  const MergedNtt64 fused(ring, n, psi);
+  const NegacyclicNtt64 reference(ring, n, psi);
+  Rng rng(7);
+  const auto a0 = sample_uniform(rng, n, q);
+  const auto a1 = sample_uniform(rng, n, q);
+  const auto b0 = sample_uniform(rng, n, q);
+  const auto b1 = sample_uniform(rng, n, q);
+
+  Coeffs<u64> y0, y1, y2;
+  fused.tensor(a0, a1, b0, b1, y0, y1, y2);
+
+  auto fa0 = a0, fa1 = a1, fb0 = b0, fb1 = b1;
+  reference.forward(fa0);
+  reference.forward(fa1);
+  reference.forward(fb0);
+  reference.forward(fb1);
+  Coeffs<u64> r0(n), r1(n), r2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    r0[i] = ring.mul(fa0[i], fb0[i]);
+    r1[i] = ring.add(ring.mul(fa0[i], fb1[i]), ring.mul(fa1[i], fb0[i]));
+    r2[i] = ring.mul(fa1[i], fb1[i]);
+  }
+  reference.inverse(r0);
+  reference.inverse(r1);
+  reference.inverse(r2);
+  EXPECT_EQ(y0, r0);
+  EXPECT_EQ(y1, r1);
+  EXPECT_EQ(y2, r2);
+}
+
+class MergedChainSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MergedChainSweep, MultRelinDecryptChainFusedVsUnfused) {
+  // Full EvalMult chain differential: the production scheme (fused + SIMD
+  // engines everywhere) against a from-parts software reference built on the
+  // unfused scalar NegacyclicNtt64 -- byte-identical at the tensor, the
+  // relinearized ciphertext, and the decrypted plaintext (which must be the
+  // schoolbook negacyclic product mod t).
+  const auto params = all_param_sets()[static_cast<std::size_t>(GetParam())];
+  bfv::Bfv scheme(params, /*seed=*/42);
+  const auto& ctx = scheme.context();
+  const auto sk = scheme.keygen_secret();
+  const auto pk = scheme.keygen_public(sk);
+  const auto rk = scheme.keygen_relin(sk);
+
+  Rng rng(9);
+  bfv::Plaintext m1{sample_uniform(rng, ctx.n(), ctx.t())};
+  bfv::Plaintext m2{sample_uniform(rng, ctx.n(), ctx.t())};
+  const auto ct1 = scheme.encrypt(pk, m1);
+  const auto ct2 = scheme.encrypt(pk, m2);
+
+  // Production path.
+  const auto tensor = scheme.multiply(ct1, ct2);
+  const auto relin = scheme.relinearize(tensor, rk);
+
+  // Unfused reference: extend, per-tower scalar-engine tensor, scale-round.
+  const auto ea0 = scheme.extend_centered_public(ct1.c[0]);
+  const auto ea1 = scheme.extend_centered_public(ct1.c[1]);
+  const auto eb0 = scheme.extend_centered_public(ct2.c[0]);
+  const auto eb1 = scheme.extend_centered_public(ct2.c[1]);
+  poly::RnsPoly y0, y1, y2;
+  const std::size_t ext = ctx.ext_basis().size();
+  y0.towers.resize(ext);
+  y1.towers.resize(ext);
+  y2.towers.resize(ext);
+  for (std::size_t tw = 0; tw < ext; ++tw) {
+    const auto& ring = ctx.ext_basis().tower(tw);
+    const NegacyclicNtt64 eng(ring, ctx.n(),
+                              nt::primitive_2nth_root(ring.modulus(), ctx.n()));
+    auto fa0 = ea0.towers[tw], fa1 = ea1.towers[tw];
+    auto fb0 = eb0.towers[tw], fb1 = eb1.towers[tw];
+    eng.forward(fa0);
+    eng.forward(fa1);
+    eng.forward(fb0);
+    eng.forward(fb1);
+    Coeffs<u64> r0(ctx.n()), r1(ctx.n()), r2(ctx.n());
+    for (std::size_t i = 0; i < ctx.n(); ++i) {
+      r0[i] = ring.mul(fa0[i], fb0[i]);
+      r1[i] = ring.add(ring.mul(fa0[i], fb1[i]), ring.mul(fa1[i], fb0[i]));
+      r2[i] = ring.mul(fa1[i], fb1[i]);
+    }
+    eng.inverse(r0);
+    eng.inverse(r1);
+    eng.inverse(r2);
+    y0.towers[tw] = std::move(r0);
+    y1.towers[tw] = std::move(r1);
+    y2.towers[tw] = std::move(r2);
+  }
+  ASSERT_EQ(tensor.c[0].towers, scheme.scale_round_public(y0).towers);
+  ASSERT_EQ(tensor.c[1].towers, scheme.scale_round_public(y1).towers);
+  ASSERT_EQ(tensor.c[2].towers, scheme.scale_round_public(y2).towers);
+
+  // Unfused relinearization reference over the Q basis.
+  const auto digits = scheme.relin_digits_public(tensor.c[2], rk);
+  poly::RnsPoly rc0 = tensor.c[0], rc1 = tensor.c[1];
+  for (std::size_t tw = 0; tw < ctx.q_basis().size(); ++tw) {
+    const auto& ring = ctx.q_basis().tower(tw);
+    const NegacyclicNtt64 eng(ring, ctx.n(),
+                              nt::primitive_2nth_root(ring.modulus(), ctx.n()));
+    for (std::size_t d = 0; d < digits.size(); ++d) {
+      const auto pb =
+          eng.negacyclic_mul(digits[d].towers[tw], rk.keys[d].first.towers[tw]);
+      const auto pa =
+          eng.negacyclic_mul(digits[d].towers[tw], rk.keys[d].second.towers[tw]);
+      rc0.towers[tw] = pointwise_add(ring, rc0.towers[tw], pb);
+      rc1.towers[tw] = pointwise_add(ring, rc1.towers[tw], pa);
+    }
+  }
+  ASSERT_EQ(relin.c[0].towers, rc0.towers);
+  ASSERT_EQ(relin.c[1].towers, rc1.towers);
+
+  // And the chain decrypts to the schoolbook plaintext product.
+  const auto dec = scheme.decrypt(sk, relin);
+  EXPECT_EQ(dec.coeffs, schoolbook_mod_t(m1.coeffs, m2.coeffs, ctx.t()));
+}
+
+// Index 2 (paper_large, n = 2^13) is covered by the slow-labeled BFV paper
+// suite; the chain differential sticks to the fast sets.
+INSTANTIATE_TEST_SUITE_P(ParamSets, MergedChainSweep, ::testing::Values(0, 1));
 
 }  // namespace
 }  // namespace cofhee::poly
