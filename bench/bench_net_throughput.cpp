@@ -1,0 +1,149 @@
+// Front-door cost accounting: what the wire protocol adds on top of the
+// in-process evaluation service.
+//
+// The same seeded batch of EvalMult+relin requests is run two ways --
+// submitted directly to EvalService, and round-tripped through a real
+// loopback TCP EvalServer -- and the regression-tracked numbers are the
+// *deterministic* ones: wire bytes per request (framing + codec overhead
+// over the raw ciphertext payload), frame counts, the simulated service
+// seconds (identical on both paths: the transport must not perturb the
+// model), and the tenancy books for a deliberately throttled tenant.
+// Host wall-clock round-trip throughput is printed for orientation but
+// kept out of the JSON, since it depends on the machine.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "bfv/encoder.hpp"
+#include "eval/report.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/wire.hpp"
+#include "obs/service_export.hpp"
+#include "service/eval_service.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cofhee;
+  bench::BenchIo io(argc, argv);
+  eval::MetricsJson& metrics = io.metrics();
+
+  bfv::Bfv scheme(bfv::BfvParams::test_tiny(64), /*seed=*/33);
+  const auto sk = scheme.keygen_secret();
+  const auto pk = scheme.keygen_public(sk);
+  const auto rk = scheme.keygen_relin(sk, 16);
+  bfv::IntegerEncoder enc(scheme.context());
+
+  constexpr std::size_t kRequests = 16;
+  std::vector<service::EvalRequest> requests;
+  for (std::size_t i = 0; i < kRequests; ++i)
+    requests.push_back({scheme.encrypt(pk, enc.encode(static_cast<std::int64_t>(i + 2))),
+                        scheme.encrypt(pk, enc.encode(7)),
+                        service::RequestKind::kMultRelin});
+
+  // Wire-format overhead is a pure function of the payload shapes.
+  net::SubmitFrame sf;
+  sf.requests = requests;
+  const std::size_t submit_bytes = net::kHeaderSize + net::encode_submit(sf).size();
+  std::size_t raw_bytes = 0;
+  for (const auto& r : requests)
+    for (const auto* ct : {&r.a, &r.b})
+      for (const auto& p : ct->c)
+        for (const auto& tw : p.towers) raw_bytes += tw.size() * sizeof(std::uint64_t);
+  const double overhead =
+      static_cast<double>(submit_bytes) / static_cast<double>(raw_bytes) - 1.0;
+
+  // --- In-process baseline ----------------------------------------------
+  const auto run_local = [&] {
+    service::ChipFarm farm(2);
+    service::ServiceOptions sopts;
+    sopts.relin_keys = &rk;
+    service::EvalService svc(scheme, farm, sopts);
+    auto futures = svc.submit_batch(requests);
+    for (auto& f : futures) (void)f.get();
+    svc.drain();
+    return svc.stats();
+  };
+  const auto t0 = std::chrono::steady_clock::now();
+  const service::ServiceStats local = run_local();
+  const double local_wall = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+
+  // --- The same batch through the socket --------------------------------
+  service::ChipFarm farm(2);
+  service::ServiceOptions sopts;
+  sopts.relin_keys = &rk;
+  sopts.tenancy.per_tenant[9] =
+      service::TenantLimits{/*rate_per_sec=*/1e-9, /*burst=*/2, /*max_pending=*/0};
+  service::EvalService svc(scheme, farm, sopts);
+  net::EvalServer server(svc);
+
+  const auto t1 = std::chrono::steady_clock::now();
+  net::EvalClient cli("127.0.0.1", server.port());
+  cli.hello({service::Priority::kNormal, /*tenant=*/1, /*weight=*/1});
+  const auto results = cli.submit_batch(requests);
+  const double wire_wall = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t1)
+                               .count();
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < results.size(); ++i)
+    if (results[i].ok &&
+        enc.decode(scheme.decrypt(sk, results[i].value)) ==
+            static_cast<std::int64_t>((i + 2) * 7))
+      ++correct;
+
+  // Tenancy teeth under load: tenant 9 admits exactly its burst of 2.
+  std::size_t rate_rejects = 0;
+  const std::vector<service::EvalRequest> one{requests[0]};
+  for (int i = 0; i < 5; ++i) {
+    try {
+      (void)cli.submit_batch(one, {service::Priority::kLow, /*tenant=*/9, /*weight=*/1});
+    } catch (const net::RejectError&) {
+      ++rate_rejects;
+    }
+  }
+  cli.bye();
+  svc.drain();
+  const service::ServiceStats remote = svc.stats();
+  obs::export_service_stats(remote, io.registry());
+  server.stop();
+  const net::NetServerStats ns = server.stats();
+
+  eval::section("Front door -- wire cost vs in-process (n = 64 model ring)");
+  eval::Table t({"path", "requests", "correct", "sim io s", "sim compute ms",
+                 "wall ms"});
+  t.row({"in_process", std::to_string(kRequests), std::to_string(kRequests),
+         eval::fmt(local.io_seconds, 6), eval::fmt(local.compute_seconds * 1e3, 3),
+         eval::fmt(local_wall * 1e3, 2)});
+  t.row({"tcp_loopback", std::to_string(kRequests), std::to_string(correct),
+         eval::fmt(remote.io_seconds, 6), eval::fmt(remote.compute_seconds * 1e3, 3),
+         eval::fmt(wire_wall * 1e3, 2)});
+  t.print();
+  std::printf(
+      "\nsubmit frame: %zu bytes for %zu raw ciphertext bytes (%.2f%% framing\n"
+      "overhead); rate-limited tenant 9: %zu of 5 extras rejected; server\n"
+      "frames rx/tx %llu/%llu.  Wall times are informational only -- the\n"
+      "regression-tracked JSON carries the machine-independent numbers.\n",
+      submit_bytes, raw_bytes, overhead * 100.0, rate_rejects,
+      static_cast<unsigned long long>(ns.frames_rx),
+      static_cast<unsigned long long>(ns.frames_tx));
+
+  metrics.set("wire/submit_bytes", static_cast<double>(submit_bytes));
+  metrics.set("wire/raw_ciphertext_bytes", static_cast<double>(raw_bytes));
+  metrics.set("wire/framing_overhead_frac", overhead);
+  metrics.set("wire/correct_results", static_cast<double>(correct));
+  metrics.set("wire/rate_limited_rejects", static_cast<double>(rate_rejects));
+  metrics.set("wire/server_frames_rx", static_cast<double>(ns.frames_rx));
+  metrics.set("wire/server_frames_tx", static_cast<double>(ns.frames_tx));
+  metrics.set("wire/server_rejects_sent", static_cast<double>(ns.rejects_sent));
+  metrics.set("local/sim_io_seconds", local.io_seconds);
+  metrics.set("local/sim_compute_ms", local.compute_seconds * 1e3);
+  metrics.set("remote/sim_io_seconds", remote.io_seconds);
+  metrics.set("remote/sim_compute_ms", remote.compute_seconds * 1e3);
+  metrics.set("remote/completed", static_cast<double>(remote.completed));
+  metrics.set("remote/rejected_rate_limited",
+              static_cast<double>(remote.rejected_rate_limited));
+  return io.finish() ? 0 : 1;
+}

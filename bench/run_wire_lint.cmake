@@ -1,0 +1,17 @@
+# CTest driver for net_quickstart_wire_lint: run the net_quickstart example
+# against a real loopback EvalServer (it scrapes its own GET /metrics over
+# HTTP and writes the exposition), then lint the scraped text with
+# tools/wire_lint.py.  Split into a -P script because the two steps must
+# share the artifact path and fail the test as one unit.
+execute_process(
+  COMMAND ${QUICKSTART} --metrics-out ${OUT_DIR}/net_quickstart.prom
+  RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+  message(FATAL_ERROR "net_quickstart run failed (rc=${run_rc})")
+endif()
+execute_process(
+  COMMAND ${PYTHON} ${LINT} ${OUT_DIR}/net_quickstart.prom
+  RESULT_VARIABLE lint_rc)
+if(NOT lint_rc EQUAL 0)
+  message(FATAL_ERROR "wire_lint failed (rc=${lint_rc})")
+endif()

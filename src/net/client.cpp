@@ -1,0 +1,123 @@
+#include "net/client.hpp"
+
+#include <cstring>
+
+namespace cofhee::net {
+
+namespace {
+
+/// Connect a blocking IPv4 TCP socket to `host`:`port`.
+ScopedFd connect_tcp(const std::string& host, std::uint16_t port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid())
+    throw SocketError(std::string("net: socket failed: ") + std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw SocketError("net: not an IPv4 address: " + host);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0)
+    throw SocketError("net: connect to " + host + ":" + std::to_string(port) +
+                      " failed: " + std::strerror(errno));
+  return fd;
+}
+
+}  // namespace
+
+EvalClient::EvalClient(const std::string& host, std::uint16_t port)
+    : fd_(connect_tcp(host, port)) {}
+
+std::pair<FrameKind, std::vector<std::uint8_t>> EvalClient::roundtrip(
+    FrameKind kind, const std::vector<std::uint8_t>& payload) {
+  send_frame(fd_.get(), kind, payload);
+  FrameHeader hdr;
+  std::vector<std::uint8_t> reply;
+  if (!read_frame(fd_.get(), &hdr, &reply))
+    throw SocketError("net: server closed the connection instead of replying");
+  if (hdr.kind == FrameKind::kReject) {
+    const RejectFrame rj = decode_reject(reply);
+    throw RejectError(rj.code, rj.retry_after_seconds,
+                      "server rejected (" + std::string(reject_code_name(rj.code)) +
+                          "): " + rj.message);
+  }
+  return {hdr.kind, std::move(reply)};
+}
+
+void EvalClient::hello(service::SubmitOptions defaults) {
+  HelloFrame h;
+  h.version = kWireVersion;
+  h.defaults = defaults;
+  auto [kind, payload] = roundtrip(FrameKind::kHello, encode_hello(h));
+  if (kind != FrameKind::kHelloAck)
+    throw WireError(RejectCode::kMalformedRequest,
+                    "net: expected kHelloAck, got kind " +
+                        std::to_string(static_cast<int>(kind)));
+  (void)decode_hello(payload);  // validates the ack's shape
+}
+
+std::vector<ResultItem> EvalClient::submit_batch(
+    const std::vector<service::EvalRequest>& reqs, service::SubmitOptions so) {
+  SubmitFrame sf;
+  sf.options = so;
+  sf.requests = reqs;
+  auto [kind, payload] = roundtrip(FrameKind::kSubmit, encode_submit(sf));
+  if (kind != FrameKind::kResultBatch)
+    throw WireError(RejectCode::kMalformedRequest,
+                    "net: expected kResultBatch, got kind " +
+                        std::to_string(static_cast<int>(kind)));
+  std::vector<ResultItem> items = decode_result_batch(payload);
+  if (items.size() != reqs.size())
+    throw WireError(RejectCode::kMalformedRequest,
+                    "net: result count mismatch: sent " +
+                        std::to_string(reqs.size()) + ", got " +
+                        std::to_string(items.size()));
+  return items;
+}
+
+std::string EvalClient::stats_text() {
+  auto [kind, payload] = roundtrip(FrameKind::kStatsRequest, {});
+  if (kind != FrameKind::kStatsReply)
+    throw WireError(RejectCode::kMalformedRequest,
+                    "net: expected kStatsReply, got kind " +
+                        std::to_string(static_cast<int>(kind)));
+  Reader r(payload);
+  std::string text = r.str();
+  r.expect_end();
+  return text;
+}
+
+void EvalClient::bye() {
+  if (!fd_.valid()) return;
+  try {
+    send_frame(fd_.get(), FrameKind::kBye, {});
+  } catch (const SocketError&) {
+    // The server already hung up; closing is all that is left.
+  }
+  fd_.reset();
+}
+
+std::string http_get_metrics(const std::string& host, std::uint16_t port) {
+  ScopedFd fd = connect_tcp(host, port);
+  const std::string req =
+      "GET /metrics HTTP/1.1\r\nHost: " + host + "\r\nConnection: close\r\n\r\n";
+  write_all(fd.get(), reinterpret_cast<const std::uint8_t*>(req.data()), req.size());
+  // Read to EOF (the server closes after one response), then split off the
+  // head.
+  std::string resp;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd.get(), buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError(std::string("net: recv failed: ") + std::strerror(errno));
+    }
+    if (n == 0) break;
+    resp.append(reinterpret_cast<const char*>(buf), static_cast<std::size_t>(n));
+  }
+  const std::size_t split = resp.find("\r\n\r\n");
+  if (split == std::string::npos)
+    throw SocketError("net: malformed HTTP response (no header terminator)");
+  return resp.substr(split + 4);
+}
+
+}  // namespace cofhee::net

@@ -1,0 +1,76 @@
+// Client side of the CoFHEE front door: a blocking TCP connection that
+// speaks the wire protocol (net/wire.hpp) against net/server.hpp.
+//
+//   EvalClient cli("127.0.0.1", server.port());
+//   cli.hello({.priority = Priority::kHigh, .tenant = 7});
+//   auto results = cli.submit_batch(reqs);        // RejectError if refused
+//   bfv::Ciphertext ct = results[0].value;        // decrypts bit-exact
+//
+// A server-side refusal (rate limit, quota, queue full, ...) surfaces as a
+// typed RejectError carrying the wire RejectCode and retry-after hint; the
+// connection itself stays connected and usable, so a rate-limited tenant
+// backs off and retries on the same socket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket_util.hpp"
+#include "net/wire.hpp"
+#include "service/request_queue.hpp"
+
+namespace cofhee::net {
+
+/// Blocking wire-protocol client over one TCP connection.
+class EvalClient {
+ public:
+  /// Connect to `host`:`port` (IPv4 dotted quad; the server binds
+  /// loopback).  Throws SocketError when the connection fails.
+  EvalClient(const std::string& host, std::uint16_t port);
+  /// Closes the connection (no goodbye frame; use bye() for an orderly
+  /// end).
+  ~EvalClient() = default;
+
+  EvalClient(const EvalClient&) = delete;
+  EvalClient& operator=(const EvalClient&) = delete;
+
+  /// Version + session-default handshake: sends kHello, waits for the
+  /// kHelloAck.  `defaults` tag this connection's tenant/priority; submits
+  /// sent with all-default options inherit them server-side.  Throws
+  /// RejectError (kVersionUnsupported) when the server refuses the
+  /// version.
+  void hello(service::SubmitOptions defaults = {});
+
+  /// Submit a batch and wait for the results.  Returns one ResultItem per
+  /// request, in order.  A server-side admission refusal throws
+  /// RejectError (the connection survives and may be retried); transport
+  /// failures throw SocketError; a malformed reply throws WireError.
+  std::vector<ResultItem> submit_batch(const std::vector<service::EvalRequest>& reqs,
+                                       service::SubmitOptions so = {});
+
+  /// Fetch the server's Prometheus metrics text over the wire protocol
+  /// (kStatsRequest/kStatsReply).
+  [[nodiscard]] std::string stats_text();
+
+  /// Orderly goodbye: sends kBye and closes the socket.
+  void bye();
+
+  /// Whether the socket is still open client-side.
+  [[nodiscard]] bool connected() const noexcept { return fd_.valid(); }
+
+ private:
+  /// Send one frame and read the reply frame; decodes a kReject reply into
+  /// a thrown RejectError.  Returns the reply kind + payload otherwise.
+  std::pair<FrameKind, std::vector<std::uint8_t>> roundtrip(
+      FrameKind kind, const std::vector<std::uint8_t>& payload);
+
+  ScopedFd fd_;
+};
+
+/// One-shot HTTP scrape of the server's metrics endpoint: connects, sends
+/// `GET /metrics`, returns the response body (the Prometheus text).
+/// Throws SocketError on connection/transport failure.
+[[nodiscard]] std::string http_get_metrics(const std::string& host, std::uint16_t port);
+
+}  // namespace cofhee::net

@@ -1,0 +1,128 @@
+// Minimal POSIX TCP plumbing shared by the server (net/server.hpp) and
+// client (net/client.hpp): an RAII fd wrapper and EINTR-safe whole-buffer
+// read/write loops that turn every transport failure into one typed
+// SocketError.  Loopback IPv4 only -- the front door binds 127.0.0.1; this
+// is a software model's service port, not an internet-facing listener.
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "net/wire.hpp"
+
+namespace cofhee::net {
+
+/// RAII owner of a socket file descriptor (closed on destruction).
+class ScopedFd {
+ public:
+  /// Empty (no fd).
+  ScopedFd() = default;
+  /// Take ownership of `fd` (-1 for none).
+  explicit ScopedFd(int fd) noexcept : fd_(fd) {}
+  ~ScopedFd() { reset(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  /// The owned descriptor (-1 when empty).
+  [[nodiscard]] int get() const noexcept { return fd_; }
+  /// Whether a descriptor is owned.
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// Give up ownership without closing.
+  int release() noexcept { return std::exchange(fd_, -1); }
+  /// Close the owned descriptor (if any) and own `fd` instead.
+  void reset(int fd = -1) noexcept {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Write all `len` bytes to `fd`, retrying on EINTR and short writes.
+/// MSG_NOSIGNAL keeps a hung-up peer an error, not a SIGPIPE.  Throws
+/// SocketError on failure.
+inline void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError(std::string("net: send failed: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Read exactly `len` bytes from `fd`, retrying on EINTR and short reads.
+/// Returns false on a clean EOF *before the first byte* (the peer closed
+/// between frames -- an orderly end of session); EOF mid-buffer is a
+/// truncated frame and throws SocketError, as does any read error.
+inline bool read_exact(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::recv(fd, data + off, len - off, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw SocketError(std::string("net: recv failed: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (off == 0) return false;
+      throw SocketError("net: peer closed mid-frame (" + std::to_string(off) +
+                        " of " + std::to_string(len) + " bytes)");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read one whole frame: header, validation, then the payload the header
+/// promises.  Returns false on a clean EOF between frames; throws WireError
+/// for a damaged header (framing is lost -- the caller must close) and
+/// SocketError for transport failures.  `header_prefix` (optional) supplies
+/// bytes of the header already consumed by protocol sniffing.
+inline bool read_frame(int fd, FrameHeader* hdr, std::vector<std::uint8_t>* payload,
+                       const std::vector<std::uint8_t>& header_prefix = {}) {
+  std::uint8_t raw[kHeaderSize];
+  if (header_prefix.size() > kHeaderSize)
+    throw WireError(RejectCode::kBadFrame, "net: header prefix longer than a header");
+  if (header_prefix.empty()) {
+    if (!read_exact(fd, raw, kHeaderSize)) return false;
+  } else {
+    std::memcpy(raw, header_prefix.data(), header_prefix.size());
+    if (!read_exact(fd, raw + header_prefix.size(), kHeaderSize - header_prefix.size()))
+      throw SocketError("net: peer closed inside a sniffed header");
+  }
+  *hdr = decode_header(raw);
+  payload->resize(hdr->payload_len);
+  if (hdr->payload_len != 0 && !read_exact(fd, payload->data(), hdr->payload_len))
+    throw SocketError("net: peer closed before the payload arrived");
+  return true;
+}
+
+/// Encode and send one frame.  Throws SocketError on transport failure.
+inline void send_frame(int fd, FrameKind kind, const std::vector<std::uint8_t>& payload,
+                       std::uint8_t version = kWireVersion) {
+  const std::vector<std::uint8_t> frame = encode_frame(kind, payload, version);
+  write_all(fd, frame.data(), frame.size());
+}
+
+}  // namespace cofhee::net

@@ -1,0 +1,372 @@
+#include "net/wire.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace cofhee::net {
+
+namespace {
+
+/// Little-endian store/load helpers (the protocol is LE regardless of host
+/// endianness; byte-at-a-time keeps it portable and alignment-safe).
+void store16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+void store32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint16_t load16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t load32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+[[noreturn]] void malformed(const std::string& what) {
+  throw WireError(RejectCode::kMalformedRequest, "wire: " + what);
+}
+
+}  // namespace
+
+const char* reject_code_name(RejectCode code) noexcept {
+  switch (code) {
+    case RejectCode::kNone: return "ok";
+    case RejectCode::kBadFrame: return "bad_frame";
+    case RejectCode::kVersionUnsupported: return "version_unsupported";
+    case RejectCode::kMalformedRequest: return "malformed_request";
+    case RejectCode::kQueueFull: return "queue_full";
+    case RejectCode::kRateLimited: return "rate_limited";
+    case RejectCode::kQuotaExceeded: return "quota_exceeded";
+    case RejectCode::kBatchTooLarge: return "batch_too_large";
+    case RejectCode::kServiceStopped: return "service_stopped";
+    case RejectCode::kServerBusy: return "server_busy";
+    case RejectCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::uint32_t crc32_ieee(const std::uint8_t* data, std::size_t len) noexcept {
+  const auto& t = crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) c = t[(c ^ data[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void encode_header(const FrameHeader& hdr, std::uint8_t* out) noexcept {
+  store32(out, kMagic);
+  out[4] = hdr.version;
+  out[5] = static_cast<std::uint8_t>(hdr.kind);
+  store16(out + 6, hdr.flags);
+  store32(out + 8, hdr.payload_len);
+  store32(out + 12, crc32_ieee(out, 12));
+}
+
+FrameHeader decode_header(const std::uint8_t* bytes) {
+  if (load32(bytes) != kMagic)
+    throw WireError(RejectCode::kBadFrame, "wire: bad magic (not a CFHE frame)");
+  if (load32(bytes + 12) != crc32_ieee(bytes, 12))
+    throw WireError(RejectCode::kBadFrame, "wire: header CRC mismatch");
+  FrameHeader hdr;
+  hdr.version = bytes[4];
+  const std::uint8_t kind = bytes[5];
+  if (kind < static_cast<std::uint8_t>(FrameKind::kHello) ||
+      kind > static_cast<std::uint8_t>(FrameKind::kBye))
+    throw WireError(RejectCode::kBadFrame, "wire: unknown frame kind");
+  hdr.kind = static_cast<FrameKind>(kind);
+  hdr.flags = load16(bytes + 6);
+  if (hdr.flags != 0)
+    throw WireError(RejectCode::kBadFrame, "wire: reserved flags set (v1 expects 0)");
+  hdr.payload_len = load32(bytes + 8);
+  if (hdr.payload_len > kMaxPayloadBytes)
+    throw WireError(RejectCode::kBadFrame, "wire: payload length past bound");
+  return hdr;
+}
+
+std::vector<std::uint8_t> encode_frame(FrameKind kind,
+                                       const std::vector<std::uint8_t>& payload,
+                                       std::uint8_t version) {
+  FrameHeader hdr;
+  hdr.version = version;
+  hdr.kind = kind;
+  hdr.payload_len = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> out(kHeaderSize + payload.size());
+  encode_header(hdr, out.data());
+  std::copy(payload.begin(), payload.end(), out.begin() + kHeaderSize);
+  return out;
+}
+
+void Writer::u16(std::uint16_t v) {
+  buf_.resize(buf_.size() + 2);
+  store16(buf_.data() + buf_.size() - 2, v);
+}
+void Writer::u32(std::uint32_t v) {
+  buf_.resize(buf_.size() + 4);
+  store32(buf_.data() + buf_.size() - 4, v);
+}
+void Writer::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+void Writer::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Reader::require(std::size_t n) const {
+  if (len_ - pos_ < n) malformed("truncated payload");
+}
+std::uint8_t Reader::u8() {
+  require(1);
+  return p_[pos_++];
+}
+std::uint16_t Reader::u16() {
+  require(2);
+  const std::uint16_t v = load16(p_ + pos_);
+  pos_ += 2;
+  return v;
+}
+std::uint32_t Reader::u32() {
+  require(4);
+  const std::uint32_t v = load32(p_ + pos_);
+  pos_ += 4;
+  return v;
+}
+std::uint64_t Reader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  if (n > kMaxStringBytes) malformed("string length past bound");
+  require(n);
+  std::string s(reinterpret_cast<const char*>(p_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+void Reader::expect_end() const {
+  if (pos_ != len_) malformed("trailing bytes after payload");
+}
+
+void put_rns_poly(Writer& w, const poly::RnsPoly& p) {
+  w.u16(static_cast<std::uint16_t>(p.towers.size()));
+  for (const auto& tw : p.towers) {
+    w.u32(static_cast<std::uint32_t>(tw.size()));
+    for (std::uint64_t c : tw) w.u64(c);
+  }
+}
+
+poly::RnsPoly get_rns_poly(Reader& r) {
+  const std::size_t towers = r.u16();
+  if (towers > kMaxTowers) malformed("tower count past bound");
+  poly::RnsPoly p;
+  p.towers.resize(towers);
+  for (auto& tw : p.towers) {
+    const std::size_t n = r.u32();
+    if (n > kMaxDegree) malformed("polynomial degree past bound");
+    tw.resize(n);
+    for (auto& c : tw) c = r.u64();
+  }
+  return p;
+}
+
+void put_ciphertext(Writer& w, const bfv::Ciphertext& ct) {
+  w.u8(static_cast<std::uint8_t>(ct.c.size()));
+  for (const auto& el : ct.c) put_rns_poly(w, el);
+}
+
+bfv::Ciphertext get_ciphertext(Reader& r) {
+  const std::size_t elems = r.u8();
+  if (elems > kMaxCiphertextElems) malformed("ciphertext element count past bound");
+  bfv::Ciphertext ct;
+  ct.c.resize(elems);
+  for (auto& el : ct.c) el = get_rns_poly(r);
+  return ct;
+}
+
+void put_relin_keys(Writer& w, const bfv::RelinKeys& keys) {
+  w.u16(static_cast<std::uint16_t>(keys.digit_bits));
+  w.u16(static_cast<std::uint16_t>(keys.keys.size()));
+  for (const auto& [b, a] : keys.keys) {
+    put_rns_poly(w, b);
+    put_rns_poly(w, a);
+  }
+  const bool seeded = keys.seeded();
+  w.u8(seeded ? 1 : 0);
+  if (seeded)
+    for (std::uint64_t s : keys.a_seeds) w.u64(s);
+}
+
+bfv::RelinKeys get_relin_keys(Reader& r) {
+  bfv::RelinKeys keys;
+  keys.digit_bits = r.u16();
+  const std::size_t digits = r.u16();
+  if (digits > kMaxRelinDigits) malformed("relin digit count past bound");
+  keys.keys.resize(digits);
+  for (auto& [b, a] : keys.keys) {
+    b = get_rns_poly(r);
+    a = get_rns_poly(r);
+  }
+  const std::uint8_t seeded = r.u8();
+  if (seeded > 1) malformed("relin seeded flag not 0/1");
+  if (seeded != 0) {
+    keys.a_seeds.resize(digits);
+    for (auto& s : keys.a_seeds) s = r.u64();
+  }
+  return keys;
+}
+
+void put_submit_options(Writer& w, const service::SubmitOptions& so) {
+  w.u8(static_cast<std::uint8_t>(so.priority));
+  w.u64(so.tenant);
+  w.u32(so.weight);
+}
+
+service::SubmitOptions get_submit_options(Reader& r) {
+  service::SubmitOptions so;
+  const std::uint8_t pr = r.u8();
+  if (pr >= service::kNumPriorities) malformed("unknown priority class");
+  so.priority = static_cast<service::Priority>(pr);
+  so.tenant = r.u64();
+  so.weight = r.u32();
+  return so;
+}
+
+void put_eval_request(Writer& w, const service::EvalRequest& req) {
+  w.u8(static_cast<std::uint8_t>(req.kind));
+  w.u8(req.square ? 1 : 0);
+  put_ciphertext(w, req.a);
+  put_ciphertext(w, req.b);
+}
+
+service::EvalRequest get_eval_request(Reader& r) {
+  service::EvalRequest req;
+  const std::uint8_t kind = r.u8();
+  if (kind > static_cast<std::uint8_t>(service::RequestKind::kMultRelin))
+    malformed("unknown request kind");
+  req.kind = static_cast<service::RequestKind>(kind);
+  const std::uint8_t square = r.u8();
+  if (square > 1) malformed("square flag not 0/1");
+  req.square = square != 0;
+  req.a = get_ciphertext(r);
+  req.b = get_ciphertext(r);
+  return req;
+}
+
+std::vector<std::uint8_t> encode_submit(const SubmitFrame& sf) {
+  Writer w;
+  put_submit_options(w, sf.options);
+  w.u32(static_cast<std::uint32_t>(sf.requests.size()));
+  for (const auto& req : sf.requests) put_eval_request(w, req);
+  return w.take();
+}
+
+SubmitFrame decode_submit(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  SubmitFrame sf;
+  sf.options = get_submit_options(r);
+  const std::size_t count = r.u32();
+  if (count > kMaxBatch) malformed("submit batch size past bound");
+  sf.requests.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) sf.requests.push_back(get_eval_request(r));
+  r.expect_end();
+  return sf;
+}
+
+std::vector<std::uint8_t> encode_reject(const RejectFrame& rj) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(rj.code));
+  const double ms = rj.retry_after_seconds * 1e3;
+  w.u32(ms <= 0 ? 0
+                : ms >= 4294967295.0 ? 4294967295u
+                                     : static_cast<std::uint32_t>(ms + 0.5));
+  w.str(rj.message);
+  return w.take();
+}
+
+RejectFrame decode_reject(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  RejectFrame rj;
+  const std::uint16_t code = r.u16();
+  if (code == 0 || code > static_cast<std::uint16_t>(RejectCode::kInternal))
+    malformed("unknown reject code");
+  rj.code = static_cast<RejectCode>(code);
+  rj.retry_after_seconds = static_cast<double>(r.u32()) * 1e-3;
+  rj.message = r.str();
+  r.expect_end();
+  return rj;
+}
+
+std::vector<std::uint8_t> encode_result_batch(const std::vector<ResultItem>& items) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& it : items) {
+    w.u8(it.ok ? 0 : 1);
+    if (it.ok) {
+      put_ciphertext(w, it.value);
+    } else {
+      w.u16(static_cast<std::uint16_t>(it.code));
+      w.str(it.message);
+    }
+  }
+  return w.take();
+}
+
+std::vector<ResultItem> decode_result_batch(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  const std::size_t count = r.u32();
+  if (count > kMaxBatch) malformed("result batch size past bound");
+  std::vector<ResultItem> items;
+  items.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ResultItem it;
+    const std::uint8_t status = r.u8();
+    if (status > 1) malformed("result status not 0/1");
+    it.ok = status == 0;
+    if (it.ok) {
+      it.value = get_ciphertext(r);
+    } else {
+      it.code = static_cast<RejectCode>(r.u16());
+      it.message = r.str();
+    }
+    items.push_back(std::move(it));
+  }
+  r.expect_end();
+  return items;
+}
+
+std::vector<std::uint8_t> encode_hello(const HelloFrame& h) {
+  Writer w;
+  w.u8(h.version);
+  put_submit_options(w, h.defaults);
+  return w.take();
+}
+
+HelloFrame decode_hello(const std::vector<std::uint8_t>& payload) {
+  Reader r(payload);
+  HelloFrame h;
+  h.version = r.u8();
+  h.defaults = get_submit_options(r);
+  r.expect_end();
+  return h;
+}
+
+}  // namespace cofhee::net

@@ -1,0 +1,351 @@
+// CoFHEE wire protocol v1: versioned, length-prefixed frames carrying
+// ciphertexts, relinearization keys and scheduling options between a
+// client and the TCP front door (net/server.hpp).
+//
+// The framing discipline mirrors the chip's own serial links
+// (chip/serial.hpp, docs/REGISTER_MAP.md): every message is one framed
+// transaction -- a fixed 16-byte header naming the protocol, version,
+// frame kind and payload length, integrity-checked by a CRC before any
+// payload byte is trusted -- and a malformed frame is rejected *whole*
+// (typed WireError, nothing partially applied), exactly like a corrupt
+// serial frame bounces off the link before a byte reaches SRAM.
+//
+// Frame header (16 bytes, all fields little-endian):
+//
+//   offset  size  field        meaning
+//   ------  ----  -----------  -------------------------------------------
+//        0     4  magic        0x45484643 ("CFHE" in byte order)
+//        4     1  version      protocol version (kWireVersion = 1)
+//        5     1  kind         FrameKind
+//        6     2  flags        reserved; must be 0 in v1
+//        8     4  payload_len  payload bytes following the header
+//       12     4  crc          CRC-32 (IEEE) of header bytes [0, 12)
+//
+// Payload encodings are length-prefixed throughout (element, tower and
+// coefficient counts precede their data) and every count is checked
+// against the kMax* bounds below during decode, so a hostile frame cannot
+// make the decoder allocate unbounded memory.  See docs/WIRE_PROTOCOL.md
+// for the per-kind payload layouts and the version-negotiation rules.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bfv/bfv.hpp"
+#include "service/request_queue.hpp"
+
+namespace cofhee::net {
+
+/// Base of every network-layer error (framing, transport, rejection), a
+/// std::runtime_error so transport-oblivious callers still catch it.
+class NetError : public std::runtime_error {
+ public:
+  /// Construct with a human-readable description.
+  using std::runtime_error::runtime_error;
+};
+
+/// Reject/error codes carried on the wire (kReject frames and per-item
+/// result statuses).  Stable u16 values -- part of the protocol.
+enum class RejectCode : std::uint16_t {
+  kNone = 0,                ///< not an error (per-item OK status)
+  kBadFrame = 1,            ///< header malformed: magic/CRC/flags/length
+  kVersionUnsupported = 2,  ///< peer speaks a version this side does not
+  kMalformedRequest = 3,    ///< header fine, payload undecodable/invalid
+  kQueueFull = 4,           ///< service::QueueFullError (retryable)
+  kRateLimited = 5,         ///< service::RateLimitedError (retry after hint)
+  kQuotaExceeded = 6,       ///< service::TenantQuotaError (retryable)
+  kBatchTooLarge = 7,       ///< service::BatchTooLargeError (split batch)
+  kServiceStopped = 8,      ///< service::ServiceStoppedError (give up)
+  kServerBusy = 9,          ///< connection limit reached (backpressure)
+  kInternal = 10,           ///< unexpected server-side failure
+};
+
+/// A stable human-readable name for `code` (for logs and error messages).
+[[nodiscard]] const char* reject_code_name(RejectCode code) noexcept;
+
+/// A malformed or truncated frame: bad magic, failed CRC, a count past its
+/// bound, or a payload shorter than its own length prefixes promise.  The
+/// attached RejectCode is what a server maps the failure to on the wire
+/// (kBadFrame for header damage, kMalformedRequest for payload damage,
+/// kVersionUnsupported for a version mismatch).
+class WireError : public NetError {
+ public:
+  /// Construct with the wire-level code and a description.
+  WireError(RejectCode code, const std::string& what)
+      : NetError(what), code_(code) {}
+
+  /// The RejectCode this failure maps to on the wire.
+  [[nodiscard]] RejectCode code() const noexcept { return code_; }
+
+ private:
+  RejectCode code_;
+};
+
+/// A transport (socket) failure: connect, read or write on the underlying
+/// TCP stream failed or the peer hung up mid-frame.
+class SocketError : public NetError {
+ public:
+  /// Construct with a human-readable description.
+  using NetError::NetError;
+};
+
+/// A typed rejection the *server* sent (a kReject frame): the connection
+/// is intact and -- for the retryable codes -- the request may be resent.
+/// This is how a rate-limited tenant experiences its limit: a catchable
+/// error with a retry-after hint, not a dropped connection.
+class RejectError : public NetError {
+ public:
+  /// Construct from the decoded reject frame.
+  RejectError(RejectCode code, double retry_after_seconds, const std::string& what)
+      : NetError(what), code_(code), retry_after_(retry_after_seconds) {}
+
+  /// Why the server rejected the request.
+  [[nodiscard]] RejectCode code() const noexcept { return code_; }
+  /// Server's refill hint for kRateLimited (0 when not applicable).
+  [[nodiscard]] double retry_after_seconds() const noexcept { return retry_after_; }
+
+ private:
+  RejectCode code_;
+  double retry_after_;
+};
+
+/// Frame kinds (header `kind` field).  Stable u8 values -- part of the
+/// protocol.
+enum class FrameKind : std::uint8_t {
+  kHello = 1,         ///< client -> server: version + session defaults
+  kHelloAck = 2,      ///< server -> client: accepted version
+  kSubmit = 3,        ///< client -> server: SubmitOptions + request batch
+  kResultBatch = 4,   ///< server -> client: per-request results
+  kReject = 5,        ///< server -> client: typed rejection (conn stays up)
+  kStatsRequest = 6,  ///< client -> server: ask for the metrics text
+  kStatsReply = 7,    ///< server -> client: Prometheus text exposition
+  kBye = 8,           ///< client -> server: orderly goodbye
+};
+
+/// Protocol magic: the bytes "CFHE" read as a little-endian u32.
+inline constexpr std::uint32_t kMagic = 0x45484643u;
+/// The protocol version this build speaks.
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Frame header size on the wire, bytes.
+inline constexpr std::size_t kHeaderSize = 16;
+
+/// Decode bounds: any count past these makes the frame malformed
+/// (WireError), so a hostile length prefix cannot drive allocation.
+/// @{
+/// Largest admissible payload, bytes.
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 28;
+/// Most polynomial elements in one ciphertext (tensor outputs have 3).
+inline constexpr std::size_t kMaxCiphertextElems = 8;
+/// Most RNS towers per polynomial element.
+inline constexpr std::size_t kMaxTowers = 256;
+/// Largest polynomial degree (coefficients per tower).
+inline constexpr std::size_t kMaxDegree = 1u << 20;
+/// Most requests in one kSubmit frame.
+inline constexpr std::size_t kMaxBatch = 4096;
+/// Most relinearization key digits.
+inline constexpr std::size_t kMaxRelinDigits = 256;
+/// Longest embedded string (reject messages, stats text), bytes.
+inline constexpr std::size_t kMaxStringBytes = 4u << 20;
+/// @}
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) over `len` bytes.
+/// The same polynomial every PC tool computes, so captures are checkable
+/// with standard utilities.
+[[nodiscard]] std::uint32_t crc32_ieee(const std::uint8_t* data, std::size_t len) noexcept;
+
+/// Decoded frame header (see the file comment for the wire layout).
+struct FrameHeader {
+  /// Protocol version the sender speaks.
+  std::uint8_t version = kWireVersion;
+  /// What the payload carries.
+  FrameKind kind = FrameKind::kHello;
+  /// Reserved flag bits; 0 in v1.
+  std::uint16_t flags = 0;
+  /// Payload bytes following the header.
+  std::uint32_t payload_len = 0;
+};
+
+/// Serialize `hdr` into the 16-byte wire layout (computes the CRC).
+/// `out` must have room for kHeaderSize bytes.
+void encode_header(const FrameHeader& hdr, std::uint8_t* out) noexcept;
+
+/// Parse and integrity-check a 16-byte header: magic, CRC, zero flags and
+/// the payload bound are enforced here (WireError{kBadFrame} otherwise).
+/// The version is *returned, not enforced* -- kind dispatch decides whether
+/// a mismatch is negotiable (kHello) or a kVersionUnsupported rejection.
+[[nodiscard]] FrameHeader decode_header(const std::uint8_t* bytes);
+
+/// One whole frame: header bytes + payload, ready for a single write.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    FrameKind kind, const std::vector<std::uint8_t>& payload,
+    std::uint8_t version = kWireVersion);
+
+/// Little-endian payload builder.  Append-only; the finished buffer goes
+/// out via encode_frame().
+class Writer {
+ public:
+  /// Append one byte.
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  /// Append a little-endian u16.
+  void u16(std::uint16_t v);
+  /// Append a little-endian u32.
+  void u32(std::uint32_t v);
+  /// Append a little-endian u64.
+  void u64(std::uint64_t v);
+  /// Append a length-prefixed string (u32 byte count + bytes).
+  void str(const std::string& s);
+
+  /// The bytes written so far.
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  /// Move the finished payload out.
+  [[nodiscard]] std::vector<std::uint8_t> take() noexcept { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian payload parser over a borrowed buffer.
+/// Every read past the end -- including one promised by a corrupt length
+/// prefix -- throws WireError{kMalformedRequest}; nothing is ever read out
+/// of bounds.
+class Reader {
+ public:
+  /// Parse `len` bytes at `data` (borrowed; must outlive the Reader).
+  Reader(const std::uint8_t* data, std::size_t len) : p_(data), len_(len) {}
+  /// Parse a whole payload vector (borrowed).
+  explicit Reader(const std::vector<std::uint8_t>& payload)
+      : Reader(payload.data(), payload.size()) {}
+
+  /// Read one byte.
+  std::uint8_t u8();
+  /// Read a little-endian u16.
+  std::uint16_t u16();
+  /// Read a little-endian u32.
+  std::uint32_t u32();
+  /// Read a little-endian u64.
+  std::uint64_t u64();
+  /// Read a length-prefixed string (bounded by kMaxStringBytes).
+  std::string str();
+
+  /// Bytes not yet consumed.
+  [[nodiscard]] std::size_t remaining() const noexcept { return len_ - pos_; }
+  /// Throw WireError{kMalformedRequest} unless the payload is fully
+  /// consumed -- trailing garbage means the peer and we disagree on the
+  /// layout, which must not pass silently.
+  void expect_end() const;
+
+ private:
+  void require(std::size_t n) const;
+
+  const std::uint8_t* p_;
+  std::size_t len_;
+  std::size_t pos_ = 0;
+};
+
+/// @name Payload codecs
+/// Symmetric put/get pairs; every get_* validates counts against the
+/// kMax* bounds and throws WireError{kMalformedRequest} on violation.
+/// @{
+
+/// Append an RNS polynomial: u16 tower count, then per tower a u32
+/// coefficient count + that many u64 coefficients.
+void put_rns_poly(Writer& w, const poly::RnsPoly& p);
+/// Parse an RNS polynomial (bounds: kMaxTowers, kMaxDegree).
+[[nodiscard]] poly::RnsPoly get_rns_poly(Reader& r);
+
+/// Append a ciphertext: u8 element count, then each element as an RNS
+/// polynomial.
+void put_ciphertext(Writer& w, const bfv::Ciphertext& ct);
+/// Parse a ciphertext (bounds: kMaxCiphertextElems and the RnsPoly bounds).
+[[nodiscard]] bfv::Ciphertext get_ciphertext(Reader& r);
+
+/// Append relinearization keys: u16 digit_bits, u16 digit count, per digit
+/// the (b, a) polynomial pair, u8 seeded flag, and -- when seeded -- one
+/// u64 seed per digit (the same seed-compression the chip link uses for
+/// key uploads).
+void put_relin_keys(Writer& w, const bfv::RelinKeys& keys);
+/// Parse relinearization keys (bounds: kMaxRelinDigits + RnsPoly bounds).
+[[nodiscard]] bfv::RelinKeys get_relin_keys(Reader& r);
+
+/// Append scheduling options: u8 priority, u64 tenant, u32 weight.
+void put_submit_options(Writer& w, const service::SubmitOptions& so);
+/// Parse scheduling options (priority must name a real class).
+[[nodiscard]] service::SubmitOptions get_submit_options(Reader& r);
+
+/// Append one evaluation request: u8 kind, u8 square flag, ciphertext a,
+/// ciphertext b (element count 0 when unused).
+void put_eval_request(Writer& w, const service::EvalRequest& req);
+/// Parse one evaluation request (kind and flag values validated).
+[[nodiscard]] service::EvalRequest get_eval_request(Reader& r);
+
+/// @}
+
+/// Decoded kSubmit payload: the batch and the options it rides under.
+struct SubmitFrame {
+  /// Scheduling tags for every request in the batch.
+  service::SubmitOptions options;
+  /// The request batch (bounded by kMaxBatch on decode).
+  std::vector<service::EvalRequest> requests;
+};
+
+/// Encode a kSubmit payload (options + u32 count + requests).
+[[nodiscard]] std::vector<std::uint8_t> encode_submit(const SubmitFrame& sf);
+/// Decode a kSubmit payload (must consume the whole buffer).
+[[nodiscard]] SubmitFrame decode_submit(const std::vector<std::uint8_t>& payload);
+
+/// Decoded kReject payload.
+struct RejectFrame {
+  /// Why the server refused.
+  RejectCode code = RejectCode::kInternal;
+  /// Rate-limit refill hint, seconds (0 when not applicable).
+  double retry_after_seconds = 0;
+  /// Human-readable explanation.
+  std::string message;
+};
+
+/// Encode a kReject payload (u16 code, u32 retry-after in milliseconds
+/// saturated, length-prefixed message).
+[[nodiscard]] std::vector<std::uint8_t> encode_reject(const RejectFrame& rj);
+/// Decode a kReject payload.
+[[nodiscard]] RejectFrame decode_reject(const std::vector<std::uint8_t>& payload);
+
+/// One request's outcome inside a kResultBatch payload.
+struct ResultItem {
+  /// True when `value` holds the result ciphertext.
+  bool ok = false;
+  /// The result (ok only).
+  bfv::Ciphertext value;
+  /// Failure code (ok == false only; kInternal for evaluation errors).
+  RejectCode code = RejectCode::kNone;
+  /// Failure description (ok == false only).
+  std::string message;
+};
+
+/// Encode a kResultBatch payload (u32 count, then per item a u8 status
+/// followed by the ciphertext or the u16 code + message).
+[[nodiscard]] std::vector<std::uint8_t> encode_result_batch(
+    const std::vector<ResultItem>& items);
+/// Decode a kResultBatch payload.
+[[nodiscard]] std::vector<ResultItem> decode_result_batch(
+    const std::vector<std::uint8_t>& payload);
+
+/// Decoded kHello payload: the version the client wants to speak plus the
+/// session-default scheduling options the connection carries.
+struct HelloFrame {
+  /// Requested protocol version.
+  std::uint8_t version = kWireVersion;
+  /// Session defaults for submits that rely on them (the server also
+  /// accepts per-submit options; these tag the connection's tenant).
+  service::SubmitOptions defaults;
+};
+
+/// Encode a kHello payload (u8 version + options).
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(const HelloFrame& h);
+/// Decode a kHello payload.
+[[nodiscard]] HelloFrame decode_hello(const std::vector<std::uint8_t>& payload);
+
+}  // namespace cofhee::net

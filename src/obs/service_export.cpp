@@ -110,6 +110,18 @@ void export_service_stats(const service::ServiceStats& st, MetricsRegistry& reg)
   c("cofhee_service_forced_picks_total",
     "Picks the starvation bound forced out of priority order.",
     static_cast<double>(st.forced_picks));
+  c("cofhee_service_rejected_rate_limited_total",
+    "Requests rejected at admission by a tenant rate limit.",
+    static_cast<double>(st.rejected_rate_limited));
+  c("cofhee_service_rejected_quota_total",
+    "Requests rejected at admission by a tenant pending quota.",
+    static_cast<double>(st.rejected_quota));
+  c("cofhee_service_rejected_queue_full_total",
+    "Requests rejected because queued + in-flight work was at max_queue.",
+    static_cast<double>(st.rejected_queue_full));
+  c("cofhee_service_rejected_batch_too_large_total",
+    "Requests rejected because their batch could never fit the queue.",
+    static_cast<double>(st.rejected_batch_too_large));
 
   // Time totals (the three axes; see service/service_stats.hpp).
   c("cofhee_service_io_seconds_total",
@@ -241,6 +253,11 @@ void export_service_stats(const service::ServiceStats& st, MetricsRegistry& reg)
     reg.counter("cofhee_tenant_failed_total", "Requests completed with an exception.",
                 ten)
         .set(static_cast<double>(tn.failed));
+    reg.counter("cofhee_tenant_rejected_total",
+                "Requests rejected at admission (rate limit, quota, queue full, "
+                "oversized batch).",
+                ten)
+        .set(static_cast<double>(tn.rejected));
     reg.gauge("cofhee_tenant_weight", "Latest submitted DRR weight.", ten)
         .set(static_cast<double>(tn.weight));
     export_latency(reg, "cofhee_tenant", ten, tn.latency);

@@ -38,4 +38,39 @@ class ServiceStoppedError : public ServiceError {
   explicit ServiceStoppedError(const std::string& what) : ServiceError(what) {}
 };
 
+/// Thrown by submit_batch for a batch larger than the bounded queue could
+/// ever admit (ServiceOptions::max_queue), even from empty.  Not retryable
+/// as submitted: the caller must split the batch.
+class BatchTooLargeError : public ServiceError {
+ public:
+  /// Construct with a human-readable description.
+  explicit BatchTooLargeError(const std::string& what) : ServiceError(what) {}
+};
+
+/// Thrown by submit when the tenant's token bucket has run dry
+/// (TenantLimits::rate_per_sec).  Retryable after retry_after_seconds().
+class RateLimitedError : public ServiceError {
+ public:
+  /// Construct with a description and the bucket's modeled refill horizon.
+  RateLimitedError(const std::string& what, double retry_after_seconds)
+      : ServiceError(what), retry_after_(retry_after_seconds) {}
+
+  /// Seconds until the tenant's bucket will hold enough tokens for the
+  /// rejected submission (a hint, not a reservation -- competing submits
+  /// may drain the refill first).
+  [[nodiscard]] double retry_after_seconds() const noexcept { return retry_after_; }
+
+ private:
+  double retry_after_;
+};
+
+/// Thrown by submit when admitting the batch would push the tenant's
+/// pending requests (queued + in flight) past TenantLimits::max_pending.
+/// Retryable: wait for the tenant's own work to complete, resubmit.
+class TenantQuotaError : public ServiceError {
+ public:
+  /// Construct with a human-readable description.
+  explicit TenantQuotaError(const std::string& what) : ServiceError(what) {}
+};
+
 }  // namespace cofhee::service

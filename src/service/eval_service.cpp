@@ -90,6 +90,7 @@ EvalService::EvalService(const bfv::Bfv& scheme, ChipFarm& farm, ServiceOptions 
   if (opts_.probe_interval_rounds == 0) opts_.probe_interval_rounds = 1;
   opts_.cost_ewma_alpha = std::clamp(opts_.cost_ewma_alpha, 0.0, 1.0);
   health_.resize(farm_.size());
+  tenancy_enabled_ = opts_.tenancy.enabled();
   depth_ = opts_.overlap_rounds ? opts_.pipeline_depth : 1;
   stats_.per_chip.resize(farm_.size());
   stats_.per_class.resize(kNumPriorities);
@@ -158,18 +159,68 @@ std::vector<std::future<bfv::Ciphertext>> EvalService::submit_batch(
       throw std::invalid_argument(
           "EvalService: relinearization request but no relin_keys configured");
   }
-  if (opts_.max_queue != 0 && reqs.size() > opts_.max_queue)
-    throw std::invalid_argument(
-        "EvalService: batch larger than the queue capacity can ever admit");
   so.weight = std::max<std::uint32_t>(1, so.weight);
   std::vector<std::future<bfv::Ciphertext>> futures;
   futures.reserve(reqs.size());
   {
     std::lock_guard<std::mutex> lk(mu_);
     if (stopping_) throw ServiceStoppedError("EvalService: submit after shutdown");
-    if (opts_.max_queue != 0 && queue_.size() + reqs.size() > opts_.max_queue)
-      throw QueueFullError("EvalService: queue full");
     const double now = seconds_since(start_);
+    // Admission control.  Every check runs before anything is consumed, so
+    // a rejection leaves no partial state (no tokens burned, no pending
+    // slots held) and the caller can retry cleanly.
+    if (opts_.max_queue != 0 && reqs.size() > opts_.max_queue) {
+      note_rejected_locked(so.tenant, reqs.size(),
+                           &stats_.rejected_batch_too_large);
+      throw BatchTooLargeError(
+          "EvalService: batch larger than the queue capacity can ever admit");
+    }
+    TenantState* ts = nullptr;
+    const TenantLimits* lim = nullptr;
+    const double need = static_cast<double>(reqs.size());
+    if (tenancy_enabled_) {
+      lim = &opts_.tenancy.limits_for(so.tenant);
+      if (lim->any()) {
+        ts = &tenancy_.try_emplace(so.tenant).first->second;
+        if (lim->rate_per_sec > 0) {
+          // Lazily (re)arm the bucket: a fresh entry starts full, and a
+          // GC'd idle tenant re-enters in the same state it left.
+          if (ts->pending == 0 && ts->bucket.full())
+            ts->bucket = TokenBucket(lim->rate_per_sec, lim->effective_burst(), now);
+          ts->bucket.refill(now);
+          if (!ts->bucket.can_take(need)) {
+            const double after = ts->bucket.retry_after(need);
+            note_rejected_locked(so.tenant, reqs.size(),
+                                 &stats_.rejected_rate_limited);
+            throw RateLimitedError(
+                "EvalService: tenant " + std::to_string(so.tenant) +
+                    " over its rate limit; retry after " +
+                    std::to_string(after) + "s",
+                after);
+          }
+        }
+        if (lim->max_pending > 0 && ts->pending + reqs.size() > lim->max_pending) {
+          note_rejected_locked(so.tenant, reqs.size(), &stats_.rejected_quota);
+          throw TenantQuotaError(
+              "EvalService: tenant " + std::to_string(so.tenant) + " holds " +
+              std::to_string(ts->pending) + " pending requests (quota " +
+              std::to_string(lim->max_pending) + ")");
+        }
+      }
+    }
+    // The bound covers queued AND in-flight requests: rounds drained into
+    // the pipeline ring still hold capacity until they retire, so a deep
+    // pipeline cannot stack ~pipeline_depth x max_queue of work.
+    if (opts_.max_queue != 0 &&
+        queue_.size() + in_flight_ + reqs.size() > opts_.max_queue) {
+      note_rejected_locked(so.tenant, reqs.size(), &stats_.rejected_queue_full);
+      throw QueueFullError("EvalService: queue full");
+    }
+    // Admitted: commit the tenancy charges.
+    if (ts != nullptr) {
+      if (lim->rate_per_sec > 0) ts->bucket.take(need);
+      ts->pending += reqs.size();
+    }
     for (auto& r : reqs) {
       Pending p;
       p.req = std::move(r);
@@ -191,7 +242,8 @@ std::vector<std::future<bfv::Ciphertext>> EvalService::submit_batch(
     // reported weight would be meaningless, so it stays at the 0 marker.
     if (ten.counts.tenant != kOverflowTenantId) ten.counts.weight = so.weight;
     ten.counts.submitted += reqs.size();
-    stats_.peak_queue_depth = std::max(stats_.peak_queue_depth, queue_.size());
+    stats_.peak_queue_depth =
+        std::max(stats_.peak_queue_depth, queue_.size() + in_flight_);
     if (!any_accepted_) {
       any_accepted_ = true;
       first_accept_ = Clock::now();
@@ -264,6 +316,27 @@ ServiceStats EvalService::stats() const {
 
 double EvalService::host_seconds(double ops) const noexcept {
   return ops / opts_.host_coeff_ops_per_sec;
+}
+
+void EvalService::note_rejected_locked(std::uint64_t tenant, std::uint64_t n,
+                                       std::uint64_t* service_counter) {
+  *service_counter += n;
+  tenant_agg(tenant).counts.rejected += n;
+}
+
+void EvalService::tenancy_release_locked(std::uint64_t tenant, double now) {
+  const auto it = tenancy_.find(tenant);
+  if (it == tenancy_.end()) return;
+  TenantState& ts = it->second;
+  if (ts.pending > 0) --ts.pending;
+  // Garbage-collect idle state: once nothing is pending and the bucket has
+  // refilled to its cap, the entry carries no information (a fresh entry
+  // reproduces it exactly), so the table stays bounded by *active* tenants
+  // rather than every id ever seen.
+  if (ts.pending == 0) {
+    ts.bucket.refill(now);
+    if (ts.bucket.full()) tenancy_.erase(it);
+  }
 }
 
 EvalService::TenantAgg& EvalService::tenant_agg(std::uint64_t tenant) {
@@ -627,6 +700,9 @@ void EvalService::retire(Session& s) {
       const std::size_t cls_idx = static_cast<std::size_t>(p.so.priority);
       auto& cls = stats_.per_class[cls_idx];
       TenantAgg& ten = tenant_agg(p.so.tenant);
+      // Settled either way: release the tenancy pending slot here, not at
+      // requeue -- a requeued request still occupies its tenant's quota.
+      if (tenancy_enabled_) tenancy_release_locked(p.so.tenant, now);
       if (s.errs[i] != nullptr) {
         // Promise settlement was deferred past host_finish precisely so the
         // requeue branch above could reclaim it; settle it now.

@@ -82,6 +82,7 @@
 #include "service/placer.hpp"
 #include "service/request_queue.hpp"
 #include "service/service_stats.hpp"
+#include "service/tenancy.hpp"
 
 namespace cofhee::obs {
 class Histogram;
@@ -123,9 +124,12 @@ struct ServiceOptions {
   /// schedule; results are bit-identical either way).  Equivalent to
   /// pipeline_depth = 1 when false.
   bool overlap_rounds = true;
-  /// Request-queue capacity; 0 means unbounded.  submit()/submit_batch()
-  /// throw std::invalid_argument for a batch that could never fit and
-  /// std::runtime_error when the queue is currently full.
+  /// Pending-request capacity, counting queued requests AND requests
+  /// already drained into in-flight rounds (so a deep pipeline cannot hold
+  /// ~pipeline_depth x the bound); 0 means unbounded.  submit_batch()
+  /// throws BatchTooLargeError for a batch that could never fit even from
+  /// empty and QueueFullError when admission would exceed the bound right
+  /// now (both ServiceErrors; the latter is retryable back-pressure).
   std::size_t max_queue = 0;
   /// Deterministic host cost model: coefficient operations per second the
   /// virtual host resource processes (base extension, digit decompose, t/q
@@ -198,6 +202,12 @@ struct ServiceOptions {
   /// the counter exposition, render obs::export_service_stats(stats(), reg)
   /// into the same registry.
   obs::MetricsRegistry* metrics = nullptr;
+  /// Per-tenant admission limits (service/tenancy.hpp): token-bucket rate
+  /// limits (submit throws RateLimitedError with a retry-after hint) and
+  /// pending quotas over queued + in-flight requests (TenantQuotaError).
+  /// Enforcement keys on the real tenant id even past max_tracked_tenants.
+  /// The default enforces nothing and costs nothing at admission.
+  TenancyOptions tenancy;
 };
 
 /// Async multi-chip evaluation front end over a ChipFarm.
@@ -219,9 +229,14 @@ class EvalService {
   /// chip::FaultError once every retry and requeue is exhausted).  `so`
   /// tags the request with its priority class, tenant and fairness weight.
   /// Throws std::invalid_argument on malformed operands (wrong element
-  /// count for the kind, relin kinds without keys), ServiceStoppedError
-  /// after shutdown() and QueueFullError when the queue is full (both
-  /// derive from ServiceError, itself a std::runtime_error).
+  /// count for the kind, relin kinds without keys); admission failures are
+  /// typed ServiceErrors (std::runtime_errors): ServiceStoppedError after
+  /// shutdown(), QueueFullError when queued + in-flight work is at
+  /// ServiceOptions::max_queue, BatchTooLargeError for a batch that could
+  /// never fit, and -- with ServiceOptions::tenancy configured --
+  /// RateLimitedError / TenantQuotaError when the tenant is over its rate
+  /// or pending limit.  Rejected requests are counted in
+  /// ServiceStats::rejected_* and per tenant, and consume nothing.
   std::future<bfv::Ciphertext> submit(EvalRequest req, SubmitOptions so = {});
 
   /// Enqueue a group atomically, so one dispatcher round can coalesce it
@@ -279,6 +294,23 @@ class EvalService {
   /// The tracked accumulator for `tenant`, or the kOverflowTenantId bucket
   /// once max_tracked_tenants distinct ids exist.  Caller holds mu_.
   TenantAgg& tenant_agg(std::uint64_t tenant);
+
+  /// Per-tenant enforcement state, keyed by the *real* tenant id (tenancy
+  /// must not fold into the stats overflow bucket).  Entries are dropped
+  /// once idle (nothing pending, bucket refilled), so the table tracks
+  /// active tenants only.
+  struct TenantState {
+    TokenBucket bucket;        ///< rate-limit bucket (when rate-limited)
+    std::size_t pending = 0;   ///< this tenant's queued + in-flight requests
+  };
+
+  /// Count `n` admission-rejected requests for `tenant` into the service
+  /// and per-tenant stats.  Caller holds mu_.
+  void note_rejected_locked(std::uint64_t tenant, std::uint64_t n,
+                            std::uint64_t* service_counter);
+  /// Release one settled request's tenancy pending slot (and garbage-collect
+  /// the tenant's state once idle).  Caller holds mu_.
+  void tenancy_release_locked(std::uint64_t tenant, double now);
 
   void dispatcher_loop();
   /// Host phase 1: base extension / digit decomposition per request.
@@ -398,6 +430,8 @@ class EvalService {
   // without ServiceOptions::metrics.
   std::array<obs::Histogram*, kNumPriorities> latency_hist_{};
   std::unordered_map<std::uint64_t, TenantAgg> tenants_;
+  std::unordered_map<std::uint64_t, TenantState> tenancy_;  // guarded by mu_
+  bool tenancy_enabled_ = false;  // cached opts_.tenancy.enabled()
   double model_host_ = 0;  // pipeline model: virtual host resource clock
   double model_chip_ = 0;  // pipeline model: virtual chip-farm resource clock
   bool any_accepted_ = false;

@@ -212,6 +212,10 @@ struct TenantStats {
   std::uint64_t completed = 0;
   /// Requests completed with an exception.  Count.
   std::uint64_t failed = 0;
+  /// Requests rejected at admission -- rate limit, pending quota, queue
+  /// full or oversized batch (see ServiceStats::rejected_*).  These never
+  /// entered the queue, so they are disjoint from submitted.  Count.
+  std::uint64_t rejected = 0;
   /// Submit-to-completion latency percentiles.  Seconds (wall).
   LatencyStats latency;
 };
@@ -286,9 +290,25 @@ struct ServiceStats {
   /// B + kNumPriorities - 2 (only one starved class can be force-served
   /// per pick).  Count.
   std::uint64_t max_class_skip = 0;
+  /// Requests rejected at admission because the tenant's token bucket ran
+  /// dry (TenantLimits::rate_per_sec; the submit threw RateLimitedError).
+  /// Count.
+  std::uint64_t rejected_rate_limited = 0;
+  /// Requests rejected because admitting them would exceed the tenant's
+  /// pending quota (TenantLimits::max_pending; TenantQuotaError).  Count.
+  std::uint64_t rejected_quota = 0;
+  /// Requests rejected because the service's bounded queue (queued + in
+  /// flight) was at capacity (ServiceOptions::max_queue; QueueFullError).
+  /// Count.
+  std::uint64_t rejected_queue_full = 0;
+  /// Requests rejected because their batch exceeded max_queue outright and
+  /// could never be admitted (BatchTooLargeError).  Count.
+  std::uint64_t rejected_batch_too_large = 0;
   /// Requests pending (queued + in flight) at sampling time.  Count.
   std::size_t queue_depth = 0;
-  /// Largest queue depth ever observed at submit time.  Count.
+  /// Largest pending depth (queued + in flight) ever observed at submit
+  /// time; with a non-zero ServiceOptions::max_queue this never exceeds
+  /// the bound.  Count.
   std::size_t peak_queue_depth = 0;
   /// Simulated serial-link transport, summed over chips.  Seconds
   /// (simulated).

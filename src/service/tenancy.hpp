@@ -1,0 +1,155 @@
+// Tenancy enforcement for the evaluation service: per-tenant token-bucket
+// rate limits and pending-request quotas.
+//
+// The DRR scheduler (service/request_queue.hpp) makes admitted traffic
+// *fair*, but nothing before this layer made admission itself bounded per
+// tenant: one client could fill the whole queue and every other tenant's
+// submissions would bounce off QueueFullError through no fault of their
+// own.  TenancyOptions adds the missing teeth at the submit boundary:
+//
+//  * TokenBucket rate limits -- a tenant sustains rate_per_sec requests
+//    per second with bursts up to `burst`; past that, submit throws
+//    RateLimitedError carrying a retry-after hint.
+//  * Pending quotas -- a tenant may hold at most max_pending requests
+//    queued + in flight; past that, submit throws TenantQuotaError until
+//    the tenant's own work completes.
+//
+// Both are deterministic given the submit timestamps: the bucket advances
+// on an explicit clock value (the service passes wall seconds since
+// construction; tests pass scripted instants), never reads a clock itself,
+// and holds no lock -- EvalService serializes access under its own mutex.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+
+namespace cofhee::service {
+
+/// Deterministic token bucket: refills continuously at `rate` tokens per
+/// second up to a cap of `burst`, on an explicit clock (the caller supplies
+/// every `now`; the bucket never reads time itself, so scripted-clock tests
+/// reproduce exactly).
+class TokenBucket {
+ public:
+  /// An unlimited bucket (never runs dry).
+  TokenBucket() = default;
+
+  /// A bucket refilling at `rate_per_sec`, holding at most `burst` tokens
+  /// (clamped to >= 1), starting full at clock value `now`.
+  TokenBucket(double rate_per_sec, double burst, double now = 0)
+      : rate_(rate_per_sec),
+        burst_(std::max(burst, 1.0)),
+        tokens_(std::max(burst, 1.0)),
+        last_(now) {}
+
+  /// Advance the bucket to clock value `now` (monotonic; earlier values are
+  /// ignored so a stale caller cannot rewind the refill).
+  void refill(double now) noexcept {
+    if (now <= last_) return;
+    tokens_ = std::min(burst_, tokens_ + (now - last_) * rate_);
+    last_ = now;
+  }
+
+  /// Tokens available at the last refill() instant.
+  [[nodiscard]] double available() const noexcept { return tokens_; }
+
+  /// True when the bucket is back at its burst cap (idle long enough that
+  /// its state carries no information -- safe to drop and recreate).
+  [[nodiscard]] bool full() const noexcept { return tokens_ >= burst_; }
+
+  /// Consume `n` tokens unconditionally (the caller checked can_take()).
+  void take(double n) noexcept { tokens_ = std::max(0.0, tokens_ - n); }
+
+  /// True when `n` tokens can be taken at the last refill() instant.  The
+  /// epsilon forgives accumulated refill rounding so a tenant paced exactly
+  /// at its rate is not spuriously rejected.
+  [[nodiscard]] bool can_take(double n) const noexcept {
+    return tokens_ + kEpsilon >= n;
+  }
+
+  /// refill(now) then take n tokens if available; false (nothing consumed)
+  /// otherwise.
+  bool try_take(double now, double n = 1.0) noexcept {
+    refill(now);
+    if (!can_take(n)) return false;
+    take(n);
+    return true;
+  }
+
+  /// Seconds from the last refill() instant until `n` tokens will be
+  /// available (0 when they already are; a large constant when the rate is
+  /// 0 and the deficit can never refill).
+  [[nodiscard]] double retry_after(double n = 1.0) const noexcept {
+    if (can_take(n)) return 0;
+    if (rate_ <= 0) return kNeverSeconds;
+    return (std::min(n, burst_) - tokens_) / rate_;
+  }
+
+  /// The retry_after() value for a deficit that can never refill (rate 0).
+  static constexpr double kNeverSeconds = 1e18;
+
+ private:
+  static constexpr double kEpsilon = 1e-9;
+  double rate_ = 0;        // tokens per second; 0 never refills
+  double burst_ = 1;       // cap (and initial fill)
+  double tokens_ = 1;      // available at clock value last_
+  double last_ = 0;        // clock value of the latest refill
+};
+
+/// Per-tenant admission limits.  Zero for any field disables that check,
+/// so the default-constructed value enforces nothing.
+struct TenantLimits {
+  /// Sustained submission rate, requests per second; 0 = unlimited.
+  double rate_per_sec = 0;
+  /// Burst capacity of the rate bucket (requests admitted back-to-back
+  /// from a full bucket).  0 defaults to max(rate_per_sec, 1); clamped to
+  /// >= 1 so a configured limit always admits a lone request eventually.
+  double burst = 0;
+  /// Most requests the tenant may hold pending (queued + in flight) at
+  /// once; 0 = unlimited.
+  std::size_t max_pending = 0;
+
+  /// True when any limit is configured.
+  [[nodiscard]] bool any() const noexcept {
+    return rate_per_sec > 0 || max_pending > 0;
+  }
+
+  /// The effective burst cap (see `burst`).
+  [[nodiscard]] double effective_burst() const noexcept {
+    return burst > 0 ? std::max(burst, 1.0) : std::max(rate_per_sec, 1.0);
+  }
+};
+
+/// Tenancy configuration of an EvalService (ServiceOptions::tenancy):
+/// limits applied per tenant id at the submit boundary.  Enforcement keys
+/// on the *real* tenant id (unlike the stats breakdown, which folds ids
+/// past max_tracked_tenants into an overflow bucket), so a flood of fresh
+/// ids cannot dodge its own limits by hiding in the fold.
+struct TenancyOptions {
+  /// Limits applied to every tenant without a per_tenant entry.  The
+  /// default (all zero) enforces nothing.
+  TenantLimits default_limits;
+  /// Per-tenant overrides, keyed by SubmitOptions::tenant.  An entry with
+  /// all-zero limits exempts that tenant from default_limits.
+  std::unordered_map<std::uint64_t, TenantLimits> per_tenant;
+
+  /// True when any tenant could be limited (the service then keeps
+  /// per-tenant bucket/pending state; otherwise admission skips tenancy
+  /// entirely).
+  [[nodiscard]] bool enabled() const noexcept {
+    if (default_limits.any()) return true;
+    for (const auto& [id, lim] : per_tenant)
+      if (lim.any()) return true;
+    return false;
+  }
+
+  /// The limits governing `tenant`: its per_tenant entry, else the default.
+  [[nodiscard]] const TenantLimits& limits_for(std::uint64_t tenant) const {
+    const auto it = per_tenant.find(tenant);
+    return it != per_tenant.end() ? it->second : default_limits;
+  }
+};
+
+}  // namespace cofhee::service

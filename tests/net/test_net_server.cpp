@@ -1,0 +1,243 @@
+// Front-door end-to-end battery (net/server.hpp + net/client.hpp): a real
+// loopback TCP round trip -- encrypt, submit over the wire with
+// tenant/priority tags, decrypt bit-exact against the in-process service
+// path -- plus the failure-mode contract: a rate-limited tenant gets a
+// typed kReject on a connection that STAYS OPEN, version mismatches are
+// negotiated not dropped, framing damage is rejected, the HTTP metrics
+// endpoint serves Prometheus text whose per-tenant counters match
+// ServiceStats, and the connection limit produces polite kServerBusy
+// backpressure.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bfv/encoder.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "net/socket_util.hpp"
+#include "net/wire.hpp"
+#include "service/eval_service.hpp"
+
+namespace cofhee::net {
+namespace {
+
+struct NetFixture {
+  bfv::Bfv scheme{bfv::BfvParams::test_tiny(64), /*seed=*/61};
+  bfv::SecretKey sk = scheme.keygen_secret();
+  bfv::PublicKey pk = scheme.keygen_public(sk);
+  bfv::RelinKeys rk = scheme.keygen_relin(sk, 16);
+  bfv::IntegerEncoder enc{scheme.context()};
+
+  service::EvalRequest mult_relin(std::int64_t x, std::int64_t y) {
+    return {scheme.encrypt(pk, enc.encode(x)), scheme.encrypt(pk, enc.encode(y)),
+            service::RequestKind::kMultRelin};
+  }
+
+  std::int64_t decrypt_int(const bfv::Ciphertext& ct) {
+    return enc.decode(scheme.decrypt(sk, ct));
+  }
+};
+
+TEST(NetServer, EndToEndSubmitDecryptsBitExact) {
+  NetFixture f;
+  service::ChipFarm farm(2);
+  service::ServiceOptions sopts;
+  sopts.relin_keys = &f.rk;
+  service::EvalService svc(f.scheme, farm, sopts);
+  EvalServer server(svc);
+  ASSERT_GT(server.port(), 0);
+
+  EvalClient cli("127.0.0.1", server.port());
+  cli.hello({service::Priority::kHigh, /*tenant=*/3, /*weight=*/2});
+
+  // A CryptoNets-style round: a batch of mult+relin products submitted
+  // over TCP under the session's tenant/priority.
+  std::vector<service::EvalRequest> reqs;
+  std::vector<std::int64_t> expected;
+  for (std::int64_t i = 1; i <= 6; ++i) {
+    reqs.push_back(f.mult_relin(i, i + 1));
+    expected.push_back(i * (i + 1));
+  }
+  const auto results = cli.submit_batch(reqs);
+  ASSERT_EQ(results.size(), reqs.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    ASSERT_TRUE(results[i].ok) << results[i].message;
+    EXPECT_EQ(results[i].value.size(), 2u);  // relinearized
+    EXPECT_EQ(f.decrypt_int(results[i].value), expected[i]);
+  }
+  // The wire result is bit-identical to the in-process path on the SAME
+  // ciphertext inputs (encryption is randomized; evaluation is not).
+  const bfv::Ciphertext local =
+      svc.submit(reqs[0], {service::Priority::kHigh, 3, 2}).get();
+  ASSERT_EQ(results[0].value.c.size(), local.c.size());
+  for (std::size_t e = 0; e < local.c.size(); ++e)
+    EXPECT_EQ(results[0].value.c[e].towers, local.c[e].towers);
+
+  // Session defaults stuck: the submit carried no explicit options, so
+  // the service accounted it under tenant 3.
+  bool saw_tenant3 = false;
+  for (const auto& tn : svc.stats().per_tenant)
+    if (tn.tenant == 3 && tn.submitted >= reqs.size()) saw_tenant3 = true;
+  EXPECT_TRUE(saw_tenant3);
+
+  cli.bye();
+  server.stop();
+}
+
+TEST(NetServer, RateLimitedTenantGetsTypedRejectAndConnectionSurvives) {
+  NetFixture f;
+  service::ChipFarm farm(1);
+  service::ServiceOptions sopts;
+  // Tenant 9: a burst of 2 and a vanishing refill rate -- the third
+  // request is deterministically over the limit.
+  sopts.tenancy.per_tenant[9] =
+      service::TenantLimits{/*rate_per_sec=*/1e-9, /*burst=*/2, /*max_pending=*/0};
+  service::EvalService svc(f.scheme, farm, sopts);
+  EvalServer server(svc);
+
+  EvalClient cli("127.0.0.1", server.port());
+  cli.hello({service::Priority::kNormal, /*tenant=*/9, /*weight=*/1});
+
+  const std::vector<service::EvalRequest> one{
+      {f.scheme.encrypt(f.pk, f.enc.encode(3)), f.scheme.encrypt(f.pk, f.enc.encode(4)),
+       service::RequestKind::kEvalMult}};
+  EXPECT_TRUE(cli.submit_batch(one)[0].ok);
+  EXPECT_TRUE(cli.submit_batch(one)[0].ok);
+  // Over the limit: a typed, catchable rejection with a retry hint...
+  try {
+    (void)cli.submit_batch(one);
+    FAIL() << "expected RejectError";
+  } catch (const RejectError& e) {
+    EXPECT_EQ(e.code(), RejectCode::kRateLimited);
+    EXPECT_GT(e.retry_after_seconds(), 0.0);
+  }
+  // ...and the SAME connection keeps working: another tenant's traffic
+  // (explicit per-submit options override the session default).
+  const auto ok =
+      cli.submit_batch(one, {service::Priority::kNormal, /*tenant=*/2, /*weight=*/1});
+  EXPECT_TRUE(ok[0].ok);
+  EXPECT_EQ(svc.stats().rejected_rate_limited, 1u);
+  cli.bye();
+}
+
+TEST(NetServer, MetricsEndpointMatchesServiceStats) {
+  NetFixture f;
+  service::ChipFarm farm(1);
+  service::ServiceOptions sopts;
+  sopts.tenancy.per_tenant[9] =
+      service::TenantLimits{/*rate_per_sec=*/1e-9, /*burst=*/1, /*max_pending=*/0};
+  service::EvalService svc(f.scheme, farm, sopts);
+  EvalServer server(svc);
+
+  EvalClient cli("127.0.0.1", server.port());
+  cli.hello({service::Priority::kNormal, /*tenant=*/9, /*weight=*/1});
+  const std::vector<service::EvalRequest> one{
+      {f.scheme.encrypt(f.pk, f.enc.encode(2)), f.scheme.encrypt(f.pk, f.enc.encode(5)),
+       service::RequestKind::kEvalMult}};
+  EXPECT_TRUE(cli.submit_batch(one)[0].ok);
+  EXPECT_THROW((void)cli.submit_batch(one), RejectError);
+  svc.drain();
+
+  // Both transports serve the same exposition: the wire kStatsRequest and
+  // a plain HTTP GET against the same port.
+  const std::string via_wire = cli.stats_text();
+  const std::string via_http = http_get_metrics("127.0.0.1", server.port());
+  for (const std::string& text : {via_wire, via_http}) {
+    EXPECT_NE(text.find("cofhee_service_requests_completed_total 1"), std::string::npos)
+        << text;
+    EXPECT_NE(text.find("cofhee_service_rejected_rate_limited_total 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("cofhee_tenant_rejected_total{tenant=\"9\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("cofhee_tenant_submitted_total{tenant=\"9\"} 1"),
+              std::string::npos);
+    EXPECT_NE(text.find("cofhee_net_connections_total"), std::string::npos);
+  }
+  cli.bye();
+}
+
+TEST(NetServer, VersionMismatchIsANegotiationNotADrop) {
+  NetFixture f;
+  service::ChipFarm farm(1);
+  service::EvalService svc(f.scheme, farm);
+  EvalServer server(svc);
+
+  // Hand-rolled hello claiming a future version: the server answers with
+  // kReject{kVersionUnsupported} and keeps the connection; a corrected
+  // hello on the same socket then succeeds.
+  HelloFrame h;
+  h.version = 99;
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+  send_frame(fd.get(), FrameKind::kHello, encode_hello(h), /*version=*/99);
+  FrameHeader hdr;
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(read_frame(fd.get(), &hdr, &payload));
+  ASSERT_EQ(hdr.kind, FrameKind::kReject);
+  EXPECT_EQ(decode_reject(payload).code, RejectCode::kVersionUnsupported);
+  // Same socket, correct version: accepted.
+  h.version = kWireVersion;
+  send_frame(fd.get(), FrameKind::kHello, encode_hello(h));
+  ASSERT_TRUE(read_frame(fd.get(), &hdr, &payload));
+  EXPECT_EQ(hdr.kind, FrameKind::kHelloAck);
+}
+
+TEST(NetServer, FramingDamageCostsTheConnection) {
+  NetFixture f;
+  service::ChipFarm farm(1);
+  service::EvalService svc(f.scheme, farm);
+  EvalServer server(svc);
+
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Garbage that is neither "GET " nor a CFHE magic: one reject, then EOF.
+  const std::uint8_t junk[16] = {0xDE, 0xAD, 0xBE, 0xEF};
+  write_all(fd.get(), junk, sizeof(junk));
+  FrameHeader hdr;
+  std::vector<std::uint8_t> payload;
+  ASSERT_TRUE(read_frame(fd.get(), &hdr, &payload));
+  EXPECT_EQ(hdr.kind, FrameKind::kReject);
+  EXPECT_EQ(decode_reject(payload).code, RejectCode::kBadFrame);
+  std::uint8_t byte;
+  EXPECT_FALSE(read_exact(fd.get(), &byte, 1));  // server hung up
+  EXPECT_GE(server.stats().bad_frames, 1u);
+}
+
+TEST(NetServer, ConnectionLimitIsPoliteBackpressure) {
+  NetFixture f;
+  service::ChipFarm farm(1);
+  service::EvalService svc(f.scheme, farm);
+  ServerOptions nopts;
+  nopts.max_connections = 1;
+  EvalServer server(svc, nopts);
+
+  EvalClient first("127.0.0.1", server.port());
+  first.hello();
+  // The second connection is told why, with a frame, before the close.
+  try {
+    EvalClient second("127.0.0.1", server.port());
+    second.hello();
+    FAIL() << "expected RejectError (server busy)";
+  } catch (const RejectError& e) {
+    EXPECT_EQ(e.code(), RejectCode::kServerBusy);
+  } catch (const SocketError&) {
+    // Accept-thread timing may close before our hello is read; the reject
+    // frame was still sent.  Tolerated: the stats below pin the behavior.
+  }
+  EXPECT_GE(server.stats().connections_busy_rejected, 1u);
+  first.bye();
+}
+
+}  // namespace
+}  // namespace cofhee::net

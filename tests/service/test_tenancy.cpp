@@ -1,0 +1,198 @@
+// Tenancy teeth at the submit boundary (service/tenancy.hpp +
+// EvalService admission): deterministic token buckets, typed
+// RateLimitedError / TenantQuotaError rejections that consume nothing,
+// pending quotas spanning queued + in-flight work and released only at
+// settlement, per-tenant rejection counters, and the in-flight-aware
+// max_queue bound (peak depth can never exceed it, however deep the
+// pipeline).
+#include <gtest/gtest.h>
+
+#include <future>
+#include <vector>
+
+#include "bfv/encoder.hpp"
+#include "service/eval_service.hpp"
+#include "service/tenancy.hpp"
+
+namespace cofhee::service {
+namespace {
+
+TEST(TokenBucket, DeterministicRefillOnAnExplicitClock) {
+  TokenBucket b(/*rate_per_sec=*/2.0, /*burst=*/4.0, /*now=*/0.0);
+  EXPECT_DOUBLE_EQ(b.available(), 4.0);
+  EXPECT_TRUE(b.full());
+  // Drain the burst; the fifth take must fail with a computable wait.
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(b.try_take(0.0));
+  EXPECT_FALSE(b.try_take(0.0));
+  EXPECT_DOUBLE_EQ(b.retry_after(1.0), 0.5);  // 1 token at 2/s
+  // Refill is linear in elapsed time and capped at the burst.
+  b.refill(1.0);
+  EXPECT_DOUBLE_EQ(b.available(), 2.0);
+  b.refill(100.0);
+  EXPECT_DOUBLE_EQ(b.available(), 4.0);
+  // A stale (earlier) clock value cannot rewind the bucket.
+  b.take(4.0);
+  b.refill(50.0);
+  EXPECT_DOUBLE_EQ(b.available(), 0.0);
+}
+
+TEST(TokenBucket, ZeroRateNeverRefills) {
+  TokenBucket b(/*rate_per_sec=*/0.0, /*burst=*/2.0, /*now=*/0.0);
+  EXPECT_TRUE(b.try_take(0.0, 2.0));
+  b.refill(1e9);
+  EXPECT_FALSE(b.can_take(1.0));
+  EXPECT_DOUBLE_EQ(b.retry_after(1.0), TokenBucket::kNeverSeconds);
+}
+
+TEST(TenantLimits, EffectiveBurstDefaultsAndEnablement) {
+  TenantLimits none;
+  EXPECT_FALSE(none.any());
+  TenantLimits rate_only{/*rate_per_sec=*/5.0, /*burst=*/0, /*max_pending=*/0};
+  EXPECT_TRUE(rate_only.any());
+  EXPECT_DOUBLE_EQ(rate_only.effective_burst(), 5.0);
+  TenantLimits tiny_rate{/*rate_per_sec=*/0.25, /*burst=*/0, /*max_pending=*/0};
+  EXPECT_DOUBLE_EQ(tiny_rate.effective_burst(), 1.0);  // a lone request always fits
+
+  TenancyOptions opts;
+  EXPECT_FALSE(opts.enabled());
+  opts.per_tenant[9] = TenantLimits{};  // all-zero entry enforces nothing
+  EXPECT_FALSE(opts.enabled());
+  opts.per_tenant[9].max_pending = 4;
+  EXPECT_TRUE(opts.enabled());
+  EXPECT_EQ(opts.limits_for(9).max_pending, 4u);
+  EXPECT_EQ(opts.limits_for(1).max_pending, 0u);  // falls back to defaults
+}
+
+struct TenancyFixture {
+  bfv::Bfv scheme{bfv::BfvParams::test_tiny(64), /*seed=*/41};
+  bfv::PublicKey pk = scheme.keygen_public(scheme.keygen_secret());
+  bfv::IntegerEncoder enc{scheme.context()};
+
+  EvalRequest mult_request(std::int64_t x, std::int64_t y) {
+    return {scheme.encrypt(pk, enc.encode(x)), scheme.encrypt(pk, enc.encode(y)),
+            RequestKind::kEvalMult};
+  }
+};
+
+TEST(Tenancy, RateLimitIsTypedAndConsumesNothing) {
+  TenancyFixture f;
+  ChipFarm farm(1);
+  ServiceOptions opts;
+  // A rate so slow the bucket effectively never refills during the test:
+  // exactly `burst` requests are admitted, deterministically.
+  opts.tenancy.per_tenant[7] = TenantLimits{/*rate_per_sec=*/1e-9, /*burst=*/3,
+                                            /*max_pending=*/0};
+  EvalService svc(f.scheme, farm, opts);
+  const auto req = f.mult_request(3, 5);
+  const SubmitOptions limited{Priority::kNormal, /*tenant=*/7, /*weight=*/1};
+
+  std::vector<std::future<bfv::Ciphertext>> futures;
+  futures.push_back(svc.submit(req, limited));
+  futures.push_back(svc.submit(req, limited));
+  // One token left: a batch of two must bounce whole -- and burn nothing.
+  try {
+    (void)svc.submit_batch({req, req}, limited);
+    FAIL() << "expected RateLimitedError";
+  } catch (const RateLimitedError& e) {
+    EXPECT_GT(e.retry_after_seconds(), 0.0);
+  }
+  // The rejected batch consumed no tokens, so the last single still fits.
+  futures.push_back(svc.submit(req, limited));
+  EXPECT_THROW((void)svc.submit(req, limited), RateLimitedError);
+
+  // An unlimited tenant shares the service unthrottled.
+  futures.push_back(svc.submit(req, {Priority::kNormal, /*tenant=*/1, /*weight=*/1}));
+  for (auto& fu : futures) EXPECT_EQ(fu.get().size(), 3u);
+  svc.drain();
+
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.rejected_rate_limited, 3u);  // the 2-batch + the single
+  EXPECT_EQ(st.completed, 4u);
+  std::uint64_t tenant7_rejected = 0, tenant7_submitted = 0;
+  for (const auto& tn : st.per_tenant)
+    if (tn.tenant == 7) {
+      tenant7_rejected = tn.rejected;
+      tenant7_submitted = tn.submitted;
+    }
+  EXPECT_EQ(tenant7_rejected, 3u);
+  EXPECT_EQ(tenant7_submitted, 3u);  // disjoint from rejected
+}
+
+TEST(Tenancy, PendingQuotaSpansTheBatchAndReleasesAtSettlement) {
+  TenancyFixture f;
+  ChipFarm farm(1);
+  ServiceOptions opts;
+  opts.tenancy.per_tenant[5] = TenantLimits{/*rate_per_sec=*/0, /*burst=*/0,
+                                            /*max_pending=*/2};
+  EvalService svc(f.scheme, farm, opts);
+  const auto req = f.mult_request(2, 6);
+  const SubmitOptions quota{Priority::kNormal, /*tenant=*/5, /*weight=*/1};
+
+  // A batch past the quota bounces whole, before anything is enqueued.
+  EXPECT_THROW((void)svc.submit_batch({req, req, req}, quota), TenantQuotaError);
+  EXPECT_EQ(svc.stats().rejected_quota, 3u);
+
+  // At the quota exactly: admitted.
+  auto futures = svc.submit_batch({req, req}, quota);
+  for (auto& fu : futures) EXPECT_EQ(fu.get().size(), 3u);
+  svc.drain();
+
+  // Settled work released its pending slots, so the quota is free again --
+  // if release leaked, this second full-quota batch would bounce.
+  auto again = svc.submit_batch({req, req}, quota);
+  for (auto& fu : again) EXPECT_EQ(fu.get().size(), 3u);
+  svc.drain();
+  EXPECT_EQ(svc.stats().completed, 4u);
+  EXPECT_EQ(svc.stats().failed, 0u);
+}
+
+TEST(Tenancy, DefaultLimitsGovernEveryTenantAndEntriesExempt) {
+  TenancyFixture f;
+  ChipFarm farm(1);
+  ServiceOptions opts;
+  opts.tenancy.default_limits.max_pending = 1;
+  opts.tenancy.per_tenant[8] = TenantLimits{};  // tenant 8 is exempt
+  EvalService svc(f.scheme, farm, opts);
+  const auto req = f.mult_request(4, 4);
+
+  EXPECT_THROW((void)svc.submit_batch({req, req},
+                                      {Priority::kNormal, /*tenant=*/2, /*weight=*/1}),
+               TenantQuotaError);
+  auto futures = svc.submit_batch({req, req, req, req},
+                                  {Priority::kNormal, /*tenant=*/8, /*weight=*/1});
+  for (auto& fu : futures) EXPECT_EQ(fu.get().size(), 3u);
+}
+
+TEST(Tenancy, MaxQueueCountsInFlightRounds) {
+  // The satellite bugfix pin: max_queue bounds queued + in-flight work, so
+  // a deep pipeline cannot hold pipeline_depth x the bound.  The observed
+  // peak pending depth must never exceed the bound.
+  TenancyFixture f;
+  ChipFarm farm(2);
+  ServiceOptions opts;
+  opts.max_batch = 1;       // every request is its own round
+  opts.max_queue = 2;
+  opts.pipeline_depth = 4;  // deep ring: the old queue_.size()-only check
+                            // would admit up to ~bound x depth requests
+  EvalService svc(f.scheme, farm, opts);
+  const auto req = f.mult_request(5, 7);
+
+  std::vector<std::future<bfv::Ciphertext>> futures;
+  std::size_t rejected = 0;
+  while (futures.size() < 16) {
+    try {
+      futures.push_back(svc.submit(req));
+    } catch (const QueueFullError&) {
+      ++rejected;
+    }
+  }
+  for (auto& fu : futures) EXPECT_EQ(fu.get().size(), 3u);
+  svc.drain();
+  const ServiceStats st = svc.stats();
+  EXPECT_EQ(st.completed, 16u);
+  EXPECT_LE(st.peak_queue_depth, opts.max_queue);
+  EXPECT_EQ(st.rejected_queue_full, rejected);
+}
+
+}  // namespace
+}  // namespace cofhee::service
